@@ -1,0 +1,176 @@
+// Command grid3sim runs the full Grid3 production scenario (October 23
+// 2003 through April 23 2004) and prints every figure and table from the
+// paper's evaluation: Figures 2-6, Table 1, and the §7 milestones.
+//
+// Usage:
+//
+//	grid3sim [-seed N] [-scale F] [-days D] [-srm] [-no-failures] [-no-affinity]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"grid3/internal/core"
+	"grid3/internal/failure"
+	"grid3/internal/mdviewer"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "simulation seed (same seed, same run)")
+	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper's ~290k jobs)")
+	days := flag.Int("days", 183, "scenario length in days")
+	useSRM := flag.Bool("srm", false, "enable SRM space reservation (the §8 lesson)")
+	noFailures := flag.Bool("no-failures", false, "disable failure injection")
+	noAffinity := flag.Bool("no-affinity", false, "disable VO site affinity (uniform matchmaking)")
+	quiet := flag.Bool("quiet", false, "print only the summary line")
+	csvDir := flag.String("csv", "", "also write figure CSVs into this directory")
+	flag.Parse()
+
+	start := time.Now()
+	s, err := core.NewScenario(core.ScenarioConfig{
+		Config: core.Config{
+			Seed:            *seed,
+			UseSRM:          *useSRM,
+			DisableAffinity: *noAffinity,
+		},
+		Horizon:         time.Duration(*days) * 24 * time.Hour,
+		JobScale:        *scale,
+		DisableFailures: *noFailures,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "grid3sim:", err)
+		os.Exit(1)
+	}
+	s.Run()
+	elapsed := time.Since(start)
+
+	fmt.Printf("Grid3 scenario: %d days, seed %d, scale %.2f — %d jobs submitted, %d records, ran in %v\n\n",
+		*days, *seed, *scale, s.SubmittedTotal(), s.Grid.ACDC.Len(), elapsed.Round(time.Millisecond))
+	if *csvDir != "" {
+		if err := writeCSVs(s, *csvDir); err != nil {
+			fmt.Fprintln(os.Stderr, "grid3sim: writing CSVs:", err)
+		} else {
+			fmt.Printf("figure CSVs written to %s\n\n", *csvDir)
+		}
+	}
+	if *quiet {
+		return
+	}
+
+	w := os.Stdout
+
+	// §7 milestones.
+	s.ComputeMilestones().Write(w)
+	fmt.Fprintln(w)
+
+	// Figure 2: integrated CPU usage during SC2003.
+	mdviewer.BarChart(w, "Figure 2: integrated CPU usage during SC2003 (30 days from Oct 25), by VO",
+		"CPU-days", s.Figure2(), 44)
+	fmt.Fprintln(w)
+
+	// Figure 3: differential CPU usage (weekly summary for readability).
+	fig3 := s.Figure3()
+	weekly := weeklyPlot(fig3)
+	weekly.WriteTable(w)
+	fmt.Fprintln(w)
+
+	// Figure 4: CMS cumulative usage by site.
+	mdviewer.BarChart(w, "Figure 4: CMS cumulative usage by site (150 days from Nov 2003)",
+		"CPU-days", s.Figure4(), 44)
+	fmt.Fprintln(w)
+
+	// Figure 5: data consumed by VO.
+	byVO, total := s.Figure5()
+	mdviewer.BarChart(w, fmt.Sprintf("Figure 5: data consumed by Grid3 sites, by VO (total %.1f TB)", total),
+		"TB", byVO, 44)
+	fmt.Fprintln(w)
+
+	// Figure 6: jobs by month.
+	months, counts := s.Figure6()
+	mdviewer.Histogram(w, "Figure 6: jobs run on Grid3 by month", months, counts, 44)
+	fmt.Fprintln(w)
+
+	// Table 1.
+	s.WriteTable1(w)
+	fmt.Fprintln(w)
+
+	// Failure attribution (§6.1).
+	if s.Injector != nil {
+		fmt.Fprintf(w, "Failure injection: %d incidents, %.0f%% of killed jobs from site problems (paper: ~90%%)\n",
+			len(s.Injector.Events()), 100*s.Injector.SiteProblemFraction())
+		counts := s.Injector.CountByKind()
+		killed := s.Injector.KilledByKind()
+		for kind := failure.DiskFull; kind <= failure.RandomLoss; kind++ {
+			if counts[kind] == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "  %-18s %4d incidents, %5d jobs killed\n",
+				kind, counts[kind], killed[kind])
+		}
+	}
+}
+
+// writeCSVs exports the MDViewer-style parametric plots for offline
+// analysis (daily usage by VO and by site across the whole run).
+func writeCSVs(s *core.Scenario, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	horizon := s.Grid.Eng.Now()
+	day := 24 * time.Hour
+	for _, spec := range []struct {
+		name  string
+		group core.GroupBy
+	}{{"usage-by-vo.csv", core.ByVO}, {"usage-by-site.csv", core.BySite}} {
+		f, err := os.Create(dir + "/" + spec.name)
+		if err != nil {
+			return err
+		}
+		plot := s.UsagePlot(0, horizon, day, spec.group)
+		err = plot.WriteCSV(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(dir + "/figure3-daily.csv")
+	if err != nil {
+		return err
+	}
+	err = s.Figure3().WriteCSV(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// weeklyPlot coarsens the daily Figure 3 series into weeks so the table
+// fits a terminal.
+func weeklyPlot(daily *mdviewer.Plot) *mdviewer.Plot {
+	const week = 7
+	out := &mdviewer.Plot{Title: daily.Title + " — weekly means", Unit: daily.Unit}
+	nWeeks := (len(daily.XLabels) + week - 1) / week
+	for wk := 0; wk < nWeeks; wk++ {
+		out.XLabels = append(out.XLabels, fmt.Sprintf("week %d", wk+1))
+	}
+	for _, s := range daily.Series {
+		vals := make([]float64, nWeeks)
+		for wk := 0; wk < nWeeks; wk++ {
+			sum, n := 0.0, 0
+			for d := wk * week; d < (wk+1)*week && d < len(s.Values); d++ {
+				sum += s.Values[d]
+				n++
+			}
+			if n > 0 {
+				vals[wk] = sum / float64(n)
+			}
+		}
+		out.Series = append(out.Series, mdviewer.Series{Name: s.Name, Values: vals})
+	}
+	return out
+}

@@ -1,0 +1,53 @@
+// Command pacman resolves and "installs" packages from the iGOC Grid3
+// cache, printing the dependency-ordered plan — the §5.1 site installation
+// path (`pacman -get Grid3`).
+//
+// Usage:
+//
+//	pacman [-get grid3] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"grid3/internal/pacman"
+	"grid3/internal/vdt"
+)
+
+func main() {
+	get := flag.String("get", "grid3", "package to resolve and install")
+	list := flag.Bool("list", false, "list the iGOC cache contents")
+	flag.Parse()
+
+	cache := vdt.Grid3Cache()
+	if *list {
+		fmt.Println("iGOC cache packages:")
+		for _, name := range cache.Packages() {
+			p, _ := cache.Lookup(name)
+			fmt.Printf("  %-16s %-10s deps=%v\n", p.Name, p.Version, p.Depends)
+		}
+		return
+	}
+
+	order, err := pacman.Resolve(cache, *get)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pacman:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("resolution for %q (%d packages, dependencies first):\n", *get, len(order))
+	target := pacman.NewMemTarget()
+	installed, err := pacman.Install(cache, target, *get)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pacman:", err)
+		os.Exit(1)
+	}
+	for _, p := range installed {
+		fmt.Printf("  installed %-24s", p.ID())
+		if len(p.Paths) > 0 {
+			fmt.Printf(" -> %v", p.Paths)
+		}
+		fmt.Println()
+	}
+}

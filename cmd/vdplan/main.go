@@ -1,0 +1,121 @@
+// Command vdplan demonstrates the Chimera → Pegasus planning pipeline: it
+// builds the ATLAS three-step virtual-data catalog (§4.1), plans the
+// derivation of N reconstructed datasets, maps the abstract DAG onto the
+// Grid3 site catalog, and prints the concrete workflow.
+//
+// Usage:
+//
+//	vdplan [-batches N] [-policy vo-affinity|load-balanced|round-robin]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"grid3/internal/chimera"
+	"grid3/internal/core"
+	"grid3/internal/pegasus"
+	"grid3/internal/vo"
+)
+
+func main() {
+	batches := flag.Int("batches", 3, "event batches to reconstruct")
+	policyName := flag.String("policy", "vo-affinity", "site selection policy")
+	flag.Parse()
+
+	var policy pegasus.Policy
+	switch *policyName {
+	case "vo-affinity":
+		policy = pegasus.VOAffinity
+	case "load-balanced":
+		policy = pegasus.LoadBalanced
+	case "round-robin":
+		policy = pegasus.RoundRobin
+	default:
+		fmt.Fprintln(os.Stderr, "vdplan: unknown policy", *policyName)
+		os.Exit(2)
+	}
+
+	if err := run(*batches, policy); err != nil {
+		fmt.Fprintln(os.Stderr, "vdplan:", err)
+		os.Exit(1)
+	}
+}
+
+func run(batches int, policy pegasus.Policy) error {
+	// Chimera: the ATLAS pipeline (pythia → atlsim → atrecon).
+	cat := chimera.NewCatalog()
+	cat.AddTR(&chimera.Transformation{Name: "pythia", MeanRuntime: time.Hour, Walltime: 4 * time.Hour, StagingFactor: 1, OutputBytes: 100 << 20, RequiresApp: "atlas-gce-7.0.3"})
+	cat.AddTR(&chimera.Transformation{Name: "atlsim", MeanRuntime: 8 * time.Hour, Walltime: 24 * time.Hour, StagingFactor: 2, OutputBytes: 2 << 30, RequiresApp: "atlas-gce-7.0.3"})
+	cat.AddTR(&chimera.Transformation{Name: "atrecon", MeanRuntime: 4 * time.Hour, Walltime: 12 * time.Hour, StagingFactor: 2, OutputBytes: 500 << 20, RequiresApp: "atlas-gce-7.0.3"})
+	var requests []string
+	for b := 1; b <= batches; b++ {
+		gen := fmt.Sprintf("dc2.%04d", b)
+		cat.AddDV(&chimera.Derivation{ID: "gen-" + gen, TR: "pythia",
+			Inputs: []string{"lfn:pythia-card"}, Outputs: []string{"lfn:evgen." + gen}})
+		cat.AddDV(&chimera.Derivation{ID: "sim-" + gen, TR: "atlsim",
+			Inputs: []string{"lfn:evgen." + gen, "lfn:geometry-db"}, Outputs: []string{"lfn:hits." + gen}})
+		cat.AddDV(&chimera.Derivation{ID: "reco-" + gen, TR: "atrecon",
+			Inputs: []string{"lfn:hits." + gen, "lfn:calib-db"}, Outputs: []string{"lfn:esd." + gen}})
+		requests = append(requests, "lfn:esd."+gen)
+	}
+	abstract, err := cat.Plan(requests...)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Chimera abstract DAG: %d derivations, external inputs %v\n",
+		len(abstract.Order), abstract.ExternalInputs())
+
+	// Pegasus: map onto the Grid3 catalog.
+	specs := core.Grid3Sites()
+	var sites []pegasus.SiteInfo
+	for _, spec := range specs {
+		var vos []string
+		for v := range spec.Accounts {
+			vos = append(vos, v)
+		}
+		sites = append(sites, pegasus.SiteInfo{
+			Name: spec.Name, VOs: vos, MaxWall: spec.MaxWall,
+			TotalCPUs: spec.CPUs, FreeCPUs: spec.CPUs,
+			FreeDisk: spec.DiskBytes, OutboundIP: spec.OutboundIP,
+			OwnerVO: spec.OwnerVO,
+			Apps:    map[string]bool{"atlas-gce-7.0.3": true},
+		})
+	}
+	planner := &pegasus.Planner{
+		Sites: func() []pegasus.SiteInfo { return sites },
+		Locate: func(lfn string) []string {
+			switch lfn {
+			case "lfn:pythia-card", "lfn:geometry-db", "lfn:calib-db":
+				return []string{"BNL_ATLAS_Tier1"}
+			}
+			return nil
+		},
+		InputBytes:  func(string) int64 { return 50 << 20 },
+		ArchiveSite: "BNL_ATLAS_Tier1",
+		Policy:      policy,
+	}
+	concrete, err := planner.Plan(abstract, vo.USATLAS)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Pegasus concrete DAG (%s policy): %d jobs", policy, len(concrete.Order))
+	for t, n := range concrete.CountByType() {
+		fmt.Printf("  %s=%d", t, n)
+	}
+	fmt.Println()
+	for _, name := range concrete.Order {
+		j := concrete.Jobs[name]
+		switch j.Type {
+		case pegasus.Compute:
+			fmt.Printf("  %-40s run %s at %s (deps %v)\n", name, j.TR.Name, j.Site, j.Parents)
+		case pegasus.StageIn, pegasus.Transfer, pegasus.StageOut:
+			fmt.Printf("  %-40s move %s %s → %s (%d MB)\n", name, j.LFN, j.SrcSite, j.Site, j.Bytes>>20)
+		case pegasus.Register:
+			fmt.Printf("  %-40s register %s in RLS\n", name, j.LFN)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+// ATLAS data challenge (§4.1): the full virtual-data path. Chimera plans a
+// three-step pipeline (Pythia event generation → GEANT simulation →
+// reconstruction) from the virtual data catalog; Pegasus maps it onto
+// Grid3 using live MDS resource state and RLS replica locations, inserting
+// stage-in/stage-out/register jobs; Condor-G/DAGMan executes it; outputs
+// are archived at the BNL Tier1 and registered in RLS.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"grid3/internal/chimera"
+	"grid3/internal/core"
+	"grid3/internal/dagman"
+	"grid3/internal/dial"
+	"grid3/internal/pegasus"
+	"grid3/internal/vo"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "atlas-dc2:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	g, err := core.New(core.Config{Seed: 2003})
+	if err != nil {
+		return err
+	}
+
+	// Seed the external inputs at BNL and publish them in RLS.
+	for _, in := range []struct {
+		lfn   string
+		bytes int64
+	}{
+		{"lfn:pythia-card", 1 << 20},
+		{"lfn:geometry-db", 500 << 20},
+		{"lfn:calib-db", 200 << 20},
+	} {
+		if err := g.SeedFile("BNL_ATLAS_Tier1", in.lfn, in.bytes); err != nil {
+			return err
+		}
+	}
+
+	// Chimera virtual data catalog: TRs with Grid3 resource profiles, and
+	// DVs for four event batches.
+	cat := chimera.NewCatalog()
+	cat.AddTR(&chimera.Transformation{Name: "pythia", MeanRuntime: time.Hour, Walltime: 4 * time.Hour, StagingFactor: 1, OutputBytes: 100 << 20, RequiresApp: "atlas-gce-7.0.3"})
+	cat.AddTR(&chimera.Transformation{Name: "atlsim", MeanRuntime: 8 * time.Hour, Walltime: 24 * time.Hour, StagingFactor: 2, OutputBytes: 2 << 30, RequiresApp: "atlas-gce-7.0.3"})
+	cat.AddTR(&chimera.Transformation{Name: "atrecon", MeanRuntime: 4 * time.Hour, Walltime: 12 * time.Hour, StagingFactor: 2, OutputBytes: 500 << 20, RequiresApp: "atlas-gce-7.0.3"})
+	var want []string
+	for b := 1; b <= 4; b++ {
+		id := fmt.Sprintf("%04d", b)
+		cat.AddDV(&chimera.Derivation{ID: "gen-" + id, TR: "pythia",
+			Inputs: []string{"lfn:pythia-card"}, Outputs: []string{"lfn:evgen." + id}})
+		cat.AddDV(&chimera.Derivation{ID: "sim-" + id, TR: "atlsim",
+			Inputs: []string{"lfn:evgen." + id, "lfn:geometry-db"}, Outputs: []string{"lfn:hits." + id}})
+		cat.AddDV(&chimera.Derivation{ID: "reco-" + id, TR: "atrecon",
+			Inputs: []string{"lfn:hits." + id, "lfn:calib-db"}, Outputs: []string{"lfn:esd." + id}})
+		want = append(want, "lfn:esd."+id)
+	}
+	abstract, err := cat.Plan(want...)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Chimera planned %d derivations; external inputs: %v\n",
+		len(abstract.Order), abstract.ExternalInputs())
+
+	// Pegasus concrete planning against the live grid.
+	planner := g.PlannerFor(vo.USATLAS, pegasus.VOAffinity)
+	concrete, err := planner.Plan(abstract, vo.USATLAS)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Pegasus mapped %d concrete jobs (%d reused):", len(concrete.Order), len(concrete.Reused))
+	for t, n := range concrete.CountByType() {
+		fmt.Printf(" %s=%d", t, n)
+	}
+	fmt.Println()
+
+	// Execute under DAGMan.
+	var result dagman.Result
+	wf, err := g.RunWorkflow(concrete, vo.USATLAS,
+		"/DC=org/DC=doegrids/OU=People/CN=usatlas user 00",
+		func(r dagman.Result) { result = r })
+	if err != nil {
+		return err
+	}
+	g.Eng.RunUntil(7 * 24 * time.Hour)
+	fmt.Printf("DAG finished: %d done, %d failed, %d unrunnable\n",
+		len(result.Done), len(result.Failed), len(result.Unrunnable))
+	for _, id := range abstract.Order {
+		if siteName, ok := wf.JobSites["compute_"+id]; ok {
+			fmt.Printf("  %-12s ran at %s\n", id, siteName)
+		}
+	}
+
+	// The products are in RLS, archived at BNL.
+	for _, lfn := range want {
+		sites := g.RLI.Sites(lfn)
+		fmt.Printf("  %s replicated at %v\n", lfn, sites)
+	}
+
+	// §6.1: "A dataset catalog was created for produced samples, making
+	// them available to the DIAL distributed analysis package. ... Output
+	// datasets ... continue to be analyzed by DIAL developers and the
+	// SUSY physics working group." Register the ESDs and run an analysis.
+	for _, lfn := range want {
+		g.DIAL.Append("dc2.esd", lfn, 500<<20)
+	}
+	task := &dial.Task{
+		Name:        "susy-met-histo",
+		FilesPerJob: 2,
+		Process: func(lfn string, bytes int64) (*dial.Histogram, error) {
+			// One pseudo-histogram entry per 100 MB of ESD.
+			return &dial.Histogram{Bins: []float64{float64(bytes / (100 << 20))}}, nil
+		},
+	}
+	var ares dial.Result
+	if err := g.AnalyzeDataset(vo.USATLAS,
+		"/DC=org/DC=doegrids/OU=People/CN=usatlas user 01",
+		"dc2.esd", task, 20*time.Minute, func(r dial.Result) { ares = r }); err != nil {
+		return err
+	}
+	g.Eng.RunFor(24 * time.Hour)
+	fmt.Printf("DIAL analysis: %d sub-jobs (%d failed), histogram entries %.0f\n",
+		ares.SubJobs, ares.Failed, ares.Histogram.Entries())
+
+	// Virtual-data reuse: replanning the same request prunes everything.
+	replan, err := g.PlannerFor(vo.USATLAS, pegasus.VOAffinity).Plan(abstract, vo.USATLAS)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replanning the same request: %d jobs to run, %d derivations reused from RLS\n",
+		len(replan.Order), len(replan.Reused))
+	return nil
+}

@@ -1,0 +1,3 @@
+module grid3
+
+go 1.22

@@ -1,0 +1,66 @@
+// Package grid3 is a from-scratch Go reproduction of the Grid2003
+// production grid (Foster et al., HPDC 2004): the complete middleware
+// stack — GSI, VOMS, ClassAds/Condor-G, GRAM, GridFTP, MDS, RLS, SRM,
+// Pacman/VDT, Chimera, Pegasus, DAGMan, and the Ganglia/MonALISA/ACDC
+// monitoring mesh — plus a deterministic discrete-event scenario that
+// regenerates the paper's evaluation (Figures 2-6, Table 1, and the §7
+// milestones).
+//
+// This package is the public façade: it re-exports the assembly and
+// scenario API from the internal packages. Typical use:
+//
+//	g, err := grid3.New(grid3.Config{Seed: 42})
+//	g.SubmitJob(grid3.Request{VO: "usatlas", ...})
+//	g.Eng.RunUntil(24 * time.Hour)
+//
+// or, for the full calibrated campaign:
+//
+//	s, err := grid3.RunScenario(1, 1.0)
+//	s.WriteTable1(os.Stdout)
+//
+// The substrates are individually importable under internal/ within this
+// module; see DESIGN.md for the inventory.
+package grid3
+
+import (
+	"grid3/internal/apps"
+	"grid3/internal/core"
+)
+
+// Config tunes a Grid3 instance; see core.Config.
+type Config = core.Config
+
+// Grid is a fully assembled Grid3 instance: 27 sites, the service mesh,
+// and per-VO Condor-G schedds.
+type Grid = core.Grid
+
+// Request is one workload job handed to the grid.
+type Request = apps.Request
+
+// ScenarioConfig tunes a full production campaign.
+type ScenarioConfig = core.ScenarioConfig
+
+// Scenario is a running or completed campaign with figure/table queries.
+type Scenario = core.Scenario
+
+// Milestones is the §7 scorecard.
+type Milestones = core.Milestones
+
+// SiteSpec describes one catalog site.
+type SiteSpec = core.SiteSpec
+
+// New assembles a Grid3 instance.
+func New(cfg Config) (*Grid, error) { return core.New(cfg) }
+
+// NewScenario assembles a grid with the calibrated workloads, the §6.3
+// transfer demonstrator, and failure injection armed.
+func NewScenario(cfg ScenarioConfig) (*Scenario, error) { return core.NewScenario(cfg) }
+
+// RunScenario runs the full 183-day campaign at the given seed and
+// workload scale (1.0 reproduces the paper's ~290k-job sample).
+func RunScenario(seed int64, scale float64) (*Scenario, error) {
+	return core.DefaultScenario(seed, scale)
+}
+
+// Grid3Sites returns the production 27-site catalog.
+func Grid3Sites() []SiteSpec { return core.Grid3Sites() }

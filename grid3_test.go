@@ -1,0 +1,47 @@
+package grid3
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPublicAPI exercises the façade end-to-end: assemble, submit, run,
+// observe — the README quickstart, as a test.
+func TestPublicAPI(t *testing.T) {
+	g, err := New(Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(Grid3Sites()) != 27 {
+		t.Fatal("catalog size")
+	}
+	g.SubmitJob(Request{
+		ID: "api-1", VO: "usatlas",
+		User:     "/DC=org/DC=doegrids/OU=People/CN=usatlas user 00",
+		Runtime:  time.Hour,
+		Walltime: 2 * time.Hour,
+	})
+	g.Eng.RunUntil(6 * time.Hour)
+	if g.Stats("usatlas").Completed != 1 {
+		t.Fatalf("stats = %+v", g.Stats("usatlas"))
+	}
+}
+
+func TestPublicScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario in -short mode")
+	}
+	s, err := NewScenario(ScenarioConfig{
+		Config:   Config{Seed: 2},
+		Horizon:  10 * 24 * time.Hour,
+		JobScale: 0.005,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	m := s.ComputeMilestones()
+	if m.Users != 102 || m.CPUs < 2500 {
+		t.Fatalf("milestones = %+v", m)
+	}
+}

@@ -1,0 +1,173 @@
+package grid3
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"grid3/internal/dagman"
+	"grid3/internal/gram"
+	"grid3/internal/gridftp"
+	"grid3/internal/gsi"
+)
+
+// TestRealTCPPipeline runs a miniature Grid3 workflow over genuine
+// sockets: a DAGMan DAG whose compute nodes submit to a real TCP GRAM
+// gatekeeper and whose data nodes move files between two real GridFTP
+// servers, all under one GSI trust fabric.
+func TestRealTCPPipeline(t *testing.T) {
+	now := time.Now()
+	ca, err := gsi.NewCA("/CN=Integration CA", now.Add(-time.Hour), 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, err := ca.Issue("/OU=People/CN=Integration User", now.Add(-time.Minute), 12*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy, err := gsi.NewProxy(user, now, 6*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trust := gsi.NewTrustStore(ca.Certificate())
+	gridmap := gsi.NewGridmap()
+	gridmap.Map(user.Cert.Subject, "usatlas")
+
+	// One gatekeeper, two storage elements.
+	gk := gram.NewServer(trust, gridmap, 2)
+	gkAddr, err := gk.Serve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gk.Close()
+	seSrc := gridftp.NewServer(gridftp.NewFileStore(64<<20), trust, gridmap)
+	srcAddr, _ := seSrc.Serve()
+	defer seSrc.Close()
+	seDst := gridftp.NewServer(gridftp.NewFileStore(64<<20), trust, gridmap)
+	dstAddr, _ := seDst.Serve()
+	defer seDst.Close()
+
+	gramClient, err := gram.Dial(gkAddr, proxy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gramClient.Close()
+	src, err := gridftp.Dial(srcAddr, proxy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	dst, err := gridftp.Dial(dstAddr, proxy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+
+	// Seed the input at the source SE.
+	input := bytes.Repeat([]byte("sft"), 100000)
+	if err := src.Put("/s2/input.sft", input); err != nil {
+		t.Fatal(err)
+	}
+
+	// DAG: stage-in → compute ×2 → stage-out.
+	d := dagman.New()
+	d.Add(&dagman.Node{Name: "stagein", Work: func(done func(error)) {
+		data, err := src.Get("/s2/input.sft")
+		if err != nil {
+			done(err)
+			return
+		}
+		done(dst.Put("/scratch/input.sft", data))
+	}})
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf("search-%d", i)
+		d.Add(&dagman.Node{Name: name, Retries: 1, Work: func(done func(error)) {
+			// Real GRAM submission with a short wall-clock payload. The
+			// client and the DAGMan runner are both single-threaded, so
+			// the wait is synchronous (each payload is milliseconds).
+			id, err := gramClient.Submit("/bin/search", 15*time.Millisecond)
+			if err != nil {
+				done(err)
+				return
+			}
+			st, err := gramClient.WaitDone(id, 5*time.Second)
+			if err != nil {
+				done(err)
+				return
+			}
+			if st != "DONE" {
+				done(fmt.Errorf("job state %s", st))
+				return
+			}
+			done(nil)
+		}})
+		d.AddEdge("stagein", name)
+	}
+	d.Add(&dagman.Node{Name: "stageout", Work: func(done func(error)) {
+		done(dst.Put("/results/candidates.dat", []byte("pulsar-candidates")))
+	}})
+	d.AddEdge("search-0", "stageout")
+	d.AddEdge("search-1", "stageout")
+
+	resultCh := make(chan dagman.Result, 1)
+	runner := dagman.NewRunner(d)
+	if err := runner.Run(func(r dagman.Result) { resultCh <- r }); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-resultCh:
+		if !r.Succeeded() {
+			t.Fatalf("pipeline failed: %+v", r)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("pipeline timed out")
+	}
+
+	// The staged product exists with intact content.
+	got, err := dst.Get("/scratch/input.sft")
+	if err != nil || !bytes.Equal(got, input) {
+		t.Fatalf("staged input corrupted: %v", err)
+	}
+	if _, err := dst.Get("/results/candidates.dat"); err != nil {
+		t.Fatal("results missing")
+	}
+}
+
+// TestRealTCPTwoSessions pins the server's cross-session semantics: jobs
+// are global to the gatekeeper, so a second authenticated session can
+// poll jobs submitted by the first (how the paper's operators inspected
+// stuck jobmanagers).
+func TestRealTCPTwoSessions(t *testing.T) {
+	now := time.Now()
+	ca, _ := gsi.NewCA("/CN=CA2", now.Add(-time.Hour), 24*time.Hour)
+	user, _ := ca.Issue("/CN=u", now.Add(-time.Minute), 12*time.Hour)
+	gm := gsi.NewGridmap()
+	gm.Map("/CN=u", "ivdgl")
+	gk := gram.NewServer(gsi.NewTrustStore(ca.Certificate()), gm, 4)
+	addr, err := gk.Serve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gk.Close()
+
+	c1, err := gram.Dial(addr, user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := gram.Dial(addr, user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	id1, _ := c1.Submit("/bin/a", 10*time.Millisecond)
+	id2, _ := c2.Submit("/bin/b", 10*time.Millisecond)
+	// Cross-session visibility: jobs are server-global.
+	if st, err := c2.WaitDone(id1, 2*time.Second); err != nil || st != "DONE" {
+		t.Fatalf("cross-session poll: %s, %v", st, err)
+	}
+	if st, err := c1.WaitDone(id2, 2*time.Second); err != nil || st != "DONE" {
+		t.Fatalf("cross-session poll: %s, %v", st, err)
+	}
+}

@@ -1,0 +1,196 @@
+package acdc
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"grid3/internal/batch"
+	"grid3/internal/sim"
+)
+
+// harness wires two sites' batch systems to a monitor.
+type harness struct {
+	eng *sim.Engine
+	mon *Monitor
+	sys map[string]*batch.System
+}
+
+func newHarness(t *testing.T) *harness {
+	t.Helper()
+	eng := sim.NewEngine(sim.Grid3Epoch)
+	mon := New(eng, sim.Grid3Epoch, time.Hour)
+	h := &harness{eng: eng, mon: mon, sys: map[string]*batch.System{}}
+	for _, name := range []string{"BNL", "UC"} {
+		sys := batch.New(eng, batch.Config{Name: name, Slots: 50, EnforceWall: true, MaxWall: 2000 * time.Hour})
+		mon.Watch(name, sys)
+		h.sys[name] = sys
+	}
+	return h
+}
+
+func (h *harness) run(site, vo string, n int, runtime time.Duration) {
+	for i := 0; i < n; i++ {
+		h.sys[site].Submit(&batch.Job{
+			ID: fmt.Sprintf("%s-%s-%d-%d", site, vo, h.eng.Now(), i), VO: vo,
+			Walltime: runtime + time.Hour, Runtime: runtime,
+		})
+	}
+}
+
+func TestPullCollectsRecords(t *testing.T) {
+	h := newHarness(t)
+	h.run("BNL", "usatlas", 10, 2*time.Hour)
+	h.run("UC", "usatlas", 5, time.Hour)
+	h.eng.RunUntil(72 * time.Hour)
+	h.mon.Pull()
+	if h.mon.Len() != 15 {
+		t.Fatalf("records = %d", h.mon.Len())
+	}
+	if vos := h.mon.VOs(); len(vos) != 1 || vos[0] != "usatlas" {
+		t.Fatalf("VOs = %v", vos)
+	}
+}
+
+func TestTickerPullsAutomatically(t *testing.T) {
+	h := newHarness(t)
+	h.run("BNL", "ivdgl", 3, 30*time.Minute)
+	h.eng.RunUntil(3 * time.Hour) // ticker fires at 1h, 2h, 3h
+	if h.mon.Len() != 3 {
+		t.Fatalf("records after ticker = %d", h.mon.Len())
+	}
+}
+
+func TestClassStats(t *testing.T) {
+	h := newHarness(t)
+	// 20 BNL jobs of 8h, 10 UC jobs of 2h.
+	h.run("BNL", "usatlas", 20, 8*time.Hour)
+	h.run("UC", "usatlas", 10, 2*time.Hour)
+	// One failure: walltime kill.
+	h.sys["UC"].Submit(&batch.Job{ID: "over", VO: "usatlas", Walltime: time.Hour, Runtime: 5 * time.Hour})
+	h.eng.RunUntil(72 * time.Hour)
+	h.mon.Pull()
+	st := h.mon.Stats("usatlas")
+	if st.Jobs != 30 || st.Failed != 1 {
+		t.Fatalf("jobs %d failed %d", st.Jobs, st.Failed)
+	}
+	if st.SitesUsed != 2 {
+		t.Fatalf("sites = %d", st.SitesUsed)
+	}
+	wantAvg := (20*8.0 + 10*2.0) / 30
+	if math.Abs(st.AvgRuntimeHours-wantAvg) > 1e-9 {
+		t.Fatalf("avg runtime = %v, want %v", st.AvgRuntimeHours, wantAvg)
+	}
+	if st.MaxRuntimeHours != 8 {
+		t.Fatalf("max runtime = %v", st.MaxRuntimeHours)
+	}
+	wantCPU := (20*8.0 + 10*2.0) / 24
+	if math.Abs(st.TotalCPUDays-wantCPU) > 1e-9 {
+		t.Fatalf("cpu days = %v, want %v", st.TotalCPUDays, wantCPU)
+	}
+	if st.PeakMonth != "10-2003" {
+		t.Fatalf("peak month = %q", st.PeakMonth)
+	}
+	if st.PeakMonthJobs != 30 || st.PeakResources != 2 {
+		t.Fatalf("peak jobs %d resources %d", st.PeakMonthJobs, st.PeakResources)
+	}
+	if st.MaxSingleSiteJobs != 20 || math.Abs(st.MaxSingleSitePct-66.666) > 0.1 {
+		t.Fatalf("single-site = %d [%f]", st.MaxSingleSiteJobs, st.MaxSingleSitePct)
+	}
+	wantEff := 30.0 / 31.0
+	if math.Abs(st.Efficiency()-wantEff) > 1e-9 {
+		t.Fatalf("efficiency = %v", st.Efficiency())
+	}
+}
+
+func TestStatsEmptyVO(t *testing.T) {
+	h := newHarness(t)
+	st := h.mon.Stats("ligo")
+	if st.Jobs != 0 || st.Efficiency() != 0 || st.PeakMonth != "" {
+		t.Fatalf("empty stats = %+v", st)
+	}
+}
+
+func TestPeakMonthSelection(t *testing.T) {
+	h := newHarness(t)
+	// 5 jobs completing in October, 12 in November, 3 in December.
+	h.run("BNL", "uscms", 5, time.Hour)
+	h.eng.RunUntil(20 * 24 * time.Hour) // Nov 12
+	h.run("BNL", "uscms", 12, time.Hour)
+	h.eng.RunUntil(60 * 24 * time.Hour) // Dec 22
+	h.run("BNL", "uscms", 3, time.Hour)
+	h.eng.RunUntil(61 * 24 * time.Hour)
+	h.mon.Pull()
+	st := h.mon.Stats("uscms")
+	if st.PeakMonth != "11-2003" || st.PeakMonthJobs != 12 {
+		t.Fatalf("peak = %s (%d jobs)", st.PeakMonth, st.PeakMonthJobs)
+	}
+	months, counts := h.mon.JobsByMonth()
+	if len(months) != 3 || months[0] != "10-2003" || months[1] != "11-2003" || months[2] != "12-2003" {
+		t.Fatalf("months = %v", months)
+	}
+	if counts[0] != 5 || counts[1] != 12 || counts[2] != 3 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestCPUDaysByVOOverlap(t *testing.T) {
+	h := newHarness(t)
+	// One 48h job starting at t=0.
+	h.run("BNL", "btev", 1, 48*time.Hour)
+	h.eng.RunUntil(50 * time.Hour)
+	h.mon.Pull()
+	// Window covering only the first 24h: half the job's CPU time.
+	byVO := h.mon.CPUDaysByVO(0, 24*time.Hour)
+	if math.Abs(byVO["btev"]-1.0) > 1e-9 {
+		t.Fatalf("overlap cpu days = %v, want 1.0", byVO["btev"])
+	}
+	// Full window: 2 CPU-days.
+	byVO = h.mon.CPUDaysByVO(0, 100*time.Hour)
+	if math.Abs(byVO["btev"]-2.0) > 1e-9 {
+		t.Fatalf("full cpu days = %v", byVO["btev"])
+	}
+}
+
+func TestCPUDaysBySiteForVO(t *testing.T) {
+	h := newHarness(t)
+	h.run("BNL", "uscms", 4, 12*time.Hour)
+	h.run("UC", "uscms", 2, 12*time.Hour)
+	h.run("UC", "usatlas", 7, 12*time.Hour)
+	h.eng.RunUntil(24 * time.Hour)
+	h.mon.Pull()
+	bySite := h.mon.CPUDaysBySiteForVO("uscms", 0, 1000*time.Hour)
+	if math.Abs(bySite["BNL"]-2.0) > 1e-9 || math.Abs(bySite["UC"]-1.0) > 1e-9 {
+		t.Fatalf("by site = %v", bySite)
+	}
+	if _, ok := bySite["FNAL"]; ok {
+		t.Fatal("phantom site")
+	}
+}
+
+func TestAvgCPUsByVO(t *testing.T) {
+	h := newHarness(t)
+	// 10 concurrent 24h usatlas jobs: 10 CPUs in use for day 1, 0 after.
+	h.run("BNL", "usatlas", 10, 24*time.Hour)
+	h.eng.RunUntil(25 * time.Hour)
+	h.mon.Pull()
+	series := h.mon.AvgCPUsByVO(0, 3*24*time.Hour, 24*time.Hour)
+	atlas := series["usatlas"]
+	if len(atlas) != 3 {
+		t.Fatalf("bins = %d", len(atlas))
+	}
+	if math.Abs(atlas[0]-10) > 1e-9 || atlas[1] != 0 || atlas[2] != 0 {
+		t.Fatalf("series = %v", atlas)
+	}
+	if h.mon.AvgCPUsByVO(0, 0, time.Hour) != nil {
+		t.Fatal("degenerate window should return nil")
+	}
+}
+
+func TestMonthFormatting(t *testing.T) {
+	r := JobRecord{Record: batch.Record{Ended: 9 * 24 * time.Hour}}
+	if got := r.Month(sim.Grid3Epoch); got != "11-2003" {
+		t.Fatalf("month = %q, want 11-2003 (epoch Oct 23 + 9 days)", got)
+	}
+}

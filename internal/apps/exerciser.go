@@ -1,0 +1,86 @@
+package apps
+
+import (
+	"fmt"
+	"time"
+
+	"grid3/internal/dist"
+	"grid3/internal/sim"
+	"grid3/internal/vo"
+)
+
+// Exerciser is the Condor group's backfill demonstrator (§4.7): "An
+// exerciser backfill application provided by the Condor group tested the
+// status of the batch systems and operation characteristics of each Grid3
+// site. This application ran repeatedly with a low priority at 15 minute
+// intervals."
+type Exerciser struct {
+	eng *sim.Engine
+	rng *dist.RNG
+	sub Submitter
+	// Interval between probe submissions per site.
+	Interval time.Duration
+	// Priority of probe jobs (negative: pure backfill).
+	Priority int
+
+	sites    []string
+	tickers  []*sim.Ticker
+	seq      int
+	runtimes dist.TruncatedLogNormal
+}
+
+// NewExerciser creates a backfill prober over the given sites.
+func NewExerciser(eng *sim.Engine, rng *dist.RNG, sub Submitter, sites []string) *Exerciser {
+	return &Exerciser{
+		eng: eng, rng: rng, sub: sub,
+		Interval: 15 * time.Minute,
+		Priority: -10,
+		sites:    append([]string(nil), sites...),
+		runtimes: dist.TruncatedLogNormal{
+			LN: dist.LogNormalFromMean(0.13, 0.8), // Table 1: 0.13 h mean
+			Lo: (10 * time.Second).Hours(),
+			Hi: 36, // Table 1: 36.45 h max
+		},
+	}
+}
+
+// Start arms one probe ticker per site, each with an independent phase so
+// submissions don't synchronize across the grid.
+func (e *Exerciser) Start() {
+	for _, siteName := range e.sites {
+		siteName := siteName
+		phase := time.Duration(e.rng.Intn(int(e.Interval)))
+		e.eng.Schedule(phase, func() {
+			t := sim.NewTicker(e.eng, e.Interval, func() {
+				e.probe(siteName)
+			})
+			e.tickers = append(e.tickers, t)
+			e.probe(siteName)
+		})
+	}
+}
+
+// Stop halts all probing.
+func (e *Exerciser) Stop() {
+	for _, t := range e.tickers {
+		t.Stop()
+	}
+}
+
+// Submitted returns the probe count so far.
+func (e *Exerciser) Submitted() int { return e.seq }
+
+func (e *Exerciser) probe(siteName string) {
+	e.seq++
+	runtime := time.Duration(e.runtimes.Sample(e.rng) * float64(time.Hour))
+	e.sub.SubmitJob(Request{
+		ID:            fmt.Sprintf("exerciser-%06d", e.seq),
+		VO:            vo.Exerciser,
+		User:          "/DC=org/DC=doegrids/OU=Services/CN=condor exerciser",
+		Runtime:       runtime,
+		Walltime:      runtime*2 + time.Minute,
+		StagingFactor: 1,
+		Priority:      e.Priority,
+		Preferred:     siteName,
+	})
+}

@@ -1,0 +1,101 @@
+package apps
+
+import (
+	"fmt"
+	"time"
+
+	"grid3/internal/dagman"
+	"grid3/internal/dist"
+)
+
+// MOP (§4.2) is the CMS production framework: "CMS Production jobs are
+// specified by reading input parameters from a control database and
+// converting them to DAGs suitable for submission to Condor-G/DAGMan."
+// MCRunJob configures the workflow; MOP writes the DAG. Each assignment
+// becomes a fan of independent simulation jobs plus a merge/collect step.
+
+// Assignment is one row of the MOP control database.
+type Assignment struct {
+	ID     string
+	Events int
+	// Kind selects the application: "cmsim" (GEANT3 FORTRAN, shorter) or
+	// "oscar" (GEANT4 C++, 30 h+ per job, §6.2).
+	Kind string
+	// EventsPerJob controls the fan-out (default 250).
+	EventsPerJob int
+}
+
+// jobRuntime returns the mean runtime per job for an assignment kind.
+func (a *Assignment) jobRuntime() time.Duration {
+	if a.Kind == "oscar" {
+		return 34 * time.Hour
+	}
+	return 6 * time.Hour
+}
+
+// MOPJob is one planned grid job of an assignment DAG.
+type MOPJob struct {
+	Request Request
+	// Collect marks the final summary/registration step.
+	Collect bool
+}
+
+// BuildDAG converts an assignment into a DAGMan DAG: N independent
+// simulation nodes feeding one collect node. submit is invoked per node
+// when DAGMan schedules it; it must call done exactly once.
+func (a *Assignment) BuildDAG(rng *dist.RNG, user string, submit func(MOPJob, func(error))) (*dagman.DAG, error) {
+	per := a.EventsPerJob
+	if per <= 0 {
+		per = 250
+	}
+	jobs := (a.Events + per - 1) / per
+	if jobs < 1 {
+		jobs = 1
+	}
+	d := dagman.New()
+	for i := 0; i < jobs; i++ {
+		runtime := rng.Jitter(a.jobRuntime(), 0.4)
+		req := Request{
+			ID:            fmt.Sprintf("%s-%03d", a.ID, i),
+			VO:            "uscms",
+			User:          user,
+			Runtime:       runtime,
+			Walltime:      runtime * 2,
+			StagingFactor: 2,
+			InputBytes:    200 << 20,
+			OutputBytes:   1 << 30,
+		}
+		job := MOPJob{Request: req}
+		if err := d.Add(&dagman.Node{
+			Name:    req.ID,
+			Retries: 2,
+			Work: func(done func(error)) {
+				submit(job, done)
+			},
+		}); err != nil {
+			return nil, err
+		}
+	}
+	collectReq := Request{
+		ID:       a.ID + "-collect",
+		VO:       "uscms",
+		User:     user,
+		Runtime:  30 * time.Minute,
+		Walltime: 2 * time.Hour,
+	}
+	collect := MOPJob{Request: collectReq, Collect: true}
+	if err := d.Add(&dagman.Node{
+		Name: collectReq.ID,
+		Work: func(done func(error)) {
+			submit(collect, done)
+		},
+	}); err != nil {
+		return nil, err
+	}
+	for i := 0; i < jobs; i++ {
+		if err := d.AddEdge(fmt.Sprintf("%s-%03d", a.ID, i), collectReq.ID); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,96 @@
+package apps
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"grid3/internal/dagman"
+	"grid3/internal/dist"
+)
+
+func TestMOPBuildDAGShape(t *testing.T) {
+	a := Assignment{ID: "mop-007", Events: 1000, Kind: "oscar", EventsPerJob: 250}
+	rng := dist.New(4)
+	var submitted []MOPJob
+	d, err := a.BuildDAG(rng, "/CN=cms-prod", func(j MOPJob, done func(error)) {
+		submitted = append(submitted, j)
+		done(nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 simulation nodes + collect.
+	if d.Len() != 5 {
+		t.Fatalf("dag size = %d", d.Len())
+	}
+	var res dagman.Result
+	if err := dagman.NewRunner(d).Run(func(r dagman.Result) { res = r }); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Succeeded() || len(submitted) != 5 {
+		t.Fatalf("res = %+v, submitted = %d", res, len(submitted))
+	}
+	// Collect runs last and is marked.
+	last := submitted[len(submitted)-1]
+	if !last.Collect || !strings.HasSuffix(last.Request.ID, "-collect") {
+		t.Fatalf("last job = %+v", last)
+	}
+	// OSCAR jobs are long (§6.2: "some more than 30 hours").
+	long := 0
+	for _, j := range submitted[:4] {
+		if j.Request.Runtime.Hours() > 20 {
+			long++
+		}
+		if j.Request.VO != "uscms" || j.Request.OutputBytes != 1<<30 {
+			t.Fatalf("request = %+v", j.Request)
+		}
+	}
+	if long == 0 {
+		t.Fatal("no long OSCAR jobs generated")
+	}
+}
+
+func TestMOPCollectWaitsForFailures(t *testing.T) {
+	a := Assignment{ID: "mop-008", Events: 500, Kind: "cmsim"}
+	rng := dist.New(5)
+	collectRan := false
+	d, err := a.BuildDAG(rng, "/CN=cms-prod", func(j MOPJob, done func(error)) {
+		if j.Collect {
+			collectRan = true
+			done(nil)
+			return
+		}
+		done(errors.New("site service failure"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res dagman.Result
+	dagman.NewRunner(d).Run(func(r dagman.Result) { res = r })
+	if res.Succeeded() {
+		t.Fatal("DAG succeeded despite failing simulation jobs")
+	}
+	if collectRan {
+		t.Fatal("collect ran although its parents failed")
+	}
+	// Retries were attempted (2 per node).
+	n, _ := d.Node("mop-008-000")
+	if n.Attempts() != 3 {
+		t.Fatalf("attempts = %d, want 3 (1 + 2 retries)", n.Attempts())
+	}
+}
+
+func TestMOPDefaults(t *testing.T) {
+	a := Assignment{ID: "d", Events: 10, Kind: "cmsim"} // EventsPerJob default 250
+	d, err := a.BuildDAG(dist.New(1), "/CN=u", func(j MOPJob, done func(error)) { done(nil) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 { // one sim job + collect
+		t.Fatalf("dag size = %d", d.Len())
+	}
+	if a.jobRuntime().Hours() > 10 {
+		t.Fatal("cmsim runtime should be short")
+	}
+}

@@ -1,0 +1,49 @@
+package batch
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"grid3/internal/sim"
+)
+
+// BenchmarkSubmitSchedule measures scheduler throughput: submit+run+finish
+// cycles through a saturated FIFO queue.
+func BenchmarkSubmitSchedule(b *testing.B) {
+	eng := sim.NewEngine(sim.Grid3Epoch)
+	sys := New(eng, Config{Name: "bench", Slots: 64, EnforceWall: true, MaxWall: 100 * time.Hour})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sys.Submit(&Job{
+			ID: fmt.Sprintf("b%d", i), VO: "v",
+			Runtime: time.Hour, Walltime: 2 * time.Hour,
+		})
+		if i%256 == 255 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+}
+
+// BenchmarkFairShareDecision measures policy cost with a deep queue.
+func BenchmarkFairShareDecision(b *testing.B) {
+	eng := sim.NewEngine(sim.Grid3Epoch)
+	sys := New(eng, Config{Name: "bench", Slots: 1, Policy: FairShare{}})
+	// Occupy the slot, then queue 500 jobs across 5 VOs.
+	sys.Submit(&Job{ID: "hold", VO: "x", Runtime: 1000 * time.Hour, Walltime: 2000 * time.Hour})
+	for i := 0; i < 500; i++ {
+		sys.Submit(&Job{
+			ID: fmt.Sprintf("q%d", i), VO: fmt.Sprintf("vo%d", i%5),
+			Runtime: time.Hour, Walltime: 2 * time.Hour,
+		})
+	}
+	q := sys.queue
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if idx := (FairShare{}).Next(q, sys); idx < 0 {
+			b.Fatal("no pick")
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package batch
+
+// FIFO is the OpenPBS-style policy: highest priority first, then submission
+// order, skipping jobs whose VO quota is exhausted.
+type FIFO struct{}
+
+// Name implements Policy.
+func (FIFO) Name() string { return "fifo" }
+
+// Next implements Policy.
+func (FIFO) Next(queue []*Job, sys *System) int {
+	best := -1
+	for i, j := range queue {
+		if !sys.quotaAllows(j.VO) {
+			continue
+		}
+		if best == -1 || j.Priority > queue[best].Priority {
+			best = i
+		}
+	}
+	return best
+}
+
+// FairShare is the Condor-style policy: among queued VOs with quota
+// headroom, pick the VO with the lowest decayed usage per share, then the
+// highest-priority / earliest job of that VO. Shares default to 1.
+type FairShare struct {
+	// Shares weights each VO; a VO with share 2 may consume twice the
+	// usage of a share-1 VO before losing priority.
+	Shares map[string]float64
+}
+
+// Name implements Policy.
+func (FairShare) Name() string { return "fairshare" }
+
+// Next implements Policy.
+func (f FairShare) Next(queue []*Job, sys *System) int {
+	type cand struct {
+		idx    int
+		normed float64
+	}
+	best := -1
+	var bestNormed float64
+	for i, j := range queue {
+		if !sys.quotaAllows(j.VO) {
+			continue
+		}
+		share := 1.0
+		if f.Shares != nil {
+			if s, ok := f.Shares[j.VO]; ok && s > 0 {
+				share = s
+			}
+		}
+		normed := sys.Usage(j.VO) / share
+		switch {
+		case best == -1,
+			normed < bestNormed,
+			normed == bestNormed && betterWithinVO(j, queue[best]):
+			best, bestNormed = i, normed
+		}
+	}
+	return best
+}
+
+// betterWithinVO orders jobs of equally-deserving VOs: priority, then
+// submission sequence.
+func betterWithinVO(a, b *Job) bool {
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	return a.seq < b.seq
+}
+
+// Priority is the LSF-style policy: strict priority classes with FIFO
+// within a class; quota-blocked jobs are skipped but do not block
+// lower-priority work (no head-of-line blocking).
+type Priority struct{}
+
+// Name implements Policy.
+func (Priority) Name() string { return "priority" }
+
+// Next implements Policy.
+func (Priority) Next(queue []*Job, sys *System) int {
+	best := -1
+	for i, j := range queue {
+		if !sys.quotaAllows(j.VO) {
+			continue
+		}
+		if best == -1 || j.Priority > queue[best].Priority ||
+			(j.Priority == queue[best].Priority && j.seq < queue[best].seq) {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,104 @@
+package batch
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"grid3/internal/sim"
+)
+
+// opScript drives a batch system through a random operation sequence and
+// checks conservation invariants after every step.
+type opScript struct {
+	Slots byte
+	Ops   []struct {
+		Kind    byte
+		Runtime uint16
+		Drain   byte
+	}
+}
+
+// TestSlotConservationProperty: free + running == available slots at all
+// times, under any interleaving of submit/cancel/drain/restore/kill.
+func TestSlotConservationProperty(t *testing.T) {
+	f := func(script opScript) bool {
+		slots := int(script.Slots%16) + 1
+		eng := sim.NewEngine(sim.Grid3Epoch)
+		sys := New(eng, Config{
+			Name: "prop", Slots: slots, Policy: FIFO{},
+			EnforceWall: true, MaxWall: 1000 * time.Hour,
+		})
+		check := func() bool {
+			if sys.FreeSlots() < 0 {
+				return false
+			}
+			return sys.FreeSlots()+sys.RunningCount() == sys.AvailableSlots()
+		}
+		seq := 0
+		for _, op := range script.Ops {
+			switch op.Kind % 6 {
+			case 0, 1: // submit
+				seq++
+				rt := time.Duration(op.Runtime%96+1) * time.Hour
+				sys.Submit(&Job{
+					ID: fmt.Sprintf("p%d", seq), VO: fmt.Sprintf("vo%d", op.Kind%3),
+					Runtime: rt, Walltime: rt + time.Hour,
+				})
+			case 2: // advance time
+				eng.RunFor(time.Duration(op.Runtime%48) * time.Hour)
+			case 3: // kill a VO's jobs
+				sys.KillRunning(func(j *Job) bool { return j.VO == "vo0" }, NodeFailure)
+			case 4: // drain and restore
+				n := int(op.Drain) % (slots + 1)
+				sys.DrainSlots(n)
+				if !check() {
+					return false
+				}
+				sys.RestoreSlots(n)
+			case 5: // cancel something queued if any
+				sys.FlushQueue()
+			}
+			if !check() {
+				return false
+			}
+		}
+		eng.Run()
+		// Terminal state: nothing running, all slots free.
+		return sys.RunningCount() == 0 && sys.FreeSlots() == sys.AvailableSlots()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAccountingConservationProperty: every submitted job terminates with
+// exactly one record once the engine drains.
+func TestAccountingConservationProperty(t *testing.T) {
+	f := func(runtimes []uint16) bool {
+		eng := sim.NewEngine(sim.Grid3Epoch)
+		sys := New(eng, Config{Name: "acct", Slots: 3, EnforceWall: true, MaxWall: 50 * time.Hour})
+		admitted := 0
+		for i, r := range runtimes {
+			rt := time.Duration(r%80+1) * time.Hour
+			err := sys.Submit(&Job{
+				ID: fmt.Sprintf("a%d", i), VO: "v",
+				Runtime: rt, Walltime: rt + time.Hour,
+			})
+			if err == nil {
+				admitted++
+			}
+		}
+		eng.Run()
+		recs := sys.DrainRecords()
+		if len(recs) != admitted {
+			return false
+		}
+		done := sys.TotalCompleted() + sys.TotalFailed()
+		return done == admitted
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

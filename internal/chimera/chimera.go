@@ -1,0 +1,236 @@
+// Package chimera implements the Chimera virtual data system: a catalog of
+// transformations (executable templates) and derivations (invocations
+// binding logical files), and the request planner that walks the catalog
+// backwards from requested logical files to produce an abstract DAG.
+//
+// Chimera was the common application interface on Grid3: ATLAS implemented
+// its multi-step simulation workflow "using Chimera and Pegasus virtual
+// data tools" (§4.1), SDSS cluster finding "resulted in workflows with
+// several thousand processing steps organized by Chimera virtual data
+// tools" (§4.3), LIGO and BTeV likewise (§4.4, §4.5).
+package chimera
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Errors.
+var (
+	ErrUnknownTR    = errors.New("chimera: unknown transformation")
+	ErrDuplicate    = errors.New("chimera: duplicate definition")
+	ErrConflict     = errors.New("chimera: output produced by two derivations")
+	ErrCycle        = errors.New("chimera: derivation graph has a cycle")
+	ErrNotDerivable = errors.New("chimera: no derivation produces requested LFN")
+)
+
+// Transformation is a TR definition: an executable template with formal
+// arguments and a resource profile used by downstream planners.
+type Transformation struct {
+	Name string
+	// Profile hints for Pegasus/Condor-G.
+	MeanRuntime   time.Duration
+	Walltime      time.Duration
+	StagingFactor float64
+	// OutputBytes estimates each produced file's size.
+	OutputBytes int64
+	// RequiresApp names the application release that must be installed in
+	// the site's $APP area (Grid3 schema extension).
+	RequiresApp string
+	// RequiresOutboundIP marks transformations whose worker process must
+	// reach external databases (§6.4 requirement 1).
+	RequiresOutboundIP bool
+}
+
+// Derivation is a DV: one invocation of a transformation with actual
+// logical files bound.
+type Derivation struct {
+	ID      string
+	TR      string
+	Inputs  []string // LFNs consumed
+	Outputs []string // LFNs produced
+	Params  map[string]string
+}
+
+// Catalog is the virtual data catalog.
+type Catalog struct {
+	trs      map[string]*Transformation
+	dvs      map[string]*Derivation
+	producer map[string]*Derivation // LFN → producing derivation
+}
+
+// NewCatalog creates an empty VDC.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		trs:      make(map[string]*Transformation),
+		dvs:      make(map[string]*Derivation),
+		producer: make(map[string]*Derivation),
+	}
+}
+
+// AddTR registers a transformation.
+func (c *Catalog) AddTR(tr *Transformation) error {
+	if tr.Name == "" {
+		return errors.New("chimera: transformation without name")
+	}
+	if _, dup := c.trs[tr.Name]; dup {
+		return fmt.Errorf("%w: TR %s", ErrDuplicate, tr.Name)
+	}
+	c.trs[tr.Name] = tr
+	return nil
+}
+
+// TR looks up a transformation.
+func (c *Catalog) TR(name string) (*Transformation, error) {
+	tr, ok := c.trs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownTR, name)
+	}
+	return tr, nil
+}
+
+// AddDV registers a derivation. Each LFN may be produced by at most one
+// derivation (virtual data uniqueness).
+func (c *Catalog) AddDV(dv *Derivation) error {
+	if dv.ID == "" {
+		return errors.New("chimera: derivation without ID")
+	}
+	if _, dup := c.dvs[dv.ID]; dup {
+		return fmt.Errorf("%w: DV %s", ErrDuplicate, dv.ID)
+	}
+	if _, ok := c.trs[dv.TR]; !ok {
+		return fmt.Errorf("%w: %s (in DV %s)", ErrUnknownTR, dv.TR, dv.ID)
+	}
+	if len(dv.Outputs) == 0 {
+		return fmt.Errorf("chimera: DV %s produces nothing", dv.ID)
+	}
+	for _, out := range dv.Outputs {
+		if prev, ok := c.producer[out]; ok {
+			return fmt.Errorf("%w: %s by %s and %s", ErrConflict, out, prev.ID, dv.ID)
+		}
+	}
+	c.dvs[dv.ID] = dv
+	for _, out := range dv.Outputs {
+		c.producer[out] = dv
+	}
+	return nil
+}
+
+// Producer returns the derivation producing an LFN, if any.
+func (c *Catalog) Producer(lfn string) (*Derivation, bool) {
+	dv, ok := c.producer[lfn]
+	return dv, ok
+}
+
+// Len returns (transformations, derivations) counts.
+func (c *Catalog) Len() (trs, dvs int) { return len(c.trs), len(c.dvs) }
+
+// AbstractJob is one node of an abstract (site-independent) DAG.
+type AbstractJob struct {
+	DV *Derivation
+	TR *Transformation
+	// ExternalInputs are consumed LFNs with no producer in the plan: they
+	// must already exist somewhere (resolved against RLS by Pegasus).
+	ExternalInputs []string
+	// Parents are DV IDs this job depends on.
+	Parents []string
+}
+
+// AbstractDAG is Chimera's planner output.
+type AbstractDAG struct {
+	Jobs map[string]*AbstractJob
+	// Order is a deterministic topological order of DV IDs.
+	Order []string
+	// Requested lists the LFNs the plan materializes.
+	Requested []string
+}
+
+// Plan walks backwards from the requested LFNs through the producer
+// relation, emitting every derivation needed. Requested LFNs with no
+// producer are an error (they cannot be materialized); *intermediate*
+// inputs with no producer become ExternalInputs.
+func (c *Catalog) Plan(requested ...string) (*AbstractDAG, error) {
+	if len(requested) == 0 {
+		return nil, errors.New("chimera: nothing requested")
+	}
+	dag := &AbstractDAG{
+		Jobs:      make(map[string]*AbstractJob),
+		Requested: append([]string(nil), requested...),
+	}
+	state := map[string]int{} // DV ID: 0 unseen, 1 visiting, 2 done
+
+	var visitDV func(dv *Derivation) error
+	visitDV = func(dv *Derivation) error {
+		switch state[dv.ID] {
+		case 1:
+			return fmt.Errorf("%w (at DV %s)", ErrCycle, dv.ID)
+		case 2:
+			return nil
+		}
+		state[dv.ID] = 1
+		tr := c.trs[dv.TR]
+		job := &AbstractJob{DV: dv, TR: tr}
+		inputs := append([]string(nil), dv.Inputs...)
+		sort.Strings(inputs)
+		parentSet := map[string]bool{}
+		for _, in := range inputs {
+			if parent, ok := c.producer[in]; ok {
+				if err := visitDV(parent); err != nil {
+					return err
+				}
+				if !parentSet[parent.ID] {
+					parentSet[parent.ID] = true
+					job.Parents = append(job.Parents, parent.ID)
+				}
+			} else {
+				job.ExternalInputs = append(job.ExternalInputs, in)
+			}
+		}
+		state[dv.ID] = 2
+		dag.Jobs[dv.ID] = job
+		dag.Order = append(dag.Order, dv.ID)
+		return nil
+	}
+
+	sortedReq := append([]string(nil), requested...)
+	sort.Strings(sortedReq)
+	for _, lfn := range sortedReq {
+		dv, ok := c.producer[lfn]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNotDerivable, lfn)
+		}
+		if err := visitDV(dv); err != nil {
+			return nil, err
+		}
+	}
+	return dag, nil
+}
+
+// Outputs returns every LFN the plan produces, sorted.
+func (d *AbstractDAG) Outputs() []string {
+	var out []string
+	for _, id := range d.Order {
+		out = append(out, d.Jobs[id].DV.Outputs...)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ExternalInputs returns the union of all jobs' external inputs, sorted
+// and deduplicated — the data Pegasus must locate in RLS.
+func (d *AbstractDAG) ExternalInputs() []string {
+	seen := map[string]bool{}
+	for _, id := range d.Order {
+		for _, in := range d.Jobs[id].ExternalInputs {
+			seen[in] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for in := range seen {
+		out = append(out, in)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,213 @@
+package chimera
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// atlasCatalog builds the §4.1 three-step ATLAS pipeline:
+// pythia (event generation) → atlsim (GEANT simulation) → atrecon
+// (reconstruction), for two event batches.
+func atlasCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	c := NewCatalog()
+	for _, tr := range []*Transformation{
+		{Name: "pythia", MeanRuntime: time.Hour, Walltime: 4 * time.Hour, StagingFactor: 1, OutputBytes: 100 << 20, RequiresApp: "atlas-gce-7.0.3"},
+		{Name: "atlsim", MeanRuntime: 8 * time.Hour, Walltime: 24 * time.Hour, StagingFactor: 2, OutputBytes: 2 << 30, RequiresApp: "atlas-gce-7.0.3"},
+		{Name: "atrecon", MeanRuntime: 4 * time.Hour, Walltime: 12 * time.Hour, StagingFactor: 2, OutputBytes: 500 << 20, RequiresApp: "atlas-gce-7.0.3"},
+	} {
+		if err := c.AddTR(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for batch := 1; batch <= 2; batch++ {
+		b := fmt.Sprint(batch)
+		mustDV(t, c, &Derivation{
+			ID: "gen" + b, TR: "pythia",
+			Inputs:  []string{"lfn:pythia-card-" + b},
+			Outputs: []string{"lfn:evgen-" + b},
+		})
+		mustDV(t, c, &Derivation{
+			ID: "sim" + b, TR: "atlsim",
+			Inputs:  []string{"lfn:evgen-" + b, "lfn:geometry-db"},
+			Outputs: []string{"lfn:hits-" + b},
+		})
+		mustDV(t, c, &Derivation{
+			ID: "reco" + b, TR: "atrecon",
+			Inputs:  []string{"lfn:hits-" + b, "lfn:calib-db"},
+			Outputs: []string{"lfn:esd-" + b},
+		})
+	}
+	return c
+}
+
+func mustDV(t *testing.T, c *Catalog, dv *Derivation) {
+	t.Helper()
+	if err := c.AddDV(dv); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanSingleChain(t *testing.T) {
+	c := atlasCatalog(t)
+	dag, err := c.Plan("lfn:esd-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dag.Order) != 3 {
+		t.Fatalf("plan has %d jobs: %v", len(dag.Order), dag.Order)
+	}
+	pos := map[string]int{}
+	for i, id := range dag.Order {
+		pos[id] = i
+	}
+	if !(pos["gen1"] < pos["sim1"] && pos["sim1"] < pos["reco1"]) {
+		t.Fatalf("order = %v", dag.Order)
+	}
+	reco := dag.Jobs["reco1"]
+	if len(reco.Parents) != 1 || reco.Parents[0] != "sim1" {
+		t.Fatalf("reco parents = %v", reco.Parents)
+	}
+	if len(reco.ExternalInputs) != 1 || reco.ExternalInputs[0] != "lfn:calib-db" {
+		t.Fatalf("reco externals = %v", reco.ExternalInputs)
+	}
+	ext := dag.ExternalInputs()
+	want := []string{"lfn:calib-db", "lfn:geometry-db", "lfn:pythia-card-1"}
+	if len(ext) != 3 || ext[0] != want[0] || ext[1] != want[1] || ext[2] != want[2] {
+		t.Fatalf("externals = %v", ext)
+	}
+	if reco.TR == nil || reco.TR.Name != "atrecon" {
+		t.Fatal("TR not attached")
+	}
+}
+
+func TestPlanMultipleRequestsShareNothing(t *testing.T) {
+	c := atlasCatalog(t)
+	dag, err := c.Plan("lfn:esd-1", "lfn:esd-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dag.Order) != 6 {
+		t.Fatalf("plan has %d jobs", len(dag.Order))
+	}
+	outs := dag.Outputs()
+	if len(outs) != 6 {
+		t.Fatalf("outputs = %v", outs)
+	}
+}
+
+func TestPlanIntermediateRequest(t *testing.T) {
+	c := atlasCatalog(t)
+	dag, err := c.Plan("lfn:hits-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dag.Order) != 2 {
+		t.Fatalf("plan = %v", dag.Order)
+	}
+}
+
+func TestPlanSharedAncestorOnce(t *testing.T) {
+	c := NewCatalog()
+	c.AddTR(&Transformation{Name: "t"})
+	mustDV(t, c, &Derivation{ID: "common", TR: "t", Inputs: nil, Outputs: []string{"lfn:shared"}})
+	mustDV(t, c, &Derivation{ID: "left", TR: "t", Inputs: []string{"lfn:shared"}, Outputs: []string{"lfn:l"}})
+	mustDV(t, c, &Derivation{ID: "right", TR: "t", Inputs: []string{"lfn:shared"}, Outputs: []string{"lfn:r"}})
+	dag, err := c.Plan("lfn:l", "lfn:r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dag.Order) != 3 {
+		t.Fatalf("shared ancestor duplicated: %v", dag.Order)
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	c := atlasCatalog(t)
+	if _, err := c.Plan("lfn:nonexistent"); !errors.Is(err, ErrNotDerivable) {
+		t.Fatalf("underivable err = %v", err)
+	}
+	if _, err := c.Plan(); err == nil {
+		t.Fatal("empty request accepted")
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	c := NewCatalog()
+	c.AddTR(&Transformation{Name: "t"})
+	mustDV(t, c, &Derivation{ID: "a", TR: "t", Inputs: []string{"lfn:b-out"}, Outputs: []string{"lfn:a-out"}})
+	mustDV(t, c, &Derivation{ID: "b", TR: "t", Inputs: []string{"lfn:a-out"}, Outputs: []string{"lfn:b-out"}})
+	if _, err := c.Plan("lfn:a-out"); !errors.Is(err, ErrCycle) {
+		t.Fatalf("cycle err = %v", err)
+	}
+}
+
+func TestCatalogValidation(t *testing.T) {
+	c := NewCatalog()
+	if err := c.AddTR(&Transformation{}); err == nil {
+		t.Fatal("unnamed TR accepted")
+	}
+	c.AddTR(&Transformation{Name: "t"})
+	if err := c.AddTR(&Transformation{Name: "t"}); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("dup TR err = %v", err)
+	}
+	if err := c.AddDV(&Derivation{ID: "d", TR: "ghost", Outputs: []string{"x"}}); !errors.Is(err, ErrUnknownTR) {
+		t.Fatalf("unknown TR err = %v", err)
+	}
+	if err := c.AddDV(&Derivation{ID: "d", TR: "t"}); err == nil {
+		t.Fatal("outputless DV accepted")
+	}
+	mustDV(t, c, &Derivation{ID: "d1", TR: "t", Outputs: []string{"lfn:x"}})
+	if err := c.AddDV(&Derivation{ID: "d1", TR: "t", Outputs: []string{"lfn:y"}}); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("dup DV err = %v", err)
+	}
+	if err := c.AddDV(&Derivation{ID: "d2", TR: "t", Outputs: []string{"lfn:x"}}); !errors.Is(err, ErrConflict) {
+		t.Fatalf("conflict err = %v", err)
+	}
+	if _, err := c.TR("ghost"); !errors.Is(err, ErrUnknownTR) {
+		t.Fatalf("TR lookup err = %v", err)
+	}
+	trs, dvs := c.Len()
+	if trs != 1 || dvs != 1 {
+		t.Fatalf("Len = %d, %d", trs, dvs)
+	}
+	if _, ok := c.Producer("lfn:x"); !ok {
+		t.Fatal("producer lookup failed")
+	}
+}
+
+func TestSDSSScaleWorkflow(t *testing.T) {
+	// §4.3: "workflows with several thousand processing steps".
+	c := NewCatalog()
+	c.AddTR(&Transformation{Name: "findClusters", MeanRuntime: 90 * time.Minute})
+	c.AddTR(&Transformation{Name: "coadd", MeanRuntime: 30 * time.Minute})
+	const fields = 1500
+	for i := 0; i < fields; i++ {
+		mustDV(t, c, &Derivation{
+			ID: fmt.Sprintf("coadd-%04d", i), TR: "coadd",
+			Inputs:  []string{fmt.Sprintf("lfn:sdss-field-%04d", i)},
+			Outputs: []string{fmt.Sprintf("lfn:coadded-%04d", i)},
+		})
+		mustDV(t, c, &Derivation{
+			ID: fmt.Sprintf("find-%04d", i), TR: "findClusters",
+			Inputs:  []string{fmt.Sprintf("lfn:coadded-%04d", i)},
+			Outputs: []string{fmt.Sprintf("lfn:clusters-%04d", i)},
+		})
+	}
+	var want []string
+	for i := 0; i < fields; i++ {
+		want = append(want, fmt.Sprintf("lfn:clusters-%04d", i))
+	}
+	dag, err := c.Plan(want...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dag.Order) != 2*fields {
+		t.Fatalf("plan size = %d, want %d", len(dag.Order), 2*fields)
+	}
+	if len(dag.ExternalInputs()) != fields {
+		t.Fatalf("externals = %d", len(dag.ExternalInputs()))
+	}
+}

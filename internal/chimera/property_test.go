@@ -1,0 +1,88 @@
+package chimera
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// TestPlanTopologicalProperty: for random layered derivation graphs, every
+// plan lists producers before consumers and contains no duplicates.
+func TestPlanTopologicalProperty(t *testing.T) {
+	f := func(layerSizes []uint8, edges []uint16) bool {
+		// Build a layered DAG: derivations in layer k consume outputs of
+		// layer k-1 (guaranteeing acyclicity), with edge choices drawn
+		// from the fuzz input.
+		c := NewCatalog()
+		c.AddTR(&Transformation{Name: "t"})
+		var layers [][]string // layer → output LFNs
+		dvCount := 0
+		edgeIdx := 0
+		nextEdge := func(n int) int {
+			if n <= 0 {
+				return 0
+			}
+			if edgeIdx >= len(edges) {
+				return 0
+			}
+			v := int(edges[edgeIdx]) % n
+			edgeIdx++
+			return v
+		}
+		for li, szRaw := range layerSizes {
+			if li >= 4 {
+				break
+			}
+			sz := int(szRaw%4) + 1
+			var outs []string
+			for k := 0; k < sz; k++ {
+				dvCount++
+				id := fmt.Sprintf("dv-%d", dvCount)
+				out := fmt.Sprintf("lfn:out-%d", dvCount)
+				var ins []string
+				if li == 0 {
+					ins = []string{fmt.Sprintf("lfn:raw-%d", k)}
+				} else {
+					prev := layers[li-1]
+					// one or two inputs from the previous layer
+					ins = append(ins, prev[nextEdge(len(prev))])
+					if nextEdge(2) == 1 {
+						ins = append(ins, prev[nextEdge(len(prev))])
+					}
+				}
+				if err := c.AddDV(&Derivation{ID: id, TR: "t", Inputs: ins, Outputs: []string{out}}); err != nil {
+					return false
+				}
+				outs = append(outs, out)
+			}
+			layers = append(layers, outs)
+		}
+		if len(layers) == 0 {
+			return true
+		}
+		// Request the top layer's outputs.
+		dag, err := c.Plan(layers[len(layers)-1]...)
+		if err != nil {
+			return false
+		}
+		pos := map[string]int{}
+		for i, id := range dag.Order {
+			if _, dup := pos[id]; dup {
+				return false
+			}
+			pos[id] = i
+		}
+		for id, job := range dag.Jobs {
+			for _, parent := range job.Parents {
+				pp, ok := pos[parent]
+				if !ok || pp >= pos[id] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,138 @@
+package classad
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Ad is a ClassAd: an unordered set of (attribute, expression) pairs.
+// Attribute names are case-insensitive, as in Condor.
+type Ad struct {
+	attrs map[string]Expr
+}
+
+// NewAd returns an empty ad.
+func NewAd() *Ad {
+	return &Ad{attrs: make(map[string]Expr)}
+}
+
+// Set binds an attribute to an expression.
+func (a *Ad) Set(name string, e Expr) {
+	a.attrs[strings.ToLower(name)] = e
+}
+
+// SetValue binds an attribute to a literal value.
+func (a *Ad) SetValue(name string, v Value) {
+	a.Set(name, litExpr{v})
+}
+
+// SetString, SetInt, SetFloat and SetBool are literal-binding conveniences.
+func (a *Ad) SetString(name, s string) { a.SetValue(name, Str(s)) }
+
+// SetInt binds an integer literal.
+func (a *Ad) SetInt(name string, i int64) { a.SetValue(name, Int(i)) }
+
+// SetFloat binds a real literal.
+func (a *Ad) SetFloat(name string, f float64) { a.SetValue(name, Float(f)) }
+
+// SetBool binds a boolean literal.
+func (a *Ad) SetBool(name string, b bool) { a.SetValue(name, Bool(b)) }
+
+// SetExpr parses src and binds it; it returns a parse error if any.
+func (a *Ad) SetExpr(name, src string) error {
+	e, err := Parse(src)
+	if err != nil {
+		return err
+	}
+	a.Set(name, e)
+	return nil
+}
+
+// Get returns the bound expression.
+func (a *Ad) Get(name string) (Expr, bool) {
+	e, ok := a.attrs[strings.ToLower(name)]
+	return e, ok
+}
+
+// Delete removes an attribute.
+func (a *Ad) Delete(name string) {
+	delete(a.attrs, strings.ToLower(name))
+}
+
+// Len returns the number of attributes.
+func (a *Ad) Len() int { return len(a.attrs) }
+
+// Names returns attribute names, sorted.
+func (a *Ad) Names() []string {
+	out := make([]string, 0, len(a.attrs))
+	for n := range a.attrs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a shallow copy (expressions are immutable once parsed).
+func (a *Ad) Clone() *Ad {
+	c := NewAd()
+	for n, e := range a.attrs {
+		c.attrs[n] = e
+	}
+	return c
+}
+
+// String renders the ad in old-ClassAd "attr = expr" line syntax.
+func (a *Ad) String() string {
+	var sb strings.Builder
+	for _, n := range a.Names() {
+		fmt.Fprintf(&sb, "%s = %s\n", n, a.attrs[n].String())
+	}
+	return sb.String()
+}
+
+// ParseAd reads an old-syntax ad: one "Attr = Expr" per line, with blank
+// lines and '#' comments ignored.
+func ParseAd(r io.Reader) (*Ad, error) {
+	a := NewAd()
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		eq := strings.Index(line, "=")
+		if eq <= 0 {
+			return nil, fmt.Errorf("classad: line %d: expected Attr = Expr", lineno)
+		}
+		name := strings.TrimSpace(line[:eq])
+		if strings.ContainsAny(name, " \t") {
+			return nil, fmt.Errorf("classad: line %d: bad attribute name %q", lineno, name)
+		}
+		if err := a.SetExpr(name, line[eq+1:]); err != nil {
+			return nil, fmt.Errorf("classad: line %d: %w", lineno, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// ParseAdString parses an old-syntax ad from a string.
+func ParseAdString(s string) (*Ad, error) {
+	return ParseAd(strings.NewReader(s))
+}
+
+// MustParseAd parses or panics; for test fixtures and built-in ads.
+func MustParseAd(s string) *Ad {
+	a, err := ParseAdString(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}

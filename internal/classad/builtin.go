@@ -1,0 +1,172 @@
+package classad
+
+import (
+	"math"
+	"strings"
+)
+
+// evalCall dispatches the built-in function library. Unknown functions
+// evaluate to ERROR, matching Condor.
+func evalCall(ex callExpr, ctx *evalContext) Value {
+	argv := make([]Value, len(ex.args))
+	// isundefined must see the raw value, but that falls out naturally:
+	// UNDEFINED is a first-class value here.
+	for i, a := range ex.args {
+		argv[i] = evalIn(a, ctx)
+	}
+	switch ex.fn {
+	case "isundefined":
+		if len(argv) != 1 {
+			return ErrorValue()
+		}
+		return Bool(argv[0].IsUndefined())
+	case "iserror":
+		if len(argv) != 1 {
+			return ErrorValue()
+		}
+		return Bool(argv[0].IsError())
+	case "ifthenelse":
+		if len(argv) != 3 {
+			return ErrorValue()
+		}
+		c := argv[0]
+		if c.IsError() || c.IsUndefined() {
+			return c
+		}
+		if c.IsTrue() {
+			return argv[1]
+		}
+		return argv[2]
+	}
+
+	// Remaining functions propagate ERROR/UNDEFINED from any argument.
+	for _, v := range argv {
+		if v.IsError() {
+			return ErrorValue()
+		}
+		if v.IsUndefined() {
+			return UndefinedValue()
+		}
+	}
+
+	num1 := func(f func(float64) Value) Value {
+		if len(argv) != 1 {
+			return ErrorValue()
+		}
+		x, ok := argv[0].Number()
+		if !ok {
+			return ErrorValue()
+		}
+		return f(x)
+	}
+
+	switch ex.fn {
+	case "floor":
+		return num1(func(x float64) Value { return Int(int64(math.Floor(x))) })
+	case "ceiling":
+		return num1(func(x float64) Value { return Int(int64(math.Ceil(x))) })
+	case "round":
+		return num1(func(x float64) Value { return Int(int64(math.Round(x))) })
+	case "int":
+		return num1(func(x float64) Value { return Int(int64(x)) })
+	case "real":
+		return num1(Float)
+	case "min", "max":
+		if len(argv) < 1 {
+			return ErrorValue()
+		}
+		best, ok := argv[0].Number()
+		if !ok {
+			return ErrorValue()
+		}
+		allInt := argv[0].kind == Integer
+		for _, v := range argv[1:] {
+			x, ok := v.Number()
+			if !ok {
+				return ErrorValue()
+			}
+			allInt = allInt && v.kind == Integer
+			if (ex.fn == "min" && x < best) || (ex.fn == "max" && x > best) {
+				best = x
+			}
+		}
+		if allInt {
+			return Int(int64(best))
+		}
+		return Float(best)
+	case "strcat":
+		var sb strings.Builder
+		for _, v := range argv {
+			s, ok := v.StringVal()
+			if !ok {
+				s = v.String()
+			}
+			sb.WriteString(s)
+		}
+		return Str(sb.String())
+	case "toupper":
+		if len(argv) != 1 || argv[0].kind != String {
+			return ErrorValue()
+		}
+		return Str(strings.ToUpper(argv[0].s))
+	case "tolower":
+		if len(argv) != 1 || argv[0].kind != String {
+			return ErrorValue()
+		}
+		return Str(strings.ToLower(argv[0].s))
+	case "size":
+		if len(argv) != 1 || argv[0].kind != String {
+			return ErrorValue()
+		}
+		return Int(int64(len(argv[0].s)))
+	case "substr":
+		if len(argv) < 2 || argv[0].kind != String {
+			return ErrorValue()
+		}
+		s := argv[0].s
+		off, ok := argv[1].IntVal()
+		if !ok {
+			return ErrorValue()
+		}
+		if off < 0 {
+			off += int64(len(s))
+		}
+		if off < 0 || off > int64(len(s)) {
+			return Str("")
+		}
+		end := int64(len(s))
+		if len(argv) == 3 {
+			n, ok := argv[2].IntVal()
+			if !ok {
+				return ErrorValue()
+			}
+			if off+n < end {
+				end = off + n
+			}
+		}
+		if end < off {
+			end = off
+		}
+		return Str(s[off:end])
+	case "stringlistmember":
+		// stringListMember(item, "a,b,c") — used for site VO support lists.
+		if len(argv) != 2 || argv[0].kind != String || argv[1].kind != String {
+			return ErrorValue()
+		}
+		for _, part := range strings.Split(argv[1].s, ",") {
+			if strings.EqualFold(strings.TrimSpace(part), argv[0].s) {
+				return Bool(true)
+			}
+		}
+		return Bool(false)
+	case "stringlistsize":
+		if len(argv) != 1 || argv[0].kind != String {
+			return ErrorValue()
+		}
+		if strings.TrimSpace(argv[0].s) == "" {
+			return Int(0)
+		}
+		return Int(int64(len(strings.Split(argv[0].s, ","))))
+	}
+	return ErrorValue()
+}

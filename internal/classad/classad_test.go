@@ -1,0 +1,468 @@
+package classad
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func evalStr(t *testing.T, src string) Value {
+	t.Helper()
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return Eval(e, NewAd())
+}
+
+func TestLiteralsAndArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Value
+	}{
+		{"42", Int(42)},
+		{"-7", Int(-7)},
+		{"3.5", Float(3.5)},
+		{"2e3", Float(2000)},
+		{"1 + 2 * 3", Int(7)},
+		{"(1 + 2) * 3", Int(9)},
+		{"7 / 2", Int(3)},
+		{"7.0 / 2", Float(3.5)},
+		{"7 % 3", Int(1)},
+		{"1/0", ErrorValue()},
+		{"1%0", ErrorValue()},
+		{`"abc" + "def"`, Str("abcdef")},
+		{"true", Bool(true)},
+		{"FALSE", Bool(false)},
+		{"UNDEFINED", UndefinedValue()},
+		{"1 + undefined", UndefinedValue()},
+		{"1 + error", ErrorValue()},
+		{"-(2.5)", Float(-2.5)},
+		{"!true", Bool(false)},
+		{"!0", Bool(true)},
+		{"2 < 3", Bool(true)},
+		{"2 >= 3", Bool(false)},
+		{"2.0 == 2", Bool(true)},
+		{`"ABC" == "abc"`, Bool(true)}, // case-insensitive string compare
+		{`"abc" < "abd"`, Bool(true)},
+		{"true == true", Bool(true)},
+		{"1 == 2 ? 10 : 20", Int(20)},
+		{"2 ? 10 : 20", Int(10)},
+		{"undefined ? 10 : 20", UndefinedValue()},
+	}
+	for _, c := range cases {
+		got := evalStr(t, c.src)
+		if !got.Equal(c.want) || got.Kind() != c.want.Kind() {
+			t.Errorf("%q = %v (%v), want %v (%v)", c.src, got, got.Kind(), c.want, c.want.Kind())
+		}
+	}
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Value
+	}{
+		{"false && undefined", Bool(false)},
+		{"undefined && false", Bool(false)},
+		{"true && undefined", UndefinedValue()},
+		{"undefined && true", UndefinedValue()},
+		{"true || undefined", Bool(true)},
+		{"undefined || true", Bool(true)},
+		{"false || undefined", UndefinedValue()},
+		{"undefined || false", UndefinedValue()},
+		{"undefined && undefined", UndefinedValue()},
+		{"error && false", ErrorValue()},
+		{"true && error", ErrorValue()},
+	}
+	for _, c := range cases {
+		got := evalStr(t, c.src)
+		if got.Kind() != c.want.Kind() || !got.Equal(c.want) {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestMetaOperators(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"undefined =?= undefined", true},
+		{"undefined =?= 1", false},
+		{"undefined =!= 1", true},
+		{"1 =?= 1", true},
+		{"1 =?= 1.0", true},    // numeric promotion
+		{`"a" =?= "A"`, false}, // identity is case-sensitive
+		{`"a" =?= "a"`, true},
+	}
+	for _, c := range cases {
+		got := evalStr(t, c.src)
+		b, ok := got.BoolVal()
+		if !ok || b != c.want {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestAttributeReferences(t *testing.T) {
+	ad := MustParseAd(`
+Memory = 2048
+Disk = Memory * 2
+Cpus = 4
+Deep = Disk + Cpus
+`)
+	if v := EvalAttr("deep", ad, nil); !v.Equal(Int(4100)) {
+		t.Fatalf("deep = %v", v)
+	}
+	if v := EvalAttr("missing", ad, nil); !v.IsUndefined() {
+		t.Fatalf("missing attr = %v, want UNDEFINED", v)
+	}
+}
+
+func TestCyclicReferenceYieldsError(t *testing.T) {
+	ad := MustParseAd("a = b\nb = a\n")
+	if v := EvalAttr("a", ad, nil); !v.IsError() {
+		t.Fatalf("cyclic ref = %v, want ERROR", v)
+	}
+}
+
+func TestScopedReferences(t *testing.T) {
+	job := MustParseAd(`
+ImageSize = 500
+Requirements = TARGET.Memory >= MY.ImageSize
+`)
+	machine := MustParseAd("Memory = 1024\n")
+	req, _ := job.Get("requirements")
+	if v := EvalWithTarget(req, job, machine); !v.IsTrue() {
+		t.Fatalf("requirements = %v", v)
+	}
+	small := MustParseAd("Memory = 256\n")
+	if v := EvalWithTarget(req, job, small); v.IsTrue() {
+		t.Fatal("requirements true against small machine")
+	}
+}
+
+func TestUnscopedFallsThroughToTarget(t *testing.T) {
+	job := MustParseAd("Requirements = Arch == \"INTEL\"\n")
+	machine := MustParseAd("Arch = \"INTEL\"\n")
+	req, _ := job.Get("requirements")
+	if v := EvalWithTarget(req, job, machine); !v.IsTrue() {
+		t.Fatalf("unscoped lookup failed: %v", v)
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Value
+	}{
+		{"floor(3.9)", Int(3)},
+		{"ceiling(3.1)", Int(4)},
+		{"round(3.5)", Int(4)},
+		{"int(3.9)", Int(3)},
+		{"real(3)", Float(3)},
+		{"min(3, 1, 2)", Int(1)},
+		{"max(3, 1, 2.5)", Float(3)},
+		{`strcat("a", "b", 3)`, Str("ab3")},
+		{`toUpper("gram")`, Str("GRAM")},
+		{`toLower("GRAM")`, Str("gram")},
+		{`size("grid3")`, Int(5)},
+		{`substr("gatekeeper", 4)`, Str("keeper")},
+		{`substr("gatekeeper", 0, 4)`, Str("gate")},
+		{`substr("abc", -2)`, Str("bc")},
+		{`stringListMember("usatlas", "uscms, usatlas, ligo")`, Bool(true)},
+		{`stringListMember("btev", "uscms, usatlas")`, Bool(false)},
+		{`stringListSize("a,b,c")`, Int(3)},
+		{`stringListSize("")`, Int(0)},
+		{"isUndefined(undefined)", Bool(true)},
+		{"isUndefined(1)", Bool(false)},
+		{"isError(1/0)", Bool(true)},
+		{"ifThenElse(true, 1, 2)", Int(1)},
+		{"ifThenElse(false, 1, 2)", Int(2)},
+		{"floor(undefined)", UndefinedValue()},
+		{"nosuchfunction(1)", ErrorValue()},
+	}
+	for _, c := range cases {
+		got := evalStr(t, c.src)
+		if got.Kind() != c.want.Kind() || !got.Equal(c.want) {
+			t.Errorf("%q = %v (%v), want %v", c.src, got, got.Kind(), c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"1 +", "(1", "foo(", "1 ? 2", "a b", `"unterminated`, "& &", "|",
+		"1 @ 2",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseAdErrors(t *testing.T) {
+	bad := []string{
+		"noequals\n",
+		"= expr\n",
+		"two words = 1\n",
+		"a = 1 +\n",
+	}
+	for _, src := range bad {
+		if _, err := ParseAdString(src); err == nil {
+			t.Errorf("ParseAdString(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestAdRoundTrip(t *testing.T) {
+	ad := MustParseAd(`
+Name = "UC_ATLAS_Tier2"
+Cpus = 64
+Requirements = TARGET.WallTime <= 86400 && stringListMember(TARGET.VO, "usatlas,ivdgl")
+Rank = 10.5 - 0.5
+`)
+	rendered := ad.String()
+	back, err := ParseAdString(rendered)
+	if err != nil {
+		t.Fatalf("round-trip parse failed: %v\n%s", err, rendered)
+	}
+	if back.Len() != ad.Len() {
+		t.Fatalf("round trip lost attributes: %d vs %d", back.Len(), ad.Len())
+	}
+	for _, n := range ad.Names() {
+		a, _ := ad.Get(n)
+		b, _ := back.Get(n)
+		if Eval(a, ad).String() != Eval(b, back).String() {
+			t.Fatalf("attribute %s changed: %s vs %s", n, a, b)
+		}
+	}
+}
+
+func TestMatchSymmetric(t *testing.T) {
+	job := MustParseAd(`
+VO = "uscms"
+WallTime = 108000
+Requirements = TARGET.FreeCpus > 0 && TARGET.MaxWallTime >= MY.WallTime
+Rank = TARGET.FreeCpus
+`)
+	okSite := MustParseAd(`
+FreeCpus = 20
+MaxWallTime = 200000
+Requirements = stringListMember(TARGET.VO, "uscms,usatlas")
+`)
+	noVOSite := MustParseAd(`
+FreeCpus = 50
+MaxWallTime = 200000
+Requirements = stringListMember(TARGET.VO, "ligo")
+`)
+	shortSite := MustParseAd(`
+FreeCpus = 50
+MaxWallTime = 3600
+`)
+	if !Match(job, okSite) {
+		t.Fatal("job should match okSite")
+	}
+	if Match(job, noVOSite) {
+		t.Fatal("job matched a site that rejects its VO")
+	}
+	if Match(job, shortSite) {
+		t.Fatal("job matched a site with too-short MaxWallTime")
+	}
+}
+
+func TestMatchMissingRequirementsIsTrue(t *testing.T) {
+	a := NewAd()
+	b := NewAd()
+	if !Match(a, b) {
+		t.Fatal("two unconstrained ads should match")
+	}
+}
+
+func TestUndefinedRequirementsDoesNotMatch(t *testing.T) {
+	job := MustParseAd("Requirements = TARGET.NoSuchAttr > 5\n")
+	site := NewAd()
+	if Match(job, site) {
+		t.Fatal("UNDEFINED requirements treated as a match")
+	}
+}
+
+func TestBestMatchRanking(t *testing.T) {
+	job := MustParseAd(`
+Requirements = TARGET.FreeCpus > 0
+Rank = TARGET.FreeCpus
+`)
+	sites := []*Ad{
+		MustParseAd("FreeCpus = 5\n"),
+		MustParseAd("FreeCpus = 50\n"),
+		MustParseAd("FreeCpus = 0\n"),
+		MustParseAd("FreeCpus = 50\n"), // tie with index 1; index 1 wins
+	}
+	if got := BestMatch(job, sites); got != 1 {
+		t.Fatalf("BestMatch = %d, want 1", got)
+	}
+	all := MatchAll(job, sites)
+	if len(all) != 3 || all[0] != 0 || all[1] != 1 || all[2] != 3 {
+		t.Fatalf("MatchAll = %v", all)
+	}
+}
+
+func TestBestMatchNoCandidates(t *testing.T) {
+	job := MustParseAd("Requirements = TARGET.FreeCpus > 100\n")
+	sites := []*Ad{MustParseAd("FreeCpus = 5\n"), nil}
+	if got := BestMatch(job, sites); got != -1 {
+		t.Fatalf("BestMatch = %d, want -1", got)
+	}
+}
+
+func TestRankDefaults(t *testing.T) {
+	a := NewAd()
+	if r := Rank(a, NewAd()); r != 0 {
+		t.Fatalf("missing rank = %v, want 0", r)
+	}
+	a.SetExpr("Rank", "TARGET.NoSuch")
+	if r := Rank(a, NewAd()); r != 0 {
+		t.Fatalf("undefined rank = %v, want 0", r)
+	}
+	a.SetExpr("Rank", "true")
+	if r := Rank(a, NewAd()); r != 1 {
+		t.Fatalf("boolean true rank = %v, want 1", r)
+	}
+}
+
+// Property: any expression the parser accepts renders to a string that
+// re-parses to an expression with the same value.
+func TestExprStringRoundTripProperty(t *testing.T) {
+	srcs := []string{
+		"1 + 2 * 3 - 4 / 2",
+		"a && b || !c",
+		"(x > 5) ? \"big\" : \"small\"",
+		"min(a, 3) + max(1, b)",
+		"TARGET.Memory >= MY.ImageSize && stringListMember(vo, list)",
+		"x =?= undefined",
+	}
+	ad := MustParseAd("a = true\nb = false\nc = true\nx = 7\nvo = \"ligo\"\nlist = \"ligo,sdss\"\nmemory = 10\nimagesize = 5\n")
+	for _, src := range srcs {
+		e1 := MustParse(src)
+		e2, err := Parse(e1.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q -> %q failed: %v", src, e1.String(), err)
+		}
+		v1 := EvalWithTarget(e1, ad, ad)
+		v2 := EvalWithTarget(e2, ad, ad)
+		if v1.Kind() != v2.Kind() || !v1.Equal(v2) {
+			t.Fatalf("round trip changed value of %q: %v vs %v", src, v1, v2)
+		}
+	}
+}
+
+// Property: integer arithmetic in the ClassAd evaluator agrees with Go.
+func TestArithmeticAgreesWithGoProperty(t *testing.T) {
+	f := func(a, b int16) bool {
+		ad := NewAd()
+		ad.SetInt("a", int64(a))
+		ad.SetInt("b", int64(b))
+		sum := EvalAttr("a", ad, nil)
+		_ = sum
+		e := MustParse("a + b * 2 - (a % ifThenElse(b == 0, 1, b))")
+		v := Eval(e, ad)
+		bb := int64(b)
+		div := bb
+		if div == 0 {
+			div = 1
+		}
+		want := int64(a) + bb*2 - int64(a)%div
+		got, ok := v.IntVal()
+		return ok && got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Match is symmetric by construction.
+func TestMatchSymmetryProperty(t *testing.T) {
+	f := func(x, y uint8) bool {
+		a := NewAd()
+		a.SetInt("v", int64(x))
+		a.SetExpr("Requirements", "TARGET.v >= 10")
+		b := NewAd()
+		b.SetInt("v", int64(y))
+		b.SetExpr("Requirements", "TARGET.v >= 10")
+		return Match(a, b) == Match(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLexerStrings(t *testing.T) {
+	e := MustParse(`"tab\there \"quoted\" back\\slash"`)
+	v := Eval(e, NewAd())
+	s, _ := v.StringVal()
+	if !strings.Contains(s, "\t") || !strings.Contains(s, `"quoted"`) || !strings.Contains(s, `back\slash`) {
+		t.Fatalf("escapes mishandled: %q", s)
+	}
+}
+
+func BenchmarkMatch(b *testing.B) {
+	job := MustParseAd(`
+VO = "uscms"
+WallTime = 108000
+Requirements = TARGET.FreeCpus > 0 && TARGET.MaxWallTime >= MY.WallTime && stringListMember(MY.VO, TARGET.SupportedVOs)
+Rank = TARGET.FreeCpus
+`)
+	site := MustParseAd(`
+FreeCpus = 20
+MaxWallTime = 200000
+SupportedVOs = "uscms,usatlas,ivdgl"
+`)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !Match(job, site) {
+			b.Fatal("no match")
+		}
+	}
+}
+
+// Property: Parse never panics and either returns an expression or an
+// error for arbitrary input; accepted input re-renders and re-parses.
+func TestParseTotalityProperty(t *testing.T) {
+	f := func(src string) bool {
+		e, err := Parse(src)
+		if err != nil {
+			return true
+		}
+		// Whatever parsed must round-trip through String().
+		e2, err := Parse(e.String())
+		if err != nil {
+			return false
+		}
+		v1 := Eval(e, NewAd())
+		v2 := Eval(e2, NewAd())
+		return v1.Kind() == v2.Kind()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: evaluation is pure — evaluating the same expression against
+// the same ad twice yields identical values.
+func TestEvalPurityProperty(t *testing.T) {
+	ad := MustParseAd("x = 3\ny = 4.5\ns = \"abc\"\n")
+	exprs := []string{
+		"x + y", "x > y || s == \"ABC\"", "substr(s, x - 2)",
+		"min(x, y) * max(x, y)", "x % 2 == 1 ? s : \"even\"",
+	}
+	for _, src := range exprs {
+		e := MustParse(src)
+		a := Eval(e, ad)
+		b := Eval(e, ad)
+		if a.Kind() != b.Kind() || !a.Equal(b) {
+			t.Fatalf("%q evaluated differently: %v vs %v", src, a, b)
+		}
+	}
+}

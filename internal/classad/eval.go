@@ -1,0 +1,320 @@
+package classad
+
+import (
+	"math"
+	"strings"
+)
+
+// maxEvalDepth bounds recursive attribute references; exceeding it yields
+// ERROR rather than unbounded recursion (e.g. "a = b \n b = a").
+const maxEvalDepth = 64
+
+// evalContext carries the self/target ads during evaluation.
+type evalContext struct {
+	my     *Ad
+	target *Ad
+	depth  int
+}
+
+// Eval evaluates an expression in the context of ad my, with no target.
+func Eval(e Expr, my *Ad) Value {
+	return evalIn(e, &evalContext{my: my})
+}
+
+// EvalWithTarget evaluates e with both MY and TARGET scopes bound, as the
+// matchmaker does.
+func EvalWithTarget(e Expr, my, target *Ad) Value {
+	return evalIn(e, &evalContext{my: my, target: target})
+}
+
+// EvalAttr evaluates the named attribute of ad my; UNDEFINED if absent.
+func EvalAttr(name string, my, target *Ad) Value {
+	e, ok := my.Get(name)
+	if !ok {
+		return UndefinedValue()
+	}
+	return EvalWithTarget(e, my, target)
+}
+
+func evalIn(e Expr, ctx *evalContext) Value {
+	ctx.depth++
+	defer func() { ctx.depth-- }()
+	if ctx.depth > maxEvalDepth {
+		return ErrorValue()
+	}
+	switch ex := e.(type) {
+	case litExpr:
+		return ex.v
+	case attrExpr:
+		return evalAttrRef(ex, ctx)
+	case unaryExpr:
+		return evalUnary(ex, ctx)
+	case binaryExpr:
+		return evalBinary(ex, ctx)
+	case condExpr:
+		c := evalIn(ex.cond, ctx)
+		if c.IsError() {
+			return c
+		}
+		if c.IsUndefined() {
+			return c
+		}
+		if c.IsTrue() {
+			return evalIn(ex.then, ctx)
+		}
+		return evalIn(ex.els, ctx)
+	case callExpr:
+		return evalCall(ex, ctx)
+	}
+	return ErrorValue()
+}
+
+// evalAttrRef resolves an attribute reference. Unscoped references resolve
+// in MY first, then TARGET (old-ClassAd matchmaking lookup order).
+func evalAttrRef(ex attrExpr, ctx *evalContext) Value {
+	lookup := func(ad *Ad) (Value, bool) {
+		if ad == nil {
+			return UndefinedValue(), false
+		}
+		e, ok := ad.Get(ex.name)
+		if !ok {
+			return UndefinedValue(), false
+		}
+		return evalIn(e, ctx), true
+	}
+	switch ex.scope {
+	case "my":
+		v, _ := lookup(ctx.my)
+		return v
+	case "target":
+		v, _ := lookup(ctx.target)
+		return v
+	default:
+		if v, ok := lookup(ctx.my); ok {
+			return v
+		}
+		if v, ok := lookup(ctx.target); ok {
+			return v
+		}
+		return UndefinedValue()
+	}
+}
+
+func evalUnary(ex unaryExpr, ctx *evalContext) Value {
+	x := evalIn(ex.x, ctx)
+	switch ex.op {
+	case tokNot:
+		switch x.kind {
+		case Boolean:
+			return Bool(!x.b)
+		case Integer:
+			return Bool(x.i == 0)
+		case Real:
+			return Bool(x.f == 0)
+		case Undefined:
+			return x
+		}
+		return ErrorValue()
+	case tokMinus:
+		switch x.kind {
+		case Integer:
+			return Int(-x.i)
+		case Real:
+			return Float(-x.f)
+		case Undefined:
+			return x
+		}
+		return ErrorValue()
+	}
+	return ErrorValue()
+}
+
+func evalBinary(ex binaryExpr, ctx *evalContext) Value {
+	// Meta-operators never propagate UNDEFINED: they test identity.
+	if ex.op == tokMetaEq || ex.op == tokMetaNe {
+		l := evalIn(ex.l, ctx)
+		r := evalIn(ex.r, ctx)
+		eq := l.Equal(r)
+		if ex.op == tokMetaNe {
+			eq = !eq
+		}
+		return Bool(eq)
+	}
+
+	// Short-circuit logic with three-valued semantics:
+	// FALSE && x == FALSE; TRUE || x == TRUE even if x is UNDEFINED.
+	if ex.op == tokAnd || ex.op == tokOr {
+		return evalLogic(ex, ctx)
+	}
+
+	l := evalIn(ex.l, ctx)
+	r := evalIn(ex.r, ctx)
+	if l.IsError() || r.IsError() {
+		return ErrorValue()
+	}
+	if l.IsUndefined() || r.IsUndefined() {
+		return UndefinedValue()
+	}
+
+	switch ex.op {
+	case tokPlus, tokMinus, tokStar, tokSlash, tokPercent:
+		return evalArith(ex.op, l, r)
+	case tokEq, tokNe, tokLt, tokLe, tokGt, tokGe:
+		return evalCompare(ex.op, l, r)
+	}
+	return ErrorValue()
+}
+
+func toTri(v Value) (val bool, undef, errv bool) {
+	switch v.kind {
+	case Undefined:
+		return false, true, false
+	case Error:
+		return false, false, true
+	default:
+		return v.IsTrue(), false, false
+	}
+}
+
+func evalLogic(ex binaryExpr, ctx *evalContext) Value {
+	l := evalIn(ex.l, ctx)
+	lv, lu, le := toTri(l)
+	if ex.op == tokAnd {
+		if le {
+			return ErrorValue()
+		}
+		if !lu && !lv {
+			return Bool(false)
+		}
+		r := evalIn(ex.r, ctx)
+		rv, ru, re := toTri(r)
+		if re {
+			return ErrorValue()
+		}
+		if !ru && !rv {
+			return Bool(false)
+		}
+		if lu || ru {
+			return UndefinedValue()
+		}
+		return Bool(true)
+	}
+	// OR
+	if le {
+		return ErrorValue()
+	}
+	if !lu && lv {
+		return Bool(true)
+	}
+	r := evalIn(ex.r, ctx)
+	rv, ru, re := toTri(r)
+	if re {
+		return ErrorValue()
+	}
+	if !ru && rv {
+		return Bool(true)
+	}
+	if lu || ru {
+		return UndefinedValue()
+	}
+	return Bool(false)
+}
+
+func evalArith(op tokenKind, l, r Value) Value {
+	// String concatenation via '+'.
+	if op == tokPlus && l.kind == String && r.kind == String {
+		return Str(l.s + r.s)
+	}
+	if l.kind == Integer && r.kind == Integer {
+		switch op {
+		case tokPlus:
+			return Int(l.i + r.i)
+		case tokMinus:
+			return Int(l.i - r.i)
+		case tokStar:
+			return Int(l.i * r.i)
+		case tokSlash:
+			if r.i == 0 {
+				return ErrorValue()
+			}
+			return Int(l.i / r.i)
+		case tokPercent:
+			if r.i == 0 {
+				return ErrorValue()
+			}
+			return Int(l.i % r.i)
+		}
+	}
+	lf, lok := l.Number()
+	rf, rok := r.Number()
+	if !lok || !rok {
+		return ErrorValue()
+	}
+	switch op {
+	case tokPlus:
+		return Float(lf + rf)
+	case tokMinus:
+		return Float(lf - rf)
+	case tokStar:
+		return Float(lf * rf)
+	case tokSlash:
+		if rf == 0 {
+			return ErrorValue()
+		}
+		return Float(lf / rf)
+	case tokPercent:
+		if rf == 0 {
+			return ErrorValue()
+		}
+		return Float(math.Mod(lf, rf))
+	}
+	return ErrorValue()
+}
+
+func evalCompare(op tokenKind, l, r Value) Value {
+	// String comparisons are case-insensitive in old ClassAds.
+	if l.kind == String && r.kind == String {
+		c := strings.Compare(strings.ToLower(l.s), strings.ToLower(r.s))
+		return cmpResult(op, c)
+	}
+	if l.kind == Boolean && r.kind == Boolean {
+		switch op {
+		case tokEq:
+			return Bool(l.b == r.b)
+		case tokNe:
+			return Bool(l.b != r.b)
+		}
+		return ErrorValue()
+	}
+	lf, lok := l.Number()
+	rf, rok := r.Number()
+	if !lok || !rok {
+		return ErrorValue()
+	}
+	switch {
+	case lf < rf:
+		return cmpResult(op, -1)
+	case lf > rf:
+		return cmpResult(op, 1)
+	default:
+		return cmpResult(op, 0)
+	}
+}
+
+func cmpResult(op tokenKind, c int) Value {
+	switch op {
+	case tokEq:
+		return Bool(c == 0)
+	case tokNe:
+		return Bool(c != 0)
+	case tokLt:
+		return Bool(c < 0)
+	case tokLe:
+		return Bool(c <= 0)
+	case tokGt:
+		return Bool(c > 0)
+	case tokGe:
+		return Bool(c >= 0)
+	}
+	return ErrorValue()
+}

@@ -1,0 +1,76 @@
+package classad
+
+// Matchmaking follows the Condor negotiator's symmetric protocol: two ads
+// match when each ad's Requirements expression evaluates to TRUE in the
+// context where MY is that ad and TARGET is the other. Rank (a number,
+// higher is better) orders the matches.
+
+// Attribute names with conventional meaning to the matchmaker.
+const (
+	AttrRequirements = "requirements"
+	AttrRank         = "rank"
+)
+
+// Match reports whether ads a and b match symmetrically. A missing
+// Requirements attribute counts as TRUE (an unconstrained ad), matching the
+// behavior of resource ads that accept anything.
+func Match(a, b *Ad) bool {
+	return halfMatch(a, b) && halfMatch(b, a)
+}
+
+func halfMatch(my, target *Ad) bool {
+	req, ok := my.Get(AttrRequirements)
+	if !ok {
+		return true
+	}
+	return EvalWithTarget(req, my, target).IsTrue()
+}
+
+// Rank evaluates my's Rank expression against target. Missing, UNDEFINED,
+// or non-numeric ranks are 0, per Condor.
+func Rank(my, target *Ad) float64 {
+	e, ok := my.Get(AttrRank)
+	if !ok {
+		return 0
+	}
+	v := EvalWithTarget(e, my, target)
+	f, ok := v.Number()
+	if !ok {
+		if b, bok := v.BoolVal(); bok && b {
+			return 1
+		}
+		return 0
+	}
+	return f
+}
+
+// BestMatch returns the index of the candidate with the highest
+// job-Rank among those that match job, breaking ties by the candidate's
+// own Rank of the job, then by lowest index (deterministic). It returns -1
+// if nothing matches.
+func BestMatch(job *Ad, candidates []*Ad) int {
+	best := -1
+	var bestRank, bestTargetRank float64
+	for i, c := range candidates {
+		if c == nil || !Match(job, c) {
+			continue
+		}
+		r := Rank(job, c)
+		tr := Rank(c, job)
+		if best == -1 || r > bestRank || (r == bestRank && tr > bestTargetRank) {
+			best, bestRank, bestTargetRank = i, r, tr
+		}
+	}
+	return best
+}
+
+// MatchAll returns the indices of all candidates matching job, in order.
+func MatchAll(job *Ad, candidates []*Ad) []int {
+	var out []int
+	for i, c := range candidates {
+		if c != nil && Match(job, c) {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,352 @@
+// Package condorg implements Condor-G: a grid job queue (schedd) that
+// matches job ClassAds against resource ClassAds and manages execution
+// through remote GRAM gatekeepers, with per-resource GridManager throttles
+// and retry on grid-level failures.
+//
+// "CMS Production jobs are specified by ... converting them to DAGs
+// suitable for submission to Condor-G/DAGMan" (§4.2); computer science
+// groups provided "Globus client libraries, Condor-G, RLS" as the common
+// application middleware (§4.7).
+package condorg
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"grid3/internal/classad"
+	"grid3/internal/gram"
+	"grid3/internal/sim"
+)
+
+// Errors.
+var (
+	ErrNoMatch    = errors.New("condorg: no resource matches job requirements")
+	ErrExhausted  = errors.New("condorg: job failed after all retries")
+	ErrNoResource = errors.New("condorg: unknown resource")
+)
+
+// JobState is the schedd-side job state.
+type JobState int
+
+// Schedd job states.
+const (
+	Idle JobState = iota
+	Running
+	Completed
+	Held // failed all retries
+)
+
+func (s JobState) String() string {
+	switch s {
+	case Idle:
+		return "idle"
+	case Running:
+		return "running"
+	case Completed:
+		return "completed"
+	case Held:
+		return "held"
+	}
+	return fmt.Sprintf("JobState(%d)", int(s))
+}
+
+// Resource is one grid site registered with the schedd.
+type Resource struct {
+	Name       string
+	Gatekeeper *gram.Gatekeeper
+	// AdFunc returns the resource's current ClassAd (live CE state).
+	AdFunc func() *classad.Ad
+	// MaxSubmitted is the GridManager throttle: the most jobs this schedd
+	// keeps at the resource simultaneously (protects the gatekeeper from
+	// the §6.4 overload). 0 = unlimited.
+	MaxSubmitted int
+
+	inFlight int
+	// backoffUntil pauses submissions after an overload/down response.
+	backoffUntil time.Duration
+	backoffStep  time.Duration
+}
+
+// GridJob is one queued grid job.
+type GridJob struct {
+	ID   string
+	Ad   *classad.Ad
+	Spec gram.Spec
+	// TargetSite pins the job to one resource (a Pegasus-planned job);
+	// empty means matchmake.
+	TargetSite string
+	// MaxRetries bounds grid-level resubmissions after remote failures.
+	MaxRetries int
+	// OnStart fires each time the job is launched at a site (Site is set);
+	// a retried job may fire it again.
+	OnStart func(*GridJob)
+	// OnDone fires exactly once on terminal state; err nil on success.
+	OnDone func(*GridJob, error)
+
+	State    JobState
+	Site     string // where it ran (last attempt)
+	Contact  string // execution-side GRAM contact of the last attempt
+	Attempts int
+	LastErr  error
+}
+
+// Schedd is the Condor-G scheduler daemon.
+type Schedd struct {
+	eng       *sim.Engine
+	resources map[string]*Resource
+	order     []string
+	idle      []*GridJob
+	jobs      map[string]*GridJob // every submitted job, by ID
+	ticker    *sim.Ticker
+
+	// MaxMatchesPerCycle bounds matchmaking work per negotiation cycle;
+	// excess idle jobs wait for the next cycle (0 = unlimited).
+	MaxMatchesPerCycle int
+
+	submitted, completed, held int
+	matchFailures              int
+}
+
+// DefaultNegotiationInterval matches Condor's NEGOTIATOR_INTERVAL of 300s.
+const DefaultNegotiationInterval = 5 * time.Minute
+
+// initialBackoff is the first GridManager retry delay after an overloaded
+// or unreachable gatekeeper; it doubles per consecutive failure.
+const initialBackoff = time.Minute
+
+// maxBackoff caps the retry delay.
+const maxBackoff = 30 * time.Minute
+
+// New creates a schedd negotiating every interval (0 = default).
+func New(eng *sim.Engine, interval time.Duration) *Schedd {
+	if interval <= 0 {
+		interval = DefaultNegotiationInterval
+	}
+	s := &Schedd{eng: eng, resources: make(map[string]*Resource), jobs: make(map[string]*GridJob)}
+	s.ticker = sim.NewTicker(eng, interval, s.Negotiate)
+	return s
+}
+
+// Stop halts the negotiation cycle.
+func (s *Schedd) Stop() { s.ticker.Stop() }
+
+// AddResource registers a grid site.
+func (s *Schedd) AddResource(r *Resource) {
+	if r.Name == "" {
+		r.Name = r.Gatekeeper.Site().Name
+	}
+	s.resources[r.Name] = r
+	s.order = append(s.order, r.Name)
+	sort.Strings(s.order)
+}
+
+// Resource returns a registered resource.
+func (s *Schedd) Resource(name string) (*Resource, error) {
+	r, ok := s.resources[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoResource, name)
+	}
+	return r, nil
+}
+
+// IdleCount returns queued-but-unmatched jobs.
+func (s *Schedd) IdleCount() int { return len(s.idle) }
+
+// Counters.
+func (s *Schedd) SubmittedCount() int { return s.submitted }
+
+// CompletedCount returns the number of successfully finished jobs.
+func (s *Schedd) CompletedCount() int { return s.completed }
+
+// HeldCount returns the number of jobs that exhausted retries.
+func (s *Schedd) HeldCount() int { return s.held }
+
+// MatchFailures counts negotiation cycles where a job found no resource.
+func (s *Schedd) MatchFailures() int { return s.matchFailures }
+
+// Submit queues a job and tries to place it immediately.
+func (s *Schedd) Submit(j *GridJob) error {
+	if j.ID == "" {
+		return errors.New("condorg: job without ID")
+	}
+	if j.Ad == nil {
+		j.Ad = classad.NewAd()
+	}
+	// Standard attributes every Grid3 job ad carried.
+	j.Ad.SetString("VO", j.Spec.VO)
+	j.Ad.SetInt("WallTime", int64(j.Spec.Walltime/time.Second))
+	j.State = Idle
+	s.jobs[j.ID] = j
+	// Try to place the new job right away; if nothing fits it waits for
+	// the negotiation ticker. (Placing only the newcomer keeps a burst of
+	// submissions linear — a full queue scan per submit would be
+	// quadratic under the November production bursts.)
+	if !s.placeOne(j) {
+		s.idle = append(s.idle, j)
+	}
+	return nil
+}
+
+// placeOne attempts to match and launch one job now. It reports whether
+// the job reached a resource (or terminally failed); false means it should
+// wait in the idle queue.
+func (s *Schedd) placeOne(j *GridJob) bool {
+	r := s.pickResource(j, s.eng.Now())
+	if r == nil {
+		s.matchFailures++
+		return false
+	}
+	if err := s.launch(j, r); err != nil {
+		return false
+	}
+	return true
+}
+
+// Negotiate runs one matchmaking cycle: for each idle job, find the
+// best matching resource with throttle headroom and submit to its
+// gatekeeper. Jobs that cannot be placed stay idle for the next cycle.
+func (s *Schedd) Negotiate() {
+	if len(s.idle) == 0 {
+		return
+	}
+	now := s.eng.Now()
+	// Fast path: if every resource is throttled or backing off, nothing
+	// can be placed this cycle. This bounds negotiation cost when a
+	// production burst outruns the grid (§6.4 peak months).
+	anyOpen := false
+	for _, name := range s.order {
+		r := s.resources[name]
+		if (r.MaxSubmitted == 0 || r.inFlight < r.MaxSubmitted) && now >= r.backoffUntil {
+			anyOpen = true
+			break
+		}
+	}
+	if !anyOpen {
+		return
+	}
+	// Drain the queue first: launch failures and asynchronous remote
+	// failures requeue onto the fresh s.idle without being clobbered.
+	jobs := s.idle
+	s.idle = nil
+	matches := 0
+	for _, j := range jobs {
+		if s.MaxMatchesPerCycle > 0 && matches >= s.MaxMatchesPerCycle {
+			s.idle = append(s.idle, j)
+			continue
+		}
+		matches++
+		r := s.pickResource(j, now)
+		if r == nil {
+			s.matchFailures++
+			s.idle = append(s.idle, j)
+			continue
+		}
+		if err := s.launch(j, r); err != nil {
+			s.idle = append(s.idle, j)
+		}
+	}
+}
+
+// pickResource selects the target for a job, honoring pinning, throttles,
+// backoff, and ClassAd matching.
+func (s *Schedd) pickResource(j *GridJob, now time.Duration) *Resource {
+	candidates := s.order
+	if j.TargetSite != "" {
+		candidates = []string{j.TargetSite}
+	}
+	var ads []*classad.Ad
+	var avail []*Resource
+	for _, name := range candidates {
+		r, ok := s.resources[name]
+		if !ok {
+			continue
+		}
+		if r.MaxSubmitted > 0 && r.inFlight >= r.MaxSubmitted {
+			continue
+		}
+		if now < r.backoffUntil {
+			continue
+		}
+		ads = append(ads, r.AdFunc())
+		avail = append(avail, r)
+	}
+	best := classad.BestMatch(j.Ad, ads)
+	if best < 0 {
+		return nil
+	}
+	return avail[best]
+}
+
+// Job returns a submitted job by schedd-side ID — the §8 troubleshooting
+// lesson: "the ability to link a job ID on the execution side with a job
+// ID at the submit (VO) side".
+func (s *Schedd) Job(id string) (*GridJob, bool) {
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// launch submits a job to a resource's gatekeeper.
+func (s *Schedd) launch(j *GridJob, r *Resource) error {
+	spec := j.Spec
+	spec.OnState = func(gj *gram.Job, st gram.JobState) {
+		switch st {
+		case gram.StateDone:
+			r.inFlight--
+			r.backoffStep = 0
+			j.State = Completed
+			s.completed++
+			if j.OnDone != nil {
+				j.OnDone(j, nil)
+			}
+		case gram.StateFailed:
+			r.inFlight--
+			s.remoteFailure(j, fmt.Errorf("condorg: remote failure at %s: %s", r.Name, gj.FailureReason))
+		}
+	}
+	gj, err := r.Gatekeeper.Submit(spec)
+	if err != nil {
+		// Overload / down gatekeeper: exponential backoff on the
+		// resource, job stays idle.
+		if errors.Is(err, gram.ErrOverloaded) || errors.Is(err, gram.ErrSiteDown) {
+			if r.backoffStep == 0 {
+				r.backoffStep = initialBackoff
+			} else if r.backoffStep < maxBackoff {
+				r.backoffStep *= 2
+			}
+			r.backoffUntil = s.eng.Now() + r.backoffStep
+			return err
+		}
+		// Anything else (authorization, walltime policy) is a job-level
+		// failure: burn an attempt.
+		j.Attempts++
+		s.remoteFailure(j, err)
+		return nil
+	}
+	j.Attempts++
+	j.State = Running
+	j.Site = r.Name
+	j.Contact = gj.ID
+	r.inFlight++
+	s.submitted++
+	if j.OnStart != nil {
+		j.OnStart(j)
+	}
+	return nil
+}
+
+// remoteFailure retries a failed job or holds it.
+func (s *Schedd) remoteFailure(j *GridJob, err error) {
+	j.LastErr = err
+	if j.Attempts <= j.MaxRetries {
+		j.State = Idle
+		s.idle = append(s.idle, j)
+		return
+	}
+	j.State = Held
+	s.held++
+	if j.OnDone != nil {
+		j.OnDone(j, fmt.Errorf("%w: %v", ErrExhausted, err))
+	}
+}

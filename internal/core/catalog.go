@@ -1,0 +1,155 @@
+// Package core assembles the complete Grid3 system: the 27-site catalog,
+// the full middleware mesh (GSI, VOMS, MDS, GRAM, GridFTP, RLS, SRM,
+// Pacman/VDT, Condor-G, monitoring), the calibrated application workloads,
+// failure injection, and the scenario runner that reproduces the paper's
+// evaluation.
+package core
+
+import (
+	"time"
+
+	"grid3/internal/glue"
+	"grid3/internal/site"
+	"grid3/internal/vo"
+)
+
+// gb and tb size disk capacities.
+const (
+	gb = int64(1) << 30
+	tb = int64(1) << 40
+)
+
+// SiteSpec extends site.Config with grid-level metadata.
+type SiteSpec struct {
+	site.Config
+	Location string
+	// Rollover marks sites with the ACDC-style nightly worker rollover.
+	Rollover bool
+	// JoinAt delays the site's entry into Grid3: before this offset its
+	// services are down and its CPUs drained (§7: "The number of
+	// processors in Grid3 fluctuates over time as sites introduce and
+	// withdraw resources"). Zero means present from the start.
+	JoinAt time.Duration
+}
+
+// allVOs builds an account map covering the given VOs (plus the exerciser,
+// which ran everywhere it was welcome).
+func accounts(vos ...string) map[string]string {
+	m := make(map[string]string, len(vos))
+	for _, v := range vos {
+		m[v] = "grp_" + v
+	}
+	return m
+}
+
+// Grid3Sites returns the production site catalog: 27 sites patterned on
+// the paper's participating institutions, summing to ~2800 CPUs at peak
+// (§7: target 400, actual 2163, peak >2800), with >60% of CPUs at shared
+// (non-dedicated) facilities.
+func Grid3Sites() []SiteSpec {
+	mk := func(name, host, loc string, tier, cpus int, disk int64, wan float64,
+		lrms glue.LRMS, maxWall time.Duration, owner string, dedicated bool,
+		vos ...string) SiteSpec {
+		return SiteSpec{
+			Config: site.Config{
+				Name: name, Host: host, Tier: tier, CPUs: cpus,
+				DiskBytes: disk, WANMbps: wan, LRMS: lrms, MaxWall: maxWall,
+				OwnerVO: owner, Dedicated: dedicated, Accounts: accounts(vos...),
+				OutboundIP: true,
+			},
+			Location: loc,
+		}
+	}
+	all := []string{vo.USATLAS, vo.USCMS, vo.SDSS, vo.LIGO, vo.BTeV, vo.IVDGL, vo.Exerciser}
+	atlas := []string{vo.USATLAS, vo.IVDGL, vo.Exerciser}
+	cms := []string{vo.USCMS, vo.IVDGL, vo.Exerciser}
+
+	sites := []SiteSpec{
+		// Tier1 laboratory centers.
+		mk("BNL_ATLAS_Tier1", "gremlin.usatlas.bnl.gov", "Brookhaven Natl. Lab.", 1, 400, 60*tb, 2488, glue.Condor, 300*time.Hour, vo.USATLAS, true, all...),
+		mk("FNAL_CMS_Tier1", "gate.fnal.gov", "Fermi Natl. Accelerator Lab.", 1, 480, 80*tb, 2488, glue.Condor, 1300*time.Hour, vo.USCMS, true, all...),
+		// Large Tier2 university centers.
+		mk("CalTech_PG", "citgrid3.cacr.caltech.edu", "Caltech", 2, 128, 8*tb, 622, glue.Condor, 200*time.Hour, vo.USCMS, false, cms...),
+		mk("UCSD_PG", "grid.t2.ucsd.edu", "U.C. San Diego", 2, 128, 6*tb, 622, glue.Condor, 200*time.Hour, vo.USCMS, false, cms...),
+		mk("UFlorida_PG", "griddev.phys.ufl.edu", "U. Florida", 2, 120, 6*tb, 622, glue.PBS, 100*time.Hour, vo.USCMS, false, cms...),
+		mk("UWMadison_CMS", "cmsgrid.hep.wisc.edu", "U. Wisconsin-Madison", 2, 96, 4*tb, 622, glue.Condor, 1300*time.Hour, vo.USCMS, false, cms...),
+		mk("UC_ATLAS_Tier2", "tier2-01.uchicago.edu", "U. Chicago", 2, 112, 4*tb, 622, glue.PBS, 100*time.Hour, vo.USATLAS, false, atlas...),
+		mk("IU_ATLAS_Tier2", "atlas.iu.edu", "Indiana U.", 2, 112, 4*tb, 622, glue.PBS, 100*time.Hour, vo.USATLAS, false, atlas...),
+		mk("BU_ATLAS_Tier2", "atlas.bu.edu", "Boston U.", 2, 88, 3*tb, 622, glue.PBS, 100*time.Hour, vo.USATLAS, false, atlas...),
+		mk("UTA_DPCC", "atlas.dpcc.uta.edu", "U. Texas Arlington", 2, 96, 4*tb, 155, glue.PBS, 100*time.Hour, vo.USATLAS, false, atlas...),
+		mk("UM_ATLAS", "linat01.grid.umich.edu", "U. Michigan", 2, 72, 3*tb, 622, glue.PBS, 100*time.Hour, vo.USATLAS, false, atlas...),
+		// Shared campus facilities (the >60% non-dedicated pool).
+		mk("UBuffalo_CCR", "acdc.ccr.buffalo.edu", "U. Buffalo", 2, 192, 8*tb, 622, glue.PBS, 36*time.Hour, vo.IVDGL, false, all...),
+		mk("UWMilwaukee_LSC", "medusa.phys.uwm.edu", "U. Wisconsin-Milwaukee", 2, 120, 6*tb, 622, glue.Condor, 72*time.Hour, vo.LIGO, false, vo.LIGO, vo.IVDGL, vo.Exerciser),
+		mk("PSU_LIGO", "grid.phys.psu.edu", "Penn State", 3, 32, 2*tb, 155, glue.Condor, 72*time.Hour, vo.LIGO, false, vo.LIGO, vo.IVDGL),
+		mk("FNAL_SDSS", "sdss.fnal.gov", "Fermilab / SDSS", 2, 64, 6*tb, 622, glue.Condor, 100*time.Hour, vo.SDSS, true, vo.SDSS, vo.IVDGL, vo.Exerciser),
+		mk("JHU_SDSS", "grid.pha.jhu.edu", "Johns Hopkins U.", 3, 48, 3*tb, 155, glue.Condor, 100*time.Hour, vo.SDSS, false, vo.SDSS, vo.IVDGL, vo.Exerciser),
+		mk("Vanderbilt_BTeV", "vampire.accre.vanderbilt.edu", "Vanderbilt U.", 2, 96, 4*tb, 622, glue.PBS, 120*time.Hour, vo.BTeV, false, vo.BTeV, vo.IVDGL, vo.Exerciser),
+		mk("ANL_HEP", "hepgrid.anl.gov", "Argonne Natl. Lab.", 2, 64, 4*tb, 622, glue.PBS, 100*time.Hour, vo.IVDGL, true, all...),
+		mk("ANL_MCS", "mcsgrid.mcs.anl.gov", "Argonne MCS (GADU)", 2, 64, 3*tb, 622, glue.PBS, 100*time.Hour, vo.IVDGL, true, vo.IVDGL, vo.Exerciser),
+		mk("LBNL_PDSF", "pdsf.nersc.gov", "Lawrence Berkeley Natl. Lab.", 2, 96, 6*tb, 622, glue.LSF, 100*time.Hour, vo.IVDGL, false, all...),
+		mk("IU_Tiger", "tiger.uits.indiana.edu", "Indiana U. (shared)", 3, 48, 2*tb, 622, glue.LSF, 48*time.Hour, vo.IVDGL, false, vo.IVDGL, vo.USATLAS, vo.Exerciser),
+		mk("UNM_HPCERC", "lcars.hpcerc.unm.edu", "U. New Mexico", 3, 48, 2*tb, 155, glue.PBS, 48*time.Hour, vo.IVDGL, false, vo.IVDGL, vo.Exerciser),
+		mk("OU_HEP", "ouhep.nhn.ou.edu", "U. Oklahoma", 3, 32, 1*tb, 155, glue.PBS, 48*time.Hour, vo.USATLAS, false, atlas...),
+		mk("HU_HEP", "hamptonu.hept.org", "Hampton U.", 3, 16, 1*tb, 45, glue.PBS, 48*time.Hour, vo.USATLAS, false, atlas...),
+		mk("SMU_PHY", "mcfarm.physics.smu.edu", "Southern Methodist U.", 3, 16, 1*tb, 45, glue.PBS, 48*time.Hour, vo.IVDGL, false, vo.IVDGL, vo.Exerciser),
+		mk("KNU_Kyungpook", "cluster28.knu.ac.kr", "Kyungpook Natl. U. / KISTI", 3, 32, 2*tb, 155, glue.PBS, 72*time.Hour, vo.USCMS, false, cms...),
+		mk("Rice_PG", "grid.rice.edu", "Rice U.", 3, 16, 1*tb, 155, glue.PBS, 48*time.Hour, vo.IVDGL, false, vo.IVDGL, vo.Exerciser),
+	}
+	// ACDC at Buffalo had the nightly worker rollover (§6.1).
+	for i := range sites {
+		if sites[i].Name == "UBuffalo_CCR" {
+			sites[i].Rollover = true
+		}
+		// Smaller sites joined through the SC2003 ramp-up (§7).
+		switch sites[i].Name {
+		case "HU_HEP":
+			sites[i].JoinAt = 5 * 24 * time.Hour
+		case "SMU_PHY":
+			sites[i].JoinAt = 8 * 24 * time.Hour
+		case "Rice_PG":
+			sites[i].JoinAt = 12 * 24 * time.Hour
+		case "KNU_Kyungpook":
+			sites[i].JoinAt = 15 * 24 * time.Hour
+		case "UNM_HPCERC":
+			sites[i].JoinAt = 3 * 24 * time.Hour
+		}
+		// Worker nodes on a handful of sites were privately addressed
+		// (§6.4 requirement 1).
+		switch sites[i].Name {
+		case "UNM_HPCERC", "KNU_Kyungpook", "HU_HEP":
+			sites[i].OutboundIP = false
+		}
+	}
+	return sites
+}
+
+// TotalCPUs sums the catalog.
+func TotalCPUs(specs []SiteSpec) int {
+	n := 0
+	for _, s := range specs {
+		n += s.CPUs
+	}
+	return n
+}
+
+// ArchiveSiteFor maps each VO to its archival site: "All datasets produced
+// are archived at the Tier1 facility at Brookhaven" (ATLAS, §4.1); "All
+// datasets produced were archived through a Storage Element at the Tier1
+// facility at Fermilab" (CMS, §4.2).
+func ArchiveSiteFor(voName string) string {
+	switch voName {
+	case vo.USATLAS:
+		return "BNL_ATLAS_Tier1"
+	case vo.USCMS:
+		return "FNAL_CMS_Tier1"
+	case vo.SDSS:
+		return "FNAL_SDSS"
+	case vo.LIGO:
+		return "UWMilwaukee_LSC"
+	case vo.BTeV:
+		return "Vanderbilt_BTeV"
+	default:
+		return "ANL_HEP"
+	}
+}

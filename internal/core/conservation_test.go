@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"grid3/internal/apps"
+	"grid3/internal/vo"
+)
+
+// TestScenarioConservation checks end-to-end accounting invariants over a
+// short campaign: no job is double-counted, every archived output is
+// registered in RLS exactly once, and the books balance per VO.
+func TestScenarioConservation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario run in -short mode")
+	}
+	s, err := NewScenario(ScenarioConfig{
+		Config:   Config{Seed: 21},
+		Horizon:  20 * 24 * time.Hour,
+		JobScale: 0.02,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	g := s.Grid
+
+	classes := apps.Grid3Classes()
+	for _, voName := range vo.Grid3VOs {
+		st := g.Stats(voName)
+		terminal := st.Completed + st.ExecFailures + st.StageOutFailures + st.SRMDeferred
+		if terminal > st.Submitted {
+			t.Errorf("%s: terminal outcomes %d exceed submissions %d", voName, terminal, st.Submitted)
+		}
+		// Attempt failures can exceed job-level failures (retries) but a
+		// completed or exec-failed job accounts for ≥0 attempt failures.
+		if st.AttemptFailures < st.ExecFailures {
+			t.Errorf("%s: attempt failures %d < exec failures %d", voName, st.AttemptFailures, st.ExecFailures)
+		}
+
+		class, _ := apps.ClassByVO(classes, voName)
+		archive := g.Nodes[ArchiveSiteFor(voName)]
+		if class.OutputBytes > 0 && archive != nil {
+			// Every end-to-end completion registered exactly one LFN at
+			// the archive (tape migration removes disk copies, never the
+			// catalog entries).
+			if got := archive.LRC.Len(); got != st.Completed {
+				t.Errorf("%s: archive LRC has %d entries, completed %d", voName, got, st.Completed)
+			}
+		}
+	}
+
+	// ACDC saw at least every completed grid job (plus failed attempts),
+	// and none of the local background load.
+	totalCompleted := 0
+	for _, voName := range vo.Grid3VOs {
+		totalCompleted += g.Stats(voName).Completed
+	}
+	if g.ACDC.Len() < totalCompleted {
+		t.Errorf("ACDC records %d < completed %d", g.ACDC.Len(), totalCompleted)
+	}
+	for _, r := range g.ACDC.Records() {
+		if r.VO == LocalVO {
+			t.Fatal("local job in ACDC warehouse")
+		}
+	}
+}
+
+// TestSC2003SurgePeak: the demonstration-week surge produces a higher
+// concurrency peak than the same workload without it, while monthly job
+// totals stay calibrated (the surge compresses, it does not inflate).
+func TestSC2003SurgePeak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario run in -short mode")
+	}
+	run := func(surge bool) (peak int, jobs int) {
+		classes := apps.Grid3Classes()
+		if !surge {
+			for i := range classes {
+				classes[i].SurgeFactor = 1 // explicit: no surge
+			}
+		}
+		s, err := NewScenario(ScenarioConfig{
+			Config:          Config{Seed: 19},
+			Horizon:         35 * 24 * time.Hour,
+			JobScale:        0.05,
+			Classes:         classes,
+			DisableFailures: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run()
+		return s.Grid.PeakRunning(), s.SubmittedTotal()
+	}
+	surgePeak, surgeJobs := run(true)
+	flatPeak, flatJobs := run(false)
+	if surgePeak <= flatPeak {
+		t.Fatalf("surge peak %d <= flat peak %d", surgePeak, flatPeak)
+	}
+	// Totals stay within a few percent of each other.
+	ratio := float64(surgeJobs) / float64(flatJobs)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("surge changed totals: %d vs %d", surgeJobs, flatJobs)
+	}
+}

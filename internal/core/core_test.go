@@ -1,0 +1,329 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"grid3/internal/apps"
+	"grid3/internal/batch"
+	"grid3/internal/vo"
+)
+
+func TestCatalogShape(t *testing.T) {
+	specs := Grid3Sites()
+	if len(specs) != 27 {
+		t.Fatalf("sites = %d, want 27", len(specs))
+	}
+	total := TotalCPUs(specs)
+	if total < 2500 || total > 3000 {
+		t.Fatalf("total CPUs = %d, want ~2800 (the §7 peak)", total)
+	}
+	names := map[string]bool{}
+	dedicated := 0
+	for _, s := range specs {
+		if names[s.Name] {
+			t.Fatalf("duplicate site %s", s.Name)
+		}
+		names[s.Name] = true
+		if err := s.Config.Validate(); err != nil {
+			t.Fatalf("site %s invalid: %v", s.Name, err)
+		}
+		if s.Dedicated {
+			dedicated += s.CPUs
+		}
+	}
+	// >60% of CPUs from non-dedicated facilities (§7).
+	sharedFrac := 1 - float64(dedicated)/float64(total)
+	if sharedFrac < 0.6 {
+		t.Fatalf("shared CPU fraction = %.2f, want > 0.6", sharedFrac)
+	}
+	// Archive sites exist for every VO.
+	for _, voName := range vo.Grid3VOs {
+		if voName == vo.Exerciser {
+			continue
+		}
+		if !names[ArchiveSiteFor(voName)] {
+			t.Fatalf("archive site for %s missing from catalog", voName)
+		}
+	}
+}
+
+func TestGridAssembly(t *testing.T) {
+	g, err := New(Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes) != 27 {
+		t.Fatalf("nodes = %d", len(g.Nodes))
+	}
+	// VOMS registry: ~102 users (95 class members + 7 admins).
+	if users := g.Registry.TotalUsers(); users != 102 {
+		t.Fatalf("users = %d, want 102", users)
+	}
+	// Every node passed §5.1 install + certification; the top GIIS sees
+	// every site's CE entry.
+	entries := g.TopGIIS.Entries()
+	if len(entries) != 27 {
+		t.Fatalf("MDS entries = %d", len(entries))
+	}
+	for _, e := range entries {
+		if e.Get("GlueSiteName") == "" || e.Get("Grid3-VDT-Location") == "" {
+			t.Fatalf("entry incomplete: %v", e.Attrs)
+		}
+	}
+	// Per-VO schedds for all 7 classes.
+	if len(g.Schedds) != 7 {
+		t.Fatalf("schedds = %d", len(g.Schedds))
+	}
+	// Every site installed the grid3 package.
+	for _, name := range g.Order {
+		if !g.Nodes[name].Site.HasApp("grid3-1.0") {
+			t.Fatalf("site %s missing grid3 package", name)
+		}
+	}
+}
+
+func TestSubmitJobEndToEnd(t *testing.T) {
+	g, err := New(Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SubmitJob(apps.Request{
+		ID: "t1", VO: vo.USATLAS,
+		User:    "/DC=org/DC=doegrids/OU=People/CN=usatlas user 00",
+		Runtime: 2 * time.Hour, Walltime: 4 * time.Hour,
+		StagingFactor: 2, InputBytes: 100 << 20, OutputBytes: 2 << 30,
+	})
+	g.Eng.RunUntil(24 * time.Hour)
+	st := g.Stats(vo.USATLAS)
+	if st.Submitted != 1 || st.Completed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The output was archived at BNL and registered in the LRC.
+	bnl := g.Nodes["BNL_ATLAS_Tier1"]
+	if bnl.LRC.Len() != 1 {
+		t.Fatalf("archive LRC entries = %d", bnl.LRC.Len())
+	}
+	if bnl.Site.Disk.FileCount() != 1 {
+		t.Fatalf("archive files = %d", bnl.Site.Disk.FileCount())
+	}
+}
+
+func TestSubmitJobAUPAndUnknownVO(t *testing.T) {
+	g, _ := New(Config{Seed: 7})
+	g.SubmitJob(apps.Request{ID: "x", VO: "freeloaders", User: "/CN=x", Runtime: time.Hour, Walltime: 2 * time.Hour})
+	if g.Stats("freeloaders").ExecFailures != 1 {
+		t.Fatal("AUP violation not counted")
+	}
+}
+
+func TestWalltimeClamping(t *testing.T) {
+	// A one-site grid whose queue admits 48 h: a 100 h walltime request
+	// must be clamped to 48 h so the job still matches; a 60 h runtime
+	// then dies at the wall (after Condor-G retries).
+	specs := Grid3Sites()[:0:0]
+	only := Grid3Sites()[22] // OU_HEP: PBS, 48 h MaxWall
+	specs = append(specs, only)
+	g, err := New(Config{Seed: 7, Sites: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SubmitJob(apps.Request{
+		ID: "fits", VO: vo.USATLAS,
+		User:    "/DC=org/DC=doegrids/OU=People/CN=usatlas user 00",
+		Runtime: 30 * time.Hour, Walltime: 100 * time.Hour,
+	})
+	g.SubmitJob(apps.Request{
+		ID: "dies", VO: vo.USATLAS,
+		User:    "/DC=org/DC=doegrids/OU=People/CN=usatlas user 01",
+		Runtime: 60 * time.Hour, Walltime: 100 * time.Hour,
+	})
+	g.Eng.RunUntil(400 * time.Hour)
+	st := g.Stats(vo.USATLAS)
+	if st.Submitted != 2 || st.Completed != 1 || st.ExecFailures != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPreferredSites(t *testing.T) {
+	g, _ := New(Config{Seed: 7})
+	atlas := g.PreferredSitesFor(vo.USATLAS)
+	if len(atlas) == 0 || atlas[0] != "BNL_ATLAS_Tier1" {
+		t.Fatalf("atlas preferred = %v", atlas)
+	}
+	cms := g.PreferredSitesFor(vo.USCMS)
+	if cms[0] != "FNAL_CMS_Tier1" {
+		t.Fatalf("cms preferred = %v", cms)
+	}
+	ex := g.PreferredSitesFor(vo.Exerciser)
+	if len(ex) == 0 {
+		t.Fatal("exerciser has no preferred pool")
+	}
+}
+
+func TestLocalLoadAccounting(t *testing.T) {
+	g, _ := New(Config{Seed: 7})
+	g.Eng.RunUntil(48 * time.Hour)
+	// Shared sites carry local load; ACDC must not record any of it.
+	localRunning := 0
+	for _, name := range g.Order {
+		localRunning += g.Nodes[name].Batch.RunningByVO(LocalVO)
+	}
+	if localRunning == 0 {
+		t.Fatal("no local load on shared facilities")
+	}
+	g.ACDC.Pull()
+	for _, r := range g.ACDC.Records() {
+		if r.VO == LocalVO {
+			t.Fatal("local job leaked into ACDC")
+		}
+	}
+	// Dedicated sites run no local load.
+	if n := g.Nodes["BNL_ATLAS_Tier1"].Batch.RunningByVO(LocalVO); n != 0 {
+		t.Fatalf("dedicated site has %d local jobs", n)
+	}
+}
+
+func TestScenarioSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario run in -short mode")
+	}
+	s, err := NewScenario(ScenarioConfig{
+		Config:   Config{Seed: 11},
+		Horizon:  30 * 24 * time.Hour,
+		JobScale: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if s.SubmittedTotal() == 0 {
+		t.Fatal("nothing submitted")
+	}
+	if s.Grid.ACDC.Len() == 0 {
+		t.Fatal("no ACDC records")
+	}
+	m := s.ComputeMilestones()
+	if m.CPUs < 2500 || m.Users != 102 {
+		t.Fatalf("milestones = %+v", m)
+	}
+	if m.DataTBPerDay < 1 {
+		t.Fatalf("transfer volume = %.2f TB/day", m.DataTBPerDay)
+	}
+	// Rendering never fails.
+	var sb strings.Builder
+	m.Write(&sb)
+	s.WriteTable1(&sb)
+	if !strings.Contains(sb.String(), "uscms") {
+		t.Fatal("table rendering incomplete")
+	}
+	// Figures produce data.
+	if len(s.Figure2()) == 0 {
+		t.Fatal("figure 2 empty")
+	}
+	if _, total := s.Figure5(); total <= 0 {
+		t.Fatal("figure 5 empty")
+	}
+	months, counts := s.Figure6()
+	if len(months) == 0 || len(counts) != len(months) {
+		t.Fatal("figure 6 empty")
+	}
+}
+
+func TestScenarioDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario run in -short mode")
+	}
+	run := func() (int, int, map[string]float64) {
+		s, err := NewScenario(ScenarioConfig{
+			Config:   Config{Seed: 5},
+			Horizon:  15 * 24 * time.Hour,
+			JobScale: 0.01,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run()
+		return s.SubmittedTotal(), s.Grid.ACDC.Len(), s.Figure2()
+	}
+	s1, r1, f1 := run()
+	s2, r2, f2 := run()
+	if s1 != s2 || r1 != r2 {
+		t.Fatalf("runs differ: submitted %d/%d records %d/%d", s1, s2, r1, r2)
+	}
+	for k, v := range f1 {
+		if math.Abs(f2[k]-v) > 1e-9 {
+			t.Fatalf("figure2[%s] differs: %v vs %v", k, v, f2[k])
+		}
+	}
+}
+
+func TestScenarioSRMAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario run in -short mode")
+	}
+	// With SRM on, stage-out failures convert to up-front deferrals.
+	run := func(useSRM bool) *VOStats {
+		s, err := NewScenario(ScenarioConfig{
+			Config:   Config{Seed: 3, UseSRM: useSRM},
+			Horizon:  20 * 24 * time.Hour,
+			JobScale: 0.02,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run()
+		return s.Grid.Stats(vo.USCMS)
+	}
+	raw := run(false)
+	srm := run(true)
+	if raw.Completed == 0 || srm.Completed == 0 {
+		t.Fatalf("no completions: raw %+v srm %+v", raw, srm)
+	}
+	// SRM cannot have more stage-out failures than raw (it fails fast).
+	if srm.StageOutFailures > raw.StageOutFailures {
+		t.Fatalf("SRM stage-out failures %d > raw %d", srm.StageOutFailures, raw.StageOutFailures)
+	}
+}
+
+func TestDirectBatchVOCounters(t *testing.T) {
+	g, _ := New(Config{Seed: 1})
+	n := g.Nodes["ANL_MCS"]
+	n.Batch.Submit(&batch.Job{ID: "a", VO: "ivdgl", Walltime: 2 * time.Hour, Runtime: time.Hour})
+	if n.Batch.RunningByVO("ivdgl") != 1 {
+		t.Fatal("per-VO counter wrong")
+	}
+	g.Eng.RunUntil(2 * time.Hour)
+	if n.Batch.RunningByVO("ivdgl") != 0 {
+		t.Fatal("per-VO counter not decremented")
+	}
+}
+
+func TestSiteRampUp(t *testing.T) {
+	g, err := New(Config{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	late := g.Nodes["KNU_Kyungpook"] // joins at day 15
+	if late.Site.Healthy() || late.Batch.AvailableSlots() != 0 {
+		t.Fatalf("late site live before JoinAt: healthy=%v slots=%d",
+			late.Site.Healthy(), late.Batch.AvailableSlots())
+	}
+	ep, _ := g.Network.Endpoint("KNU_Kyungpook")
+	if ep.Up() {
+		t.Fatal("late site endpoint up before JoinAt")
+	}
+	g.Eng.RunUntil(16 * 24 * time.Hour)
+	if !late.Site.Healthy() || late.Batch.AvailableSlots() != late.Batch.Slots() {
+		t.Fatal("late site did not come alive at JoinAt")
+	}
+	if !ep.Up() {
+		t.Fatal("late site endpoint still down after JoinAt")
+	}
+	// Early sites were alive the whole time.
+	if !g.Nodes["BNL_ATLAS_Tier1"].Site.Healthy() {
+		t.Fatal("BNL should be up from the start")
+	}
+}

@@ -1,0 +1,920 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"grid3/internal/acdc"
+	"grid3/internal/apps"
+	"grid3/internal/batch"
+	"grid3/internal/classad"
+	"grid3/internal/condorg"
+	"grid3/internal/dial"
+	"grid3/internal/dist"
+	"grid3/internal/ganglia"
+	"grid3/internal/glue"
+	"grid3/internal/goc"
+	"grid3/internal/gram"
+	"grid3/internal/gridftp"
+	"grid3/internal/gsi"
+	"grid3/internal/mds"
+	"grid3/internal/monalisa"
+	"grid3/internal/pacman"
+	"grid3/internal/rls"
+	"grid3/internal/sim"
+	"grid3/internal/site"
+	"grid3/internal/sitecatalog"
+	"grid3/internal/srm"
+	"grid3/internal/vdt"
+	"grid3/internal/vo"
+)
+
+// Config tunes a Grid3 instance.
+type Config struct {
+	// Seed drives all randomness; same seed, same scenario.
+	Seed int64
+	// Sites is the site catalog; nil means Grid3Sites().
+	Sites []SiteSpec
+	// MonitorInterval paces Ganglia/MonALISA collection (default 30 m —
+	// production used 5 m, but scenario runs consolidate identically).
+	MonitorInterval time.Duration
+	// NegotiationInterval paces Condor-G matchmaking (default 15 m).
+	NegotiationInterval time.Duration
+	// UseSRM routes stage-out through SRM space reservations (§8 lesson;
+	// off reproduces the paper's raw-GridFTP disk-full failures).
+	UseSRM bool
+	// DisableAffinity strips site pinning from workloads (the ABL-FED
+	// ablation: uniform matchmaking vs favorite resources).
+	DisableAffinity bool
+}
+
+func (c *Config) defaults() {
+	if c.Sites == nil {
+		c.Sites = Grid3Sites()
+	}
+	if c.MonitorInterval <= 0 {
+		c.MonitorInterval = 30 * time.Minute
+	}
+	if c.NegotiationInterval <= 0 {
+		c.NegotiationInterval = 15 * time.Minute
+	}
+}
+
+// Node bundles one site's full service stack.
+type Node struct {
+	Spec       SiteSpec
+	Site       *site.Site
+	Batch      *batch.System
+	Gatekeeper *gram.Gatekeeper
+	Gridmap    *gsi.Gridmap
+	LRC        *rls.LRC
+	SRM        *srm.Manager
+	GRIS       *mds.GRIS
+	Gmetad     *ganglia.Gmetad
+	Station    *monalisa.Station
+
+	archQueue []string // archive-file FIFO for tape-migration cleanup
+	archBytes int64    // bytes held by archived outputs (not scratch)
+
+	// adCache memoizes the CE ClassAd for a short virtual interval,
+	// mirroring a real Condor collector's refresh period: matchmaking
+	// sees at-most-minutes-stale resource state instead of rebuilding
+	// the ad for every (job, resource) pair.
+	adCache   *classad.Ad
+	adCacheAt time.Duration
+	adCacheOK bool
+}
+
+// adTTL is how long a cached CE ad stays fresh (the collector update
+// interval of the era).
+const adTTL = 5 * time.Minute
+
+// VOStats tracks end-to-end outcomes per VO (the §7 efficiency metric,
+// which counts every step: execution, stage-out, registration).
+type VOStats struct {
+	Submitted        int
+	Completed        int
+	ExecFailures     int // jobs lost for good after Condor-G retries
+	AttemptFailures  int // individual failed attempts, incl. retried ones
+	StageOutFailures int // disk-full on archive (the §8 failure class)
+	SRMDeferred      int // submissions deferred by denied reservations
+	WastedCPU        time.Duration
+}
+
+// Efficiency returns attempt-level success, the §6.1 definition: "failures
+// are defined as jobs experiencing errors in any processing step that
+// prevented perfect completion" — a retried attempt still counts against
+// efficiency.
+func (s VOStats) Efficiency() float64 {
+	total := s.Completed + s.AttemptFailures + s.StageOutFailures
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Completed) / float64(total)
+}
+
+// Grid is a fully assembled Grid3 instance.
+type Grid struct {
+	Eng *sim.Engine
+	RNG *dist.RNG
+	Cfg Config
+
+	CA       *gsi.CA
+	Registry *vo.Registry
+	Nodes    map[string]*Node
+	Order    []string
+	Network  *gridftp.Network
+	RLI      *rls.RLI
+	TopGIIS  *mds.GIIS
+	VOGIIS   map[string]*mds.GIIS
+	Repo     *monalisa.Repository
+	Ganglia  *ganglia.Grid
+	Catalog  *sitecatalog.Catalog
+	Desk     *goc.Desk
+	ACDC     *acdc.Monitor
+	AUP      *goc.AUP
+	Cache    *pacman.Cache
+	DIAL     *dial.Catalog
+	Schedds  map[string]*condorg.Schedd
+
+	stats map[string]*VOStats
+	seq   int64
+
+	// Concurrency sampling for the §7 peak-jobs and utilization metrics.
+	peakRunning    int
+	runningSamples int64
+	runningSum     int64
+	capacitySum    int64
+}
+
+// New assembles a Grid3 instance: CA and VOMS servers, 27 sites with their
+// full middleware stacks, the WAN, central services, and per-VO Condor-G
+// schedds. It performs the §5.1 Pacman/VDT install and certification at
+// every site.
+func New(cfg Config) (*Grid, error) {
+	cfg.defaults()
+	g := &Grid{
+		Eng:     sim.NewEngine(sim.Grid3Epoch),
+		RNG:     dist.New(cfg.Seed),
+		Cfg:     cfg,
+		Nodes:   make(map[string]*Node),
+		Schedds: make(map[string]*condorg.Schedd),
+		stats:   make(map[string]*VOStats),
+	}
+
+	// --- Security fabric.
+	ca, err := gsi.NewCA("/DC=org/DC=DOEGrids/OU=Certificate Authorities/CN=DOEGrids CA 1",
+		sim.Grid3Epoch.Add(-365*24*time.Hour), 10*365*24*time.Hour)
+	if err != nil {
+		return nil, fmt.Errorf("core: creating CA: %w", err)
+	}
+	g.CA = ca
+
+	// --- VOMS servers with the Table 1 user populations.
+	g.Registry = vo.NewRegistry()
+	classes := apps.Grid3Classes()
+	for _, voName := range vo.Grid3VOs {
+		cred, err := ca.Issue("/DC=org/DC=DOEGrids/OU=Services/CN=voms/"+voName+".grid3.org",
+			sim.Grid3Epoch.Add(-24*time.Hour), 2*365*24*time.Hour)
+		if err != nil {
+			return nil, err
+		}
+		server := vo.NewVOMS(voName, cred)
+		if class, ok := apps.ClassByVO(classes, voName); ok {
+			for i, dn := range class.UserDNs() {
+				roles := []vo.Role{}
+				if i == 0 {
+					roles = append(roles, vo.RoleProduction, vo.RoleSoftware)
+				}
+				if err := server.Add(dn, fmt.Sprintf("%s user %d", voName, i), roles...); err != nil {
+					return nil, err
+				}
+			}
+		}
+		// Application administrators (~10% of users ran most jobs, §7).
+		server.Add(fmt.Sprintf("/DC=org/DC=DOEGrids/OU=People/CN=%s admin", voName),
+			voName+" admin", vo.RoleProduction, vo.RoleAdmin)
+		g.Registry.Add(server)
+	}
+	g.AUP = goc.NewAUP(vo.Grid3VOs...)
+
+	// --- Shared fabric and central services.
+	g.Network = gridftp.NewNetwork(g.Eng)
+	g.RLI = rls.NewRLI(g.Eng)
+	g.TopGIIS = mds.NewGIIS("igoc-giis", g.Eng)
+	// §5: "registration to a VO-level set of services such as index
+	// servers" — per-VO GIISes provide each VO's view of its resources;
+	// sites also register directly with the iGOC top-level index, which
+	// therefore holds each site exactly once.
+	g.VOGIIS = make(map[string]*mds.GIIS)
+	for _, voName := range vo.Grid3VOs {
+		g.VOGIIS[voName] = mds.NewGIIS(voName+"-giis", g.Eng)
+	}
+	g.Repo = monalisa.NewRepository(g.Eng)
+	g.Ganglia = ganglia.NewGrid()
+	g.Catalog = sitecatalog.New(g.Eng, 15*time.Minute)
+	g.Desk = goc.NewDesk(g.Eng)
+	g.ACDC = acdc.New(g.Eng, sim.Grid3Epoch, 6*time.Hour)
+	g.ACDC.Ignore = map[string]bool{LocalVO: true}
+	g.Cache = vdt.Grid3Cache()
+	g.DIAL = dial.NewCatalog()
+
+	// --- Sites.
+	for _, spec := range cfg.Sites {
+		if err := g.addSite(spec); err != nil {
+			return nil, fmt.Errorf("core: site %s: %w", spec.Name, err)
+		}
+	}
+
+	// --- Per-VO Condor-G schedds.
+	for _, voName := range vo.Grid3VOs {
+		sch := condorg.New(g.Eng, cfg.NegotiationInterval)
+		sch.MaxMatchesPerCycle = 2000
+		for _, name := range g.Order {
+			n := g.Nodes[name]
+			if !n.Site.SupportsVO(voName) {
+				continue
+			}
+			node := n
+			sch.AddResource(&condorg.Resource{
+				Name:         name,
+				Gatekeeper:   n.Gatekeeper,
+				MaxSubmitted: 2 * n.Batch.Slots(),
+				AdFunc:       func() *classad.Ad { return g.ceAd(node) },
+			})
+		}
+		g.Schedds[voName] = sch
+		g.stats[voName] = &VOStats{}
+	}
+
+	// --- Housekeeping: prune terminal gram jobs, migrate archive files.
+	sim.NewTicker(g.Eng, 6*time.Hour, func() {
+		for _, name := range g.Order {
+			g.Nodes[name].Gatekeeper.PruneTerminal()
+			g.migrateToTape(g.Nodes[name])
+		}
+	})
+	// Concurrency sampling for milestones.
+	sim.NewTicker(g.Eng, 10*time.Minute, g.sampleConcurrency)
+
+	// RLS soft-state republication: every LRC refreshes its RLI
+	// publication well inside the 24 h TTL.
+	sim.NewTicker(g.Eng, 6*time.Hour, g.PublishRLS)
+
+	// §5.3: grid-mapfiles are regenerated periodically "by calling an EDG
+	// script to contact each VO's VOMS server", so membership changes
+	// propagate to every gatekeeper within a cycle.
+	sim.NewTicker(g.Eng, 6*time.Hour, g.RefreshGridmaps)
+
+	// iGOC operations: the desk reconciles against the Site Status
+	// Catalog — a failing site gets a trouble ticket; recovery resolves
+	// it with logged effort. This feeds the §7 support-load metric
+	// (target <2 FTEs once the infrastructure stabilized).
+	openTickets := make(map[string]int)
+	sim.NewTicker(g.Eng, time.Hour, func() {
+		for _, name := range g.Catalog.Sites() {
+			entry, _ := g.Catalog.Entry(name)
+			ticketID, open := openTickets[name]
+			switch {
+			case entry.Status() == sitecatalog.Fail && !open:
+				tk := g.Desk.Open(name, g.Nodes[name].Spec.OwnerVO, entry.LastError(), goc.High)
+				g.Desk.Assign(tk.ID, name+"-admin")
+				openTickets[name] = tk.ID
+			case entry.Status() == sitecatalog.Pass && open:
+				g.Desk.Resolve(ticketID, g.RNG.Uniform(0.5, 3))
+				delete(openTickets, name)
+			}
+		}
+	})
+
+	// Local users on shared (non-dedicated) facilities: >60% of Grid3
+	// CPUs were "both shared among Grid3 participants and available to
+	// local users" (§7). Their load is what pushes measured utilization
+	// into the paper's 40-70% band.
+	g.armLocalLoad()
+
+	return g, nil
+}
+
+// RefreshGridmaps regenerates every site's grid-mapfile from the current
+// VOMS membership (the edg-mkgridmap cron cycle of §5.3).
+func (g *Grid) RefreshGridmaps() {
+	for _, name := range g.Order {
+		n := g.Nodes[name]
+		n.Gridmap.ReplaceAll(g.Registry.GenerateGridmap(n.Spec.Accounts))
+	}
+}
+
+// LocalVO tags non-grid jobs submitted by a site's local users; they are
+// excluded from ACDC's grid accounting but occupy CPUs.
+const LocalVO = "local"
+
+// armLocalLoad keeps each shared site's local occupancy near a
+// site-specific target fraction.
+func (g *Grid) armLocalLoad() {
+	for _, name := range g.Order {
+		n := g.Nodes[name]
+		if n.Spec.Dedicated {
+			continue
+		}
+		node := n
+		target := g.RNG.Uniform(0.45, 0.75)
+		seq := 0
+		outstanding := 0 // submitted but not yet finished
+		// Long-lived local jobs model steady campus load without flooding
+		// the event queue. Tracking *outstanding* (not just running) jobs
+		// keeps the queue bounded when grid work saturates the site.
+		sim.NewTicker(g.Eng, 2*time.Hour, func() {
+			want := int(target * float64(node.Batch.Slots()))
+			for i := outstanding; i < want; i++ {
+				seq++
+				runtime := g.RNG.ExpDuration(24 * time.Hour)
+				if runtime > node.Spec.MaxWall-time.Hour {
+					runtime = node.Spec.MaxWall - time.Hour
+				}
+				err := node.Batch.Submit(&batch.Job{
+					ID:       fmt.Sprintf("local-%s-%d", node.Spec.Name, seq),
+					VO:       LocalVO,
+					Account:  "localusers",
+					Runtime:  runtime,
+					Walltime: runtime + time.Hour,
+					OnDone:   func(*batch.Job) { outstanding-- },
+				})
+				if err == nil {
+					outstanding++
+				}
+			}
+		})
+	}
+}
+
+// addSite constructs one site's full stack.
+func (g *Grid) addSite(spec SiteSpec) error {
+	st, err := site.New(spec.Config)
+	if err != nil {
+		return err
+	}
+	var policy batch.Policy
+	enforce := true
+	switch spec.LRMS {
+	case glue.Condor:
+		policy = batch.FairShare{}
+		enforce = false
+	case glue.LSF:
+		policy = batch.Priority{}
+	default:
+		policy = batch.FIFO{}
+	}
+	bs := batch.New(g.Eng, batch.Config{
+		Name: spec.Name, Slots: spec.CPUs, Policy: policy,
+		EnforceWall: enforce, MaxWall: spec.MaxWall,
+	})
+	gridmap := g.Registry.GenerateGridmap(spec.Accounts)
+	gk := gram.New(g.Eng, st, bs, gridmap)
+	g.Network.AddEndpoint(spec.Name, spec.WANMbps)
+	lrc := rls.NewLRC(spec.Name)
+	srmMgr := srm.New(g.Eng, st.Disk)
+
+	node := &Node{
+		Spec: spec, Site: st, Batch: bs, Gatekeeper: gk,
+		Gridmap: gridmap, LRC: lrc, SRM: srmMgr,
+	}
+
+	// §5.1: pacman -get Grid3, then the application releases for each VO
+	// with a group account here, then certification.
+	if err := vdt.InstallGrid3(g.Cache, st); err != nil {
+		return err
+	}
+	for voName, pkg := range appPackages() {
+		if st.SupportsVO(voName) {
+			if _, err := pacman.Install(g.Cache, vdt.SiteTarget{Site: st}, pkg); err != nil {
+				return err
+			}
+		}
+	}
+	cert := &vdt.Certification{SiteName: spec.Name, Checks: []vdt.Check{
+		{Name: "gram-authenticate", Run: func() error {
+			if gridmap.Len() == 0 {
+				return errors.New("empty grid-mapfile")
+			}
+			return nil
+		}},
+		{Name: "grid3-install", Run: func() error {
+			if !st.HasApp("grid3-" + vdt.Grid3Version) {
+				return errors.New("grid3 package missing")
+			}
+			return nil
+		}},
+	}}
+	if err := cert.Certify(); err != nil {
+		return err
+	}
+
+	// MDS: a GRIS publishing the GLUE CE entry plus Grid3 extensions,
+	// registered with the iGOC index under soft state.
+	gris := mds.NewGRIS(spec.Name+"-gris", g.Eng)
+	gris.AddProvider(mds.ProviderFunc{ID: "ce", Fn: func() []mds.Entry {
+		return []mds.Entry{g.ceEntry(node)}
+	}})
+	// Each site registers with the GIIS of every VO it serves and with
+	// the iGOC top-level index (§5.1 registration chain).
+	for _, voName := range st.VOs() {
+		if idx, ok := g.VOGIIS[voName]; ok {
+			idx.Register(gris, 24*365*time.Hour)
+		}
+	}
+	g.TopGIIS.Register(gris, 24*365*time.Hour)
+	node.GRIS = gris
+
+	// Ganglia: one gmond per site summarizing the cluster, one gmetad.
+	gmond := ganglia.NewGmond(spec.Host)
+	gmond.Register("cpu_num", func() float64 {
+		if !st.Healthy() {
+			return 0
+		}
+		return float64(bs.AvailableSlots())
+	})
+	gmond.Register("load_one", func() float64 { return gk.Load() })
+	gmond.Register("disk_used_frac", func() float64 { return st.Disk.FillFraction() })
+	gmetad := ganglia.NewGmetad(g.Eng, spec.Name, g.Cfg.MonitorInterval)
+	gmetad.Watch(gmond)
+	g.Ganglia.Add(gmetad)
+	node.Gmetad = gmetad
+
+	// MonALISA: a station server with GRAM-log, queue, and Ganglia agents
+	// forwarding to the central repository.
+	station := monalisa.NewStation(g.Eng, spec.Name, g.Cfg.MonitorInterval)
+	station.AddAgent(monalisa.GaugeAgent("grid3.jobs.running", func() float64 {
+		return float64(bs.RunningCount())
+	}))
+	station.AddAgent(monalisa.GaugeAgent("grid3.jobs.queued", func() float64 {
+		return float64(bs.QueuedCount())
+	}))
+	station.AddAgent(monalisa.GaugeAgent("grid3.gram.load", func() float64 {
+		return gk.Load()
+	}))
+	station.Forward(g.Repo.Ingest)
+	node.Station = station
+
+	// Site Status Catalog probes (§5.2).
+	g.Catalog.Register(spec.Name, spec.Location,
+		sitecatalog.Probe{Name: "gram-ping", Run: func() error {
+			if !st.Healthy() {
+				return errors.New("gatekeeper unreachable")
+			}
+			return nil
+		}},
+		sitecatalog.Probe{Name: "gridftp-ping", Run: func() error {
+			ep, err := g.Network.Endpoint(spec.Name)
+			if err != nil || !ep.Up() {
+				return errors.New("gridftp endpoint down")
+			}
+			return nil
+		}},
+		sitecatalog.Probe{Name: "disk-space", Run: func() error {
+			if st.Disk.Free() <= 0 {
+				return errors.New("storage full")
+			}
+			return nil
+		}},
+	)
+
+	// ACDC pulls this site's completion log.
+	g.ACDC.Watch(spec.Name, bs)
+
+	// Sites that have not yet joined Grid3 start dark: services down,
+	// slots drained, WAN endpoint off. They come alive at JoinAt.
+	if spec.JoinAt > 0 {
+		st.SetHealthy(false)
+		bs.DrainSlots(bs.Slots())
+		g.Network.SetEndpointUp(spec.Name, false)
+		g.Eng.At(spec.JoinAt, func() {
+			st.SetHealthy(true)
+			bs.RestoreSlots(bs.Slots())
+			g.Network.SetEndpointUp(spec.Name, true)
+		})
+	}
+
+	g.Nodes[spec.Name] = node
+	g.Order = append(g.Order, spec.Name)
+	sort.Strings(g.Order)
+	return nil
+}
+
+// appPackages maps VO → its application release in the iGOC cache.
+func appPackages() map[string]string {
+	return map[string]string{
+		vo.USATLAS: "atlas-gce",
+		vo.USCMS:   "cms-mop",
+		vo.LIGO:    "ligo-pulsar",
+		vo.SDSS:    "sdss-cluster",
+		vo.BTeV:    "btev-mc",
+		vo.IVDGL:   "snb",
+	}
+}
+
+// ceAd renders a node's live computing-element ClassAd.
+func (g *Grid) ceAd(n *Node) *classad.Ad {
+	now := g.Eng.Now()
+	if n.adCacheOK && now-n.adCacheAt <= adTTL {
+		return n.adCache
+	}
+	n.adCache = g.ce(n).Ad()
+	n.adCacheAt = now
+	n.adCacheOK = true
+	return n.adCache
+}
+
+// ce snapshots a node as a GLUE CE.
+func (g *Grid) ce(n *Node) *glue.CE {
+	return &glue.CE{
+		ID:          n.Spec.Host + "/jobmanager-" + string(n.Spec.LRMS),
+		SiteName:    n.Spec.Name,
+		Host:        n.Spec.Host,
+		LRMSType:    n.Spec.LRMS,
+		TotalCPUs:   n.Batch.Slots(),
+		FreeCPUs:    n.Batch.FreeSlots(),
+		RunningJobs: n.Batch.RunningCount(),
+		WaitingJobs: n.Batch.QueuedCount(),
+		MaxWallTime: n.Spec.MaxWall,
+		VOs:         n.Site.VOs(),
+		AppDir:      "/share/app",
+		DataDir:     "/share/data",
+		TmpDir:      "/scratch",
+		VDTLocation: "/opt/vdt-" + vdt.VDTVersion,
+		OutboundIP:  n.Spec.OutboundIP,
+	}
+}
+
+// ceEntry renders the MDS entry with Grid3 extensions.
+func (g *Grid) ceEntry(n *Node) mds.Entry {
+	attrs := g.ce(n).Attributes()
+	attrs["Grid3-Owner-VO"] = []string{n.Spec.OwnerVO}
+	attrs["Grid3-Disk-Free"] = []string{strconv.FormatInt(n.Site.Disk.Free(), 10)}
+	var installed []string
+	for app := range n.Site.AppAreas {
+		installed = append(installed, app)
+	}
+	sort.Strings(installed)
+	attrs["Grid3-App-Installed"] = installed
+	return mds.Entry{DN: "GlueCEUniqueID=" + n.Spec.Host, Attrs: attrs}
+}
+
+// Stats returns per-VO end-to-end statistics (live pointer).
+func (g *Grid) Stats(voName string) *VOStats {
+	s, ok := g.stats[voName]
+	if !ok {
+		s = &VOStats{}
+		g.stats[voName] = s
+	}
+	return s
+}
+
+// PeakRunning returns the largest sampled count of simultaneously running
+// jobs (the §7 peak-concurrent-jobs milestone).
+func (g *Grid) PeakRunning() int { return g.peakRunning }
+
+// MeanOnlineCPUs returns the time-averaged in-service slot count — the
+// "typical" CPU figure beside the catalog peak.
+func (g *Grid) MeanOnlineCPUs() float64 {
+	if g.runningSamples == 0 {
+		return 0
+	}
+	return float64(g.capacitySum) / float64(g.runningSamples)
+}
+
+// MeanUtilization returns time-averaged running/capacity across samples
+// (the §7 percentage-of-resources-used milestone, actual 40-70%).
+func (g *Grid) MeanUtilization() float64 {
+	if g.capacitySum == 0 {
+		return 0
+	}
+	return float64(g.runningSum) / float64(g.capacitySum)
+}
+
+func (g *Grid) sampleConcurrency() {
+	gridRunning := 0
+	allRunning := 0
+	capacity := 0
+	for _, name := range g.Order {
+		n := g.Nodes[name]
+		r := n.Batch.RunningCount()
+		allRunning += r
+		gridRunning += r - n.Batch.RunningByVO(LocalVO)
+		capacity += n.Batch.AvailableSlots()
+	}
+	// The §7 peak-concurrent-jobs milestone counts grid jobs only; the
+	// utilization milestone reflects total occupancy of the shared
+	// facilities (local users included), as the monitoring plots did.
+	if gridRunning > g.peakRunning {
+		g.peakRunning = gridRunning
+	}
+	g.runningSamples++
+	g.runningSum += int64(allRunning)
+	g.capacitySum += int64(capacity)
+}
+
+// migrateToTape drains archived outputs once they exceed half the disk,
+// oldest first — the Tier1 tape migration that kept Grid3 SEs from filling
+// permanently. Budgeting on archive bytes (not raw fill) keeps a transient
+// disk-full incident from wiping the archive.
+func (g *Grid) migrateToTape(n *Node) {
+	disk := n.Site.Disk
+	budget := disk.Capacity() / 2
+	for n.archBytes > budget && len(n.archQueue) > 0 {
+		name := n.archQueue[0]
+		n.archQueue = n.archQueue[1:]
+		if disk.Has(name) {
+			size, _ := disk.Size(name)
+			disk.Delete(name)
+			n.archBytes -= size
+		}
+	}
+}
+
+// SubmitJob routes a workload request through AUP, the VO's schedd,
+// matchmaking, GRAM, and the data path. It implements apps.Submitter.
+func (g *Grid) SubmitJob(req apps.Request) {
+	g.SubmitJobFunc(req, nil)
+}
+
+// SubmitJobFunc is SubmitJob with a completion callback: onDone fires
+// exactly once when the job reaches its end-to-end terminal state
+// (including stage-out and registration), with nil on success. DAG-driven
+// frameworks (MOP) use this to sequence dependent work.
+func (g *Grid) SubmitJobFunc(req apps.Request, onDone func(error)) {
+	notify := func(err error) {
+		if onDone != nil {
+			onDone(err)
+		}
+	}
+	stats := g.Stats(req.VO)
+	stats.Submitted++
+	if err := g.AUP.Check(req.User, req.VO); err != nil {
+		stats.ExecFailures++
+		notify(err)
+		return
+	}
+	sch, ok := g.Schedds[req.VO]
+	if !ok {
+		stats.ExecFailures++
+		notify(fmt.Errorf("core: no schedd for VO %s", req.VO))
+		return
+	}
+
+	// Clamp the walltime request to the largest queue limit any of the
+	// VO's sites admits; users sized requests to the queues they used.
+	if maxWall := g.maxWallFor(req.VO); maxWall > 0 && req.Walltime > maxWall {
+		req.Walltime = maxWall
+	}
+
+	preferred := req.Preferred
+	if g.Cfg.DisableAffinity {
+		preferred = ""
+	}
+	if preferred != "" {
+		if n, ok := g.Nodes[preferred]; !ok || !n.Site.SupportsVO(req.VO) {
+			preferred = ""
+		}
+	}
+
+	// SRM ablation: reserve archive space for the output before running.
+	var reservation *srm.Reservation
+	if g.Cfg.UseSRM && req.OutputBytes > 0 {
+		archive := g.Nodes[ArchiveSiteFor(req.VO)]
+		if archive != nil {
+			res, err := archive.SRM.Reserve(req.VO, req.OutputBytes, 14*24*time.Hour)
+			if err != nil {
+				// Fail fast before burning CPU; the production system
+				// resubmits when space frees.
+				stats.SRMDeferred++
+				notify(err)
+				return
+			}
+			reservation = res
+		}
+	}
+
+	ad := classad.NewAd()
+	ad.Set("Rank", defaultRank)
+	g.seq++
+	job := &condorg.GridJob{
+		ID:         fmt.Sprintf("grid3-%s-%08d", req.VO, g.seq),
+		Ad:         ad,
+		TargetSite: preferred,
+		MaxRetries: 2,
+		Spec: gram.Spec{
+			Subject:       req.User,
+			VO:            req.VO,
+			Executable:    "/share/app/" + req.VO + "/run",
+			Walltime:      req.Walltime,
+			Runtime:       req.Runtime,
+			Priority:      req.Priority,
+			StagingFactor: req.StagingFactor,
+		},
+	}
+	job.OnStart = func(j *condorg.GridJob) {
+		if req.InputBytes > 0 {
+			g.stageIn(req, j.Site)
+		}
+	}
+	job.OnDone = func(j *condorg.GridJob, err error) {
+		if err != nil {
+			stats.ExecFailures++
+			stats.AttemptFailures += j.Attempts
+			stats.WastedCPU += req.Runtime
+			if reservation != nil {
+				g.releaseReservation(req.VO, reservation)
+			}
+			notify(err)
+			return
+		}
+		// Attempts beyond the first were failures that got retried.
+		stats.AttemptFailures += j.Attempts - 1
+		g.stageOut(req, j, reservation, notify)
+	}
+	sch.Submit(job)
+}
+
+// defaultRank prefers emptier sites; parsed once (one parse per job
+// submission showed up in scenario profiles).
+var defaultRank = classad.MustParse("TARGET.FreeCpus - TARGET.WaitingJobs")
+
+// maxWallFor returns the largest MaxWall among sites supporting the VO.
+func (g *Grid) maxWallFor(voName string) time.Duration {
+	var max time.Duration
+	for _, name := range g.Order {
+		n := g.Nodes[name]
+		if n.Site.SupportsVO(voName) && n.Spec.MaxWall > max {
+			max = n.Spec.MaxWall
+		}
+	}
+	return max
+}
+
+// stageIn moves input data from the VO's archive to the execution site.
+func (g *Grid) stageIn(req apps.Request, execSite string) {
+	archive := ArchiveSiteFor(req.VO)
+	if archive == execSite {
+		return
+	}
+	g.Network.Start(archive, execSite, req.InputBytes, req.VO, nil)
+}
+
+// stageOut archives the job's output: a GridFTP transfer to the Tier1,
+// then a write into its storage element (SRM-managed or raw), then RLS
+// registration. A raw write into a full disk is the §8 failure class.
+func (g *Grid) stageOut(req apps.Request, j *condorg.GridJob, reservation *srm.Reservation, notify func(error)) {
+	stats := g.Stats(req.VO)
+	if req.OutputBytes <= 0 {
+		stats.Completed++
+		notify(nil)
+		return
+	}
+	archiveName := ArchiveSiteFor(req.VO)
+	archive := g.Nodes[archiveName]
+	lfn := "lfn:" + req.VO + "/" + j.ID
+	finish := func(transferErr error) {
+		if transferErr != nil {
+			stats.StageOutFailures++
+			stats.WastedCPU += req.Runtime
+			if reservation != nil {
+				g.releaseReservation(req.VO, reservation)
+			}
+			notify(transferErr)
+			return
+		}
+		var err error
+		if reservation != nil {
+			err = archive.SRM.Put(reservation.ID, lfn, req.OutputBytes)
+			archive.SRM.Release(reservation.ID)
+		} else {
+			err = archive.Site.Disk.Store(lfn, req.OutputBytes, false)
+		}
+		if err != nil {
+			stats.StageOutFailures++
+			stats.WastedCPU += req.Runtime
+			notify(err)
+			return
+		}
+		archive.archQueue = append(archive.archQueue, lfn)
+		archive.archBytes += req.OutputBytes
+		archive.LRC.Add(lfn, "/data/"+req.VO+"/"+j.ID, req.OutputBytes)
+		// §6.1: "A dataset catalog was created for produced samples,
+		// making them available to the DIAL distributed analysis package."
+		g.DIAL.Append(req.VO+".produced", lfn, req.OutputBytes)
+		stats.Completed++
+		notify(nil)
+	}
+	if archive == nil {
+		stats.Completed++
+		notify(nil)
+		return
+	}
+	if j.Site == archiveName {
+		finish(nil)
+		return
+	}
+	if _, err := g.Network.Start(j.Site, archiveName, req.OutputBytes, req.VO, func(_ *gridftp.Transfer, err error) {
+		finish(err)
+	}); err != nil {
+		finish(err)
+	}
+}
+
+func (g *Grid) releaseReservation(voName string, res *srm.Reservation) {
+	if archive := g.Nodes[ArchiveSiteFor(voName)]; archive != nil {
+		archive.SRM.Release(res.ID)
+	}
+}
+
+// StartTransfer implements apps.TransferService for the demonstrator.
+func (g *Grid) StartTransfer(src, dst string, bytes int64, label string, done func(error)) {
+	_, err := g.Network.Start(src, dst, bytes, label, func(_ *gridftp.Transfer, err error) {
+		if done != nil {
+			done(err)
+		}
+	})
+	if err != nil && done != nil {
+		done(err)
+	}
+}
+
+// PreferredSitesFor returns the VO's pinning pool: its owned sites first
+// (largest first — the Tier1 "favorite resource" leads), then the other
+// sites supporting it. Production teams targeted their own facilities
+// first but spread assignments across every site with a group account
+// (§6.4: "applications tend to favor the resources provided within their
+// VO" while still using many sites).
+func (g *Grid) PreferredSitesFor(voName string) []string {
+	type cand struct {
+		name  string
+		owned bool
+		cpus  int
+	}
+	var cands []cand
+	for _, name := range g.Order {
+		n := g.Nodes[name]
+		if !n.Site.SupportsVO(voName) {
+			continue
+		}
+		cands = append(cands, cand{name, n.Spec.OwnerVO == voName, n.Spec.CPUs})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].owned != cands[j].owned {
+			return cands[i].owned
+		}
+		if cands[i].cpus != cands[j].cpus {
+			return cands[i].cpus > cands[j].cpus
+		}
+		return cands[i].name < cands[j].name
+	})
+	out := make([]string, len(cands))
+	for i, c := range cands {
+		out[i] = c.name
+	}
+	return out
+}
+
+// JobTrace correlates a submit-side job with its execution-side identity —
+// the §8 troubleshooting lesson.
+type JobTrace struct {
+	GridJobID string
+	VO        string
+	State     string
+	Site      string
+	Contact   string // GRAM contact URL at the execution site
+	Attempts  int
+}
+
+// TraceJob finds a grid job by its schedd-side ID across every VO's
+// schedd and returns both sides of its identity.
+func (g *Grid) TraceJob(id string) (JobTrace, bool) {
+	for voName, sch := range g.Schedds {
+		if j, ok := sch.Job(id); ok {
+			return JobTrace{
+				GridJobID: id,
+				VO:        voName,
+				State:     j.State.String(),
+				Site:      j.Site,
+				Contact:   j.Contact,
+				Attempts:  j.Attempts,
+			}, true
+		}
+	}
+	return JobTrace{}, false
+}
+
+// SitesSupporting lists sites with a group account for the VO.
+func (g *Grid) SitesSupporting(voName string) []string {
+	var out []string
+	for _, name := range g.Order {
+		if g.Nodes[name].Site.SupportsVO(voName) {
+			out = append(out, name)
+		}
+	}
+	return out
+}

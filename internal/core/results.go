@@ -1,0 +1,274 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"grid3/internal/acdc"
+	"grid3/internal/apps"
+	"grid3/internal/mdviewer"
+	"grid3/internal/vo"
+)
+
+// Milestones is the §7 milestones-and-metrics scorecard.
+type Milestones struct {
+	CPUs            int     // catalog peak; target 400, paper 2163/peak 2800+
+	MeanOnlineCPUs  float64 // time-averaged in-service capacity
+	Users           int     // target 10, paper actual 102
+	Applications    int     // target >4, paper actual 10
+	ConcurrentSites int     // sites serving ≥2 VOs' jobs; target >10, actual 17
+	DataTBPerDay    float64 // target 2-3, actual 4
+	Utilization     float64 // target 0.9, actual 0.4-0.7
+	PeakJobs        int     // target 1000, actual 1300
+	SupportFTEs     float64 // target <2 FTEs
+	OpenTickets     int
+	ResolvedMTTR    time.Duration
+	EfficiencyByVO  map[string]float64
+}
+
+// ComputeMilestones evaluates the scorecard over a finished scenario.
+func (s *Scenario) ComputeMilestones() Milestones {
+	g := s.Grid
+	m := Milestones{
+		CPUs:           TotalCPUs(s.Cfg.Config.Sites),
+		MeanOnlineCPUs: g.MeanOnlineCPUs(),
+		Users:          g.Registry.TotalUsers(),
+		PeakJobs:       g.PeakRunning(),
+		Utilization:    g.MeanUtilization(),
+		EfficiencyByVO: map[string]float64{},
+	}
+	// Applications: the seven Table 1 classes plus the three computer
+	// science demonstrators (transfer study, NetLogger, exerciser — the
+	// exerciser is both a class and a demonstrator, counted once here).
+	m.Applications = len(s.Generators) + 3
+
+	// Sites that ran completed jobs from ≥2 VOs.
+	voBySite := map[string]map[string]bool{}
+	for _, r := range g.ACDC.Records() {
+		set := voBySite[r.Site]
+		if set == nil {
+			set = map[string]bool{}
+			voBySite[r.Site] = set
+		}
+		set[r.VO] = true
+	}
+	for _, vos := range voBySite {
+		if len(vos) >= 2 {
+			m.ConcurrentSites++
+		}
+	}
+
+	// Transfer volume per day across the run (all labels).
+	var bytes int64
+	for _, v := range g.Network.BytesByLabel() {
+		bytes += v
+	}
+	days := g.Eng.Now().Hours() / 24
+	if days > 0 {
+		m.DataTBPerDay = float64(bytes) / float64(1<<40) / days
+	}
+
+	for _, voName := range VOColumns {
+		m.EfficiencyByVO[voName] = g.Stats(voName).Efficiency()
+	}
+
+	// Operations support load from the iGOC ticket desk.
+	m.SupportFTEs = g.Desk.SupportFTEs(g.Eng.Now())
+	m.OpenTickets = len(g.Desk.OpenTickets())
+	m.ResolvedMTTR = g.Desk.MeanTimeToResolve()
+	return m
+}
+
+// Write renders the scorecard against the paper's targets.
+func (m Milestones) Write(w io.Writer) {
+	fmt.Fprintln(w, "Grid3 milestones (paper targets / paper actuals / this run):")
+	fmt.Fprintf(w, "  %-28s target %-8v paper %-10v measured %v (mean online %.0f)\n",
+		"Number of CPUs", 400, "2163-2800", m.CPUs, m.MeanOnlineCPUs)
+	fmt.Fprintf(w, "  %-28s target %-8v paper %-10v measured %v\n", "Number of users", 10, 102, m.Users)
+	fmt.Fprintf(w, "  %-28s target %-8v paper %-10v measured %v\n", "Number of applications", ">4", 10, m.Applications)
+	fmt.Fprintf(w, "  %-28s target %-8v paper %-10v measured %v\n", "Concurrent-VO sites", ">10", 17, m.ConcurrentSites)
+	fmt.Fprintf(w, "  %-28s target %-8v paper %-10v measured %.1f\n", "Data transfer (TB/day)", "2-3", 4, m.DataTBPerDay)
+	fmt.Fprintf(w, "  %-28s target %-8v paper %-10v measured %.0f%%\n", "Resource utilization", "90%", "40-70%", 100*m.Utilization)
+	fmt.Fprintf(w, "  %-28s target %-8v paper %-10v measured %v\n", "Peak concurrent jobs", 1000, 1300, m.PeakJobs)
+	fmt.Fprintf(w, "  %-28s target %-8v paper %-10v measured %.2f (%d open, MTTR %v)\n",
+		"Ops support load (FTE)", "<2", "<2", m.SupportFTEs, m.OpenTickets, m.ResolvedMTTR.Round(time.Minute))
+	for _, voName := range VOColumns {
+		if eff, ok := m.EfficiencyByVO[voName]; ok && eff > 0 {
+			fmt.Fprintf(w, "  %-28s target %-8v paper %-10v measured %.0f%%\n",
+				"Efficiency "+voName, "75%", "varies", 100*eff)
+		}
+	}
+}
+
+// Figure2 returns integrated CPU-days by VO over the SC2003 window.
+func (s *Scenario) Figure2() map[string]float64 {
+	return s.Grid.ACDC.CPUDaysByVO(SC2003Start, SC2003Start+SC2003Window)
+}
+
+// Figure3 returns the differential view: time-averaged CPUs per VO per
+// day over the SC2003 window, as an mdviewer plot.
+func (s *Scenario) Figure3() *mdviewer.Plot {
+	series := s.Grid.ACDC.AvgCPUsByVO(SC2003Start, SC2003Start+SC2003Window, 24*time.Hour)
+	plot := &mdviewer.Plot{
+		Title: "Figure 3: differential CPU usage during SC2003 (time-averaged CPUs, by VO)",
+		Unit:  "CPUs",
+	}
+	days := int(SC2003Window / (24 * time.Hour))
+	for d := 0; d < days; d++ {
+		plot.XLabels = append(plot.XLabels, fmt.Sprintf("day %02d", d+1))
+	}
+	for _, voName := range VOColumns {
+		vals, ok := series[voName]
+		if !ok {
+			continue
+		}
+		plot.Series = append(plot.Series, mdviewer.Series{Name: voName, Values: vals})
+	}
+	plot.SortSeriesByTotal()
+	return plot
+}
+
+// Figure4 returns CMS CPU-days by site over the 150-day window from
+// November 2003.
+func (s *Scenario) Figure4() map[string]float64 {
+	return s.Grid.ACDC.CPUDaysBySiteForVO(vo.USCMS, CMSWindowStart, CMSWindowStart+CMSWindowLen)
+}
+
+// Figure5 returns data consumed per VO label in TB over the 30-day SC2003
+// window ("Nearly 100 TB was transferred during 30 days before and after
+// SC2003"), plus the window total.
+func (s *Scenario) Figure5() (byVO map[string]float64, totalTB float64) {
+	byVO = map[string]float64{}
+	for label, bytes := range s.Grid.Network.BytesByLabelWindow(SC2003Start, SC2003Start+SC2003Window) {
+		tb := float64(bytes) / float64(1<<40)
+		byVO[label] = tb
+		totalTB += tb
+	}
+	return byVO, totalTB
+}
+
+// Figure5BySite returns the same window's volume by consuming (destination)
+// site, the figure's alternate view.
+func (s *Scenario) Figure5BySite() map[string]float64 {
+	out := map[string]float64{}
+	for dst, bytes := range s.Grid.Network.BytesInByDstWindow(SC2003Start, SC2003Start+SC2003Window) {
+		out[dst] = float64(bytes) / float64(1<<40)
+	}
+	return out
+}
+
+// Figure6 returns completed jobs per month.
+func (s *Scenario) Figure6() ([]string, []int) {
+	return s.Grid.ACDC.JobsByMonth()
+}
+
+// GroupBy selects the UsagePlot grouping dimension.
+type GroupBy int
+
+// UsagePlot groupings.
+const (
+	ByVO GroupBy = iota
+	BySite
+)
+
+// UsagePlot is the MDViewer-style parametric query of §5.2: CPU occupancy
+// "parametric in arbitrary time intervals, sites and VOs". It returns one
+// series per group with one value (mean CPUs in use) per bin.
+func (s *Scenario) UsagePlot(from, to, bin time.Duration, group GroupBy) *mdviewer.Plot {
+	plot := &mdviewer.Plot{Unit: "CPUs"}
+	nbins := int((to - from + bin - 1) / bin)
+	for b := 0; b < nbins; b++ {
+		plot.XLabels = append(plot.XLabels, fmt.Sprintf("+%dh", int((time.Duration(b)*bin).Hours())))
+	}
+	acc := map[string][]float64{}
+	for _, r := range s.Grid.ACDC.Records() {
+		key := r.VO
+		if group == BySite {
+			key = r.Site
+			plot.Title = "CPU usage by site"
+		} else {
+			plot.Title = "CPU usage by VO"
+		}
+		series := acc[key]
+		if series == nil {
+			series = make([]float64, nbins)
+			acc[key] = series
+		}
+		start, end := r.Started, r.Ended
+		for b := 0; b < nbins; b++ {
+			bFrom := from + time.Duration(b)*bin
+			bTo := bFrom + bin
+			if bTo > to {
+				bTo = to
+			}
+			lo, hi := start, end
+			if lo < bFrom {
+				lo = bFrom
+			}
+			if hi > bTo {
+				hi = bTo
+			}
+			if hi > lo {
+				series[b] += float64(hi-lo) / float64(bTo-bFrom)
+			}
+		}
+	}
+	names := make([]string, 0, len(acc))
+	for k := range acc {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		plot.Series = append(plot.Series, mdviewer.Series{Name: k, Values: acc[k]})
+	}
+	plot.SortSeriesByTotal()
+	return plot
+}
+
+// Table1 computes the per-class statistics columns.
+func (s *Scenario) Table1() []acdc.ClassStats {
+	out := make([]acdc.ClassStats, 0, len(VOColumns))
+	for _, voName := range VOColumns {
+		out = append(out, s.Grid.ACDC.Stats(voName))
+	}
+	return out
+}
+
+// WriteTable1 renders the Table 1 reproduction next to the paper's values.
+func (s *Scenario) WriteTable1(w io.Writer) {
+	stats := s.Table1()
+	fmt.Fprintln(w, "Table 1: Grid3 computational job statistics by VO class")
+	fmt.Fprintf(w, "%-26s", "")
+	for _, st := range stats {
+		fmt.Fprintf(w, " %10s", st.VO)
+	}
+	fmt.Fprintln(w)
+	row := func(label string, f func(acdc.ClassStats) string) {
+		fmt.Fprintf(w, "%-26s", label)
+		for _, st := range stats {
+			fmt.Fprintf(w, " %10s", f(st))
+		}
+		fmt.Fprintln(w)
+	}
+	classes := apps.Grid3Classes()
+	row("Users", func(st acdc.ClassStats) string {
+		if c, ok := apps.ClassByVO(classes, st.VO); ok {
+			return fmt.Sprint(c.Users)
+		}
+		return "-"
+	})
+	row("Jobs completed", func(st acdc.ClassStats) string { return fmt.Sprint(st.Jobs) })
+	row("Sites used", func(st acdc.ClassStats) string { return fmt.Sprint(st.SitesUsed) })
+	row("Avg runtime (h)", func(st acdc.ClassStats) string { return fmt.Sprintf("%.2f", st.AvgRuntimeHours) })
+	row("Max runtime (h)", func(st acdc.ClassStats) string { return fmt.Sprintf("%.1f", st.MaxRuntimeHours) })
+	row("Total CPU (days)", func(st acdc.ClassStats) string { return fmt.Sprintf("%.1f", st.TotalCPUDays) })
+	row("Peak rate (jobs/month)", func(st acdc.ClassStats) string { return fmt.Sprint(st.PeakMonthJobs) })
+	row("Peak month", func(st acdc.ClassStats) string { return st.PeakMonth })
+	row("Peak resources", func(st acdc.ClassStats) string { return fmt.Sprint(st.PeakResources) })
+	row("Max single site [%]", func(st acdc.ClassStats) string {
+		return fmt.Sprintf("%d[%.0f]", st.MaxSingleSiteJobs, st.MaxSingleSitePct)
+	})
+	row("Peak CPU (days)", func(st acdc.ClassStats) string { return fmt.Sprintf("%.1f", st.PeakMonthCPUDays) })
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"grid3/internal/condorg"
+	"grid3/internal/dagman"
+	"grid3/internal/gram"
+	"grid3/internal/gridftp"
+	"grid3/internal/pegasus"
+	"grid3/internal/rls"
+)
+
+// PlannerFor builds a Pegasus planner wired to this grid's live MDS and
+// RLS state for the given VO (archive per ArchiveSiteFor).
+func (g *Grid) PlannerFor(voName string, policy pegasus.Policy) *pegasus.Planner {
+	return &pegasus.Planner{
+		Sites: func() []pegasus.SiteInfo {
+			var out []pegasus.SiteInfo
+			for _, e := range g.TopGIIS.Entries() {
+				out = append(out, pegasus.FromMDS(e))
+			}
+			return out
+		},
+		Locate: func(lfn string) []string {
+			return g.RLI.Sites(lfn)
+		},
+		InputBytes: func(lfn string) int64 {
+			for _, pfn := range g.RLI.Sites(lfn) {
+				if n, err := g.Nodes[pfn].LRC.Size(lfn); err == nil {
+					return n
+				}
+			}
+			return 0
+		},
+		ArchiveSite: ArchiveSiteFor(voName),
+		Policy:      policy,
+	}
+}
+
+// PublishRLS pushes every site LRC into the RLI (the periodic soft-state
+// publication; call after seeding input data).
+func (g *Grid) PublishRLS() {
+	for _, name := range g.Order {
+		g.RLI.Publish(g.Nodes[name].LRC, 24*time.Hour)
+	}
+}
+
+// SeedFile places a file at a site's storage element and registers it in
+// RLS — how LIGO staged its SFT inputs (§4.4).
+func (g *Grid) SeedFile(siteName, lfn string, bytes int64) error {
+	n, ok := g.Nodes[siteName]
+	if !ok {
+		return fmt.Errorf("core: no such site %s", siteName)
+	}
+	if err := n.Site.Disk.Store(lfn, bytes, false); err != nil {
+		return err
+	}
+	if err := n.LRC.Add(lfn, "/data/"+lfn, bytes); err != nil {
+		return err
+	}
+	g.PublishRLS()
+	return nil
+}
+
+// WorkflowRun couples a concrete DAG to its DAGMan runner.
+type WorkflowRun struct {
+	DAG    *dagman.DAG
+	Runner *dagman.Runner
+	// JobSites records where each compute node ran.
+	JobSites map[string]string
+}
+
+// RunWorkflow executes a Pegasus concrete DAG on the grid: compute nodes
+// submit through the VO's Condor-G schedd (pinned to the planned site),
+// data-movement nodes run GridFTP transfers and storage writes, register
+// nodes update RLS. onDone fires when the DAG drains.
+func (g *Grid) RunWorkflow(cdag *pegasus.ConcreteDAG, voName, user string, onDone func(dagman.Result)) (*WorkflowRun, error) {
+	sch, ok := g.Schedds[voName]
+	if !ok {
+		return nil, fmt.Errorf("core: no schedd for VO %s", voName)
+	}
+	d := dagman.New()
+	run := &WorkflowRun{DAG: d, JobSites: make(map[string]string)}
+
+	for _, name := range cdag.Order {
+		cj := cdag.Jobs[name]
+		node := &dagman.Node{Name: name, Retries: 2}
+		switch cj.Type {
+		case pegasus.Compute:
+			node.Work = g.computeWork(run, cj, sch, voName, user)
+		case pegasus.StageIn, pegasus.Transfer, pegasus.StageOut:
+			node.Work = g.transferWork(cj, voName)
+		case pegasus.Register:
+			cjob := cj
+			node.Work = func(done func(error)) {
+				n := g.Nodes[cjob.Site]
+				if n == nil {
+					done(fmt.Errorf("register: unknown site %s", cjob.Site))
+					return
+				}
+				path := "/data/" + cjob.LFN
+				if err := n.LRC.Add(cjob.LFN, path, cjob.Bytes); err != nil && err != rls.ErrDuplicate {
+					// Re-registration on retry is fine.
+					_ = err
+				}
+				g.RLI.Publish(n.LRC, 24*time.Hour)
+				done(nil)
+			}
+		}
+		if err := d.Add(node); err != nil {
+			return nil, err
+		}
+	}
+	for _, name := range cdag.Order {
+		for _, parent := range cdag.Jobs[name].Parents {
+			if err := d.AddEdge(parent, name); err != nil {
+				return nil, err
+			}
+		}
+	}
+	run.Runner = dagman.NewRunner(d)
+	run.Runner.MaxJobs = 50 // DAGMan -maxjobs, protects gatekeepers (§6.4)
+	if err := run.Runner.Run(onDone); err != nil {
+		return nil, err
+	}
+	return run, nil
+}
+
+// computeWork wraps a planned compute job as a DAGMan payload.
+func (g *Grid) computeWork(run *WorkflowRun, cj *pegasus.ConcreteJob, sch *condorg.Schedd, voName, user string) dagman.Work {
+	return func(done func(error)) {
+		runtime := cj.TR.MeanRuntime
+		if runtime <= 0 {
+			runtime = time.Hour
+		}
+		runtime = g.RNG.Jitter(runtime, 0.3)
+		walltime := cj.TR.Walltime
+		if walltime <= 0 || walltime < runtime {
+			walltime = runtime * 2
+		}
+		g.seq++
+		job := &condorg.GridJob{
+			ID:         fmt.Sprintf("wf-%s-%08d", cj.Name, g.seq),
+			TargetSite: cj.Site,
+			MaxRetries: 1,
+			Spec: gram.Spec{
+				Subject:       user,
+				VO:            voName,
+				Executable:    cj.TR.Name,
+				Walltime:      walltime,
+				Runtime:       runtime,
+				StagingFactor: cj.TR.StagingFactor,
+			},
+			OnDone: func(j *condorg.GridJob, err error) {
+				run.JobSites[cj.Name] = j.Site
+				done(err)
+			},
+		}
+		if err := sch.Submit(job); err != nil {
+			done(err)
+		}
+	}
+}
+
+// transferWork wraps a planned data movement as a DAGMan payload: a
+// GridFTP transfer followed by a destination storage write.
+func (g *Grid) transferWork(cj *pegasus.ConcreteJob, voName string) dagman.Work {
+	return func(done func(error)) {
+		dst := g.Nodes[cj.Site]
+		if dst == nil {
+			done(fmt.Errorf("transfer: unknown destination %s", cj.Site))
+			return
+		}
+		bytes := cj.Bytes
+		if bytes <= 0 {
+			bytes = 1 << 20
+		}
+		store := func() error {
+			if dst.Site.Disk.Has(cj.LFN) {
+				return nil // idempotent on retries / duplicate staging
+			}
+			return dst.Site.Disk.Store(cj.LFN, bytes, false)
+		}
+		if cj.SrcSite == "" || cj.SrcSite == cj.Site {
+			done(store())
+			return
+		}
+		_, err := g.Network.Start(cj.SrcSite, cj.Site, bytes, voName, func(_ *gridftp.Transfer, terr error) {
+			if terr != nil {
+				done(terr)
+				return
+			}
+			done(store())
+		})
+		if err != nil {
+			done(err)
+		}
+	}
+}

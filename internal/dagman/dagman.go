@@ -1,0 +1,370 @@
+// Package dagman implements Condor DAGMan semantics: dependency-ordered
+// execution of job DAGs with PRE/POST scripts, per-node retries, a
+// max-concurrency throttle, and rescue DAGs for resuming failed runs.
+//
+// Both LHC production systems on Grid3 ran through DAGMan: "CMS Production
+// jobs are specified by reading input parameters from a control database
+// and converting them to DAGs suitable for submission to Condor-G/DAGMan"
+// (§4.2), and the Chimera/Pegasus virtual-data workflows of ATLAS, SDSS,
+// and LIGO all compile to DAGMan DAGs.
+package dagman
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Errors.
+var (
+	ErrDuplicateNode = errors.New("dagman: duplicate node")
+	ErrUnknownNode   = errors.New("dagman: unknown node")
+	ErrCycle         = errors.New("dagman: DAG contains a cycle")
+	ErrRunning       = errors.New("dagman: run already in progress")
+)
+
+// NodeState tracks a node through execution.
+type NodeState int
+
+// Node states.
+const (
+	NodeIdle NodeState = iota
+	NodeRunning
+	NodeDone
+	NodeFailed
+	NodeUnrunnable // an ancestor failed
+)
+
+func (s NodeState) String() string {
+	switch s {
+	case NodeIdle:
+		return "idle"
+	case NodeRunning:
+		return "running"
+	case NodeDone:
+		return "done"
+	case NodeFailed:
+		return "failed"
+	case NodeUnrunnable:
+		return "unrunnable"
+	}
+	return fmt.Sprintf("NodeState(%d)", int(s))
+}
+
+// Work is a node's asynchronous payload: it must call done exactly once,
+// possibly synchronously. Compute nodes wrap a GRAM submission; stage nodes
+// wrap a GridFTP transfer.
+type Work func(done func(err error))
+
+// Node is one DAG vertex.
+type Node struct {
+	Name string
+	// Pre runs before Work; a Pre error counts as a node failure (retried).
+	Pre func() error
+	// Work is the node's payload; nil means an empty (ordering-only) node.
+	Work Work
+	// Post runs after Work succeeds; a Post error fails the node.
+	Post func() error
+	// Retries is how many additional attempts a failed node gets.
+	Retries int
+
+	state    NodeState
+	attempts int
+	parents  []*Node
+	children []*Node
+	waiting  int // unfinished parents
+	lastErr  error
+}
+
+// State returns the node's current state.
+func (n *Node) State() NodeState { return n.state }
+
+// Attempts returns how many times the node has been tried.
+func (n *Node) Attempts() int { return n.attempts }
+
+// Err returns the node's last failure.
+func (n *Node) Err() error { return n.lastErr }
+
+// DAG is a set of nodes and dependencies.
+type DAG struct {
+	nodes map[string]*Node
+	order []string // insertion order for determinism
+}
+
+// New creates an empty DAG.
+func New() *DAG {
+	return &DAG{nodes: make(map[string]*Node)}
+}
+
+// Add inserts a node.
+func (d *DAG) Add(n *Node) error {
+	if n.Name == "" {
+		return errors.New("dagman: node without name")
+	}
+	if _, dup := d.nodes[n.Name]; dup {
+		return fmt.Errorf("%w: %s", ErrDuplicateNode, n.Name)
+	}
+	d.nodes[n.Name] = n
+	d.order = append(d.order, n.Name)
+	return nil
+}
+
+// AddEdge declares child depends on parent (PARENT p CHILD c).
+func (d *DAG) AddEdge(parent, child string) error {
+	p, ok := d.nodes[parent]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, parent)
+	}
+	c, ok := d.nodes[child]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, child)
+	}
+	p.children = append(p.children, c)
+	c.parents = append(c.parents, p)
+	return nil
+}
+
+// Node returns a node by name.
+func (d *DAG) Node(name string) (*Node, bool) {
+	n, ok := d.nodes[name]
+	return n, ok
+}
+
+// Len returns the node count.
+func (d *DAG) Len() int { return len(d.nodes) }
+
+// Names returns node names in insertion order.
+func (d *DAG) Names() []string { return append([]string(nil), d.order...) }
+
+// Validate checks acyclicity.
+func (d *DAG) Validate() error {
+	state := map[string]int{}
+	var visit func(n *Node) error
+	visit = func(n *Node) error {
+		switch state[n.Name] {
+		case 1:
+			return fmt.Errorf("%w (at %s)", ErrCycle, n.Name)
+		case 2:
+			return nil
+		}
+		state[n.Name] = 1
+		for _, c := range n.children {
+			if err := visit(c); err != nil {
+				return err
+			}
+		}
+		state[n.Name] = 2
+		return nil
+	}
+	for _, name := range d.order {
+		if err := visit(d.nodes[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	Done       []string
+	Failed     []string
+	Unrunnable []string
+}
+
+// Succeeded reports whether every node completed.
+func (r Result) Succeeded() bool {
+	return len(r.Failed) == 0 && len(r.Unrunnable) == 0
+}
+
+// Runner executes a DAG. It is event-driven and single-threaded: Work
+// payloads hand completion back via callbacks (on the simulation engine or
+// any other async source).
+type Runner struct {
+	dag *DAG
+	// MaxJobs throttles concurrently running nodes; 0 = unlimited. DAGMan's
+	// -maxjobs, used to protect gatekeepers (§6.4 load model).
+	MaxJobs int
+	// Skip marks nodes to treat as already done (a rescue-DAG restart).
+	Skip map[string]bool
+
+	running   int
+	ready     []*Node
+	remaining int
+	onDone    func(Result)
+	started   bool
+	finished  bool
+}
+
+// NewRunner prepares a runner for one execution of the DAG.
+func NewRunner(d *DAG) *Runner {
+	return &Runner{dag: d}
+}
+
+// Run begins execution; onDone fires exactly once when no node can make
+// further progress. Run returns immediately after starting initial nodes
+// (execution may complete synchronously if payloads are synchronous).
+func (r *Runner) Run(onDone func(Result)) error {
+	if r.started {
+		return ErrRunning
+	}
+	if err := r.dag.Validate(); err != nil {
+		return err
+	}
+	r.started = true
+	r.onDone = onDone
+	r.remaining = r.dag.Len()
+
+	// Initialize waiting counts and seed ready set in insertion order.
+	for _, name := range r.dag.order {
+		n := r.dag.nodes[name]
+		n.waiting = len(n.parents)
+	}
+	for _, name := range r.dag.order {
+		n := r.dag.nodes[name]
+		if r.Skip != nil && r.Skip[name] {
+			// Rescue restart: completed in a prior run.
+			r.settle(n, NodeDone, nil)
+			continue
+		}
+		if n.waiting == 0 && n.state == NodeIdle {
+			r.ready = append(r.ready, n)
+		}
+	}
+	r.pump()
+	r.checkDone()
+	return nil
+}
+
+// pump starts ready nodes up to the throttle.
+func (r *Runner) pump() {
+	for len(r.ready) > 0 && (r.MaxJobs == 0 || r.running < r.MaxJobs) {
+		n := r.ready[0]
+		r.ready = r.ready[1:]
+		if n.state != NodeIdle {
+			continue
+		}
+		r.start(n)
+	}
+}
+
+func (r *Runner) start(n *Node) {
+	n.state = NodeRunning
+	n.attempts++
+	r.running++
+	if n.Pre != nil {
+		if err := n.Pre(); err != nil {
+			r.finishAttempt(n, fmt.Errorf("pre script: %w", err))
+			return
+		}
+	}
+	if n.Work == nil {
+		r.finishAttempt(n, nil)
+		return
+	}
+	fired := false
+	n.Work(func(err error) {
+		if fired {
+			panic(fmt.Sprintf("dagman: node %s completed twice", n.Name))
+		}
+		fired = true
+		r.finishAttempt(n, err)
+	})
+}
+
+func (r *Runner) finishAttempt(n *Node, err error) {
+	if err == nil && n.Post != nil {
+		if perr := n.Post(); perr != nil {
+			err = fmt.Errorf("post script: %w", perr)
+		}
+	}
+	r.running--
+	if err != nil {
+		n.lastErr = err
+		if n.attempts <= n.Retries {
+			// Retry: back to the ready queue.
+			n.state = NodeIdle
+			r.ready = append(r.ready, n)
+			r.pump()
+			r.checkDone()
+			return
+		}
+		r.settle(n, NodeFailed, err)
+	} else {
+		r.settle(n, NodeDone, nil)
+	}
+	r.pump()
+	r.checkDone()
+}
+
+// settle finalizes a node's terminal state and propagates to children.
+func (r *Runner) settle(n *Node, st NodeState, err error) {
+	n.state = st
+	n.lastErr = err
+	r.remaining--
+	switch st {
+	case NodeDone:
+		for _, c := range n.children {
+			c.waiting--
+			if c.waiting == 0 && c.state == NodeIdle {
+				r.ready = append(r.ready, c)
+			}
+		}
+	case NodeFailed, NodeUnrunnable:
+		for _, c := range n.children {
+			if c.state == NodeIdle {
+				r.settle(c, NodeUnrunnable, fmt.Errorf("ancestor %s failed", n.Name))
+			}
+		}
+	}
+}
+
+// checkDone fires the completion callback when nothing can progress. An
+// idle node always has an ancestor chain bottoming out in a ready or
+// running node (failures cascade to descendants immediately), so the run is
+// over exactly when nothing runs and nothing is ready.
+func (r *Runner) checkDone() {
+	if r.finished || r.onDone == nil {
+		return
+	}
+	if r.running > 0 || len(r.ready) > 0 {
+		return
+	}
+	r.finished = true
+	res := Result{}
+	for _, name := range r.dag.order {
+		n := r.dag.nodes[name]
+		switch n.state {
+		case NodeDone:
+			res.Done = append(res.Done, name)
+		case NodeFailed:
+			res.Failed = append(res.Failed, name)
+		case NodeUnrunnable, NodeIdle:
+			res.Unrunnable = append(res.Unrunnable, name)
+		case NodeRunning:
+			// unreachable: running > 0 prevents completion
+		}
+	}
+	r.onDone(res)
+}
+
+// Rescue returns the names of completed nodes, for use as Skip in a
+// rerun — DAGMan's rescue DAG mechanism.
+func (r *Runner) Rescue() map[string]bool {
+	out := make(map[string]bool)
+	for name, n := range r.dag.nodes {
+		if n.state == NodeDone {
+			out[name] = true
+		}
+	}
+	return out
+}
+
+// RescueList renders the rescue set as a sorted list (the rescue file).
+func (r *Runner) RescueList() []string {
+	var out []string
+	for name := range r.Rescue() {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,389 @@
+package dagman
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"grid3/internal/sim"
+)
+
+// syncNode adds a node whose work succeeds synchronously, recording order.
+func syncNode(t *testing.T, d *DAG, name string, order *[]string) *Node {
+	t.Helper()
+	n := &Node{Name: name, Work: func(done func(error)) {
+		*order = append(*order, name)
+		done(nil)
+	}}
+	if err := d.Add(n); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestLinearOrder(t *testing.T) {
+	d := New()
+	var order []string
+	syncNode(t, d, "gen", &order)
+	syncNode(t, d, "sim", &order)
+	syncNode(t, d, "reco", &order)
+	d.AddEdge("gen", "sim")
+	d.AddEdge("sim", "reco")
+	var res Result
+	if err := NewRunner(d).Run(func(r Result) { res = r }); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Succeeded() || len(res.Done) != 3 {
+		t.Fatalf("result = %+v", res)
+	}
+	if order[0] != "gen" || order[1] != "sim" || order[2] != "reco" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestDiamond(t *testing.T) {
+	d := New()
+	var order []string
+	for _, n := range []string{"top", "left", "right", "bottom"} {
+		syncNode(t, d, n, &order)
+	}
+	d.AddEdge("top", "left")
+	d.AddEdge("top", "right")
+	d.AddEdge("left", "bottom")
+	d.AddEdge("right", "bottom")
+	var res Result
+	NewRunner(d).Run(func(r Result) { res = r })
+	if !res.Succeeded() {
+		t.Fatalf("result = %+v", res)
+	}
+	if order[0] != "top" || order[3] != "bottom" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestCycleDetected(t *testing.T) {
+	d := New()
+	var order []string
+	syncNode(t, d, "a", &order)
+	syncNode(t, d, "b", &order)
+	d.AddEdge("a", "b")
+	d.AddEdge("b", "a")
+	if err := NewRunner(d).Run(func(Result) {}); !errors.Is(err, ErrCycle) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDuplicateAndUnknown(t *testing.T) {
+	d := New()
+	d.Add(&Node{Name: "x"})
+	if err := d.Add(&Node{Name: "x"}); !errors.Is(err, ErrDuplicateNode) {
+		t.Fatalf("dup err = %v", err)
+	}
+	if err := d.AddEdge("x", "ghost"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("edge err = %v", err)
+	}
+	if err := d.Add(&Node{}); err == nil {
+		t.Fatal("unnamed node accepted")
+	}
+}
+
+func TestFailurePropagatesToDescendants(t *testing.T) {
+	d := New()
+	var order []string
+	syncNode(t, d, "ok", &order)
+	d.Add(&Node{Name: "bad", Work: func(done func(error)) { done(errors.New("segfault")) }})
+	syncNode(t, d, "child", &order)
+	syncNode(t, d, "grandchild", &order)
+	syncNode(t, d, "independent", &order)
+	d.AddEdge("bad", "child")
+	d.AddEdge("child", "grandchild")
+	var res Result
+	NewRunner(d).Run(func(r Result) { res = r })
+	if res.Succeeded() {
+		t.Fatal("run claimed success")
+	}
+	if len(res.Failed) != 1 || res.Failed[0] != "bad" {
+		t.Fatalf("failed = %v", res.Failed)
+	}
+	if len(res.Unrunnable) != 2 {
+		t.Fatalf("unrunnable = %v", res.Unrunnable)
+	}
+	// Independent branch still ran.
+	found := false
+	for _, n := range order {
+		if n == "independent" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("independent node did not run")
+	}
+	n, _ := d.Node("grandchild")
+	if n.State() != NodeUnrunnable {
+		t.Fatalf("grandchild state = %v", n.State())
+	}
+}
+
+func TestRetries(t *testing.T) {
+	d := New()
+	tries := 0
+	d.Add(&Node{Name: "flaky", Retries: 2, Work: func(done func(error)) {
+		tries++
+		if tries < 3 {
+			done(errors.New("transient"))
+			return
+		}
+		done(nil)
+	}})
+	var res Result
+	NewRunner(d).Run(func(r Result) { res = r })
+	if !res.Succeeded() || tries != 3 {
+		t.Fatalf("tries = %d, result = %+v", tries, res)
+	}
+	n, _ := d.Node("flaky")
+	if n.Attempts() != 3 {
+		t.Fatalf("attempts = %d", n.Attempts())
+	}
+}
+
+func TestRetriesExhausted(t *testing.T) {
+	d := New()
+	tries := 0
+	d.Add(&Node{Name: "doomed", Retries: 2, Work: func(done func(error)) {
+		tries++
+		done(errors.New("permanent"))
+	}})
+	var res Result
+	NewRunner(d).Run(func(r Result) { res = r })
+	if res.Succeeded() || tries != 3 {
+		t.Fatalf("tries = %d, result = %+v", tries, res)
+	}
+}
+
+func TestPrePostScripts(t *testing.T) {
+	d := New()
+	var trace []string
+	d.Add(&Node{
+		Name: "n",
+		Pre:  func() error { trace = append(trace, "pre"); return nil },
+		Work: func(done func(error)) { trace = append(trace, "work"); done(nil) },
+		Post: func() error { trace = append(trace, "post"); return nil },
+	})
+	var res Result
+	NewRunner(d).Run(func(r Result) { res = r })
+	if !res.Succeeded() {
+		t.Fatalf("result = %+v", res)
+	}
+	if len(trace) != 3 || trace[0] != "pre" || trace[1] != "work" || trace[2] != "post" {
+		t.Fatalf("trace = %v", trace)
+	}
+}
+
+func TestPreFailureRetriesWithoutWork(t *testing.T) {
+	d := New()
+	workRan := false
+	preTries := 0
+	d.Add(&Node{
+		Name:    "n",
+		Retries: 1,
+		Pre: func() error {
+			preTries++
+			return errors.New("stage-in dir missing")
+		},
+		Work: func(done func(error)) { workRan = true; done(nil) },
+	})
+	var res Result
+	NewRunner(d).Run(func(r Result) { res = r })
+	if res.Succeeded() || preTries != 2 || workRan {
+		t.Fatalf("preTries=%d workRan=%v res=%+v", preTries, workRan, res)
+	}
+}
+
+func TestPostFailureFailsNode(t *testing.T) {
+	d := New()
+	d.Add(&Node{
+		Name: "n",
+		Work: func(done func(error)) { done(nil) },
+		Post: func() error { return errors.New("output validation failed") },
+	})
+	var res Result
+	NewRunner(d).Run(func(r Result) { res = r })
+	if res.Succeeded() {
+		t.Fatal("post failure ignored")
+	}
+}
+
+func TestAsyncExecutionOnEngine(t *testing.T) {
+	eng := sim.NewEngine(sim.Grid3Epoch)
+	d := New()
+	var ends []time.Duration
+	for i, dur := range []time.Duration{2 * time.Hour, time.Hour} {
+		dur := dur
+		d.Add(&Node{Name: fmt.Sprintf("job%d", i), Work: func(done func(error)) {
+			eng.Schedule(dur, func() {
+				ends = append(ends, eng.Now())
+				done(nil)
+			})
+		}})
+	}
+	var res Result
+	gotDone := false
+	NewRunner(d).Run(func(r Result) { res = r; gotDone = true })
+	if gotDone {
+		t.Fatal("completed before engine ran")
+	}
+	eng.Run()
+	if !gotDone || !res.Succeeded() {
+		t.Fatalf("res = %+v", res)
+	}
+	// Both ran in parallel: ends at 1h and 2h.
+	if len(ends) != 2 || ends[0] != time.Hour || ends[1] != 2*time.Hour {
+		t.Fatalf("ends = %v", ends)
+	}
+}
+
+func TestMaxJobsThrottle(t *testing.T) {
+	eng := sim.NewEngine(sim.Grid3Epoch)
+	d := New()
+	running, peak := 0, 0
+	for i := 0; i < 10; i++ {
+		d.Add(&Node{Name: fmt.Sprintf("n%d", i), Work: func(done func(error)) {
+			running++
+			if running > peak {
+				peak = running
+			}
+			eng.Schedule(time.Hour, func() {
+				running--
+				done(nil)
+			})
+		}})
+	}
+	r := NewRunner(d)
+	r.MaxJobs = 3
+	var res Result
+	r.Run(func(rr Result) { res = rr })
+	eng.Run()
+	if !res.Succeeded() {
+		t.Fatalf("res = %+v", res)
+	}
+	if peak != 3 {
+		t.Fatalf("peak concurrency = %d, want 3", peak)
+	}
+}
+
+func TestRescueRestart(t *testing.T) {
+	d := New()
+	var order []string
+	syncNode(t, d, "a", &order)
+	broken := true
+	d.Add(&Node{Name: "b", Work: func(done func(error)) {
+		if broken {
+			done(errors.New("site down"))
+			return
+		}
+		order = append(order, "b")
+		done(nil)
+	}})
+	syncNode(t, d, "c", &order)
+	d.AddEdge("a", "b")
+	d.AddEdge("b", "c")
+	r1 := NewRunner(d)
+	var res1 Result
+	r1.Run(func(r Result) { res1 = r })
+	if res1.Succeeded() {
+		t.Fatal("first run should fail")
+	}
+	rescue := r1.Rescue()
+	if !rescue["a"] || rescue["b"] || rescue["c"] {
+		t.Fatalf("rescue = %v", rescue)
+	}
+	if list := r1.RescueList(); len(list) != 1 || list[0] != "a" {
+		t.Fatalf("rescue list = %v", list)
+	}
+
+	// Fix the site, rebuild the DAG (nodes hold state), rerun with Skip.
+	d2 := New()
+	order = nil
+	broken = false
+	syncNode(t, d2, "a", &order)
+	d2.Add(&Node{Name: "b", Work: func(done func(error)) {
+		order = append(order, "b")
+		done(nil)
+	}})
+	syncNode(t, d2, "c", &order)
+	d2.AddEdge("a", "b")
+	d2.AddEdge("b", "c")
+	r2 := NewRunner(d2)
+	r2.Skip = rescue
+	var res2 Result
+	r2.Run(func(r Result) { res2 = r })
+	if !res2.Succeeded() {
+		t.Fatalf("rescue run = %+v", res2)
+	}
+	// "a" must not re-execute.
+	if len(order) != 2 || order[0] != "b" || order[1] != "c" {
+		t.Fatalf("rescue order = %v", order)
+	}
+}
+
+func TestRunTwiceRejected(t *testing.T) {
+	d := New()
+	d.Add(&Node{Name: "n"})
+	r := NewRunner(d)
+	r.Run(func(Result) {})
+	if err := r.Run(func(Result) {}); !errors.Is(err, ErrRunning) {
+		t.Fatalf("second run err = %v", err)
+	}
+}
+
+func TestEmptyWorkNodesOrderOnly(t *testing.T) {
+	d := New()
+	d.Add(&Node{Name: "start"})
+	d.Add(&Node{Name: "end"})
+	d.AddEdge("start", "end")
+	var res Result
+	NewRunner(d).Run(func(r Result) { res = r })
+	if !res.Succeeded() || len(res.Done) != 2 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestDoubleCompletionPanics(t *testing.T) {
+	d := New()
+	var savedDone func(error)
+	d.Add(&Node{Name: "n", Work: func(done func(error)) {
+		savedDone = done
+		done(nil)
+	}})
+	NewRunner(d).Run(func(Result) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double completion did not panic")
+		}
+	}()
+	savedDone(nil)
+}
+
+func TestLargeChain(t *testing.T) {
+	// SDSS-style workflow: "several thousand processing steps" (§4.3).
+	d := New()
+	const n = 3000
+	var count int
+	for i := 0; i < n; i++ {
+		d.Add(&Node{Name: fmt.Sprintf("step%04d", i), Work: func(done func(error)) {
+			count++
+			done(nil)
+		}})
+	}
+	for i := 1; i < n; i++ {
+		d.AddEdge(fmt.Sprintf("step%04d", i-1), fmt.Sprintf("step%04d", i))
+	}
+	var res Result
+	if err := NewRunner(d).Run(func(r Result) { res = r }); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Succeeded() || count != n {
+		t.Fatalf("count = %d, res ok = %v", count, res.Succeeded())
+	}
+}

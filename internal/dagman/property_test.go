@@ -1,0 +1,97 @@
+package dagman
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// TestRunAccountingProperty: for random layered DAGs with random per-node
+// failures, every node ends in exactly one terminal state, failures never
+// have successful descendants, and Done+Failed+Unrunnable == Len.
+func TestRunAccountingProperty(t *testing.T) {
+	f := func(layerSizes []uint8, failMask uint32, edges []uint16) bool {
+		d := New()
+		var layers [][]string
+		nodeCount := 0
+		edgeIdx := 0
+		nextEdge := func(n int) int {
+			if n <= 0 || edgeIdx >= len(edges) {
+				return 0
+			}
+			v := int(edges[edgeIdx]) % n
+			edgeIdx++
+			return v
+		}
+		fails := map[string]bool{}
+		for li, szRaw := range layerSizes {
+			if li >= 4 {
+				break
+			}
+			sz := int(szRaw%4) + 1
+			var names []string
+			for k := 0; k < sz; k++ {
+				nodeCount++
+				name := fmt.Sprintf("n%02d", nodeCount)
+				failing := failMask&(1<<(uint(nodeCount)%32)) != 0
+				fails[name] = failing
+				d.Add(&Node{Name: name, Work: func(done func(error)) {
+					if failing {
+						done(errors.New("boom"))
+						return
+					}
+					done(nil)
+				}})
+				if li > 0 {
+					prev := layers[li-1]
+					d.AddEdge(prev[nextEdge(len(prev))], name)
+				}
+				names = append(names, name)
+			}
+			layers = append(layers, names)
+		}
+		if d.Len() == 0 {
+			return true
+		}
+		var res Result
+		if err := NewRunner(d).Run(func(r Result) { res = r }); err != nil {
+			return false
+		}
+		if len(res.Done)+len(res.Failed)+len(res.Unrunnable) != d.Len() {
+			return false
+		}
+		// Every failed node actually failed; every done node didn't.
+		for _, name := range res.Failed {
+			if !fails[name] {
+				return false
+			}
+		}
+		for _, name := range res.Done {
+			if fails[name] {
+				return false
+			}
+		}
+		// No done node has a failed/unrunnable ancestor.
+		state := map[string]NodeState{}
+		for _, name := range d.Names() {
+			n, _ := d.Node(name)
+			state[name] = n.State()
+		}
+		for _, name := range d.Names() {
+			n, _ := d.Node(name)
+			if n.State() != NodeDone {
+				continue
+			}
+			for _, p := range n.parents {
+				if p.State() != NodeDone {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,239 @@
+// Package dial implements DIAL — Distributed Interactive Analysis of
+// Large datasets — the ATLAS analysis layer of §4.1/§6.1: "The distributed
+// analysis program DIAL is used for creation and analysis of physics
+// histograms" and "A dataset catalog was created for produced samples,
+// making them available to the DIAL distributed analysis package."
+//
+// DIAL's model: a *dataset* names a set of logical files; an *analysis
+// task* maps each file to a partial result (a histogram) and merges the
+// partials. The scheduler splits a task into one sub-job per file block,
+// runs the sub-jobs wherever the grid offers capacity, and folds results
+// as they arrive.
+package dial
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Errors.
+var (
+	ErrNoDataset   = errors.New("dial: no such dataset")
+	ErrEmptyDS     = errors.New("dial: dataset has no files")
+	ErrDuplicateDS = errors.New("dial: dataset already registered")
+	ErrJobFailed   = errors.New("dial: analysis sub-job failed")
+)
+
+// Dataset names a set of logical files produced by a production campaign.
+type Dataset struct {
+	Name  string
+	Files []string // LFNs
+	// Bytes per file, aligned with Files (0 = unknown).
+	Sizes []int64
+}
+
+// TotalBytes sums known file sizes.
+func (d *Dataset) TotalBytes() int64 {
+	var t int64
+	for _, s := range d.Sizes {
+		t += s
+	}
+	return t
+}
+
+// Catalog is the dataset catalog fed by production ("making them
+// available to the DIAL distributed analysis package").
+type Catalog struct {
+	sets map[string]*Dataset
+}
+
+// NewCatalog creates an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{sets: make(map[string]*Dataset)}
+}
+
+// Register adds a dataset.
+func (c *Catalog) Register(d *Dataset) error {
+	if d.Name == "" {
+		return errors.New("dial: dataset without name")
+	}
+	if _, dup := c.sets[d.Name]; dup {
+		return fmt.Errorf("%w: %s", ErrDuplicateDS, d.Name)
+	}
+	c.sets[d.Name] = d
+	return nil
+}
+
+// Append adds files to an existing dataset, creating it if needed — how
+// production registers outputs sample by sample.
+func (c *Catalog) Append(name, lfn string, bytes int64) {
+	d, ok := c.sets[name]
+	if !ok {
+		d = &Dataset{Name: name}
+		c.sets[name] = d
+	}
+	d.Files = append(d.Files, lfn)
+	d.Sizes = append(d.Sizes, bytes)
+}
+
+// Lookup returns a dataset.
+func (c *Catalog) Lookup(name string) (*Dataset, error) {
+	d, ok := c.sets[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoDataset, name)
+	}
+	return d, nil
+}
+
+// Names lists registered datasets, sorted.
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.sets))
+	for n := range c.sets {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Histogram is the analysis result type: named bins of event counts.
+// (Real DIAL produced ROOT histograms; the merge semantics are what
+// matter here.)
+type Histogram struct {
+	Bins []float64
+}
+
+// Merge folds another histogram into h (bin-wise sum, growing as needed).
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	if len(o.Bins) > len(h.Bins) {
+		grown := make([]float64, len(o.Bins))
+		copy(grown, h.Bins)
+		h.Bins = grown
+	}
+	for i, v := range o.Bins {
+		h.Bins[i] += v
+	}
+}
+
+// Entries sums all bins.
+func (h *Histogram) Entries() float64 {
+	t := 0.0
+	for _, v := range h.Bins {
+		t += v
+	}
+	return t
+}
+
+// Task is one analysis definition: Process maps a file to a partial
+// histogram (nil error required for the partial to count).
+type Task struct {
+	Name string
+	// FilesPerJob controls the split granularity (≥1).
+	FilesPerJob int
+	// Process analyzes one file.
+	Process func(lfn string, bytes int64) (*Histogram, error)
+}
+
+// SubJob is one schedulable unit of a task.
+type SubJob struct {
+	Index int
+	Files []string
+	Sizes []int64
+}
+
+// Split partitions a dataset into sub-jobs.
+func (t *Task) Split(d *Dataset) ([]SubJob, error) {
+	if len(d.Files) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrEmptyDS, d.Name)
+	}
+	per := t.FilesPerJob
+	if per < 1 {
+		per = 1
+	}
+	var jobs []SubJob
+	for start := 0; start < len(d.Files); start += per {
+		end := start + per
+		if end > len(d.Files) {
+			end = len(d.Files)
+		}
+		sizes := make([]int64, end-start)
+		if len(d.Sizes) >= end {
+			copy(sizes, d.Sizes[start:end])
+		}
+		jobs = append(jobs, SubJob{
+			Index: len(jobs),
+			Files: append([]string(nil), d.Files[start:end]...),
+			Sizes: sizes,
+		})
+	}
+	return jobs, nil
+}
+
+// Runner executes sub-jobs. The grid adapter submits each as a compute
+// job; done must be called exactly once per sub-job.
+type Runner interface {
+	RunSubJob(task *Task, job SubJob, done func(*Histogram, error))
+}
+
+// LocalRunner processes sub-jobs synchronously in place — interactive
+// DIAL against locally cached data.
+type LocalRunner struct{}
+
+// RunSubJob implements Runner.
+func (LocalRunner) RunSubJob(task *Task, job SubJob, done func(*Histogram, error)) {
+	merged := &Histogram{}
+	for i, lfn := range job.Files {
+		var bytes int64
+		if i < len(job.Sizes) {
+			bytes = job.Sizes[i]
+		}
+		h, err := task.Process(lfn, bytes)
+		if err != nil {
+			done(nil, fmt.Errorf("%w: %s: %v", ErrJobFailed, lfn, err))
+			return
+		}
+		merged.Merge(h)
+	}
+	done(merged, nil)
+}
+
+// Result is a completed analysis.
+type Result struct {
+	Histogram Histogram
+	SubJobs   int
+	Failed    int
+}
+
+// Analyze splits the dataset, runs every sub-job through the runner, and
+// merges partials as they land. onDone fires once when all sub-jobs have
+// reported. Failed sub-jobs are counted, not retried (the analysis user
+// resubmits interactively).
+func Analyze(cat *Catalog, dsName string, task *Task, r Runner, onDone func(Result)) error {
+	d, err := cat.Lookup(dsName)
+	if err != nil {
+		return err
+	}
+	jobs, err := task.Split(d)
+	if err != nil {
+		return err
+	}
+	res := &Result{SubJobs: len(jobs)}
+	remaining := len(jobs)
+	for _, job := range jobs {
+		r.RunSubJob(task, job, func(h *Histogram, err error) {
+			if err != nil {
+				res.Failed++
+			} else {
+				res.Histogram.Merge(h)
+			}
+			remaining--
+			if remaining == 0 {
+				onDone(*res)
+			}
+		})
+	}
+	return nil
+}

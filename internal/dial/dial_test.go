@@ -1,0 +1,165 @@
+package dial
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func sampleCatalog(t *testing.T, files int) *Catalog {
+	t.Helper()
+	c := NewCatalog()
+	for i := 0; i < files; i++ {
+		c.Append("dc1.esd", fmt.Sprintf("lfn:esd-%03d", i), 2<<30)
+	}
+	return c
+}
+
+// countTask returns one entry per file in bin 0, plus a bin-1 marker per
+// gigabyte, so merges are checkable.
+func countTask(per int) *Task {
+	return &Task{
+		Name:        "count",
+		FilesPerJob: per,
+		Process: func(lfn string, bytes int64) (*Histogram, error) {
+			return &Histogram{Bins: []float64{1, float64(bytes >> 30)}}, nil
+		},
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	c := NewCatalog()
+	if err := c.Register(&Dataset{Name: "x", Files: []string{"a"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(&Dataset{Name: "x"}); !errors.Is(err, ErrDuplicateDS) {
+		t.Fatalf("dup err = %v", err)
+	}
+	if err := c.Register(&Dataset{}); err == nil {
+		t.Fatal("unnamed dataset accepted")
+	}
+	if _, err := c.Lookup("ghost"); !errors.Is(err, ErrNoDataset) {
+		t.Fatalf("lookup err = %v", err)
+	}
+	c.Append("y", "lfn:1", 100)
+	c.Append("y", "lfn:2", 200)
+	d, err := c.Lookup("y")
+	if err != nil || len(d.Files) != 2 || d.TotalBytes() != 300 {
+		t.Fatalf("appended dataset = %+v, %v", d, err)
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "x" || names[1] != "y" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestSplitGranularity(t *testing.T) {
+	c := sampleCatalog(t, 10)
+	d, _ := c.Lookup("dc1.esd")
+	jobs, err := countTask(3).Split(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 4 {
+		t.Fatalf("jobs = %d, want ceil(10/3)=4", len(jobs))
+	}
+	if len(jobs[3].Files) != 1 {
+		t.Fatalf("last job files = %d", len(jobs[3].Files))
+	}
+	if _, err := countTask(1).Split(&Dataset{Name: "empty"}); !errors.Is(err, ErrEmptyDS) {
+		t.Fatalf("empty split err = %v", err)
+	}
+	// FilesPerJob < 1 degrades to 1.
+	jobs, _ = countTask(0).Split(d)
+	if len(jobs) != 10 {
+		t.Fatalf("per=0 jobs = %d", len(jobs))
+	}
+}
+
+func TestAnalyzeMergesAllFiles(t *testing.T) {
+	c := sampleCatalog(t, 25)
+	var res Result
+	done := false
+	err := Analyze(c, "dc1.esd", countTask(4), LocalRunner{}, func(r Result) {
+		res = r
+		done = true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("onDone never fired")
+	}
+	if res.SubJobs != 7 || res.Failed != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	// Bin 0 counts files; bin 1 counts GiB (2 per file).
+	if res.Histogram.Bins[0] != 25 || res.Histogram.Bins[1] != 50 {
+		t.Fatalf("histogram = %+v", res.Histogram)
+	}
+	if res.Histogram.Entries() != 75 {
+		t.Fatalf("entries = %v", res.Histogram.Entries())
+	}
+}
+
+func TestAnalyzeCountsFailures(t *testing.T) {
+	c := sampleCatalog(t, 6)
+	task := &Task{
+		Name:        "flaky",
+		FilesPerJob: 1,
+		Process: func(lfn string, bytes int64) (*Histogram, error) {
+			if lfn == "lfn:esd-003" {
+				return nil, errors.New("corrupt file")
+			}
+			return &Histogram{Bins: []float64{1}}, nil
+		},
+	}
+	var res Result
+	if err := Analyze(c, "dc1.esd", task, LocalRunner{}, func(r Result) { res = r }); err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 1 || res.Histogram.Bins[0] != 5 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestAnalyzeUnknownDataset(t *testing.T) {
+	c := NewCatalog()
+	if err := Analyze(c, "nope", countTask(1), LocalRunner{}, func(Result) {}); !errors.Is(err, ErrNoDataset) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHistogramMergeGrows(t *testing.T) {
+	a := &Histogram{Bins: []float64{1}}
+	a.Merge(&Histogram{Bins: []float64{1, 2, 3}})
+	if len(a.Bins) != 3 || a.Bins[0] != 2 || a.Bins[2] != 3 {
+		t.Fatalf("merged = %+v", a)
+	}
+	a.Merge(nil) // no-op
+	if a.Entries() != 7 {
+		t.Fatalf("entries = %v", a.Entries())
+	}
+}
+
+// Property: for any file count and granularity, Split covers every file
+// exactly once and Analyze's file-count bin equals the dataset size.
+func TestSplitCoverageProperty(t *testing.T) {
+	f := func(nFiles, per uint8) bool {
+		n := int(nFiles)%200 + 1
+		c := NewCatalog()
+		for i := 0; i < n; i++ {
+			c.Append("ds", fmt.Sprintf("lfn:%04d", i), 1<<30)
+		}
+		task := countTask(int(per) % 17)
+		var res Result
+		if err := Analyze(c, "ds", task, LocalRunner{}, func(r Result) { res = r }); err != nil {
+			return false
+		}
+		return res.Failed == 0 && int(res.Histogram.Bins[0]) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

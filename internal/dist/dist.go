@@ -1,0 +1,203 @@
+// Package dist provides seeded random variates and arrival processes used to
+// synthesize Grid3 workloads.
+//
+// Every application class in the paper's Table 1 is characterized by a job
+// count, a mean and a maximum runtime, and a monthly production profile. The
+// distributions here (exponential, lognormal, bounded Pareto, empirical
+// month-weight choice) are the building blocks that internal/apps calibrates
+// against those figures. All randomness flows from a single seeded source so
+// that a scenario is reproducible from its seed.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// RNG wraps a seeded source. It is deliberately not safe for concurrent use:
+// the simulation is single-threaded and a lock would hide ordering bugs.
+type RNG struct {
+	r *rand.Rand
+}
+
+// New returns an RNG seeded with the given value.
+func New(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Fork derives an independent, deterministic child stream. Each application
+// class gets its own fork so adding one workload never perturbs another.
+func (g *RNG) Fork() *RNG {
+	return New(g.r.Int63())
+}
+
+// Float64 returns a uniform variate in [0,1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform integer in [0,n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Perm returns a random permutation of [0,n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Uniform returns a variate uniform on [lo,hi).
+func (g *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*g.r.Float64()
+}
+
+// Exp returns an exponential variate with the given mean.
+func (g *RNG) Exp(mean float64) float64 {
+	return g.r.ExpFloat64() * mean
+}
+
+// Normal returns a normal variate.
+func (g *RNG) Normal(mu, sigma float64) float64 {
+	return mu + sigma*g.r.NormFloat64()
+}
+
+// LogNormal describes a lognormal distribution by the desired mean and the
+// sigma of the underlying normal. Job runtimes in Grid3 are heavy-tailed
+// (CMS mean 41.85 h, max 1238.93 h), which lognormal captures well.
+type LogNormal struct {
+	Mu    float64 // mean of log
+	Sigma float64 // stddev of log
+}
+
+// LogNormalFromMean constructs a lognormal whose arithmetic mean is mean,
+// with the given log-space sigma. mean must be positive.
+func LogNormalFromMean(mean, sigma float64) LogNormal {
+	if mean <= 0 {
+		panic(fmt.Sprintf("dist: lognormal mean %v must be positive", mean))
+	}
+	return LogNormal{Mu: math.Log(mean) - sigma*sigma/2, Sigma: sigma}
+}
+
+// Sample draws a variate.
+func (ln LogNormal) Sample(g *RNG) float64 {
+	return math.Exp(ln.Mu + ln.Sigma*g.r.NormFloat64())
+}
+
+// Mean returns the arithmetic mean of the distribution.
+func (ln LogNormal) Mean() float64 {
+	return math.Exp(ln.Mu + ln.Sigma*ln.Sigma/2)
+}
+
+// TruncatedLogNormal resamples until the variate falls within [lo,hi]. The
+// truncation models sites' maximum-walltime admission limits.
+type TruncatedLogNormal struct {
+	LN     LogNormal
+	Lo, Hi float64
+}
+
+// Sample draws a variate in [Lo,Hi]; after 64 rejected draws it clamps, so a
+// badly configured range degrades gracefully instead of spinning.
+func (t TruncatedLogNormal) Sample(g *RNG) float64 {
+	for i := 0; i < 64; i++ {
+		v := t.LN.Sample(g)
+		if v >= t.Lo && v <= t.Hi {
+			return v
+		}
+	}
+	return math.Min(math.Max(t.LN.Mean(), t.Lo), t.Hi)
+}
+
+// BoundedPareto is a power-law distribution on [L,H] with shape alpha,
+// used for file-size synthesis in the transfer demonstrator.
+type BoundedPareto struct {
+	L, H  float64
+	Alpha float64
+}
+
+// Sample draws a variate by inversion.
+func (p BoundedPareto) Sample(g *RNG) float64 {
+	if p.L <= 0 || p.H <= p.L || p.Alpha <= 0 {
+		panic(fmt.Sprintf("dist: invalid bounded pareto %+v", p))
+	}
+	u := g.r.Float64()
+	la := math.Pow(p.L, p.Alpha)
+	ha := math.Pow(p.H, p.Alpha)
+	return math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/p.Alpha)
+}
+
+// Poisson returns a Poisson-distributed count with the given mean, using
+// Knuth's method for small means and a normal approximation for large ones.
+func (g *RNG) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 64 {
+		v := math.Round(g.Normal(mean, math.Sqrt(mean)))
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= g.r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Weighted selects index i with probability weights[i]/sum(weights).
+// Zero-total weights select uniformly.
+type Weighted struct {
+	cum   []float64
+	total float64
+}
+
+// NewWeighted builds a weighted chooser. Negative weights panic.
+func NewWeighted(weights []float64) *Weighted {
+	w := &Weighted{cum: make([]float64, len(weights))}
+	for i, v := range weights {
+		if v < 0 {
+			panic(fmt.Sprintf("dist: negative weight %v at %d", v, i))
+		}
+		w.total += v
+		w.cum[i] = w.total
+	}
+	return w
+}
+
+// Choose draws an index.
+func (w *Weighted) Choose(g *RNG) int {
+	if len(w.cum) == 0 {
+		panic("dist: choose from empty weights")
+	}
+	if w.total == 0 {
+		return g.Intn(len(w.cum))
+	}
+	u := g.r.Float64() * w.total
+	return sort.SearchFloat64s(w.cum, u)
+}
+
+// ExpDuration returns an exponentially distributed duration with given mean.
+// The result is clamped to at least 1ns so schedulers always make progress.
+func (g *RNG) ExpDuration(mean time.Duration) time.Duration {
+	d := time.Duration(g.Exp(float64(mean)))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Jitter returns d scaled by a uniform factor in [1-f, 1+f].
+func (g *RNG) Jitter(d time.Duration, f float64) time.Duration {
+	if f < 0 || f > 1 {
+		panic(fmt.Sprintf("dist: jitter fraction %v out of [0,1]", f))
+	}
+	return time.Duration(float64(d) * g.Uniform(1-f, 1+f))
+}
+
+// Bernoulli returns true with probability p.
+func (g *RNG) Bernoulli(p float64) bool {
+	return g.r.Float64() < p
+}

@@ -1,0 +1,228 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	g := New(7)
+	c1 := g.Fork()
+	c2 := g.Fork()
+	if c1.Float64() == c2.Float64() && c1.Float64() == c2.Float64() {
+		t.Fatal("forked streams appear identical")
+	}
+	// Forks from the same parent state are themselves deterministic.
+	g2 := New(7)
+	d1 := g2.Fork()
+	d2 := g2.Fork()
+	_ = d2
+	a, b := New(7).Fork(), d1
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("fork not reproducible from parent seed")
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	g := New(1)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += g.Exp(5.0)
+	}
+	mean := sum / n
+	if math.Abs(mean-5.0) > 0.1 {
+		t.Fatalf("exp mean = %v, want ~5.0", mean)
+	}
+}
+
+func TestLogNormalFromMean(t *testing.T) {
+	g := New(2)
+	ln := LogNormalFromMean(41.85, 1.4) // CMS-like runtime hours
+	const n = 300000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += ln.Sample(g)
+	}
+	mean := sum / n
+	if math.Abs(mean-41.85)/41.85 > 0.05 {
+		t.Fatalf("lognormal empirical mean = %v, want ~41.85", mean)
+	}
+	if math.Abs(ln.Mean()-41.85) > 1e-9 {
+		t.Fatalf("analytic mean = %v", ln.Mean())
+	}
+}
+
+func TestLogNormalRejectsNonPositiveMean(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for mean 0")
+		}
+	}()
+	LogNormalFromMean(0, 1)
+}
+
+func TestTruncatedLogNormalBounds(t *testing.T) {
+	g := New(3)
+	tl := TruncatedLogNormal{LN: LogNormalFromMean(8.8, 1.5), Lo: 0.01, Hi: 292}
+	for i := 0; i < 50000; i++ {
+		v := tl.Sample(g)
+		if v < tl.Lo || v > tl.Hi {
+			t.Fatalf("truncated sample %v outside [%v,%v]", v, tl.Lo, tl.Hi)
+		}
+	}
+}
+
+func TestBoundedParetoBounds(t *testing.T) {
+	g := New(4)
+	p := BoundedPareto{L: 1e6, H: 2e9, Alpha: 1.1} // file sizes 1MB..2GB
+	for i := 0; i < 50000; i++ {
+		v := p.Sample(g)
+		if v < p.L || v > p.H {
+			t.Fatalf("pareto sample %v outside [%v,%v]", v, p.L, p.H)
+		}
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	g := New(5)
+	for _, mean := range []float64{0.5, 3, 20, 500} {
+		const n = 20000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += g.Poisson(mean)
+		}
+		got := float64(sum) / n
+		if math.Abs(got-mean)/mean > 0.05 {
+			t.Fatalf("poisson(%v) empirical mean %v", mean, got)
+		}
+	}
+	if g.Poisson(0) != 0 || g.Poisson(-1) != 0 {
+		t.Fatal("poisson of non-positive mean should be 0")
+	}
+}
+
+func TestWeightedChoice(t *testing.T) {
+	g := New(6)
+	w := NewWeighted([]float64{1, 0, 3})
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[w.Choose(g)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight index chosen %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if math.Abs(ratio-3) > 0.2 {
+		t.Fatalf("weight ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestWeightedZeroTotalUniform(t *testing.T) {
+	g := New(8)
+	w := NewWeighted([]float64{0, 0, 0, 0})
+	counts := make([]int, 4)
+	for i := 0; i < 40000; i++ {
+		counts[w.Choose(g)]++
+	}
+	for i, c := range counts {
+		if c < 8000 {
+			t.Fatalf("zero-total weights not uniform: index %d chosen %d/40000", i, c)
+		}
+	}
+}
+
+func TestWeightedNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for negative weight")
+		}
+	}()
+	NewWeighted([]float64{1, -1})
+}
+
+func TestJitterBounds(t *testing.T) {
+	g := New(9)
+	base := time.Hour
+	for i := 0; i < 10000; i++ {
+		d := g.Jitter(base, 0.25)
+		if d < 45*time.Minute || d > 75*time.Minute {
+			t.Fatalf("jitter %v outside ±25%% of 1h", d)
+		}
+	}
+}
+
+func TestExpDurationPositive(t *testing.T) {
+	g := New(10)
+	for i := 0; i < 10000; i++ {
+		if g.ExpDuration(time.Millisecond) < 1 {
+			t.Fatal("ExpDuration returned non-positive duration")
+		}
+	}
+}
+
+func TestBernoulliProbability(t *testing.T) {
+	g := New(11)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if g.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.3) > 0.01 {
+		t.Fatalf("bernoulli(0.3) empirical p = %v", p)
+	}
+}
+
+// Property: lognormal construction round-trips its mean for any reasonable
+// (mean, sigma) pair.
+func TestLogNormalMeanProperty(t *testing.T) {
+	f := func(m, s uint8) bool {
+		mean := 0.01 + float64(m)   // 0.01 .. 255.01
+		sigma := float64(s%30) / 10 // 0 .. 2.9
+		ln := LogNormalFromMean(mean, sigma)
+		return math.Abs(ln.Mean()-mean) < 1e-6*mean+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: weighted cumulative array is monotone non-decreasing.
+func TestWeightedMonotoneProperty(t *testing.T) {
+	f := func(ws []uint16) bool {
+		if len(ws) == 0 {
+			return true
+		}
+		fw := make([]float64, len(ws))
+		for i, v := range ws {
+			fw[i] = float64(v)
+		}
+		w := NewWeighted(fw)
+		for i := 1; i < len(w.cum); i++ {
+			if w.cum[i] < w.cum[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

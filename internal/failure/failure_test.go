@@ -1,0 +1,200 @@
+package failure
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"grid3/internal/batch"
+	"grid3/internal/dist"
+	"grid3/internal/glue"
+	"grid3/internal/gram"
+	"grid3/internal/gridftp"
+	"grid3/internal/gsi"
+	"grid3/internal/sim"
+	"grid3/internal/site"
+)
+
+type rig struct {
+	eng *sim.Engine
+	rng *dist.RNG
+	net *gridftp.Network
+	tgt *Target
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	eng := sim.NewEngine(sim.Grid3Epoch)
+	st := site.MustNew(site.Config{
+		Name: "IU", Host: "iu.edu", CPUs: 8, DiskBytes: 1 << 30, WANMbps: 155,
+		LRMS: glue.PBS, MaxWall: 100 * time.Hour,
+		Accounts: map[string]string{"ivdgl": "grp_ivdgl"},
+	})
+	bs := batch.New(eng, batch.Config{Name: "IU", Slots: 8, EnforceWall: true, MaxWall: st.MaxWall})
+	gm := gsi.NewGridmap()
+	gm.Map("/CN=user", "grp_ivdgl")
+	gk := gram.New(eng, st, bs, gm)
+	net := gridftp.NewNetwork(eng)
+	net.AddEndpoint("IU", 155)
+	net.AddEndpoint("BNL", 622)
+	return &rig{eng: eng, rng: dist.New(1), net: net, tgt: &Target{Site: st, Batch: bs, Gatekeeper: gk}}
+}
+
+func (r *rig) fill(n int) []*batch.Job {
+	jobs := make([]*batch.Job, n)
+	for i := range jobs {
+		jobs[i] = &batch.Job{ID: fmt.Sprintf("j%d", i), VO: "ivdgl", Walltime: 90 * time.Hour, Runtime: 80 * time.Hour}
+		r.tgt.Batch.Submit(jobs[i])
+	}
+	return jobs
+}
+
+func TestDiskFullIncident(t *testing.T) {
+	r := newRig(t)
+	cfg := Config{DiskFullMTBF: 24 * time.Hour, DiskFullDuration: 4 * time.Hour}
+	inj := New(r.eng, r.rng, cfg, nil)
+	inj.Register(r.tgt)
+	jobs := r.fill(4)
+	r.eng.RunUntil(30 * 24 * time.Hour)
+	counts := inj.CountByKind()
+	if counts[DiskFull] == 0 {
+		t.Fatal("no disk-full incidents over 30 days at 1-day MTBF")
+	}
+	// During the incident the disk was saturated; afterwards space frees.
+	if r.tgt.Site.Disk.Free() != 1<<30 {
+		t.Fatalf("disk not cleaned up: free = %d", r.tgt.Site.Disk.Free())
+	}
+	killed := inj.KilledByKind()[DiskFull]
+	if killed == 0 {
+		t.Fatal("disk-full killed no jobs despite a full site")
+	}
+	_ = jobs
+}
+
+func TestServiceFailureKillsInGroupAndRecovers(t *testing.T) {
+	r := newRig(t)
+	cfg := Config{ServiceMTBF: 12 * time.Hour, ServiceDuration: 2 * time.Hour}
+	inj := New(r.eng, r.rng, cfg, nil)
+	inj.Register(r.tgt)
+	r.fill(8)
+	// Run long enough for at least one service failure.
+	r.eng.RunUntil(10 * 24 * time.Hour)
+	if inj.CountByKind()[ServiceFailure] == 0 {
+		t.Fatal("no service failures in 10 days at 12h MTBF")
+	}
+	// The first incident killed the whole group of 8.
+	for _, e := range inj.Events() {
+		if e.Kind == ServiceFailure {
+			if e.JobsKilled != 8 {
+				t.Fatalf("group kill = %d, want all 8", e.JobsKilled)
+			}
+			break
+		}
+	}
+	// Site recovered eventually.
+	if !r.tgt.Site.Healthy() {
+		t.Fatal("site never recovered")
+	}
+}
+
+func TestNetworkOutage(t *testing.T) {
+	r := newRig(t)
+	cfg := Config{OutageMTBF: 6 * time.Hour, OutageDuration: time.Hour}
+	inj := New(r.eng, r.rng, cfg, r.net)
+	inj.Register(r.tgt)
+	var failed bool
+	// A long transfer across the scenario gets interrupted eventually.
+	r.net.Start("IU", "BNL", 1<<45, "ivdgl", func(tr *gridftp.Transfer, err error) {
+		failed = err != nil
+	})
+	r.eng.RunUntil(5 * 24 * time.Hour)
+	if inj.CountByKind()[NetworkOutage] == 0 {
+		t.Fatal("no outages in 5 days at 6h MTBF")
+	}
+	if !failed {
+		t.Fatal("long transfer survived the outages")
+	}
+	ep, _ := r.net.Endpoint("IU")
+	if !ep.Up() {
+		t.Fatal("endpoint never recovered")
+	}
+}
+
+func TestNightlyRollover(t *testing.T) {
+	r := newRig(t)
+	cfg := Config{
+		RolloverSites: []string{"IU"}, RolloverFraction: 0.5,
+		RolloverDuration: time.Hour,
+	}
+	inj := New(r.eng, r.rng, cfg, nil)
+	inj.Register(r.tgt)
+	r.fill(8)
+	r.eng.RunUntil(72 * time.Hour)
+	rollovers := inj.CountByKind()[NightlyRollover]
+	if rollovers < 2 || rollovers > 3 {
+		t.Fatalf("rollovers in 3 days = %d", rollovers)
+	}
+	if inj.KilledByKind()[NightlyRollover] == 0 {
+		t.Fatal("rollover killed nothing on a saturated site")
+	}
+	// Slots restored after each rollover window.
+	if r.tgt.Batch.AvailableSlots() != 8 {
+		t.Fatalf("slots = %d after recovery", r.tgt.Batch.AvailableSlots())
+	}
+}
+
+func TestRandomLossIsRare(t *testing.T) {
+	r := newRig(t)
+	cfg := Grid3Defaults()
+	cfg.RolloverSites = []string{"IU"}
+	inj := New(r.eng, r.rng, cfg, r.net)
+	inj.Register(r.tgt)
+	r.fill(8)
+	r.eng.RunUntil(60 * 24 * time.Hour)
+	frac := inj.SiteProblemFraction()
+	// The paper: ~90% of failures from site problems.
+	if frac < 0.7 {
+		t.Fatalf("site-problem fraction = %.2f, random losses dominate", frac)
+	}
+	if inj.Sites()[0] != "IU" {
+		t.Fatal("sites list wrong")
+	}
+}
+
+func TestStopDisarms(t *testing.T) {
+	r := newRig(t)
+	cfg := Config{ServiceMTBF: time.Hour, ServiceDuration: time.Minute}
+	inj := New(r.eng, r.rng, cfg, nil)
+	inj.Register(r.tgt)
+	r.eng.RunUntil(6 * time.Hour)
+	n := len(inj.Events())
+	if n == 0 {
+		t.Fatal("nothing injected before stop")
+	}
+	inj.Stop()
+	r.eng.RunUntil(48 * time.Hour)
+	if len(inj.Events()) != n {
+		t.Fatalf("events grew after Stop: %d -> %d", n, len(inj.Events()))
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	runOnce := func() []Event {
+		r := newRig(t)
+		cfg := Grid3Defaults()
+		inj := New(r.eng, r.rng, cfg, r.net)
+		inj.Register(r.tgt)
+		r.fill(8)
+		r.eng.RunUntil(30 * 24 * time.Hour)
+		return inj.Events()
+	}
+	a, b := runOnce(), runOnce()
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

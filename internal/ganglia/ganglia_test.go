@@ -1,0 +1,113 @@
+package ganglia
+
+import (
+	"testing"
+	"time"
+
+	"grid3/internal/sim"
+)
+
+func TestGmondSample(t *testing.T) {
+	g := NewGmond("wn01.uchicago.edu")
+	load := 0.5
+	g.Register("load_one", func() float64 { return load })
+	g.Register("cpu_num", func() float64 { return 2 })
+	s := g.Sample()
+	if s["load_one"] != 0.5 || s["cpu_num"] != 2 {
+		t.Fatalf("sample = %v", s)
+	}
+	load = 1.5
+	if g.Sample()["load_one"] != 1.5 {
+		t.Fatal("gauge not live")
+	}
+	m := g.Metrics()
+	if len(m) != 2 || m[0] != "cpu_num" || m[1] != "load_one" {
+		t.Fatalf("metrics = %v", m)
+	}
+}
+
+func TestGmetadAggregation(t *testing.T) {
+	eng := sim.NewEngine(sim.Grid3Epoch)
+	gm := NewGmetad(eng, "UC_ATLAS_Tier2", 5*time.Minute)
+	for i := 0; i < 4; i++ {
+		node := NewGmond("wn")
+		node.Register("cpu_num", func() float64 { return 2 })
+		node.Register("load_one", func() float64 { return 0.5 })
+		gm.Watch(node)
+	}
+	eng.RunUntil(time.Hour)
+	sum := gm.Summary()
+	if sum.Hosts != 4 || sum.Metrics["cpu_num"] != 8 || sum.Metrics["load_one"] != 2 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.Cluster != "UC_ATLAS_Tier2" || gm.Cluster() != sum.Cluster {
+		t.Fatal("cluster name wrong")
+	}
+}
+
+func TestGmetadHistory(t *testing.T) {
+	eng := sim.NewEngine(sim.Grid3Epoch)
+	gm := NewGmetad(eng, "site", 5*time.Minute)
+	busy := 0.0
+	node := NewGmond("wn")
+	node.Register("load_one", func() float64 { return busy })
+	gm.Watch(node)
+	eng.RunUntil(time.Hour)
+	busy = 10
+	eng.RunUntil(2 * time.Hour)
+	pts, err := gm.History("load_one", 0, 0, 2*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 20 {
+		t.Fatalf("history points = %d", len(pts))
+	}
+	// The bucket ending at the very first tick is empty (NaN); the next
+	// buckets carry the low then high values.
+	if pts[1].Value != 0 || pts[len(pts)-1].Value != 10 {
+		t.Fatalf("history endpoints = %v .. %v", pts[1], pts[len(pts)-1])
+	}
+	if _, err := gm.History("no_such_metric", 0, 0, time.Hour); err == nil {
+		t.Fatal("missing metric history succeeded")
+	}
+}
+
+func TestGmetadStop(t *testing.T) {
+	eng := sim.NewEngine(sim.Grid3Epoch)
+	gm := NewGmetad(eng, "site", 5*time.Minute)
+	node := NewGmond("wn")
+	calls := 0
+	node.Register("x", func() float64 { calls++; return 0 })
+	gm.Watch(node)
+	eng.RunUntil(30 * time.Minute)
+	gm.Stop()
+	at := calls
+	eng.RunUntil(2 * time.Hour)
+	if calls != at {
+		t.Fatalf("gauge polled after Stop: %d -> %d", at, calls)
+	}
+}
+
+func TestGridHierarchicalView(t *testing.T) {
+	eng := sim.NewEngine(sim.Grid3Epoch)
+	grid := NewGrid()
+	for _, cfg := range []struct {
+		name string
+		cpus float64
+	}{{"BNL_ATLAS_Tier1", 400}, {"FNAL_CMS", 500}, {"UC_ATLAS_Tier2", 64}} {
+		gm := NewGmetad(eng, cfg.name, 5*time.Minute)
+		node := NewGmond("head")
+		cpus := cfg.cpus
+		node.Register("cpu_num", func() float64 { return cpus })
+		gm.Watch(node)
+		grid.Add(gm)
+	}
+	eng.RunUntil(time.Hour)
+	if total := grid.Total("cpu_num"); total != 964 {
+		t.Fatalf("grid total CPUs = %v", total)
+	}
+	sums := grid.Summaries()
+	if len(sums) != 3 || sums[0].Cluster != "BNL_ATLAS_Tier1" {
+		t.Fatalf("summaries = %+v", sums)
+	}
+}

@@ -1,0 +1,125 @@
+package glue
+
+import (
+	"testing"
+	"time"
+
+	"grid3/internal/classad"
+)
+
+func validCE() *CE {
+	return &CE{
+		ID:          "tier2-01.uchicago.edu/jobmanager-pbs",
+		SiteName:    "UC_ATLAS_Tier2",
+		Host:        "tier2-01.uchicago.edu",
+		LRMSType:    PBS,
+		TotalCPUs:   64,
+		FreeCPUs:    20,
+		RunningJobs: 44,
+		WaitingJobs: 7,
+		MaxWallTime: 48 * time.Hour,
+		VOs:         []string{"usatlas", "ivdgl"},
+		AppDir:      "/share/app",
+		DataDir:     "/share/data",
+		TmpDir:      "/scratch",
+		VDTLocation: "/opt/vdt-1.1.8",
+		OutboundIP:  true,
+	}
+}
+
+func TestCEValidate(t *testing.T) {
+	if err := validCE().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*CE){
+		func(c *CE) { c.ID = "" },
+		func(c *CE) { c.SiteName = "" },
+		func(c *CE) { c.TotalCPUs = 0 },
+		func(c *CE) { c.FreeCPUs = -1 },
+		func(c *CE) { c.FreeCPUs = c.TotalCPUs + 1 },
+		func(c *CE) { c.MaxWallTime = 0 },
+		func(c *CE) { c.VOs = nil },
+	}
+	for i, mutate := range bad {
+		c := validCE()
+		mutate(c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid CE validated", i)
+		}
+	}
+}
+
+func TestCESupportsVO(t *testing.T) {
+	ce := validCE()
+	if !ce.SupportsVO("usatlas") || ce.SupportsVO("uscms") {
+		t.Fatal("SupportsVO wrong")
+	}
+}
+
+func TestCEAdMatchesEligibleJob(t *testing.T) {
+	ce := validCE()
+	ad := ce.Ad()
+	job := classad.MustParseAd(`
+VO = "usatlas"
+WallTime = 36000
+Requirements = TARGET.FreeCpus > 0
+`)
+	if !classad.Match(job, ad) {
+		t.Fatal("eligible job did not match CE ad")
+	}
+	// Wrong VO is rejected by the CE's own Requirements.
+	wrongVO := classad.MustParseAd("VO = \"uscms\"\nWallTime = 3600\n")
+	if classad.Match(wrongVO, ad) {
+		t.Fatal("CE ad accepted unsupported VO")
+	}
+	// Too-long job rejected by MaxWallTime policy.
+	long := classad.MustParseAd("VO = \"usatlas\"\nWallTime = 1000000\n")
+	if classad.Match(long, ad) {
+		t.Fatal("CE ad accepted job exceeding MaxWallTime")
+	}
+}
+
+func TestCEAttributesCarryGrid3Extensions(t *testing.T) {
+	attrs := validCE().Attributes()
+	for _, key := range []string{
+		"Grid3-App-Dir", "Grid3-Data-Dir", "Grid3-Tmp-WN-Dir", "Grid3-VDT-Location",
+		"GlueCEStateFreeCPUs", "GlueCEPolicyMaxWallClockTime",
+	} {
+		if len(attrs[key]) == 0 || attrs[key][0] == "" {
+			t.Errorf("attribute %s missing", key)
+		}
+	}
+	if attrs["GlueCEPolicyMaxWallClockTime"][0] != "172800" {
+		t.Errorf("MaxWallClockTime = %v, want 172800 s", attrs["GlueCEPolicyMaxWallClockTime"])
+	}
+	rules := attrs["GlueCEAccessControlBaseRule"]
+	if len(rules) != 2 || rules[0] != "VO:ivdgl" || rules[1] != "VO:usatlas" {
+		t.Errorf("access rules = %v", rules)
+	}
+}
+
+func TestSEValidateAndFree(t *testing.T) {
+	se := &SE{ID: "se.fnal.gov", SiteName: "FNAL_CMS", Host: "se.fnal.gov", TotalBytes: 10 << 40, UsedBytes: 3 << 40, Protocol: "gsiftp"}
+	if err := se.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if se.FreeBytes() != 7<<40 {
+		t.Fatalf("FreeBytes = %d", se.FreeBytes())
+	}
+	se.UsedBytes = se.TotalBytes + 1
+	if err := se.Validate(); err == nil {
+		t.Fatal("overfull SE validated")
+	}
+	se2 := &SE{ID: "x", TotalBytes: 0}
+	if err := se2.Validate(); err == nil {
+		t.Fatal("zero-capacity SE validated")
+	}
+}
+
+func TestSubClusterAttributes(t *testing.T) {
+	sc := &SubCluster{ID: "wn", CPUModel: "P4 Xeon", ClockMHz: 2400, MemoryMB: 1024, NodeCount: 32, CPUsPer: 2}
+	attrs := sc.Attributes()
+	if attrs["GlueSubClusterLogicalCPUs"][0] != "64" {
+		t.Fatalf("logical CPUs = %v", attrs["GlueSubClusterLogicalCPUs"])
+	}
+}

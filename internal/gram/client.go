@@ -1,0 +1,148 @@
+package gram
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/base64"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"grid3/internal/gsi"
+)
+
+// Client is a connection to a real TCP gatekeeper, authenticated with a
+// GSI credential (typically a proxy) — the globus-job-run side.
+type Client struct {
+	conn    net.Conn
+	rw      *bufio.ReadWriter
+	Account string
+}
+
+// ErrServer wraps 4xx/5xx control-channel replies.
+var ErrServer = errors.New("gram: server error")
+
+// Dial connects and authenticates.
+func Dial(addr string, cred *gsi.Credential) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, rw: bufio.NewReadWriter(bufio.NewReader(conn), bufio.NewWriter(conn))}
+	greeting, err := c.readReply()
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	const marker = "nonce="
+	i := strings.Index(greeting, marker)
+	if i < 0 {
+		conn.Close()
+		return nil, fmt.Errorf("gram: greeting missing nonce: %q", greeting)
+	}
+	hexStr := strings.TrimSpace(greeting[i+len(marker):])
+	nonce := make([]byte, len(hexStr)/2)
+	if _, err := fmt.Sscanf(hexStr, "%x", &nonce); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("gram: bad nonce: %w", err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wireBundle{Leaf: cred.Cert, Chain: cred.Chain}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	sig := gsi.SignChallenge(cred, nonce)
+	reply, err := c.command("AUTH %s %s",
+		base64.StdEncoding.EncodeToString(buf.Bytes()),
+		base64.StdEncoding.EncodeToString(sig))
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if i := strings.LastIndex(reply, " "); i >= 0 {
+		c.Account = reply[i+1:]
+	}
+	return c, nil
+}
+
+func (c *Client) readReply() (string, error) {
+	line, err := c.rw.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	line = strings.TrimRight(line, "\r\n")
+	if len(line) < 3 {
+		return "", fmt.Errorf("gram: short reply %q", line)
+	}
+	if line[0] == '4' || line[0] == '5' {
+		return "", fmt.Errorf("%w: %s", ErrServer, line)
+	}
+	return line, nil
+}
+
+func (c *Client) command(format string, args ...any) (string, error) {
+	fmt.Fprintf(c.rw, format+"\r\n", args...)
+	if err := c.rw.Flush(); err != nil {
+		return "", err
+	}
+	return c.readReply()
+}
+
+// Submit starts a job of the given duration and returns its contact ID.
+func (c *Client) Submit(executable string, d time.Duration) (string, error) {
+	reply, err := c.command("SUBMIT %s %d", executable, d.Milliseconds())
+	if err != nil {
+		return "", err
+	}
+	fields := strings.Fields(reply)
+	if len(fields) != 2 {
+		return "", fmt.Errorf("gram: bad submit reply %q", reply)
+	}
+	return fields[1], nil
+}
+
+// Poll returns a job's state string (PENDING/ACTIVE/DONE/FAILED).
+func (c *Client) Poll(id string) (string, error) {
+	reply, err := c.command("POLL %s", id)
+	if err != nil {
+		return "", err
+	}
+	fields := strings.Fields(reply)
+	if len(fields) != 2 {
+		return "", fmt.Errorf("gram: bad poll reply %q", reply)
+	}
+	return fields[1], nil
+}
+
+// WaitDone polls until the job reaches DONE/FAILED or the timeout lapses.
+func (c *Client) WaitDone(id string, timeout time.Duration) (string, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := c.Poll(id)
+		if err != nil {
+			return "", err
+		}
+		if st == "DONE" || st == "FAILED" {
+			return st, nil
+		}
+		if time.Now().After(deadline) {
+			return st, fmt.Errorf("gram: timeout waiting for %s (state %s)", id, st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Cancel terminates a job.
+func (c *Client) Cancel(id string) error {
+	_, err := c.command("CANCEL %s", id)
+	return err
+}
+
+// Close sends QUIT and closes the connection.
+func (c *Client) Close() error {
+	c.command("QUIT")
+	return c.conn.Close()
+}

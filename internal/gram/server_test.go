@@ -1,0 +1,114 @@
+package gram
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"grid3/internal/gsi"
+)
+
+type tcpRig struct {
+	ca    *gsi.CA
+	proxy *gsi.Credential
+	srv   *Server
+	addr  string
+}
+
+func newTCPRig(t *testing.T, slots int) *tcpRig {
+	t.Helper()
+	now := time.Now()
+	ca, err := gsi.NewCA("/CN=Test CA", now.Add(-time.Hour), 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, err := ca.Issue("/OU=People/CN=Grid User", now.Add(-time.Minute), 12*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy, err := gsi.NewProxy(user, now, 6*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm := gsi.NewGridmap()
+	gm.Map(user.Cert.Subject, "usatlas")
+	srv := NewServer(gsi.NewTrustStore(ca.Certificate()), gm, slots)
+	addr, err := srv.Serve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return &tcpRig{ca: ca, proxy: proxy, srv: srv, addr: addr}
+}
+
+func TestTCPSubmitPollDone(t *testing.T) {
+	rig := newTCPRig(t, 2)
+	c, err := Dial(rig.addr, rig.proxy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Account != "usatlas" {
+		t.Fatalf("account = %q", c.Account)
+	}
+	id, err := c.Submit("/bin/athena", 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.WaitDone(id, 2*time.Second)
+	if err != nil || st != "DONE" {
+		t.Fatalf("final state = %s, %v", st, err)
+	}
+}
+
+func TestTCPSlotsQueue(t *testing.T) {
+	rig := newTCPRig(t, 1)
+	c, err := Dial(rig.addr, rig.proxy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	id1, _ := c.Submit("/bin/a", 100*time.Millisecond)
+	id2, _ := c.Submit("/bin/b", 20*time.Millisecond)
+	st2, _ := c.Poll(id2)
+	if st2 != "PENDING" {
+		t.Fatalf("second job state = %s, want PENDING behind the slot", st2)
+	}
+	if st, err := c.WaitDone(id1, 2*time.Second); err != nil || st != "DONE" {
+		t.Fatalf("job1 = %s, %v", st, err)
+	}
+	if st, err := c.WaitDone(id2, 2*time.Second); err != nil || st != "DONE" {
+		t.Fatalf("job2 = %s, %v", st, err)
+	}
+}
+
+func TestTCPCancel(t *testing.T) {
+	rig := newTCPRig(t, 1)
+	c, _ := Dial(rig.addr, rig.proxy)
+	defer c.Close()
+	id, _ := c.Submit("/bin/longjob", 10*time.Second)
+	if err := c.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := c.Poll(id)
+	if st != "FAILED" {
+		t.Fatalf("cancelled state = %s", st)
+	}
+	if err := c.Cancel("gram-404"); !errors.Is(err, ErrServer) {
+		t.Fatalf("cancel unknown err = %v", err)
+	}
+	if _, err := c.Poll("gram-404"); !errors.Is(err, ErrServer) {
+		t.Fatalf("poll unknown err = %v", err)
+	}
+}
+
+func TestTCPUnauthorized(t *testing.T) {
+	rig := newTCPRig(t, 1)
+	stranger, err := rig.ca.Issue("/CN=Stranger", time.Now().Add(-time.Minute), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Dial(rig.addr, stranger); !errors.Is(err, ErrServer) {
+		t.Fatalf("unauthorized dial err = %v", err)
+	}
+}

@@ -1,0 +1,87 @@
+package gridftp
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// EventKind classifies NetLogger events. The paper (§4.7): "NetLogger
+// events were generated at program start, end, and on errors (the default)
+// and for all significant I/O requests (by request)."
+type EventKind int
+
+// NetLogger event kinds.
+const (
+	EventStart EventKind = iota
+	EventEnd
+	EventError
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventStart:
+		return "gridftp.transfer.start"
+	case EventEnd:
+		return "gridftp.transfer.end"
+	case EventError:
+		return "gridftp.transfer.error"
+	}
+	return fmt.Sprintf("gridftp.event.%d", int(k))
+}
+
+// Event is one NetLogger record.
+type Event struct {
+	Kind     EventKind
+	Time     time.Duration // virtual time of the event
+	Transfer *Transfer
+	Err      error
+}
+
+// NetLogger accumulates instrumentation events and can render them in the
+// classic NetLogger "NL" line format.
+type NetLogger struct {
+	Events []Event
+}
+
+// Attach installs the logger on a network and returns it.
+func Attach(n *Network) *NetLogger {
+	nl := &NetLogger{}
+	n.SetLogger(nl.record)
+	return nl
+}
+
+func (nl *NetLogger) record(ev Event) {
+	nl.Events = append(nl.Events, ev)
+}
+
+// Count returns the number of recorded events of a kind.
+func (nl *NetLogger) Count(kind EventKind) int {
+	n := 0
+	for _, e := range nl.Events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteTo renders all events in NetLogger line format:
+//
+//	DATE=<virtual-seconds> HOST=<src> PROG=gridftp NL.EVNT=<kind> DEST=<dst> BYTES=<n>
+func (nl *NetLogger) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	for _, e := range nl.Events {
+		var suffix string
+		if e.Err != nil {
+			suffix = fmt.Sprintf(" ERR=%q", e.Err.Error())
+		}
+		n, err := fmt.Fprintf(w, "DATE=%.3f HOST=%s PROG=gridftp NL.EVNT=%s DEST=%s BYTES=%d%s\n",
+			e.Time.Seconds(), e.Transfer.Src, e.Kind, e.Transfer.Dst, e.Transfer.Bytes, suffix)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,455 @@
+// Package gridftp provides Grid3's bulk data movement: a simulated wide-area
+// network with max–min fair bandwidth sharing for scenario runs, and a real
+// TCP file server/client speaking a GridFTP-like control protocol with GSI
+// authentication for the examples and integration tests.
+//
+// The paper's transfer demonstrator (§6.3) moved more than 2 TB/day between
+// Grid3 sites, nearly 100 TB in the 30 days around SC2003 (Figure 5), using
+// NetLogger-instrumented GridFTP. The simulation models each site's WAN link
+// as a capacity shared by all concurrent transfers touching it, allocating
+// rates by progressive filling (max–min fairness), which is the standard
+// first-order model of long-lived TCP flows over shared links.
+package gridftp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"grid3/internal/sim"
+)
+
+// Errors.
+var (
+	ErrUnknownEndpoint = errors.New("gridftp: unknown endpoint")
+	ErrEndpointDown    = errors.New("gridftp: endpoint down")
+	ErrInterrupted     = errors.New("gridftp: transfer interrupted")
+	ErrBadSize         = errors.New("gridftp: transfer size must be positive")
+	ErrSameEndpoint    = errors.New("gridftp: source and destination are the same endpoint")
+)
+
+// Endpoint is one site's WAN attachment.
+type Endpoint struct {
+	Name        string
+	CapacityBps float64 // bytes per second
+	up          bool
+
+	// Traffic accounting for Figure 5 ("data consumed by Grid3 sites").
+	BytesIn  int64
+	BytesOut int64
+}
+
+// Up reports whether the endpoint is in service.
+func (e *Endpoint) Up() bool { return e.up }
+
+// Transfer is one bulk file movement.
+type Transfer struct {
+	ID    int64
+	Src   string
+	Dst   string
+	Bytes int64
+	// Label tags the transfer for accounting, by convention the VO name.
+	Label string
+
+	Started time.Duration
+	Ended   time.Duration
+
+	remaining  float64
+	rate       float64 // current allocation, bytes/sec
+	lastUpdate time.Duration
+	finish     *sim.Event
+	done       func(*Transfer, error)
+	failed     bool
+}
+
+// Rate returns the transfer's current bandwidth allocation in bytes/sec.
+func (t *Transfer) Rate() float64 { return t.rate }
+
+// Remaining returns bytes not yet moved as of the last rate recomputation.
+func (t *Transfer) Remaining() int64 { return int64(math.Ceil(t.remaining)) }
+
+// Network simulates the Grid3 WAN.
+type Network struct {
+	eng       *sim.Engine
+	endpoints map[string]*Endpoint
+	active    map[int64]*Transfer
+	nextID    int64
+
+	// SetupDelay models connection establishment and GSI handshake
+	// before data flows.
+	SetupDelay time.Duration
+
+	logger func(Event) // NetLogger hook; see netlogger.go
+
+	// rebalancePending coalesces rate recomputations: many transfers
+	// starting or finishing at the same virtual instant trigger a single
+	// progressive-filling pass.
+	rebalancePending bool
+
+	// TotalBytes accumulates completed transfer volume by label.
+	totalByLabel map[string]int64
+	completed    int64
+	failures     int64
+
+	// history logs completed transfers for windowed queries (Figure 5's
+	// "30 days before and after SC2003" accounting).
+	history []CompletedTransfer
+}
+
+// CompletedTransfer is one history row.
+type CompletedTransfer struct {
+	Src, Dst string
+	Label    string
+	Bytes    int64
+	Ended    time.Duration
+}
+
+// NewNetwork creates an empty WAN attached to the engine.
+func NewNetwork(eng *sim.Engine) *Network {
+	return &Network{
+		eng:          eng,
+		endpoints:    make(map[string]*Endpoint),
+		active:       make(map[int64]*Transfer),
+		SetupDelay:   2 * time.Second,
+		totalByLabel: make(map[string]int64),
+	}
+}
+
+// AddEndpoint attaches a site with the given WAN capacity in megabits/s.
+func (n *Network) AddEndpoint(name string, mbps float64) *Endpoint {
+	if mbps <= 0 {
+		panic(fmt.Sprintf("gridftp: endpoint %s capacity %f", name, mbps))
+	}
+	e := &Endpoint{Name: name, CapacityBps: mbps * 1e6 / 8, up: true}
+	n.endpoints[name] = e
+	return e
+}
+
+// Endpoint returns a registered endpoint.
+func (n *Network) Endpoint(name string) (*Endpoint, error) {
+	e, ok := n.endpoints[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownEndpoint, name)
+	}
+	return e, nil
+}
+
+// SetLogger installs the NetLogger event hook.
+func (n *Network) SetLogger(fn func(Event)) { n.logger = fn }
+
+func (n *Network) log(ev Event) {
+	if n.logger != nil {
+		ev.Time = n.eng.Now()
+		n.logger(ev)
+	}
+}
+
+// ActiveCount returns the number of in-flight transfers.
+func (n *Network) ActiveCount() int { return len(n.active) }
+
+// Completed returns the count of successful transfers.
+func (n *Network) Completed() int64 { return n.completed }
+
+// Failures returns the count of failed transfers.
+func (n *Network) Failures() int64 { return n.failures }
+
+// BytesByLabel returns completed bytes per label (VO), a fresh copy.
+func (n *Network) BytesByLabel() map[string]int64 {
+	out := make(map[string]int64, len(n.totalByLabel))
+	for k, v := range n.totalByLabel {
+		out[k] = v
+	}
+	return out
+}
+
+// BytesByLabelWindow returns completed bytes per label within (from, to].
+func (n *Network) BytesByLabelWindow(from, to time.Duration) map[string]int64 {
+	out := make(map[string]int64)
+	for _, h := range n.history {
+		if h.Ended > from && h.Ended <= to {
+			out[h.Label] += h.Bytes
+		}
+	}
+	return out
+}
+
+// BytesInByDstWindow returns completed bytes per destination site within
+// (from, to] — Figure 5's "data consumed by Grid3 sites" view.
+func (n *Network) BytesInByDstWindow(from, to time.Duration) map[string]int64 {
+	out := make(map[string]int64)
+	for _, h := range n.history {
+		if h.Ended > from && h.Ended <= to {
+			out[h.Dst] += h.Bytes
+		}
+	}
+	return out
+}
+
+// History returns the completed-transfer log (live slice; do not mutate).
+func (n *Network) History() []CompletedTransfer { return n.history }
+
+// Start begins a transfer of size bytes from src to dst. done fires exactly
+// once, with nil on success or an error if the transfer was interrupted.
+func (n *Network) Start(src, dst string, size int64, label string, done func(*Transfer, error)) (*Transfer, error) {
+	if size <= 0 {
+		return nil, ErrBadSize
+	}
+	if src == dst {
+		return nil, fmt.Errorf("%w: %s", ErrSameEndpoint, src)
+	}
+	se, ok := n.endpoints[src]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownEndpoint, src)
+	}
+	de, ok := n.endpoints[dst]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownEndpoint, dst)
+	}
+	if !se.up {
+		return nil, fmt.Errorf("%w: %s", ErrEndpointDown, src)
+	}
+	if !de.up {
+		return nil, fmt.Errorf("%w: %s", ErrEndpointDown, dst)
+	}
+	n.nextID++
+	t := &Transfer{
+		ID:        n.nextID,
+		Src:       src,
+		Dst:       dst,
+		Bytes:     size,
+		Label:     label,
+		remaining: float64(size),
+		done:      done,
+	}
+	n.log(Event{Kind: EventStart, Transfer: t})
+	n.eng.Schedule(n.SetupDelay, func() {
+		// The endpoint may have failed during setup.
+		if !se.up || !de.up {
+			n.fail(t, fmt.Errorf("%w during setup", ErrEndpointDown))
+			return
+		}
+		t.Started = n.eng.Now()
+		t.lastUpdate = t.Started
+		n.active[t.ID] = t
+		n.scheduleRebalance()
+	})
+	return t, nil
+}
+
+// SetEndpointUp changes an endpoint's service state. Taking an endpoint
+// down interrupts every transfer touching it (the §6.1 "network
+// interruptions" failure class).
+func (n *Network) SetEndpointUp(name string, up bool) error {
+	e, ok := n.endpoints[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownEndpoint, name)
+	}
+	if e.up == up {
+		return nil
+	}
+	e.up = up
+	if !up {
+		var victims []*Transfer
+		for _, t := range n.active {
+			if t.Src == name || t.Dst == name {
+				victims = append(victims, t)
+			}
+		}
+		sort.Slice(victims, func(i, j int) bool { return victims[i].ID < victims[j].ID })
+		n.settle()
+		for _, t := range victims {
+			n.remove(t)
+			n.fail(t, fmt.Errorf("%w: %s went down", ErrInterrupted, name))
+		}
+		n.rebalanceSettled()
+	}
+	return nil
+}
+
+func (n *Network) fail(t *Transfer, err error) {
+	t.failed = true
+	t.Ended = n.eng.Now()
+	n.failures++
+	n.log(Event{Kind: EventError, Transfer: t, Err: err})
+	if t.done != nil {
+		t.done(t, err)
+	}
+}
+
+func (n *Network) remove(t *Transfer) {
+	delete(n.active, t.ID)
+	if t.finish != nil {
+		n.eng.Cancel(t.finish)
+		t.finish = nil
+	}
+}
+
+// settle advances every active transfer's remaining-byte counter to now at
+// its current rate.
+func (n *Network) settle() {
+	now := n.eng.Now()
+	for _, t := range n.active {
+		dt := (now - t.lastUpdate).Seconds()
+		if dt > 0 {
+			moved := t.rate * dt
+			if moved > t.remaining {
+				moved = t.remaining
+			}
+			t.remaining -= moved
+			t.lastUpdate = now
+		}
+	}
+}
+
+// scheduleRebalance coalesces recomputation to the end of the current
+// virtual instant: simultaneous starts/finishes cost one filling pass.
+func (n *Network) scheduleRebalance() {
+	if n.rebalancePending {
+		return
+	}
+	n.rebalancePending = true
+	n.eng.Schedule(0, func() {
+		n.rebalancePending = false
+		n.rebalance()
+	})
+}
+
+// rebalance settles progress and recomputes all rates.
+func (n *Network) rebalance() {
+	n.settle()
+	n.rebalanceSettled()
+}
+
+// rebalanceSettled assigns max–min fair rates by progressive filling and
+// reschedules completion events.
+func (n *Network) rebalanceSettled() {
+	if len(n.active) == 0 {
+		return
+	}
+	// Remaining capacity and unfrozen-transfer count per endpoint.
+	remCap := make(map[string]float64)
+	count := make(map[string]int)
+	unfrozen := make(map[int64]*Transfer, len(n.active))
+	for id, t := range n.active {
+		unfrozen[id] = t
+		count[t.Src]++
+		count[t.Dst]++
+	}
+	for name := range count {
+		remCap[name] = n.endpoints[name].CapacityBps
+	}
+
+	// Deterministic ID order for the freezing passes.
+	ids := make([]int64, 0, len(unfrozen))
+	for id := range unfrozen {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	names := make([]string, 0, len(count))
+	for name := range count {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	newRates := make(map[int64]float64, len(ids))
+	for len(unfrozen) > 0 {
+		// Find the bottleneck endpoint: minimum per-transfer share.
+		bottleneck := ""
+		best := math.Inf(1)
+		for _, name := range names {
+			if count[name] <= 0 {
+				continue
+			}
+			share := remCap[name] / float64(count[name])
+			if share < best {
+				best = share
+				bottleneck = name
+			}
+		}
+		if bottleneck == "" {
+			break
+		}
+		// Freeze every unfrozen transfer touching the bottleneck.
+		for _, id := range ids {
+			t, ok := unfrozen[id]
+			if !ok || (t.Src != bottleneck && t.Dst != bottleneck) {
+				continue
+			}
+			newRates[id] = best
+			delete(unfrozen, id)
+			remCap[t.Src] -= best
+			remCap[t.Dst] -= best
+			count[t.Src]--
+			count[t.Dst]--
+		}
+	}
+
+	// Reschedule completion events — but only for transfers whose rate
+	// actually changed: with an unchanged rate, the previously scheduled
+	// absolute finish time is still exact.
+	now := n.eng.Now()
+	for _, id := range ids {
+		t := n.active[id]
+		if t == nil {
+			continue
+		}
+		rate := newRates[id]
+		if t.finish != nil && !t.finish.Cancelled() && rateClose(rate, t.rate) {
+			continue
+		}
+		t.rate = rate
+		if t.finish != nil {
+			n.eng.Cancel(t.finish)
+			t.finish = nil
+		}
+		if t.rate <= 0 {
+			continue // starved; rescheduled on the next rebalance
+		}
+		secs := t.remaining / t.rate
+		tt := t
+		t.finish = n.eng.At(now+time.Duration(secs*float64(time.Second))+1, func() {
+			n.complete(tt)
+		})
+	}
+}
+
+// rateClose reports whether two rates agree to within rounding noise.
+func rateClose(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	return diff <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func (n *Network) complete(t *Transfer) {
+	t.finish = nil // this event has fired
+	n.settle()
+	if t.remaining > 0.5 {
+		// Rounding left a sliver; finish it at the current rate.
+		if t.rate > 0 {
+			secs := t.remaining / t.rate
+			tt := t
+			t.finish = n.eng.Schedule(time.Duration(secs*float64(time.Second))+1, func() {
+				n.complete(tt)
+			})
+		}
+		return
+	}
+	n.remove(t)
+	t.Ended = n.eng.Now()
+	n.completed++
+	n.totalByLabel[t.Label] += t.Bytes
+	n.endpoints[t.Src].BytesOut += t.Bytes
+	n.endpoints[t.Dst].BytesIn += t.Bytes
+	n.history = append(n.history, CompletedTransfer{
+		Src: t.Src, Dst: t.Dst, Label: t.Label, Bytes: t.Bytes, Ended: t.Ended,
+	})
+	n.log(Event{Kind: EventEnd, Transfer: t})
+	if t.done != nil {
+		t.done(t, nil)
+	}
+	n.scheduleRebalance()
+}

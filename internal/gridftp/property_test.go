@@ -1,0 +1,86 @@
+package gridftp
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"grid3/internal/sim"
+)
+
+// TestMaxMinAllocationProperty: after any set of simultaneous transfers is
+// admitted, (1) no endpoint's aggregate rate exceeds its capacity, and
+// (2) every flow is bottlenecked somewhere: each flow touches at least one
+// endpoint that is saturated (within rounding), which is the defining
+// property of a max-min fair allocation.
+func TestMaxMinAllocationProperty(t *testing.T) {
+	f := func(caps []uint8, pairs []uint16) bool {
+		nEndpoints := len(caps)%6 + 2
+		eng := sim.NewEngine(sim.Grid3Epoch)
+		n := NewNetwork(eng)
+		n.SetupDelay = 0
+		capacity := make([]float64, nEndpoints)
+		for i := 0; i < nEndpoints; i++ {
+			mbps := 10.0
+			if i < len(caps) {
+				mbps = float64(caps[i]%200) + 10
+			}
+			capacity[i] = mbps * 1e6 / 8
+			n.AddEndpoint(fmt.Sprintf("e%d", i), mbps)
+		}
+		var flows []*Transfer
+		for i, p := range pairs {
+			if i >= 24 {
+				break
+			}
+			src := int(p) % nEndpoints
+			dst := int(p>>4) % nEndpoints
+			if src == dst {
+				continue
+			}
+			tr, err := n.Start(fmt.Sprintf("e%d", src), fmt.Sprintf("e%d", dst), 1<<40, "x", nil)
+			if err != nil {
+				return false
+			}
+			flows = append(flows, tr)
+		}
+		// Let the admissions and the coalesced rebalance fire.
+		eng.RunUntil(time.Millisecond)
+		if len(flows) == 0 {
+			return true
+		}
+		load := make([]float64, nEndpoints)
+		for _, tr := range flows {
+			if tr.Rate() < 0 {
+				return false
+			}
+			var s, d int
+			fmt.Sscanf(tr.Src, "e%d", &s)
+			fmt.Sscanf(tr.Dst, "e%d", &d)
+			load[s] += tr.Rate()
+			load[d] += tr.Rate()
+		}
+		const tol = 1.0001
+		for i := range load {
+			if load[i] > capacity[i]*tol {
+				return false
+			}
+		}
+		// Bottleneck property.
+		for _, tr := range flows {
+			var s, d int
+			fmt.Sscanf(tr.Src, "e%d", &s)
+			fmt.Sscanf(tr.Dst, "e%d", &d)
+			srcSat := load[s] > capacity[s]/tol-1
+			dstSat := load[d] > capacity[d]/tol-1
+			if !srcSat && !dstSat {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,238 @@
+package gridftp
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"grid3/internal/gsi"
+)
+
+// testRig spins up a CA, an authorized user proxy, and a server.
+type testRig struct {
+	ca     *gsi.CA
+	user   *gsi.Credential
+	proxy  *gsi.Credential
+	server *Server
+	addr   string
+}
+
+func newRig(t *testing.T) *testRig {
+	t.Helper()
+	now := time.Now()
+	ca, err := gsi.NewCA("/CN=Test CA", now.Add(-time.Hour), 100*24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, err := ca.Issue("/OU=People/CN=Transfer User", now.Add(-time.Hour), 30*24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy, err := gsi.NewProxy(user, now, 12*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm := gsi.NewGridmap()
+	gm.Map(user.Cert.Subject, "ivdgl")
+	srv := NewServer(NewFileStore(1<<20), gsi.NewTrustStore(ca.Certificate()), gm)
+	addr, err := srv.Serve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return &testRig{ca: ca, user: user, proxy: proxy, server: srv, addr: addr}
+}
+
+func TestRealTransferRoundTrip(t *testing.T) {
+	rig := newRig(t)
+	c, err := Dial(rig.addr, rig.proxy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Account != "ivdgl" {
+		t.Fatalf("mapped account = %q", c.Account)
+	}
+	payload := bytes.Repeat([]byte("grid3-data-"), 1000)
+	if err := c.Put("/data/run42.sft", payload); err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.Size("/data/run42.sft")
+	if err != nil || n != int64(len(payload)) {
+		t.Fatalf("Size = %d, %v", n, err)
+	}
+	got, err := c.Get("/data/run42.sft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("round-trip corrupted data")
+	}
+	if err := c.Delete("/data/run42.sft"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Size("/data/run42.sft"); !errors.Is(err, ErrServer) {
+		t.Fatalf("size after delete err = %v", err)
+	}
+}
+
+func TestUnauthorizedUserRejected(t *testing.T) {
+	rig := newRig(t)
+	stranger, err := rig.ca.Issue("/CN=Stranger", time.Now().Add(-time.Minute), 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Dial(rig.addr, stranger); !errors.Is(err, ErrServer) {
+		t.Fatalf("unauthorized dial err = %v", err)
+	}
+}
+
+func TestUntrustedCARejected(t *testing.T) {
+	rig := newRig(t)
+	rogue, _ := gsi.NewCA("/CN=Rogue", time.Now().Add(-time.Hour), 24*time.Hour)
+	mallory, _ := rogue.Issue("/OU=People/CN=Transfer User", time.Now().Add(-time.Minute), 12*time.Hour)
+	if _, err := Dial(rig.addr, mallory); !errors.Is(err, ErrServer) {
+		t.Fatalf("rogue-CA dial err = %v", err)
+	}
+}
+
+func TestExpiredProxyRejected(t *testing.T) {
+	rig := newRig(t)
+	// A proxy created within the signer's validity but already expired.
+	old, err := gsi.NewProxy(rig.user, time.Now().Add(-50*time.Minute), 20*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Dial(rig.addr, old); !errors.Is(err, ErrServer) {
+		t.Fatalf("expired proxy dial err = %v", err)
+	}
+}
+
+func TestServerDiskFull(t *testing.T) {
+	rig := newRig(t)
+	c, err := Dial(rig.addr, rig.proxy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	big := make([]byte, 1<<20+1)
+	if err := c.Put("/too-big", big); !errors.Is(err, ErrServer) {
+		t.Fatalf("over-capacity put err = %v", err)
+	}
+	// The session survives the error.
+	if err := c.Put("/fits", make([]byte, 1024)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	rig := newRig(t)
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(rig.addr, rig.proxy)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			name := fmt.Sprintf("/f%d", i)
+			data := bytes.Repeat([]byte{byte(i)}, 4096)
+			if err := c.Put(name, data); err != nil {
+				errs <- err
+				return
+			}
+			got, err := c.Get(name)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(got, data) {
+				errs <- fmt.Errorf("worker %d: data mismatch", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if used := rig.server.Store.Used(); used != workers*4096 {
+		t.Fatalf("store used = %d", used)
+	}
+}
+
+func TestFileStoreOverwriteAccounting(t *testing.T) {
+	fs := NewFileStore(100)
+	if err := fs.Put("a", make([]byte, 80)); err != nil {
+		t.Fatal(err)
+	}
+	// Overwriting with a smaller file must release the difference.
+	if err := fs.Put("a", make([]byte, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Used() != 10 {
+		t.Fatalf("used = %d", fs.Used())
+	}
+	if err := fs.Put("b", make([]byte, 90)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Put("c", []byte{1}); err == nil {
+		t.Fatal("over-capacity put succeeded")
+	}
+	if !fs.Delete("b") || fs.Delete("b") {
+		t.Fatal("delete semantics wrong")
+	}
+}
+
+func TestThirdPartyTransfer(t *testing.T) {
+	rig := newRig(t)
+	// Source server gets a host credential that the destination trusts.
+	hostCred, err := rig.ca.Issue("/OU=Services/CN=gridftp/src.example.org", time.Now().Add(-time.Minute), 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig.server.HostCred = hostCred
+
+	dstMap := gsi.NewGridmap()
+	dstMap.Map(hostCred.Cert.Subject, "gftp")
+	dst := NewServer(NewFileStore(1<<20), gsi.NewTrustStore(rig.ca.Certificate()), dstMap)
+	dstAddr, err := dst.Serve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+
+	c, err := Dial(rig.addr, rig.proxy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	payload := bytes.Repeat([]byte("xyz"), 5000)
+	if err := c.Put("/data/relay.bin", payload); err != nil {
+		t.Fatal(err)
+	}
+	// Client-initiated server-to-server push.
+	if err := c.SendTo("/data/relay.bin", dstAddr); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := dst.Store.Get("/data/relay.bin")
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatal("third-party copy corrupted or missing")
+	}
+	// Missing file and unauthorized host both fail cleanly.
+	if err := c.SendTo("/data/ghost", dstAddr); !errors.Is(err, ErrServer) {
+		t.Fatalf("missing-file relay err = %v", err)
+	}
+	rig.server.HostCred = nil
+	if err := c.SendTo("/data/relay.bin", dstAddr); !errors.Is(err, ErrServer) {
+		t.Fatalf("disabled relay err = %v", err)
+	}
+}

@@ -1,0 +1,28 @@
+package gsi
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkVerifyProxyChain measures the per-connection auth cost a
+// gatekeeper pays: full chain validation of a delegated proxy.
+func BenchmarkVerifyProxyChain(b *testing.B) {
+	t0 := time.Date(2003, time.October, 23, 0, 0, 0, 0, time.UTC)
+	ca, err := NewCA("/CN=Bench CA", t0, 10*365*24*time.Hour)
+	if err != nil {
+		b.Fatal(err)
+	}
+	user, _ := ca.Issue("/CN=bench user", t0, 365*24*time.Hour)
+	proxy, _ := NewProxy(user, t0, 12*time.Hour)
+	deleg, _ := NewProxy(proxy, t0, 6*time.Hour)
+	store := NewTrustStore(ca.Certificate())
+	at := t0.Add(time.Hour)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := store.VerifyCredential(deleg, at); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

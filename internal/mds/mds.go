@@ -1,0 +1,300 @@
+// Package mds implements the Globus Monitoring and Discovery Service as
+// deployed on Grid3: a GRIS (resource-level information server) per site,
+// per-VO GIIS index servers, and the top-level iGOC index (§5.1, §5.2).
+//
+// Information flows by soft-state registration: a GRIS registers with one
+// or more GIISes and must re-register before its TTL expires, otherwise the
+// index drops it. Queries against an index fan out to the live registrants;
+// cached entries are served within a bounded staleness window, matching
+// MDS-2 behavior where a slow site would serve stale data rather than block
+// the whole grid view.
+package mds
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"grid3/internal/sim"
+)
+
+// Errors.
+var (
+	ErrNoSuchSource = errors.New("mds: no such registered source")
+)
+
+// Entry is one directory record: a distinguished name plus multi-valued
+// attributes, stamped with the virtual time it was produced.
+type Entry struct {
+	DN       string
+	Attrs    map[string][]string
+	Produced time.Duration
+}
+
+// Get returns the first value of an attribute, or "".
+func (e Entry) Get(name string) string {
+	vs := e.Attrs[name]
+	if len(vs) == 0 {
+		return ""
+	}
+	return vs[0]
+}
+
+// GetInt parses the first value of an attribute as an integer; 0 if absent
+// or malformed (MDS consumers were famously tolerant).
+func (e Entry) GetInt(name string) int64 {
+	v, err := strconv.ParseInt(e.Get(name), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// Has reports whether the attribute holds the given value.
+func (e Entry) Has(name, value string) bool {
+	for _, v := range e.Attrs[name] {
+		if v == value {
+			return true
+		}
+	}
+	return false
+}
+
+// Source produces directory entries on demand; a site GRIS wraps its
+// information providers as Sources.
+type Source interface {
+	// Name identifies the source for registration bookkeeping.
+	Name() string
+	// Entries returns the source's current records.
+	Entries() []Entry
+}
+
+// ProviderFunc adapts a closure into a Source.
+type ProviderFunc struct {
+	ID string
+	Fn func() []Entry
+}
+
+// Name implements Source.
+func (p ProviderFunc) Name() string { return p.ID }
+
+// Entries implements Source.
+func (p ProviderFunc) Entries() []Entry { return p.Fn() }
+
+// Filter selects entries in a query.
+type Filter func(Entry) bool
+
+// All matches every entry.
+func All() Filter { return func(Entry) bool { return true } }
+
+// Eq matches entries whose attribute holds the value.
+func Eq(attr, value string) Filter {
+	return func(e Entry) bool { return e.Has(attr, value) }
+}
+
+// Ge matches entries whose integer attribute is >= n.
+func Ge(attr string, n int64) Filter {
+	return func(e Entry) bool { return e.GetInt(attr) >= n }
+}
+
+// Present matches entries that carry the attribute at all.
+func Present(attr string) Filter {
+	return func(e Entry) bool { return len(e.Attrs[attr]) > 0 }
+}
+
+// And conjoins filters.
+func And(fs ...Filter) Filter {
+	return func(e Entry) bool {
+		for _, f := range fs {
+			if !f(e) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Or disjoins filters.
+func Or(fs ...Filter) Filter {
+	return func(e Entry) bool {
+		for _, f := range fs {
+			if f(e) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Not negates a filter.
+func Not(f Filter) Filter {
+	return func(e Entry) bool { return !f(e) }
+}
+
+// GRIS is a site's resource information server. It aggregates local
+// information providers and stamps entries with production time.
+type GRIS struct {
+	name      string
+	clock     sim.Clock
+	providers []Source
+}
+
+// NewGRIS creates a site GRIS.
+func NewGRIS(name string, clock sim.Clock) *GRIS {
+	return &GRIS{name: name, clock: clock}
+}
+
+// Name implements Source.
+func (g *GRIS) Name() string { return g.name }
+
+// AddProvider attaches an information provider.
+func (g *GRIS) AddProvider(p Source) { g.providers = append(g.providers, p) }
+
+// Entries implements Source by concatenating all providers' entries.
+func (g *GRIS) Entries() []Entry {
+	var out []Entry
+	now := g.clock.Now()
+	for _, p := range g.providers {
+		for _, e := range p.Entries() {
+			if e.Produced == 0 {
+				e.Produced = now
+			}
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// registration tracks one soft-state child of a GIIS.
+type registration struct {
+	src      Source
+	lastSeen time.Duration
+	ttl      time.Duration
+	cache    []Entry
+	cachedAt time.Duration
+	hasCache bool
+}
+
+// GIIS is an index server: VO-level or the top-level iGOC index. Children
+// register with a TTL and refresh by re-registering; queries consult live
+// children and fall back to bounded-staleness caches.
+type GIIS struct {
+	name     string
+	clock    sim.Clock
+	children map[string]*registration
+	// CacheTTL bounds how stale a served cache may be; zero disables
+	// caching (every query hits every source).
+	CacheTTL time.Duration
+}
+
+// NewGIIS creates an index server.
+func NewGIIS(name string, clock sim.Clock) *GIIS {
+	return &GIIS{
+		name:     name,
+		clock:    clock,
+		children: make(map[string]*registration),
+		CacheTTL: 2 * time.Minute,
+	}
+}
+
+// Name implements Source, letting GIISes register up the hierarchy
+// (site GRIS → VO GIIS → iGOC GIIS).
+func (g *GIIS) Name() string { return g.name }
+
+// Register adds or refreshes a child with the given soft-state TTL.
+func (g *GIIS) Register(src Source, ttl time.Duration) {
+	reg, ok := g.children[src.Name()]
+	if !ok {
+		reg = &registration{src: src}
+		g.children[src.Name()] = reg
+	}
+	reg.src = src
+	reg.lastSeen = g.clock.Now()
+	reg.ttl = ttl
+}
+
+// Refresh renews a child's registration without replacing the source.
+func (g *GIIS) Refresh(name string) error {
+	reg, ok := g.children[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchSource, name)
+	}
+	reg.lastSeen = g.clock.Now()
+	return nil
+}
+
+// Deregister removes a child immediately.
+func (g *GIIS) Deregister(name string) {
+	delete(g.children, name)
+}
+
+// alive reports whether a registration is within its TTL.
+func (g *GIIS) alive(reg *registration) bool {
+	return g.clock.Now()-reg.lastSeen <= reg.ttl
+}
+
+// Registered returns the names of children whose registration is live.
+func (g *GIIS) Registered() []string {
+	var out []string
+	for name, reg := range g.children {
+		if g.alive(reg) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Entries implements Source: a full-scope query.
+func (g *GIIS) Entries() []Entry {
+	return g.Query(All())
+}
+
+// Query returns entries from all live children matching the filter.
+// Results are gathered in sorted child order for determinism.
+func (g *GIIS) Query(f Filter) []Entry {
+	var out []Entry
+	now := g.clock.Now()
+	names := make([]string, 0, len(g.children))
+	for name := range g.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		reg := g.children[name]
+		if !g.alive(reg) {
+			continue
+		}
+		var entries []Entry
+		if g.CacheTTL > 0 && reg.hasCache && now-reg.cachedAt <= g.CacheTTL {
+			entries = reg.cache
+		} else {
+			entries = reg.src.Entries()
+			reg.cache = entries
+			reg.cachedAt = now
+			reg.hasCache = true
+		}
+		for _, e := range entries {
+			if f(e) {
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}
+
+// QueryOne returns the single entry matching the filter, or an error if
+// zero or multiple match.
+func (g *GIIS) QueryOne(f Filter) (Entry, error) {
+	es := g.Query(f)
+	switch len(es) {
+	case 0:
+		return Entry{}, fmt.Errorf("mds: no entry matches")
+	case 1:
+		return es[0], nil
+	default:
+		return Entry{}, fmt.Errorf("mds: %d entries match, want 1", len(es))
+	}
+}

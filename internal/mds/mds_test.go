@@ -1,0 +1,186 @@
+package mds
+
+import (
+	"testing"
+	"time"
+
+	"grid3/internal/sim"
+)
+
+func staticSource(name string, entries ...Entry) Source {
+	return ProviderFunc{ID: name, Fn: func() []Entry { return entries }}
+}
+
+func entry(dn string, kv ...string) Entry {
+	e := Entry{DN: dn, Attrs: map[string][]string{}}
+	for i := 0; i+1 < len(kv); i += 2 {
+		e.Attrs[kv[i]] = append(e.Attrs[kv[i]], kv[i+1])
+	}
+	return e
+}
+
+func TestGRISAggregatesProviders(t *testing.T) {
+	eng := sim.NewEngine(sim.Grid3Epoch)
+	g := NewGRIS("uc-gris", eng)
+	g.AddProvider(staticSource("ce", entry("ce=uc", "GlueCEUniqueID", "uc/jobmanager-pbs")))
+	g.AddProvider(staticSource("se", entry("se=uc", "GlueSEUniqueID", "se.uc.edu")))
+	eng.RunUntil(time.Hour)
+	es := g.Entries()
+	if len(es) != 2 {
+		t.Fatalf("entries = %d, want 2", len(es))
+	}
+	for _, e := range es {
+		if e.Produced != time.Hour {
+			t.Fatalf("Produced = %v, want stamped with now", e.Produced)
+		}
+	}
+	if g.Name() != "uc-gris" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestGIISSoftStateExpiry(t *testing.T) {
+	eng := sim.NewEngine(sim.Grid3Epoch)
+	idx := NewGIIS("ivdgl-giis", eng)
+	idx.Register(staticSource("site-a", entry("a", "GlueSiteName", "A")), 10*time.Minute)
+	if got := len(idx.Query(All())); got != 1 {
+		t.Fatalf("initial query = %d entries", got)
+	}
+	// Past TTL without refresh: dropped.
+	eng.RunUntil(11 * time.Minute)
+	if got := len(idx.Query(All())); got != 0 {
+		t.Fatalf("expired source still served %d entries", got)
+	}
+	if names := idx.Registered(); len(names) != 0 {
+		t.Fatalf("Registered = %v after expiry", names)
+	}
+	// Refresh resurrects it.
+	if err := idx.Refresh("site-a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(idx.Query(All())); got != 1 {
+		t.Fatalf("refreshed source served %d entries", got)
+	}
+	if err := idx.Refresh("nonexistent"); err == nil {
+		t.Fatal("refresh of unknown source succeeded")
+	}
+}
+
+func TestGIISDeregister(t *testing.T) {
+	eng := sim.NewEngine(sim.Grid3Epoch)
+	idx := NewGIIS("g", eng)
+	idx.Register(staticSource("s", entry("x")), time.Hour)
+	idx.Deregister("s")
+	if len(idx.Query(All())) != 0 {
+		t.Fatal("deregistered source still served")
+	}
+}
+
+func TestGIISCaching(t *testing.T) {
+	eng := sim.NewEngine(sim.Grid3Epoch)
+	idx := NewGIIS("g", eng)
+	calls := 0
+	src := ProviderFunc{ID: "s", Fn: func() []Entry {
+		calls++
+		return []Entry{entry("x", "A", "1")}
+	}}
+	idx.Register(src, 24*time.Hour)
+	idx.CacheTTL = 2 * time.Minute
+
+	idx.Query(All())
+	idx.Query(All()) // served from cache
+	if calls != 1 {
+		t.Fatalf("source called %d times, want 1 (cache hit)", calls)
+	}
+	eng.RunUntil(3 * time.Minute)
+	idx.Query(All()) // cache stale, re-fetched
+	if calls != 2 {
+		t.Fatalf("source called %d times after cache expiry, want 2", calls)
+	}
+
+	// Disabling the cache hits the source each query.
+	idx.CacheTTL = 0
+	idx.Query(All())
+	idx.Query(All())
+	if calls != 4 {
+		t.Fatalf("source called %d times with caching off, want 4", calls)
+	}
+}
+
+func TestHierarchy(t *testing.T) {
+	// site GRIS → VO GIIS → iGOC GIIS, the §5.1 registration chain.
+	eng := sim.NewEngine(sim.Grid3Epoch)
+	gris := NewGRIS("uc-gris", eng)
+	gris.AddProvider(staticSource("ce",
+		entry("ce=uc", "GlueSiteName", "UC", "GlueCEStateFreeCPUs", "12")))
+	voGIIS := NewGIIS("usatlas-giis", eng)
+	voGIIS.Register(gris, time.Hour)
+	top := NewGIIS("igoc-giis", eng)
+	top.Register(voGIIS, time.Hour)
+
+	es := top.Query(Eq("GlueSiteName", "UC"))
+	if len(es) != 1 {
+		t.Fatalf("top-level query found %d entries", len(es))
+	}
+	if es[0].GetInt("GlueCEStateFreeCPUs") != 12 {
+		t.Fatalf("FreeCPUs = %d", es[0].GetInt("GlueCEStateFreeCPUs"))
+	}
+}
+
+func TestFilters(t *testing.T) {
+	e := entry("x", "VO", "usatlas", "VO", "ivdgl", "FreeCPUs", "5")
+	if !Eq("VO", "ivdgl")(e) || Eq("VO", "uscms")(e) {
+		t.Fatal("Eq wrong")
+	}
+	if !Ge("FreeCPUs", 5)(e) || Ge("FreeCPUs", 6)(e) {
+		t.Fatal("Ge wrong")
+	}
+	if !Present("VO")(e) || Present("Missing")(e) {
+		t.Fatal("Present wrong")
+	}
+	if !And(Eq("VO", "usatlas"), Ge("FreeCPUs", 1))(e) {
+		t.Fatal("And wrong")
+	}
+	if !Or(Eq("VO", "uscms"), Ge("FreeCPUs", 1))(e) {
+		t.Fatal("Or wrong")
+	}
+	if Not(Present("VO"))(e) {
+		t.Fatal("Not wrong")
+	}
+	if e.GetInt("VO") != 0 {
+		t.Fatal("GetInt of non-numeric should be 0")
+	}
+	if e.Get("Missing") != "" {
+		t.Fatal("Get of missing attr should be empty")
+	}
+}
+
+func TestQueryOne(t *testing.T) {
+	eng := sim.NewEngine(sim.Grid3Epoch)
+	idx := NewGIIS("g", eng)
+	idx.Register(staticSource("s",
+		entry("a", "Site", "A"),
+		entry("b", "Site", "B"),
+		entry("b2", "Site", "B"),
+	), time.Hour)
+	if _, err := idx.QueryOne(Eq("Site", "A")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.QueryOne(Eq("Site", "B")); err == nil {
+		t.Fatal("QueryOne with 2 matches succeeded")
+	}
+	if _, err := idx.QueryOne(Eq("Site", "C")); err == nil {
+		t.Fatal("QueryOne with 0 matches succeeded")
+	}
+}
+
+func TestQueryDeterministicOrder(t *testing.T) {
+	eng := sim.NewEngine(sim.Grid3Epoch)
+	idx := NewGIIS("g", eng)
+	idx.Register(staticSource("zeta", entry("z")), time.Hour)
+	idx.Register(staticSource("alpha", entry("a")), time.Hour)
+	es := idx.Query(All())
+	if len(es) != 2 || es[0].DN != "a" || es[1].DN != "z" {
+		t.Fatalf("query order not deterministic by source name: %+v", es)
+	}
+}

@@ -1,0 +1,48 @@
+package mdviewer
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WriteCSV renders the plot as CSV: a header of series names, then one row
+// per X label. NaN renders as an empty cell. This is the export path the
+// real MDViewer offered alongside its predefined plots.
+func (p *Plot) WriteCSV(w io.Writer) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	cols := make([]string, 0, len(p.Series)+1)
+	cols = append(cols, "t")
+	for _, s := range p.Series {
+		cols = append(cols, csvEscape(s.Name))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for i, label := range p.XLabels {
+		row := make([]string, 0, len(p.Series)+1)
+		row = append(row, csvEscape(label))
+		for _, s := range p.Series {
+			v := s.Values[i]
+			if math.IsNaN(v) {
+				row = append(row, "")
+			} else {
+				row = append(row, fmt.Sprintf("%g", v))
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}

@@ -1,0 +1,190 @@
+// Package mdviewer implements the Metrics Data Viewer (MDViewer) of §5.2:
+// "analysis and display of collected metrics information ... an API for
+// manipulating, comparing and viewing information and a set of predefined
+// plots, parametric in arbitrary time intervals, sites and VOs, tailored
+// to Grid2003 needs."
+//
+// Plots render as aligned text tables and horizontal bar charts — the
+// medium through which the benchmark harness reproduces Figures 2-6.
+package mdviewer
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// ErrRagged reports series of unequal length.
+var ErrRagged = errors.New("mdviewer: series lengths disagree")
+
+// Series is one named line of a plot.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Total sums the series.
+func (s Series) Total() float64 {
+	t := 0.0
+	for _, v := range s.Values {
+		if !math.IsNaN(v) {
+			t += v
+		}
+	}
+	return t
+}
+
+// Plot is a parametric multi-series view.
+type Plot struct {
+	Title   string
+	Unit    string
+	XLabels []string
+	Series  []Series
+}
+
+// Validate checks label/series agreement.
+func (p *Plot) Validate() error {
+	for _, s := range p.Series {
+		if len(s.Values) != len(p.XLabels) {
+			return fmt.Errorf("%w: %s has %d values for %d labels",
+				ErrRagged, s.Name, len(s.Values), len(p.XLabels))
+		}
+	}
+	return nil
+}
+
+// Cumulative returns a running-sum transform of the plot (the Figure 2
+// "integrated" view of a differential series).
+func (p *Plot) Cumulative() *Plot {
+	out := &Plot{
+		Title:   p.Title + " (cumulative)",
+		Unit:    p.Unit,
+		XLabels: append([]string(nil), p.XLabels...),
+	}
+	for _, s := range p.Series {
+		cum := make([]float64, len(s.Values))
+		run := 0.0
+		for i, v := range s.Values {
+			if !math.IsNaN(v) {
+				run += v
+			}
+			cum[i] = run
+		}
+		out.Series = append(out.Series, Series{Name: s.Name, Values: cum})
+	}
+	return out
+}
+
+// SortSeriesByTotal orders series by descending total (the paper's plots
+// stack the largest consumer on top).
+func (p *Plot) SortSeriesByTotal() {
+	sort.SliceStable(p.Series, func(i, j int) bool {
+		return p.Series[i].Total() > p.Series[j].Total()
+	})
+}
+
+// WriteTable renders the plot as an aligned table: one row per X label,
+// one column per series, plus a TOTAL column.
+func (p *Plot) WriteTable(w io.Writer) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s", p.Title)
+	if p.Unit != "" {
+		fmt.Fprintf(w, " [%s]", p.Unit)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-14s", "")
+	for _, s := range p.Series {
+		fmt.Fprintf(w, " %14s", truncate(s.Name, 14))
+	}
+	fmt.Fprintf(w, " %14s\n", "TOTAL")
+	for i, label := range p.XLabels {
+		fmt.Fprintf(w, "%-14s", truncate(label, 14))
+		rowTotal := 0.0
+		for _, s := range p.Series {
+			v := s.Values[i]
+			if math.IsNaN(v) {
+				fmt.Fprintf(w, " %14s", "-")
+				continue
+			}
+			rowTotal += v
+			fmt.Fprintf(w, " %14.1f", v)
+		}
+		fmt.Fprintf(w, " %14.1f\n", rowTotal)
+	}
+	return nil
+}
+
+// BarChart renders name→value pairs as a horizontal bar chart, descending,
+// scaled to width characters.
+func BarChart(w io.Writer, title, unit string, values map[string]float64, width int) {
+	if width <= 0 {
+		width = 40
+	}
+	type kv struct {
+		k string
+		v float64
+	}
+	items := make([]kv, 0, len(values))
+	max := 0.0
+	for k, v := range values {
+		items = append(items, kv{k, v})
+		if v > max {
+			max = v
+		}
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].v != items[j].v {
+			return items[i].v > items[j].v
+		}
+		return items[i].k < items[j].k
+	})
+	fmt.Fprintf(w, "%s", title)
+	if unit != "" {
+		fmt.Fprintf(w, " [%s]", unit)
+	}
+	fmt.Fprintln(w)
+	for _, it := range items {
+		n := 0
+		if max > 0 {
+			n = int(math.Round(it.v / max * float64(width)))
+		}
+		fmt.Fprintf(w, "  %-22s %12.1f %s\n", truncate(it.k, 22), it.v, strings.Repeat("#", n))
+	}
+}
+
+// Histogram renders labeled counts (Figure 6's jobs-by-month bars).
+func Histogram(w io.Writer, title string, labels []string, counts []int, width int) error {
+	if len(labels) != len(counts) {
+		return fmt.Errorf("%w: %d labels, %d counts", ErrRagged, len(labels), len(counts))
+	}
+	if width <= 0 {
+		width = 40
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	fmt.Fprintln(w, title)
+	for i, label := range labels {
+		n := 0
+		if max > 0 {
+			n = int(math.Round(float64(counts[i]) / float64(max) * float64(width)))
+		}
+		fmt.Fprintf(w, "  %-10s %9d %s\n", label, counts[i], strings.Repeat("#", n))
+	}
+	return nil
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

@@ -1,0 +1,172 @@
+package mdviewer
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func samplePlot() *Plot {
+	return &Plot{
+		Title:   "CPU usage by VO",
+		Unit:    "CPU-days",
+		XLabels: []string{"day1", "day2", "day3"},
+		Series: []Series{
+			{Name: "uscms", Values: []float64{10, 20, 30}},
+			{Name: "usatlas", Values: []float64{5, 5, 5}},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := samplePlot()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p.Series[0].Values = p.Series[0].Values[:2]
+	if err := p.Validate(); !errors.Is(err, ErrRagged) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCumulative(t *testing.T) {
+	c := samplePlot().Cumulative()
+	want := []float64{10, 30, 60}
+	for i, v := range c.Series[0].Values {
+		if v != want[i] {
+			t.Fatalf("cumulative = %v", c.Series[0].Values)
+		}
+	}
+	if !strings.Contains(c.Title, "cumulative") {
+		t.Fatal("title not marked")
+	}
+}
+
+func TestCumulativeSkipsNaN(t *testing.T) {
+	p := &Plot{
+		XLabels: []string{"a", "b", "c"},
+		Series:  []Series{{Name: "s", Values: []float64{1, math.NaN(), 2}}},
+	}
+	c := p.Cumulative()
+	got := c.Series[0].Values
+	if got[0] != 1 || got[1] != 1 || got[2] != 3 {
+		t.Fatalf("cumulative with NaN = %v", got)
+	}
+}
+
+func TestSeriesTotalIgnoresNaN(t *testing.T) {
+	s := Series{Values: []float64{1, math.NaN(), 2}}
+	if s.Total() != 3 {
+		t.Fatalf("total = %v", s.Total())
+	}
+}
+
+func TestSortSeriesByTotal(t *testing.T) {
+	p := samplePlot()
+	p.SortSeriesByTotal()
+	if p.Series[0].Name != "uscms" {
+		t.Fatalf("order = %v, %v", p.Series[0].Name, p.Series[1].Name)
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	var sb strings.Builder
+	if err := samplePlot().WriteTable(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"CPU usage by VO", "[CPU-days]", "uscms", "usatlas", "TOTAL", "day2", "25.0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	// NaN renders as "-" and is excluded from the total.
+	p := samplePlot()
+	p.Series[1].Values[1] = math.NaN()
+	sb.Reset()
+	p.WriteTable(&sb)
+	if !strings.Contains(sb.String(), "-") || !strings.Contains(sb.String(), "20.0") {
+		t.Fatalf("NaN rendering:\n%s", sb.String())
+	}
+	// Ragged plot refuses to render.
+	p.Series[0].Values = p.Series[0].Values[:1]
+	if err := p.WriteTable(&sb); err == nil {
+		t.Fatal("ragged table rendered")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	var sb strings.Builder
+	BarChart(&sb, "Data consumed", "TB", map[string]float64{
+		"ivdgl": 60, "uscms": 20, "usatlas": 20, "ligo": 0,
+	}, 30)
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "ivdgl") {
+		t.Fatalf("largest bar not first:\n%s", out)
+	}
+	// Ties order lexically: usatlas before uscms.
+	if !strings.Contains(lines[2], "usatlas") || !strings.Contains(lines[3], "uscms") {
+		t.Fatalf("tie ordering:\n%s", out)
+	}
+	// The top bar is full width.
+	if strings.Count(lines[1], "#") != 30 {
+		t.Fatalf("bar scaling:\n%s", out)
+	}
+	if strings.Count(lines[4], "#") != 0 {
+		t.Fatalf("zero bar should be empty:\n%s", out)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var sb strings.Builder
+	err := Histogram(&sb, "Jobs by month", []string{"10-2003", "11-2003"}, []int{100, 400}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "11-2003") || !strings.Contains(out, "400") {
+		t.Fatalf("histogram:\n%s", out)
+	}
+	if err := Histogram(&sb, "x", []string{"a"}, []int{1, 2}, 10); !errors.Is(err, ErrRagged) {
+		t.Fatalf("ragged err = %v", err)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	if got := truncate("short", 10); got != "short" {
+		t.Fatalf("truncate = %q", got)
+	}
+	if got := truncate("averylongsitename", 10); len([]rune(got)) != 10 {
+		t.Fatalf("truncate = %q (len %d)", got, len(got))
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	p := samplePlot()
+	p.Series[1].Values[2] = math.NaN()
+	p.Series[0].Name = `with,comma`
+	var sb strings.Builder
+	if err := p.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != `t,"with,comma",usatlas` {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[3] != "day3,30," {
+		t.Fatalf("NaN row = %q", lines[3])
+	}
+	p.Series[0].Values = nil
+	if err := p.WriteCSV(&sb); err == nil {
+		t.Fatal("ragged CSV rendered")
+	}
+}

@@ -1,0 +1,203 @@
+// Package pacman implements the Pacman packaging and configuration tool
+// used to deploy Grid3 (§5.1): named package caches, dependency
+// resolution with cycle and version-conflict detection, and transactional
+// installation into a target environment.
+//
+// "A Pacman package encoded the basic VDT-based Grid3 installation" — a
+// single `pacman -get Grid3` gave a site the entire middleware stack. The
+// iGOC hosted the authoritative Pacman cache.
+package pacman
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Errors.
+var (
+	ErrNotFound        = errors.New("pacman: package not found in any cache")
+	ErrCycle           = errors.New("pacman: dependency cycle")
+	ErrVersionConflict = errors.New("pacman: conflicting versions required")
+	ErrInstallFailed   = errors.New("pacman: installation failed")
+)
+
+// Package is one installable unit.
+type Package struct {
+	Name    string
+	Version string
+	// Depends lists required package names (resolved in the same cache
+	// chain). Versions are whatever the cache carries; requiring two
+	// different versions of one name is a conflict.
+	Depends []string
+	// Paths are filesystem locations the package creates, recorded in the
+	// target (used by the Grid3 schema extensions: $APP, $DATA, VDT
+	// location).
+	Paths []string
+	// Setup optionally runs after the package lands on a target;
+	// returning an error aborts the transaction.
+	Setup func(target Target) error
+}
+
+// ID renders name-version.
+func (p *Package) ID() string { return p.Name + "-" + p.Version }
+
+// Cache is a named Pacman repository. Caches chain: a lookup falls through
+// to trusted upstream caches (the "trusted caches" mechanism Pacman used).
+type Cache struct {
+	Name     string
+	packages map[string]*Package
+	upstream []*Cache
+}
+
+// NewCache creates an empty cache.
+func NewCache(name string) *Cache {
+	return &Cache{Name: name, packages: make(map[string]*Package)}
+}
+
+// Add registers a package, replacing any same-name entry.
+func (c *Cache) Add(p *Package) {
+	if p.Name == "" {
+		panic("pacman: package without name")
+	}
+	c.packages[p.Name] = p
+}
+
+// Trust chains an upstream cache, consulted after this one.
+func (c *Cache) Trust(up *Cache) { c.upstream = append(c.upstream, up) }
+
+// Lookup finds a package by name in this cache or its upstream chain.
+func (c *Cache) Lookup(name string) (*Package, error) {
+	return c.lookup(name, map[*Cache]bool{})
+}
+
+func (c *Cache) lookup(name string, seen map[*Cache]bool) (*Package, error) {
+	if seen[c] {
+		return nil, fmt.Errorf("%w: %s (cache loop)", ErrNotFound, name)
+	}
+	seen[c] = true
+	if p, ok := c.packages[name]; ok {
+		return p, nil
+	}
+	for _, up := range c.upstream {
+		if p, err := up.lookup(name, seen); err == nil {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+}
+
+// Packages returns the names in this cache (not upstreams), sorted.
+func (c *Cache) Packages() []string {
+	out := make([]string, 0, len(c.packages))
+	for n := range c.packages {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Target is an installation destination: a site's software area.
+type Target interface {
+	// Installed reports whether a package (by exact ID) is present.
+	Installed(id string) bool
+	// Record marks a package as installed and registers its paths.
+	Record(p *Package) error
+}
+
+// Resolve computes a dependency-closed install order for the named roots:
+// dependencies before dependents, deterministic, with cycle and
+// version-conflict detection.
+func Resolve(cache *Cache, roots ...string) ([]*Package, error) {
+	var order []*Package
+	state := map[string]int{} // 0 unseen, 1 visiting, 2 done
+	chosen := map[string]*Package{}
+	var path []string
+
+	var visit func(name string) error
+	visit = func(name string) error {
+		switch state[name] {
+		case 1:
+			return fmt.Errorf("%w: %s", ErrCycle, strings.Join(append(path, name), " -> "))
+		case 2:
+			return nil
+		}
+		p, err := cache.Lookup(name)
+		if err != nil {
+			return err
+		}
+		if prev, ok := chosen[p.Name]; ok && prev.Version != p.Version {
+			return fmt.Errorf("%w: %s vs %s", ErrVersionConflict, prev.ID(), p.ID())
+		}
+		chosen[p.Name] = p
+		state[name] = 1
+		path = append(path, name)
+		deps := append([]string(nil), p.Depends...)
+		sort.Strings(deps)
+		for _, d := range deps {
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		path = path[:len(path)-1]
+		state[name] = 2
+		order = append(order, p)
+		return nil
+	}
+	sorted := append([]string(nil), roots...)
+	sort.Strings(sorted)
+	for _, r := range sorted {
+		if err := visit(r); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// Install resolves and installs the named roots on the target. Already
+// installed packages are skipped; Setup hooks run in dependency order. On a
+// Setup failure, installation stops and the error reports how far it got.
+func Install(cache *Cache, target Target, roots ...string) ([]*Package, error) {
+	order, err := Resolve(cache, roots...)
+	if err != nil {
+		return nil, err
+	}
+	var installed []*Package
+	for _, p := range order {
+		if target.Installed(p.ID()) {
+			continue
+		}
+		if err := target.Record(p); err != nil {
+			return installed, fmt.Errorf("%w: recording %s: %v", ErrInstallFailed, p.ID(), err)
+		}
+		if p.Setup != nil {
+			if err := p.Setup(target); err != nil {
+				return installed, fmt.Errorf("%w: setup of %s: %v", ErrInstallFailed, p.ID(), err)
+			}
+		}
+		installed = append(installed, p)
+	}
+	return installed, nil
+}
+
+// MemTarget is an in-memory Target for tests and dry runs.
+type MemTarget struct {
+	Pkgs  map[string]bool
+	Files []string
+}
+
+// NewMemTarget returns an empty target.
+func NewMemTarget() *MemTarget {
+	return &MemTarget{Pkgs: make(map[string]bool)}
+}
+
+// Installed implements Target.
+func (m *MemTarget) Installed(id string) bool { return m.Pkgs[id] }
+
+// Record implements Target.
+func (m *MemTarget) Record(p *Package) error {
+	m.Pkgs[p.ID()] = true
+	m.Files = append(m.Files, p.Paths...)
+	return nil
+}

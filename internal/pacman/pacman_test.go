@@ -1,0 +1,170 @@
+package pacman
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func buildCache(pkgs map[string][]string) *Cache {
+	c := NewCache("test")
+	for name, deps := range pkgs {
+		c.Add(&Package{Name: name, Version: "1.0", Depends: deps})
+	}
+	return c
+}
+
+func TestResolveOrder(t *testing.T) {
+	c := buildCache(map[string][]string{
+		"grid3":  {"vdt", "monalisa"},
+		"vdt":    {"globus", "condor"},
+		"globus": nil, "condor": nil, "monalisa": nil,
+	})
+	order, err := Resolve(c, "grid3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, p := range order {
+		pos[p.Name] = i
+	}
+	if len(order) != 5 {
+		t.Fatalf("order has %d packages: %v", len(order), pos)
+	}
+	deps := map[string][]string{
+		"grid3": {"vdt", "monalisa"}, "vdt": {"globus", "condor"},
+	}
+	for pkg, ds := range deps {
+		for _, d := range ds {
+			if pos[d] > pos[pkg] {
+				t.Fatalf("dependency %s installs after %s", d, pkg)
+			}
+		}
+	}
+}
+
+func TestResolveDeterministic(t *testing.T) {
+	c := buildCache(map[string][]string{
+		"a": {"z", "m", "b"}, "z": nil, "m": nil, "b": nil,
+	})
+	first, _ := Resolve(c, "a")
+	for i := 0; i < 10; i++ {
+		again, _ := Resolve(c, "a")
+		for k := range first {
+			if first[k].Name != again[k].Name {
+				t.Fatalf("resolve order unstable: %v vs %v", first, again)
+			}
+		}
+	}
+	// Dependencies resolve in sorted order.
+	if first[0].Name != "b" || first[1].Name != "m" || first[2].Name != "z" {
+		t.Fatalf("deps not sorted: %v %v %v", first[0].Name, first[1].Name, first[2].Name)
+	}
+}
+
+func TestResolveCycle(t *testing.T) {
+	c := buildCache(map[string][]string{
+		"a": {"b"}, "b": {"c"}, "c": {"a"},
+	})
+	if _, err := Resolve(c, "a"); !errors.Is(err, ErrCycle) {
+		t.Fatalf("cycle err = %v", err)
+	}
+}
+
+func TestResolveMissing(t *testing.T) {
+	c := buildCache(map[string][]string{"a": {"ghost"}})
+	if _, err := Resolve(c, "a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing err = %v", err)
+	}
+	if _, err := Resolve(c, "phantom"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing root err = %v", err)
+	}
+}
+
+func TestCacheChaining(t *testing.T) {
+	igoc := NewCache("igoc")
+	igoc.Add(&Package{Name: "vdt", Version: "1.1.8"})
+	local := NewCache("site-local")
+	local.Add(&Package{Name: "local-tweak", Version: "0.1", Depends: []string{"vdt"}})
+	local.Trust(igoc)
+	order, err := Resolve(local, "local-tweak")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0].Name != "vdt" {
+		t.Fatalf("chained resolve = %v", order)
+	}
+	// Local overrides shadow upstream.
+	local.Add(&Package{Name: "vdt", Version: "1.1.8-patched"})
+	p, err := local.Lookup("vdt")
+	if err != nil || p.Version != "1.1.8-patched" {
+		t.Fatalf("override lookup = %v, %v", p, err)
+	}
+	// Cache loops don't hang.
+	igoc.Trust(local)
+	if _, err := local.Lookup("nothing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("loop lookup err = %v", err)
+	}
+}
+
+func TestInstallSkipsInstalled(t *testing.T) {
+	c := buildCache(map[string][]string{
+		"app": {"lib"}, "lib": nil,
+	})
+	tgt := NewMemTarget()
+	first, err := Install(c, tgt, "app")
+	if err != nil || len(first) != 2 {
+		t.Fatalf("first install = %v, %v", first, err)
+	}
+	second, err := Install(c, tgt, "app")
+	if err != nil || len(second) != 0 {
+		t.Fatalf("reinstall should be empty: %v, %v", second, err)
+	}
+}
+
+func TestInstallSetupHookAndFailure(t *testing.T) {
+	c := NewCache("t")
+	ran := []string{}
+	c.Add(&Package{Name: "base", Version: "1", Setup: func(Target) error {
+		ran = append(ran, "base")
+		return nil
+	}})
+	c.Add(&Package{Name: "broken", Version: "1", Depends: []string{"base"}, Setup: func(Target) error {
+		return fmt.Errorf("no write permission in $APP")
+	}})
+	c.Add(&Package{Name: "top", Version: "1", Depends: []string{"broken"}})
+	tgt := NewMemTarget()
+	installed, err := Install(c, tgt, "top")
+	if !errors.Is(err, ErrInstallFailed) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(installed) != 1 || installed[0].Name != "base" {
+		t.Fatalf("partial install = %v", installed)
+	}
+	if len(ran) != 1 {
+		t.Fatalf("setup hooks ran = %v", ran)
+	}
+}
+
+func TestInstallRecordsPaths(t *testing.T) {
+	c := NewCache("t")
+	c.Add(&Package{Name: "grid3", Version: "1.0", Paths: []string{"/opt/grid3", "$APP"}})
+	tgt := NewMemTarget()
+	if _, err := Install(c, tgt, "grid3"); err != nil {
+		t.Fatal(err)
+	}
+	if len(tgt.Files) != 2 || tgt.Files[0] != "/opt/grid3" {
+		t.Fatalf("paths = %v", tgt.Files)
+	}
+	if !tgt.Installed("grid3-1.0") {
+		t.Fatal("not recorded")
+	}
+}
+
+func TestPackagesSorted(t *testing.T) {
+	c := buildCache(map[string][]string{"zz": nil, "aa": nil, "mm": nil})
+	got := c.Packages()
+	if len(got) != 3 || got[0] != "aa" || got[2] != "zz" {
+		t.Fatalf("Packages = %v", got)
+	}
+}

@@ -1,0 +1,412 @@
+// Package pegasus implements the Pegasus concrete planner: it maps a
+// Chimera abstract DAG onto Grid3 sites by querying resource information
+// (MDS) and replica locations (RLS), prunes jobs whose outputs already
+// exist (virtual-data reuse), and inserts stage-in, inter-site transfer,
+// stage-out, and replica-registration jobs.
+//
+// §4.1: ATLAS workflows were "implemented using Chimera and Pegasus
+// virtual data tools"; the GriPhyN-LIGO working group "developed the
+// necessary infrastructure using Chimera and Pegasus to generate and
+// execute the workflows" (§4.4).
+package pegasus
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"grid3/internal/chimera"
+	"grid3/internal/mds"
+)
+
+// Errors.
+var (
+	ErrNoEligibleSite = errors.New("pegasus: no eligible site")
+	ErrNoReplica      = errors.New("pegasus: required input has no replica")
+)
+
+// SiteInfo is the planner's view of one computing element, assembled from
+// MDS (or directly by the embedding system).
+type SiteInfo struct {
+	Name       string
+	VOs        []string
+	MaxWall    time.Duration
+	TotalCPUs  int
+	FreeCPUs   int
+	QueuedJobs int
+	FreeDisk   int64
+	Apps       map[string]bool // installed releases ($APP area)
+	OutboundIP bool
+	OwnerVO    string
+}
+
+// SupportsVO reports whether the site has an account for vo.
+func (s *SiteInfo) SupportsVO(vo string) bool {
+	for _, v := range s.VOs {
+		if v == vo {
+			return true
+		}
+	}
+	return false
+}
+
+// FromMDS parses a GLUE CE entry (with Grid3 extensions) into SiteInfo.
+func FromMDS(e mds.Entry) SiteInfo {
+	info := SiteInfo{
+		Name:       e.Get("GlueSiteName"),
+		MaxWall:    time.Duration(e.GetInt("GlueCEPolicyMaxWallClockTime")) * time.Second,
+		TotalCPUs:  int(e.GetInt("GlueCEStateTotalCPUs")),
+		FreeCPUs:   int(e.GetInt("GlueCEStateFreeCPUs")),
+		QueuedJobs: int(e.GetInt("GlueCEStateWaitingJobs")),
+		FreeDisk:   e.GetInt("Grid3-Disk-Free"),
+		OutboundIP: e.Get("Grid3-Worker-Node-Outbound-IP") == "true",
+		OwnerVO:    e.Get("Grid3-Owner-VO"),
+		Apps:       map[string]bool{},
+	}
+	for _, rule := range e.Attrs["GlueCEAccessControlBaseRule"] {
+		if len(rule) > 3 && rule[:3] == "VO:" {
+			info.VOs = append(info.VOs, rule[3:])
+		}
+	}
+	for _, app := range e.Attrs["Grid3-App-Installed"] {
+		info.Apps[app] = true
+	}
+	return info
+}
+
+// Policy selects among eligible sites.
+type Policy int
+
+// Site-selection policies. VOAffinity reproduces the §6.4 observation that
+// "applications tend to favor the resources provided within their VO";
+// LoadBalanced is the ablation alternative (ABL-FED).
+const (
+	VOAffinity Policy = iota
+	LoadBalanced
+	RoundRobin
+)
+
+func (p Policy) String() string {
+	switch p {
+	case VOAffinity:
+		return "vo-affinity"
+	case LoadBalanced:
+		return "load-balanced"
+	case RoundRobin:
+		return "round-robin"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// JobType classifies concrete jobs.
+type JobType int
+
+// Concrete job types.
+const (
+	Compute JobType = iota
+	StageIn
+	Transfer // inter-site intermediate product movement
+	StageOut
+	Register
+)
+
+func (t JobType) String() string {
+	switch t {
+	case Compute:
+		return "compute"
+	case StageIn:
+		return "stage-in"
+	case Transfer:
+		return "transfer"
+	case StageOut:
+		return "stage-out"
+	case Register:
+		return "register"
+	}
+	return fmt.Sprintf("JobType(%d)", int(t))
+}
+
+// ConcreteJob is one node of the executable workflow.
+type ConcreteJob struct {
+	Name    string
+	Type    JobType
+	Site    string // execution site, or destination for data movement
+	SrcSite string // source for data movement
+	LFN     string // moved/registered file
+	Bytes   int64
+	DV      *chimera.Derivation     // compute only
+	TR      *chimera.Transformation // compute only
+	Parents []string
+}
+
+// ConcreteDAG is the planner's output, executable by Condor-G/DAGMan.
+type ConcreteDAG struct {
+	Jobs  map[string]*ConcreteJob
+	Order []string
+	// Reused lists abstract jobs pruned because their outputs already had
+	// replicas (virtual-data reuse).
+	Reused []string
+}
+
+// CountByType tallies jobs per type.
+func (d *ConcreteDAG) CountByType() map[JobType]int {
+	out := map[JobType]int{}
+	for _, j := range d.Jobs {
+		out[j.Type]++
+	}
+	return out
+}
+
+// Planner maps abstract DAGs to concrete ones.
+type Planner struct {
+	// Sites returns the current resource view (an MDS query).
+	Sites func() []SiteInfo
+	// Locate returns the sites holding a replica of an LFN (an RLS
+	// query); empty means no replica.
+	Locate func(lfn string) []string
+	// InputBytes returns the size of an existing LFN (RLS size attribute);
+	// used for stage-in volume accounting.
+	InputBytes func(lfn string) int64
+	// ArchiveSite receives stage-out copies (BNL for ATLAS, FNAL for CMS).
+	ArchiveSite string
+	// Policy picks the site-selection strategy.
+	Policy Policy
+
+	rrNext int // round-robin cursor
+}
+
+// Plan produces a concrete DAG for the VO's abstract workflow.
+func (p *Planner) Plan(a *chimera.AbstractDAG, vo string) (*ConcreteDAG, error) {
+	if p.Sites == nil {
+		return nil, errors.New("pegasus: planner has no site catalog")
+	}
+	sites := p.Sites()
+	out := &ConcreteDAG{Jobs: make(map[string]*ConcreteJob)}
+	add := func(j *ConcreteJob) *ConcreteJob {
+		if existing, ok := out.Jobs[j.Name]; ok {
+			return existing
+		}
+		out.Jobs[j.Name] = j
+		out.Order = append(out.Order, j.Name)
+		return j
+	}
+
+	// computeSite maps DV ID → chosen site; outputSite maps LFN → site
+	// where the plan materializes it.
+	computeSite := map[string]string{}
+	outputSite := map[string]string{}
+	// stagedAt dedups data-movement nodes per (lfn,site).
+	stagedAt := map[string]string{} // key lfn@site → node name
+
+	locate := p.Locate
+	if locate == nil {
+		locate = func(string) []string { return nil }
+	}
+	sizeOf := p.InputBytes
+	if sizeOf == nil {
+		sizeOf = func(string) int64 { return 0 }
+	}
+
+	for _, id := range a.Order {
+		aj := a.Jobs[id]
+
+		// Virtual-data reuse: prune jobs whose every output already has a
+		// replica somewhere.
+		allExist := true
+		for _, lfn := range aj.DV.Outputs {
+			if len(locate(lfn)) == 0 {
+				allExist = false
+				break
+			}
+		}
+		if allExist {
+			out.Reused = append(out.Reused, id)
+			continue
+		}
+
+		execSite, err := p.selectSite(sites, aj.TR, vo)
+		if err != nil {
+			return nil, fmt.Errorf("%w (job %s)", err, id)
+		}
+		computeSite[id] = execSite
+
+		compute := add(&ConcreteJob{
+			Name: "compute_" + id,
+			Type: Compute,
+			Site: execSite,
+			DV:   aj.DV,
+			TR:   aj.TR,
+		})
+
+		// Inputs produced by plan parents: move across sites if needed.
+		for _, parentID := range aj.Parents {
+			if _, pruned := computeSite[parentID]; !pruned {
+				// Parent was reused: its outputs come from RLS like
+				// external inputs.
+				continue
+			}
+			parentSite := computeSite[parentID]
+			parentName := "compute_" + parentID
+			if parentSite == execSite {
+				compute.Parents = append(compute.Parents, parentName)
+				continue
+			}
+			// Inter-site transfer of every parent output this job consumes.
+			for _, lfn := range a.Jobs[parentID].DV.Outputs {
+				if !consumes(aj.DV.Inputs, lfn) {
+					continue
+				}
+				key := lfn + "@" + execSite
+				name, ok := stagedAt[key]
+				if !ok {
+					node := add(&ConcreteJob{
+						Name:    fmt.Sprintf("xfer_%s_to_%s", lfn, execSite),
+						Type:    Transfer,
+						Site:    execSite,
+						SrcSite: parentSite,
+						LFN:     lfn,
+						Bytes:   a.Jobs[parentID].TR.OutputBytes,
+						Parents: []string{parentName},
+					})
+					stagedAt[key] = node.Name
+					name = node.Name
+				}
+				compute.Parents = append(compute.Parents, name)
+			}
+		}
+
+		// External inputs (including reused parents' outputs): stage in
+		// from an RLS replica unless one is already at the exec site.
+		externals := append([]string(nil), aj.ExternalInputs...)
+		for _, parentID := range aj.Parents {
+			if _, planned := computeSite[parentID]; !planned {
+				for _, lfn := range a.Jobs[parentID].DV.Outputs {
+					if consumes(aj.DV.Inputs, lfn) {
+						externals = append(externals, lfn)
+					}
+				}
+			}
+		}
+		sort.Strings(externals)
+		for _, lfn := range externals {
+			replicas := locate(lfn)
+			if len(replicas) == 0 {
+				return nil, fmt.Errorf("%w: %s (job %s)", ErrNoReplica, lfn, id)
+			}
+			if hasSite(replicas, execSite) {
+				continue // already local
+			}
+			key := lfn + "@" + execSite
+			name, ok := stagedAt[key]
+			if !ok {
+				node := add(&ConcreteJob{
+					Name:    fmt.Sprintf("stagein_%s_to_%s", lfn, execSite),
+					Type:    StageIn,
+					Site:    execSite,
+					SrcSite: replicas[0],
+					LFN:     lfn,
+					Bytes:   sizeOf(lfn),
+				})
+				stagedAt[key] = node.Name
+				name = node.Name
+			}
+			compute.Parents = append(compute.Parents, name)
+		}
+
+		// Stage out + register each output.
+		for _, lfn := range aj.DV.Outputs {
+			outputSite[lfn] = execSite
+			registerParent := compute.Name
+			if p.ArchiveSite != "" && p.ArchiveSite != execSite {
+				so := add(&ConcreteJob{
+					Name:    fmt.Sprintf("stageout_%s", lfn),
+					Type:    StageOut,
+					Site:    p.ArchiveSite,
+					SrcSite: execSite,
+					LFN:     lfn,
+					Bytes:   aj.TR.OutputBytes,
+					Parents: []string{compute.Name},
+				})
+				registerParent = so.Name
+			}
+			add(&ConcreteJob{
+				Name:    fmt.Sprintf("register_%s", lfn),
+				Type:    Register,
+				Site:    execSite,
+				LFN:     lfn,
+				Parents: []string{registerParent},
+			})
+		}
+	}
+	return out, nil
+}
+
+// selectSite applies eligibility filters then the selection policy.
+func (p *Planner) selectSite(sites []SiteInfo, tr *chimera.Transformation, vo string) (string, error) {
+	var eligible []SiteInfo
+	for _, s := range sites {
+		switch {
+		case !s.SupportsVO(vo):
+		case tr.Walltime > 0 && s.MaxWall > 0 && tr.Walltime > s.MaxWall:
+		case tr.RequiresApp != "" && !s.Apps[tr.RequiresApp]:
+		case tr.RequiresOutboundIP && !s.OutboundIP:
+		case tr.OutputBytes > 0 && s.FreeDisk > 0 && s.FreeDisk < tr.OutputBytes:
+		default:
+			eligible = append(eligible, s)
+		}
+	}
+	if len(eligible) == 0 {
+		return "", fmt.Errorf("%w for VO %s, TR %s", ErrNoEligibleSite, vo, tr.Name)
+	}
+	sort.Slice(eligible, func(i, j int) bool { return eligible[i].Name < eligible[j].Name })
+
+	switch p.Policy {
+	case RoundRobin:
+		s := eligible[p.rrNext%len(eligible)]
+		p.rrNext++
+		return s.Name, nil
+	case VOAffinity:
+		var owned []SiteInfo
+		for _, s := range eligible {
+			if s.OwnerVO == vo {
+				owned = append(owned, s)
+			}
+		}
+		if len(owned) > 0 {
+			eligible = owned
+		}
+		fallthrough
+	case LoadBalanced:
+		best := eligible[0]
+		bestScore := score(best)
+		for _, s := range eligible[1:] {
+			if sc := score(s); sc > bestScore {
+				best, bestScore = s, sc
+			}
+		}
+		return best.Name, nil
+	}
+	return eligible[0].Name, nil
+}
+
+// score ranks sites: free CPUs minus queue depth (higher is better).
+func score(s SiteInfo) int { return s.FreeCPUs - s.QueuedJobs }
+
+func consumes(inputs []string, lfn string) bool {
+	for _, in := range inputs {
+		if in == lfn {
+			return true
+		}
+	}
+	return false
+}
+
+func hasSite(sites []string, name string) bool {
+	for _, s := range sites {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,372 @@
+package pegasus
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"grid3/internal/chimera"
+	"grid3/internal/mds"
+)
+
+// twoStepDAG builds gen → sim with an external geometry input.
+func twoStepDAG(t *testing.T) *chimera.AbstractDAG {
+	t.Helper()
+	c := chimera.NewCatalog()
+	c.AddTR(&chimera.Transformation{Name: "gen", Walltime: 4 * time.Hour, OutputBytes: 100 << 20, RequiresApp: "atlas-gce-7.0.3"})
+	c.AddTR(&chimera.Transformation{Name: "sim", Walltime: 24 * time.Hour, OutputBytes: 2 << 30, RequiresApp: "atlas-gce-7.0.3"})
+	c.AddDV(&chimera.Derivation{ID: "g1", TR: "gen", Inputs: []string{"lfn:card"}, Outputs: []string{"lfn:ev"}})
+	c.AddDV(&chimera.Derivation{ID: "s1", TR: "sim", Inputs: []string{"lfn:ev", "lfn:geom"}, Outputs: []string{"lfn:hits"}})
+	dag, err := c.Plan("lfn:hits")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dag
+}
+
+func atlasApps() map[string]bool { return map[string]bool{"atlas-gce-7.0.3": true} }
+
+func sites() []SiteInfo {
+	return []SiteInfo{
+		{Name: "BNL", VOs: []string{"usatlas", "ivdgl"}, MaxWall: 100 * time.Hour, TotalCPUs: 400, FreeCPUs: 100, Apps: atlasApps(), OwnerVO: "usatlas", FreeDisk: 1 << 42, OutboundIP: true},
+		{Name: "UC", VOs: []string{"usatlas", "ivdgl"}, MaxWall: 48 * time.Hour, TotalCPUs: 64, FreeCPUs: 60, Apps: atlasApps(), OwnerVO: "usatlas", FreeDisk: 1 << 40, OutboundIP: true},
+		{Name: "FNAL", VOs: []string{"uscms"}, MaxWall: 100 * time.Hour, TotalCPUs: 500, FreeCPUs: 400, Apps: map[string]bool{"cms-mop-1.2": true}, OwnerVO: "uscms", FreeDisk: 1 << 42, OutboundIP: true},
+		{Name: "Buffalo", VOs: []string{"ivdgl", "usatlas"}, MaxWall: 12 * time.Hour, TotalCPUs: 80, FreeCPUs: 80, Apps: atlasApps(), OwnerVO: "ivdgl", FreeDisk: 1 << 40, OutboundIP: false},
+	}
+}
+
+// rlsStub maps LFN → replica sites.
+type rlsStub map[string][]string
+
+func (r rlsStub) locate(lfn string) []string { return r[lfn] }
+
+func newPlanner(replicas rlsStub) *Planner {
+	return &Planner{
+		Sites:       sites,
+		Locate:      replicas.locate,
+		InputBytes:  func(string) int64 { return 50 << 20 },
+		ArchiveSite: "BNL",
+		Policy:      VOAffinity,
+	}
+}
+
+func TestPlanBasicStructure(t *testing.T) {
+	a := twoStepDAG(t)
+	p := newPlanner(rlsStub{"lfn:card": {"BNL"}, "lfn:geom": {"BNL"}})
+	dag, err := p.Plan(a, "usatlas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := dag.CountByType()
+	if counts[Compute] != 2 {
+		t.Fatalf("computes = %d", counts[Compute])
+	}
+	// VOAffinity picks BNL (most free CPUs among usatlas-owned);
+	// replicas are at BNL so no stage-in nodes, outputs register with no
+	// stage-out (archive == exec site).
+	if counts[StageIn] != 0 || counts[StageOut] != 0 {
+		t.Fatalf("unexpected staging: %v", counts)
+	}
+	if counts[Register] != 2 {
+		t.Fatalf("registers = %d", counts[Register])
+	}
+	g, ok := dag.Jobs["compute_g1"]
+	if !ok || g.Site != "BNL" {
+		t.Fatalf("gen site = %+v", g)
+	}
+	s := dag.Jobs["compute_s1"]
+	if len(s.Parents) != 1 || s.Parents[0] != "compute_g1" {
+		t.Fatalf("sim parents = %v", s.Parents)
+	}
+}
+
+func TestStageInInserted(t *testing.T) {
+	a := twoStepDAG(t)
+	// Replicas live at UC only; execution lands on BNL → stage-ins needed.
+	p := newPlanner(rlsStub{"lfn:card": {"UC"}, "lfn:geom": {"UC"}})
+	dag, err := p.Plan(a, "usatlas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := dag.CountByType()
+	if counts[StageIn] != 2 {
+		t.Fatalf("stage-ins = %d: %v", counts[StageIn], dag.Order)
+	}
+	si, ok := dag.Jobs["stagein_lfn:card_to_BNL"]
+	if !ok || si.SrcSite != "UC" || si.Bytes != 50<<20 {
+		t.Fatalf("stage-in node = %+v", si)
+	}
+	// The compute depends on its stage-in.
+	g := dag.Jobs["compute_g1"]
+	if !contains(g.Parents, "stagein_lfn:card_to_BNL") {
+		t.Fatalf("gen parents = %v", g.Parents)
+	}
+}
+
+func TestMissingReplicaFails(t *testing.T) {
+	a := twoStepDAG(t)
+	p := newPlanner(rlsStub{"lfn:card": {"UC"}}) // geom missing
+	if _, err := p.Plan(a, "usatlas"); !errors.Is(err, ErrNoReplica) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVirtualDataReuse(t *testing.T) {
+	a := twoStepDAG(t)
+	// lfn:ev already exists: the gen job is pruned, sim stages ev in.
+	p := newPlanner(rlsStub{
+		"lfn:card": {"BNL"}, "lfn:geom": {"BNL"}, "lfn:ev": {"UC"},
+	})
+	dag, err := p.Plan(a, "usatlas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dag.Reused) != 1 || dag.Reused[0] != "g1" {
+		t.Fatalf("reused = %v", dag.Reused)
+	}
+	if _, ok := dag.Jobs["compute_g1"]; ok {
+		t.Fatal("pruned job still planned")
+	}
+	s := dag.Jobs["compute_s1"]
+	if !contains(s.Parents, "stagein_lfn:ev_to_BNL") {
+		t.Fatalf("sim parents = %v (want stage-in of reused output)", s.Parents)
+	}
+}
+
+func TestInterSiteTransfer(t *testing.T) {
+	// Force gen and sim to different sites: sim's walltime (24h) excludes
+	// Buffalo (12h max); constrain gen to Buffalo by owner affinity.
+	a := twoStepDAG(t)
+	p := newPlanner(rlsStub{"lfn:card": {"Buffalo"}, "lfn:geom": {"BNL"}})
+	p.Policy = LoadBalanced
+	// Make Buffalo the least-loaded for gen; sim can't run there.
+	p.Sites = func() []SiteInfo {
+		s := sites()
+		for i := range s {
+			if s[i].Name == "Buffalo" {
+				s[i].FreeCPUs = 10000
+			}
+		}
+		return s
+	}
+	dag, err := p.Plan(a, "usatlas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, s := dag.Jobs["compute_g1"], dag.Jobs["compute_s1"]
+	if g.Site != "Buffalo" {
+		t.Fatalf("gen site = %s", g.Site)
+	}
+	if s.Site == "Buffalo" {
+		t.Fatal("sim placed on a site with too-short MaxWall")
+	}
+	// The intermediate product crosses sites via a Transfer node.
+	xferName := "xfer_lfn:ev_to_" + s.Site
+	x, ok := dag.Jobs[xferName]
+	if !ok {
+		t.Fatalf("no inter-site transfer node; order = %v", dag.Order)
+	}
+	if x.SrcSite != "Buffalo" || x.Bytes != 100<<20 {
+		t.Fatalf("transfer = %+v", x)
+	}
+	if !contains(s.Parents, xferName) {
+		t.Fatalf("sim parents = %v", s.Parents)
+	}
+}
+
+func TestStageOutToArchive(t *testing.T) {
+	a := twoStepDAG(t)
+	p := newPlanner(rlsStub{"lfn:card": {"UC"}, "lfn:geom": {"UC"}})
+	p.Policy = LoadBalanced
+	// Execution will land at FNAL? FNAL doesn't support usatlas. BNL has
+	// most free CPUs; force UC by deflating BNL.
+	p.Sites = func() []SiteInfo {
+		s := sites()
+		for i := range s {
+			if s[i].Name == "BNL" {
+				s[i].FreeCPUs = 0
+				s[i].QueuedJobs = 500
+			}
+		}
+		return s
+	}
+	dag, err := p.Plan(a, "usatlas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := dag.Jobs["compute_s1"]
+	if s.Site == "BNL" {
+		t.Fatal("load-balanced policy chose the overloaded site")
+	}
+	so, ok := dag.Jobs["stageout_lfn:hits"]
+	if !ok || so.Site != "BNL" || so.SrcSite != s.Site {
+		t.Fatalf("stage-out = %+v", so)
+	}
+	reg := dag.Jobs["register_lfn:hits"]
+	if !contains(reg.Parents, "stageout_lfn:hits") {
+		t.Fatalf("register parents = %v", reg.Parents)
+	}
+}
+
+func TestEligibilityFilters(t *testing.T) {
+	p := newPlanner(rlsStub{})
+	// Wrong VO everywhere.
+	if _, err := p.selectSite(sites(), &chimera.Transformation{Name: "t"}, "ligo"); !errors.Is(err, ErrNoEligibleSite) {
+		t.Fatalf("vo filter err = %v", err)
+	}
+	// Walltime beyond every site.
+	if _, err := p.selectSite(sites(), &chimera.Transformation{Name: "t", Walltime: 2000 * time.Hour}, "usatlas"); !errors.Is(err, ErrNoEligibleSite) {
+		t.Fatalf("walltime filter err = %v", err)
+	}
+	// App not installed anywhere.
+	if _, err := p.selectSite(sites(), &chimera.Transformation{Name: "t", RequiresApp: "ligo-pulsar-2.1"}, "usatlas"); !errors.Is(err, ErrNoEligibleSite) {
+		t.Fatalf("app filter err = %v", err)
+	}
+	// Outbound IP: Buffalo excluded, others fine.
+	site, err := p.selectSite(sites(), &chimera.Transformation{Name: "t", RequiresOutboundIP: true}, "ivdgl")
+	if err != nil || site == "Buffalo" {
+		t.Fatalf("outbound filter: %s, %v", site, err)
+	}
+}
+
+func TestRoundRobinPolicy(t *testing.T) {
+	p := newPlanner(rlsStub{})
+	p.Policy = RoundRobin
+	tr := &chimera.Transformation{Name: "t"}
+	seen := map[string]int{}
+	for i := 0; i < 6; i++ {
+		s, err := p.selectSite(sites(), tr, "usatlas")
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[s]++
+	}
+	// Three usatlas-capable sites (BNL, UC, Buffalo): each hit twice.
+	if len(seen) != 3 {
+		t.Fatalf("round robin spread = %v", seen)
+	}
+	for s, n := range seen {
+		if n != 2 {
+			t.Fatalf("site %s chosen %d times: %v", s, n, seen)
+		}
+	}
+}
+
+func TestVOAffinityPrefersOwnedSites(t *testing.T) {
+	p := newPlanner(rlsStub{})
+	tr := &chimera.Transformation{Name: "t"}
+	// ivdgl owns only Buffalo; affinity must pick it although BNL has
+	// more free CPUs.
+	s, err := p.selectSite(sites(), tr, "ivdgl")
+	if err != nil || s != "Buffalo" {
+		t.Fatalf("affinity site = %s, %v", s, err)
+	}
+	// Without an owned site, falls back to least loaded eligible.
+	p.Policy = LoadBalanced
+	s, err = p.selectSite(sites(), tr, "ivdgl")
+	if err != nil || s != "BNL" {
+		t.Fatalf("load-balanced site = %s, %v", s, err)
+	}
+}
+
+func TestFromMDS(t *testing.T) {
+	e := mds.Entry{DN: "ce=uc", Attrs: map[string][]string{
+		"GlueSiteName":                  {"UC_ATLAS_Tier2"},
+		"GlueCEPolicyMaxWallClockTime":  {"172800"},
+		"GlueCEStateTotalCPUs":          {"64"},
+		"GlueCEStateFreeCPUs":           {"20"},
+		"GlueCEStateWaitingJobs":        {"7"},
+		"GlueCEAccessControlBaseRule":   {"VO:usatlas", "VO:ivdgl"},
+		"Grid3-App-Installed":           {"atlas-gce-7.0.3", "grid3-1.0"},
+		"Grid3-Disk-Free":               {"1099511627776"},
+		"Grid3-Worker-Node-Outbound-IP": {"true"},
+		"Grid3-Owner-VO":                {"usatlas"},
+	}}
+	info := FromMDS(e)
+	if info.Name != "UC_ATLAS_Tier2" || info.MaxWall != 48*time.Hour ||
+		info.TotalCPUs != 64 || info.FreeCPUs != 20 || info.QueuedJobs != 7 {
+		t.Fatalf("info = %+v", info)
+	}
+	if !info.SupportsVO("ivdgl") || info.SupportsVO("uscms") {
+		t.Fatal("VO parse wrong")
+	}
+	if !info.Apps["atlas-gce-7.0.3"] || !info.OutboundIP || info.OwnerVO != "usatlas" {
+		t.Fatalf("extensions = %+v", info)
+	}
+	if info.FreeDisk != 1<<40 {
+		t.Fatalf("disk = %d", info.FreeDisk)
+	}
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	a := twoStepDAG(t)
+	mk := func() string {
+		p := newPlanner(rlsStub{"lfn:card": {"UC"}, "lfn:geom": {"UC"}})
+		dag, err := p.Plan(a, "usatlas")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return strings.Join(dag.Order, "|")
+	}
+	first := mk()
+	for i := 0; i < 5; i++ {
+		if mk() != first {
+			t.Fatal("plan order not deterministic")
+		}
+	}
+}
+
+func contains(ss []string, want string) bool {
+	for _, s := range ss {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
+func TestStageInDeduplicatedAcrossConsumers(t *testing.T) {
+	// Two jobs at the same site consuming the same external input share
+	// one stage-in node.
+	c := chimera.NewCatalog()
+	c.AddTR(&chimera.Transformation{Name: "t", Walltime: 4 * time.Hour, OutputBytes: 1 << 20, RequiresApp: "atlas-gce-7.0.3"})
+	c.AddDV(&chimera.Derivation{ID: "j1", TR: "t", Inputs: []string{"lfn:shared-db"}, Outputs: []string{"lfn:o1"}})
+	c.AddDV(&chimera.Derivation{ID: "j2", TR: "t", Inputs: []string{"lfn:shared-db"}, Outputs: []string{"lfn:o2"}})
+	a, err := c.Plan("lfn:o1", "lfn:o2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := newPlanner(rlsStub{"lfn:shared-db": {"UC"}})
+	dag, err := p.Plan(a, "usatlas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := dag.CountByType()[StageIn]; n != 1 {
+		t.Fatalf("stage-ins = %d, want 1 shared", n)
+	}
+	// Both computes depend on the same stage-in node.
+	si := "stagein_lfn:shared-db_to_BNL"
+	for _, id := range []string{"compute_j1", "compute_j2"} {
+		if !contains(dag.Jobs[id].Parents, si) {
+			t.Fatalf("%s parents = %v", id, dag.Jobs[id].Parents)
+		}
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if VOAffinity.String() != "vo-affinity" || LoadBalanced.String() != "load-balanced" || RoundRobin.String() != "round-robin" {
+		t.Fatal("policy strings")
+	}
+	if Policy(9).String() == "" {
+		t.Fatal("unknown policy renders empty")
+	}
+	for jt, want := range map[JobType]string{
+		Compute: "compute", StageIn: "stage-in", Transfer: "transfer",
+		StageOut: "stage-out", Register: "register",
+	} {
+		if jt.String() != want {
+			t.Fatalf("%v != %s", jt, want)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Package rls implements the Replica Location Service (Giggle framework):
+// per-site Local Replica Catalogs mapping logical file names to physical
+// locations, and a Replica Location Index aggregating LFN→site mappings
+// with soft-state updates.
+//
+// Grid3's data management model "is based on GridFTP and RLS" (§8). ATLAS
+// registered every produced dataset in RLS (§4.1); LIGO published staged
+// input data locations in RLS "so that its location is available to the
+// job" (§4.4). Pegasus queries RLS to reuse existing replicas when planning.
+package rls
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"grid3/internal/sim"
+)
+
+// Errors.
+var (
+	ErrNotFound  = errors.New("rls: logical file not found")
+	ErrNoMapping = errors.New("rls: mapping does not exist")
+	ErrDuplicate = errors.New("rls: mapping already exists")
+)
+
+// PFN is a physical file name: a site plus a path on its storage element.
+type PFN struct {
+	Site string
+	Path string
+}
+
+func (p PFN) String() string {
+	return "gsiftp://" + p.Site + p.Path
+}
+
+// LRC is a site's Local Replica Catalog.
+type LRC struct {
+	site     string
+	mappings map[string]map[string]bool // LFN → set of paths
+	size     map[string]int64           // LFN → size attribute
+}
+
+// NewLRC creates a catalog for the named site.
+func NewLRC(site string) *LRC {
+	return &LRC{
+		site:     site,
+		mappings: make(map[string]map[string]bool),
+		size:     make(map[string]int64),
+	}
+}
+
+// Site returns the LRC's site name.
+func (l *LRC) Site() string { return l.site }
+
+// Add registers LFN→path. Sizes are attributes; a second Add of the same
+// pair fails.
+func (l *LRC) Add(lfn, path string, size int64) error {
+	if lfn == "" || path == "" {
+		return errors.New("rls: empty LFN or path")
+	}
+	set := l.mappings[lfn]
+	if set == nil {
+		set = make(map[string]bool)
+		l.mappings[lfn] = set
+	}
+	if set[path] {
+		return fmt.Errorf("%w: %s -> %s", ErrDuplicate, lfn, path)
+	}
+	set[path] = true
+	l.size[lfn] = size
+	return nil
+}
+
+// Remove deletes one mapping.
+func (l *LRC) Remove(lfn, path string) error {
+	set := l.mappings[lfn]
+	if set == nil || !set[path] {
+		return fmt.Errorf("%w: %s -> %s at %s", ErrNoMapping, lfn, path, l.site)
+	}
+	delete(set, path)
+	if len(set) == 0 {
+		delete(l.mappings, lfn)
+		delete(l.size, lfn)
+	}
+	return nil
+}
+
+// Lookup returns the physical paths of an LFN at this site, sorted.
+func (l *LRC) Lookup(lfn string) ([]string, error) {
+	set := l.mappings[lfn]
+	if len(set) == 0 {
+		return nil, fmt.Errorf("%w: %s at %s", ErrNotFound, lfn, l.site)
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Size returns the size attribute of an LFN.
+func (l *LRC) Size(lfn string) (int64, error) {
+	if _, ok := l.mappings[lfn]; !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, lfn)
+	}
+	return l.size[lfn], nil
+}
+
+// LFNs returns all logical names known to this LRC, sorted.
+func (l *LRC) LFNs() []string {
+	out := make([]string, 0, len(l.mappings))
+	for lfn := range l.mappings {
+		out = append(out, lfn)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of logical names.
+func (l *LRC) Len() int { return len(l.mappings) }
+
+// RLI is the global replica location index. LRCs publish their LFN lists
+// with a TTL; stale publications expire, so a dead site's replicas vanish
+// from the index (Giggle's soft-state consistency).
+type RLI struct {
+	clock sim.Clock
+	// entries: LFN → site → publication expiry.
+	entries map[string]map[string]time.Duration
+	lrcs    map[string]*LRC
+	// published tracks each site's current LFN list so republication can
+	// retract the previous one without scanning the whole index.
+	published map[string][]string
+}
+
+// NewRLI creates an index on the given clock.
+func NewRLI(clock sim.Clock) *RLI {
+	return &RLI{
+		clock:     clock,
+		entries:   make(map[string]map[string]time.Duration),
+		lrcs:      make(map[string]*LRC),
+		published: make(map[string][]string),
+	}
+}
+
+// Publish records all of an LRC's LFNs with the given TTL, replacing the
+// site's previous publication. Grid3 LRCs republished periodically.
+func (r *RLI) Publish(lrc *LRC, ttl time.Duration) {
+	site := lrc.Site()
+	r.lrcs[site] = lrc
+	expiry := r.clock.Now() + ttl
+	// Drop the site's previous publication first.
+	for _, lfn := range r.published[site] {
+		if sites, ok := r.entries[lfn]; ok {
+			delete(sites, site)
+			if len(sites) == 0 {
+				delete(r.entries, lfn)
+			}
+		}
+	}
+	lfns := lrc.LFNs()
+	for _, lfn := range lfns {
+		sites := r.entries[lfn]
+		if sites == nil {
+			sites = make(map[string]time.Duration)
+			r.entries[lfn] = sites
+		}
+		sites[site] = expiry
+	}
+	r.published[site] = lfns
+}
+
+// Sites returns the sites currently publishing an LFN, sorted. Expired
+// publications are ignored.
+func (r *RLI) Sites(lfn string) []string {
+	now := r.clock.Now()
+	var out []string
+	for site, expiry := range r.entries[lfn] {
+		if expiry >= now {
+			out = append(out, site)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Locate resolves an LFN to physical locations by consulting the index and
+// then each publishing site's LRC.
+func (r *RLI) Locate(lfn string) ([]PFN, error) {
+	var out []PFN
+	for _, site := range r.Sites(lfn) {
+		lrc := r.lrcs[site]
+		if lrc == nil {
+			continue
+		}
+		paths, err := lrc.Lookup(lfn)
+		if err != nil {
+			continue // index was stale; skip
+		}
+		for _, p := range paths {
+			out = append(out, PFN{Site: site, Path: p})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, lfn)
+	}
+	return out, nil
+}
+
+// KnownLFNs returns the number of logical names with live publications.
+func (r *RLI) KnownLFNs() int {
+	now := r.clock.Now()
+	n := 0
+	for _, sites := range r.entries {
+		for _, expiry := range sites {
+			if expiry >= now {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}

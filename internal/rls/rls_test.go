@@ -1,0 +1,158 @@
+package rls
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"grid3/internal/sim"
+)
+
+func TestLRCBasics(t *testing.T) {
+	l := NewLRC("bnl")
+	if err := l.Add("lfn:atlas/dc1/evt001", "/data/atlas/evt001.root", 2<<30); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Add("lfn:atlas/dc1/evt001", "/data/atlas/evt001.root", 2<<30); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate add err = %v", err)
+	}
+	if err := l.Add("lfn:atlas/dc1/evt001", "/tape/evt001.root", 2<<30); err != nil {
+		t.Fatal(err) // second replica of same LFN at the site
+	}
+	paths, err := l.Lookup("lfn:atlas/dc1/evt001")
+	if err != nil || len(paths) != 2 {
+		t.Fatalf("Lookup = %v, %v", paths, err)
+	}
+	size, err := l.Size("lfn:atlas/dc1/evt001")
+	if err != nil || size != 2<<30 {
+		t.Fatalf("Size = %d, %v", size, err)
+	}
+	if _, err := l.Lookup("lfn:none"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing lookup err = %v", err)
+	}
+	if err := l.Remove("lfn:atlas/dc1/evt001", "/tape/evt001.root"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Remove("lfn:atlas/dc1/evt001", "/tape/evt001.root"); !errors.Is(err, ErrNoMapping) {
+		t.Fatalf("double remove err = %v", err)
+	}
+	if err := l.Remove("lfn:atlas/dc1/evt001", "/data/atlas/evt001.root"); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 0 {
+		t.Fatalf("Len = %d after removing all", l.Len())
+	}
+	if _, err := l.Size("lfn:atlas/dc1/evt001"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("size attribute survived last replica removal")
+	}
+	if err := l.Add("", "/x", 1); err == nil {
+		t.Fatal("empty LFN accepted")
+	}
+}
+
+func TestRLIPublishAndLocate(t *testing.T) {
+	eng := sim.NewEngine(sim.Grid3Epoch)
+	rli := NewRLI(eng)
+	bnl := NewLRC("bnl")
+	uc := NewLRC("uc")
+	bnl.Add("lfn:d1", "/data/d1", 100)
+	uc.Add("lfn:d1", "/store/d1", 100)
+	uc.Add("lfn:d2", "/store/d2", 200)
+	rli.Publish(bnl, time.Hour)
+	rli.Publish(uc, time.Hour)
+
+	sites := rli.Sites("lfn:d1")
+	if len(sites) != 2 || sites[0] != "bnl" || sites[1] != "uc" {
+		t.Fatalf("Sites = %v", sites)
+	}
+	pfns, err := rli.Locate("lfn:d2")
+	if err != nil || len(pfns) != 1 || pfns[0].Site != "uc" {
+		t.Fatalf("Locate = %v, %v", pfns, err)
+	}
+	if got := pfns[0].String(); got != "gsiftp://uc/store/d2" {
+		t.Fatalf("PFN string = %q", got)
+	}
+	if rli.KnownLFNs() != 2 {
+		t.Fatalf("KnownLFNs = %d", rli.KnownLFNs())
+	}
+	if _, err := rli.Locate("lfn:none"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing locate err = %v", err)
+	}
+}
+
+func TestRLISoftStateExpiry(t *testing.T) {
+	eng := sim.NewEngine(sim.Grid3Epoch)
+	rli := NewRLI(eng)
+	lrc := NewLRC("uf")
+	lrc.Add("lfn:sdss/coadd7", "/sdss/coadd7.fits", 1<<20)
+	rli.Publish(lrc, 30*time.Minute)
+	if len(rli.Sites("lfn:sdss/coadd7")) != 1 {
+		t.Fatal("fresh publication missing")
+	}
+	eng.RunUntil(time.Hour)
+	if len(rli.Sites("lfn:sdss/coadd7")) != 0 {
+		t.Fatal("expired publication still indexed")
+	}
+	if rli.KnownLFNs() != 0 {
+		t.Fatal("KnownLFNs counts expired entries")
+	}
+	// Republication resurrects it.
+	rli.Publish(lrc, 30*time.Minute)
+	if len(rli.Sites("lfn:sdss/coadd7")) != 1 {
+		t.Fatal("republication not indexed")
+	}
+}
+
+func TestRLIPublishReplacesPrevious(t *testing.T) {
+	eng := sim.NewEngine(sim.Grid3Epoch)
+	rli := NewRLI(eng)
+	lrc := NewLRC("caltech")
+	lrc.Add("lfn:ligo/s2/band1", "/sft/band1", 4<<30)
+	rli.Publish(lrc, time.Hour)
+	// The file is deleted locally; the next publication must drop it.
+	lrc.Remove("lfn:ligo/s2/band1", "/sft/band1")
+	lrc.Add("lfn:ligo/s2/band2", "/sft/band2", 4<<30)
+	rli.Publish(lrc, time.Hour)
+	if len(rli.Sites("lfn:ligo/s2/band1")) != 0 {
+		t.Fatal("stale LFN survived republication")
+	}
+	if len(rli.Sites("lfn:ligo/s2/band2")) != 1 {
+		t.Fatal("new LFN not published")
+	}
+}
+
+func TestRLILocateSkipsStaleIndex(t *testing.T) {
+	eng := sim.NewEngine(sim.Grid3Epoch)
+	rli := NewRLI(eng)
+	lrc := NewLRC("unm")
+	lrc.Add("lfn:x", "/x", 1)
+	rli.Publish(lrc, time.Hour)
+	// File vanishes locally after publication (index now stale).
+	lrc.Remove("lfn:x", "/x")
+	if _, err := rli.Locate("lfn:x"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("stale locate err = %v", err)
+	}
+}
+
+func TestRLIScale(t *testing.T) {
+	eng := sim.NewEngine(sim.Grid3Epoch)
+	rli := NewRLI(eng)
+	const sites = 20
+	const filesPer = 200
+	for s := 0; s < sites; s++ {
+		lrc := NewLRC(fmt.Sprintf("site%02d", s))
+		for f := 0; f < filesPer; f++ {
+			lfn := fmt.Sprintf("lfn:set%d/file%03d", f%5, f)
+			lrc.Add(lfn, fmt.Sprintf("/data/%d", f), int64(f+1))
+		}
+		rli.Publish(lrc, time.Hour)
+	}
+	if rli.KnownLFNs() != filesPer {
+		t.Fatalf("KnownLFNs = %d, want %d (same namespace at all sites)", rli.KnownLFNs(), filesPer)
+	}
+	pfns, err := rli.Locate("lfn:set0/file000")
+	if err != nil || len(pfns) != sites {
+		t.Fatalf("Locate found %d replicas, want %d", len(pfns), sites)
+	}
+}

@@ -1,0 +1,228 @@
+// Package rrd implements a round-robin database: fixed-size time-series
+// storage with per-archive consolidation, the store behind the MonALISA
+// central repository (§5.2: "storing it in a round robin-like database").
+//
+// A database owns one or more archives, each consolidating raw updates into
+// buckets of a fixed step and keeping the most recent N rows in a ring.
+// Typical Grid3 configuration: a 5-minute/24-hour archive for dashboards
+// and a 1-hour/6-month archive for the retrospective usage plots
+// (Figures 2-6 are all derived from such archives).
+package rrd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// CF is a consolidation function.
+type CF int
+
+// Consolidation functions.
+const (
+	Average CF = iota
+	Max
+	Min
+	Last
+	Sum
+)
+
+func (c CF) String() string {
+	switch c {
+	case Average:
+		return "AVERAGE"
+	case Max:
+		return "MAX"
+	case Min:
+		return "MIN"
+	case Last:
+		return "LAST"
+	case Sum:
+		return "SUM"
+	}
+	return fmt.Sprintf("CF(%d)", int(c))
+}
+
+// ErrBadArchive reports invalid archive parameters.
+var ErrBadArchive = errors.New("rrd: invalid archive specification")
+
+// ArchiveSpec describes one archive.
+type ArchiveSpec struct {
+	Step time.Duration
+	Rows int
+	CF   CF
+}
+
+// Point is one consolidated sample. Time is the *end* of its bucket.
+// Value is NaN for buckets with no updates.
+type Point struct {
+	Time  time.Duration
+	Value float64
+}
+
+// archive is the ring state for one ArchiveSpec.
+type archive struct {
+	spec ArchiveSpec
+	ring []float64 // NaN = unknown
+	// head indexes the bucket that ends at headEnd (the most recently
+	// completed bucket).
+	head    int
+	headEnd time.Duration
+	filled  int
+
+	// accumulator for the in-progress bucket [headEnd, headEnd+step).
+	accSum   float64
+	accMax   float64
+	accMin   float64
+	accLast  float64
+	accCount int
+}
+
+// Database is a multi-archive RRD.
+type Database struct {
+	archives []*archive
+	lastT    time.Duration
+}
+
+// New creates a database with the given archives.
+func New(specs ...ArchiveSpec) (*Database, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("%w: no archives", ErrBadArchive)
+	}
+	db := &Database{}
+	for _, s := range specs {
+		if s.Step <= 0 || s.Rows <= 0 {
+			return nil, fmt.Errorf("%w: step %v rows %d", ErrBadArchive, s.Step, s.Rows)
+		}
+		ring := make([]float64, s.Rows)
+		for i := range ring {
+			ring[i] = math.NaN()
+		}
+		db.archives = append(db.archives, &archive{spec: s, ring: ring})
+	}
+	return db, nil
+}
+
+// MustNew creates a database or panics.
+func MustNew(specs ...ArchiveSpec) *Database {
+	db, err := New(specs...)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// Update records a sample at time t. Updates must be monotonically
+// non-decreasing in time; out-of-order samples are rejected.
+func (db *Database) Update(t time.Duration, v float64) error {
+	if t < db.lastT {
+		return fmt.Errorf("rrd: out-of-order update at %v (last %v)", t, db.lastT)
+	}
+	db.lastT = t
+	for _, a := range db.archives {
+		a.update(t, v)
+	}
+	return nil
+}
+
+func (a *archive) update(t time.Duration, v float64) {
+	a.advanceTo(t)
+	if a.accCount == 0 {
+		a.accSum, a.accMax, a.accMin = v, v, v
+	} else {
+		a.accSum += v
+		if v > a.accMax {
+			a.accMax = v
+		}
+		if v < a.accMin {
+			a.accMin = v
+		}
+	}
+	a.accLast = v
+	a.accCount++
+}
+
+// advanceTo flushes completed buckets so that the in-progress bucket
+// contains time t.
+func (a *archive) advanceTo(t time.Duration) {
+	for t >= a.headEnd+a.spec.Step {
+		a.flush()
+	}
+}
+
+// flush closes the in-progress bucket into the ring.
+func (a *archive) flush() {
+	var v float64
+	if a.accCount == 0 {
+		v = math.NaN()
+	} else {
+		switch a.spec.CF {
+		case Average:
+			v = a.accSum / float64(a.accCount)
+		case Max:
+			v = a.accMax
+		case Min:
+			v = a.accMin
+		case Last:
+			v = a.accLast
+		case Sum:
+			v = a.accSum
+		}
+	}
+	a.ring[a.head] = v
+	a.head = (a.head + 1) % a.spec.Rows
+	a.headEnd += a.spec.Step
+	if a.filled < a.spec.Rows {
+		a.filled++
+	}
+	a.accCount = 0
+}
+
+// FlushTo closes buckets up to (not including) the bucket containing t, so
+// reads reflect all data before t. Typically called with "now".
+func (db *Database) FlushTo(t time.Duration) {
+	for _, a := range db.archives {
+		a.advanceTo(t)
+	}
+}
+
+// Archives returns the archive specs.
+func (db *Database) Archives() []ArchiveSpec {
+	out := make([]ArchiveSpec, len(db.archives))
+	for i, a := range db.archives {
+		out[i] = a.spec
+	}
+	return out
+}
+
+// Fetch returns consolidated points from archive idx whose bucket-end times
+// fall in (from, to]. Points are oldest-first.
+func (db *Database) Fetch(idx int, from, to time.Duration) ([]Point, error) {
+	if idx < 0 || idx >= len(db.archives) {
+		return nil, fmt.Errorf("rrd: archive %d out of range", idx)
+	}
+	a := db.archives[idx]
+	var out []Point
+	// Oldest available bucket ends at headEnd - filled*step + step.
+	for i := a.filled; i >= 1; i-- {
+		end := a.headEnd - time.Duration(i-1)*a.spec.Step
+		if end <= from || end > to {
+			continue
+		}
+		pos := (a.head - i + a.spec.Rows*2) % a.spec.Rows
+		out = append(out, Point{Time: end, Value: a.ring[pos]})
+	}
+	return out, nil
+}
+
+// LastValue returns the most recently consolidated value of archive idx,
+// or NaN when nothing has been consolidated yet.
+func (db *Database) LastValue(idx int) float64 {
+	a := db.archives[idx]
+	if a.filled == 0 {
+		return math.NaN()
+	}
+	pos := (a.head - 1 + a.spec.Rows) % a.spec.Rows
+	return a.ring[pos]
+}

@@ -1,0 +1,189 @@
+package rrd
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(); err == nil {
+		t.Fatal("no archives accepted")
+	}
+	if _, err := New(ArchiveSpec{Step: 0, Rows: 5}); err == nil {
+		t.Fatal("zero step accepted")
+	}
+	if _, err := New(ArchiveSpec{Step: time.Minute, Rows: 0}); err == nil {
+		t.Fatal("zero rows accepted")
+	}
+}
+
+func TestAverageConsolidation(t *testing.T) {
+	db := MustNew(ArchiveSpec{Step: time.Minute, Rows: 10, CF: Average})
+	// Bucket 1 (0..1m): samples 10, 20 → 15.
+	db.Update(10*time.Second, 10)
+	db.Update(30*time.Second, 20)
+	// Bucket 2 (1m..2m): 40.
+	db.Update(90*time.Second, 40)
+	db.FlushTo(2 * time.Minute)
+	pts, err := db.Fetch(0, 0, 2*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %v", pts)
+	}
+	if pts[0].Value != 15 || pts[0].Time != time.Minute {
+		t.Fatalf("bucket1 = %+v", pts[0])
+	}
+	if pts[1].Value != 40 || pts[1].Time != 2*time.Minute {
+		t.Fatalf("bucket2 = %+v", pts[1])
+	}
+}
+
+func TestConsolidationFunctions(t *testing.T) {
+	db := MustNew(
+		ArchiveSpec{Step: time.Minute, Rows: 5, CF: Max},
+		ArchiveSpec{Step: time.Minute, Rows: 5, CF: Min},
+		ArchiveSpec{Step: time.Minute, Rows: 5, CF: Last},
+		ArchiveSpec{Step: time.Minute, Rows: 5, CF: Sum},
+	)
+	for i, v := range []float64{3, 9, 1} {
+		db.Update(time.Duration(i)*10*time.Second, v)
+	}
+	db.FlushTo(time.Minute)
+	want := []float64{9, 1, 1, 13}
+	for i, w := range want {
+		if got := db.LastValue(i); got != w {
+			t.Errorf("%s = %v, want %v", db.Archives()[i].CF, got, w)
+		}
+	}
+}
+
+func TestGapsAreNaN(t *testing.T) {
+	db := MustNew(ArchiveSpec{Step: time.Minute, Rows: 10, CF: Average})
+	db.Update(30*time.Second, 5)
+	// Skip buckets 2 and 3 entirely.
+	db.Update(3*time.Minute+30*time.Second, 7)
+	db.FlushTo(4 * time.Minute)
+	pts, _ := db.Fetch(0, 0, 4*time.Minute)
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if !math.IsNaN(pts[1].Value) || !math.IsNaN(pts[2].Value) {
+		t.Fatalf("gap buckets not NaN: %v", pts)
+	}
+	if pts[3].Value != 7 {
+		t.Fatalf("bucket4 = %v", pts[3])
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	db := MustNew(ArchiveSpec{Step: time.Minute, Rows: 3, CF: Average})
+	for i := 0; i < 10; i++ {
+		db.Update(time.Duration(i)*time.Minute+time.Second, float64(i))
+	}
+	db.FlushTo(10 * time.Minute)
+	pts, _ := db.Fetch(0, 0, 10*time.Minute)
+	// Only the 3 newest buckets survive: values 7, 8, 9.
+	if len(pts) != 3 {
+		t.Fatalf("points = %v", pts)
+	}
+	for i, want := range []float64{7, 8, 9} {
+		if pts[i].Value != want {
+			t.Fatalf("wrapped points = %v", pts)
+		}
+	}
+}
+
+func TestMultiResolutionArchives(t *testing.T) {
+	db := MustNew(
+		ArchiveSpec{Step: time.Minute, Rows: 60, CF: Average},
+		ArchiveSpec{Step: time.Hour, Rows: 24, CF: Average},
+	)
+	// Constant value 10 for 2 hours, sampled once a minute.
+	for i := 0; i < 120; i++ {
+		db.Update(time.Duration(i)*time.Minute+time.Second, 10)
+	}
+	db.FlushTo(2 * time.Hour)
+	fine, _ := db.Fetch(0, time.Hour, 2*time.Hour)
+	if len(fine) != 60 {
+		t.Fatalf("fine archive points = %d", len(fine))
+	}
+	coarse, _ := db.Fetch(1, 0, 2*time.Hour)
+	if len(coarse) != 2 || coarse[0].Value != 10 || coarse[1].Value != 10 {
+		t.Fatalf("coarse archive = %v", coarse)
+	}
+}
+
+func TestOutOfOrderRejected(t *testing.T) {
+	db := MustNew(ArchiveSpec{Step: time.Minute, Rows: 5, CF: Average})
+	db.Update(time.Minute, 1)
+	if err := db.Update(time.Second, 2); err == nil {
+		t.Fatal("out-of-order update accepted")
+	}
+}
+
+func TestFetchBadArchive(t *testing.T) {
+	db := MustNew(ArchiveSpec{Step: time.Minute, Rows: 5, CF: Average})
+	if _, err := db.Fetch(1, 0, time.Hour); err == nil {
+		t.Fatal("bad archive index accepted")
+	}
+}
+
+func TestLastValueBeforeAnyFlush(t *testing.T) {
+	db := MustNew(ArchiveSpec{Step: time.Minute, Rows: 5, CF: Average})
+	if !math.IsNaN(db.LastValue(0)) {
+		t.Fatal("LastValue before data should be NaN")
+	}
+}
+
+func TestCFStrings(t *testing.T) {
+	for cf, want := range map[CF]string{
+		Average: "AVERAGE", Max: "MAX", Min: "MIN", Last: "LAST", Sum: "SUM",
+	} {
+		if cf.String() != want {
+			t.Fatalf("%v", cf)
+		}
+	}
+	if CF(42).String() == "" {
+		t.Fatal("unknown CF must render")
+	}
+}
+
+func TestArchivesAccessor(t *testing.T) {
+	db := MustNew(
+		ArchiveSpec{Step: time.Minute, Rows: 5, CF: Average},
+		ArchiveSpec{Step: time.Hour, Rows: 24, CF: Max},
+	)
+	specs := db.Archives()
+	if len(specs) != 2 || specs[1].CF != Max || specs[0].Step != time.Minute {
+		t.Fatalf("archives = %+v", specs)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew with no archives did not panic")
+		}
+	}()
+	MustNew()
+}
+
+func TestFetchWindowEdges(t *testing.T) {
+	db := MustNew(ArchiveSpec{Step: time.Minute, Rows: 10, CF: Average})
+	for i := 0; i < 5; i++ {
+		db.Update(time.Duration(i)*time.Minute+time.Second, float64(i))
+	}
+	db.FlushTo(5 * time.Minute)
+	// (from, to] semantics: a bucket ending exactly at from is excluded,
+	// one ending exactly at to is included.
+	pts, err := db.Fetch(0, time.Minute, 3*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].Time != 2*time.Minute || pts[1].Time != 3*time.Minute {
+		t.Fatalf("window points = %+v", pts)
+	}
+}

@@ -1,0 +1,227 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All Grid3 services run against a virtual clock owned by an Engine. Events
+// scheduled for the same instant fire in the order they were scheduled, so a
+// simulation is reproducible bit-for-bit given the same inputs and RNG seed.
+//
+// Times are expressed as time.Duration offsets from the engine's epoch, which
+// anchors the simulation to a wall-clock date (Grid3 scenarios start on
+// 2003-10-23, the first day of the Table 1 sample window).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Clock exposes the current virtual time. Services that only need to read
+// time (MDS soft-state expiry, monitoring timestamps) depend on Clock rather
+// than the full Engine.
+type Clock interface {
+	// Now returns the current virtual time as an offset from the epoch.
+	Now() time.Duration
+	// WallClock returns the current virtual time as an absolute instant.
+	WallClock() time.Time
+}
+
+// Scheduler is the write side of the engine: the ability to schedule events.
+// Most services hold a Scheduler; tests may substitute their own.
+type Scheduler interface {
+	Clock
+	// Schedule runs fn after delay. A negative delay is an error at Run time;
+	// a zero delay runs fn after all currently pending events at Now.
+	Schedule(delay time.Duration, fn func()) *Event
+	// At runs fn at absolute offset t, which must not be in the past.
+	At(t time.Duration, fn func()) *Event
+}
+
+// Event is a handle to a scheduled callback. It may be cancelled before it
+// fires; cancelling a fired or already-cancelled event is a no-op.
+type Event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	index     int // heap index, -1 once removed
+	cancelled bool
+}
+
+// Time returns the virtual time at which the event is scheduled to fire.
+func (e *Event) Time() time.Duration { return e.at }
+
+// Cancelled reports whether Cancel has been called on the event.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+// Engine is a single-threaded discrete-event executor. It is not safe for
+// concurrent use: all Grid3 components run on one goroutine, which is what
+// makes simulations deterministic.
+type Engine struct {
+	epoch     time.Time
+	now       time.Duration
+	seq       uint64
+	queue     eventQueue
+	processed uint64
+	running   bool
+}
+
+// NewEngine returns an engine whose virtual time starts at zero, anchored to
+// the given epoch.
+func NewEngine(epoch time.Time) *Engine {
+	return &Engine{epoch: epoch}
+}
+
+// Grid3Epoch is the start of the paper's Table 1 sample window,
+// October 23 2003 00:00 UTC.
+var Grid3Epoch = time.Date(2003, time.October, 23, 0, 0, 0, 0, time.UTC)
+
+// Now implements Clock.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// WallClock implements Clock.
+func (e *Engine) WallClock() time.Time { return e.epoch.Add(e.now) }
+
+// Epoch returns the wall-clock instant corresponding to virtual time zero.
+func (e *Engine) Epoch() time.Time { return e.epoch }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events scheduled but not yet fired
+// (including cancelled events not yet discarded).
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// Schedule implements Scheduler.
+func (e *Engine) Schedule(delay time.Duration, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return e.push(e.now+delay, fn)
+}
+
+// At implements Scheduler.
+func (e *Engine) At(t time.Duration, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: %v < now %v", t, e.now))
+	}
+	return e.push(t, fn)
+}
+
+func (e *Engine) push(t time.Duration, fn func()) *Event {
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Cancel removes the event from the queue if it has not fired. It is safe to
+// call multiple times and on events that have already fired.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.cancelled {
+		return
+	}
+	ev.cancelled = true
+	// The event is lazily discarded when popped; eager removal would be
+	// O(log n) too, but lazy keeps Cancel allocation-free and simple.
+}
+
+// Step fires the next pending event, if any, advancing the clock to its
+// scheduled time. It reports whether an event was fired.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		e.processed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty.
+func (e *Engine) Run() {
+	e.guard()
+	defer func() { e.running = false }()
+	for e.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps ≤ t, then advances the clock to t.
+// Events scheduled at exactly t do fire.
+func (e *Engine) RunUntil(t time.Duration) {
+	e.guard()
+	defer func() { e.running = false }()
+	for e.queue.Len() > 0 {
+		next := e.peek()
+		if next == nil {
+			break
+		}
+		if next.at > t {
+			break
+		}
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// RunFor advances the simulation by d from the current time.
+func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now + d) }
+
+func (e *Engine) guard() {
+	if e.running {
+		panic("sim: re-entrant Run")
+	}
+	e.running = true
+}
+
+func (e *Engine) peek() *Event {
+	for e.queue.Len() > 0 {
+		ev := e.queue[0]
+		if !ev.cancelled {
+			return ev
+		}
+		heap.Pop(&e.queue)
+	}
+	return nil
+}
+
+// eventQueue is a min-heap ordered by (time, sequence).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}

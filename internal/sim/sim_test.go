@@ -1,0 +1,196 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine(Grid3Epoch)
+	var order []int
+	e.Schedule(3*time.Second, func() { order = append(order, 3) })
+	e.Schedule(1*time.Second, func() { order = append(order, 1) })
+	e.Schedule(2*time.Second, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events fired out of order: %v", order)
+	}
+	if e.Now() != 3*time.Second {
+		t.Fatalf("clock = %v, want 3s", e.Now())
+	}
+}
+
+func TestEngineSameTimeFIFO(t *testing.T) {
+	e := NewEngine(Grid3Epoch)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine(Grid3Epoch)
+	var fired []time.Duration
+	e.Schedule(time.Second, func() {
+		fired = append(fired, e.Now())
+		e.Schedule(time.Second, func() {
+			fired = append(fired, e.Now())
+		})
+	})
+	e.Run()
+	if len(fired) != 2 || fired[0] != time.Second || fired[1] != 2*time.Second {
+		t.Fatalf("nested schedule times = %v", fired)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine(Grid3Epoch)
+	ran := false
+	ev := e.Schedule(time.Second, func() { ran = true })
+	e.Cancel(ev)
+	e.Cancel(ev) // double-cancel is a no-op
+	e.Run()
+	if ran {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("event not marked cancelled")
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine(Grid3Epoch)
+	var fired []int
+	e.Schedule(1*time.Hour, func() { fired = append(fired, 1) })
+	e.Schedule(2*time.Hour, func() { fired = append(fired, 2) })
+	e.Schedule(3*time.Hour, func() { fired = append(fired, 3) })
+	e.RunUntil(2 * time.Hour)
+	if len(fired) != 2 {
+		t.Fatalf("RunUntil fired %v, want events at 1h and 2h", fired)
+	}
+	if e.Now() != 2*time.Hour {
+		t.Fatalf("clock after RunUntil = %v", e.Now())
+	}
+	e.RunFor(1 * time.Hour)
+	if len(fired) != 3 {
+		t.Fatalf("RunFor did not fire remaining event: %v", fired)
+	}
+}
+
+func TestEngineRunUntilAdvancesIdleClock(t *testing.T) {
+	e := NewEngine(Grid3Epoch)
+	e.RunUntil(5 * time.Hour)
+	if e.Now() != 5*time.Hour {
+		t.Fatalf("idle clock = %v, want 5h", e.Now())
+	}
+}
+
+func TestEngineWallClock(t *testing.T) {
+	e := NewEngine(Grid3Epoch)
+	e.RunUntil(24 * time.Hour)
+	want := time.Date(2003, time.October, 24, 0, 0, 0, 0, time.UTC)
+	if !e.WallClock().Equal(want) {
+		t.Fatalf("WallClock = %v, want %v", e.WallClock(), want)
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine(Grid3Epoch)
+	e.RunUntil(time.Hour)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At in the past did not panic")
+		}
+	}()
+	e.At(time.Minute, func() {})
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	e := NewEngine(Grid3Epoch)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	e.Schedule(-time.Second, func() {})
+}
+
+func TestEngineProcessedCount(t *testing.T) {
+	e := NewEngine(Grid3Epoch)
+	for i := 0; i < 5; i++ {
+		e.Schedule(time.Duration(i)*time.Second, func() {})
+	}
+	e.Run()
+	if e.Processed() != 5 {
+		t.Fatalf("Processed = %d, want 5", e.Processed())
+	}
+}
+
+func TestTickerFiresAtInterval(t *testing.T) {
+	e := NewEngine(Grid3Epoch)
+	var times []time.Duration
+	tk := NewTicker(e, 15*time.Minute, func() { times = append(times, e.Now()) })
+	e.RunUntil(time.Hour)
+	tk.Stop()
+	e.RunUntil(2 * time.Hour)
+	if len(times) != 4 {
+		t.Fatalf("ticker fired %d times in 1h at 15m interval, want 4: %v", len(times), times)
+	}
+	for i, at := range times {
+		want := time.Duration(i+1) * 15 * time.Minute
+		if at != want {
+			t.Fatalf("fire %d at %v, want %v", i, at, want)
+		}
+	}
+	if tk.Fires() != 4 {
+		t.Fatalf("Fires = %d, want 4", tk.Fires())
+	}
+}
+
+func TestTickerStopFromCallback(t *testing.T) {
+	e := NewEngine(Grid3Epoch)
+	var tk *Ticker
+	count := 0
+	tk = NewTicker(e, time.Minute, func() {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	e.Run()
+	if count != 3 {
+		t.Fatalf("ticker fired %d times after self-stop at 3", count)
+	}
+}
+
+func TestReentrantRunPanics(t *testing.T) {
+	e := NewEngine(Grid3Epoch)
+	e.Schedule(time.Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("re-entrant Run did not panic")
+			}
+		}()
+		e.Run()
+	})
+	e.Run()
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	e := NewEngine(Grid3Epoch)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(time.Duration(i%1000)*time.Millisecond, func() {})
+		if i%1024 == 1023 {
+			e.Run()
+		}
+	}
+	e.Run()
+}

@@ -1,0 +1,48 @@
+package sim
+
+import "time"
+
+// Ticker invokes a callback at a fixed virtual-time interval until stopped.
+// Grid3 uses tickers for monitoring collection cycles, site-catalog probes,
+// the Condor exerciser's 15-minute backfill runs, and soft-state refresh.
+type Ticker struct {
+	sched    Scheduler
+	interval time.Duration
+	fn       func()
+	pending  *Event
+	stopped  bool
+	fires    int
+}
+
+// NewTicker schedules fn every interval, with the first firing one full
+// interval from now. Stop the ticker to release it.
+func NewTicker(s Scheduler, interval time.Duration, fn func()) *Ticker {
+	if interval <= 0 {
+		panic("sim: ticker interval must be positive")
+	}
+	t := &Ticker{sched: s, interval: interval, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.pending = t.sched.Schedule(t.interval, func() {
+		if t.stopped {
+			return
+		}
+		t.fires++
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop prevents all future firings. Safe to call more than once, including
+// from within the ticker's own callback.
+func (t *Ticker) Stop() {
+	t.stopped = true
+}
+
+// Fires returns how many times the ticker has fired.
+func (t *Ticker) Fires() int { return t.fires }

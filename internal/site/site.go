@@ -1,0 +1,261 @@
+// Package site models a Grid3 site: a cluster of worker nodes behind a
+// gatekeeper host, shared storage with finite capacity, per-VO Unix group
+// accounts, and a WAN link.
+//
+// The paper's §5 describes the two-tier design: "each resource (compute,
+// storage, application, site, user) was logically associated with a VO. At
+// each site, a core set of grid middleware services with VO-specific
+// configuration and additions were installed." Sites retain full autonomy:
+// local batch policies, walltime limits, and VO support lists differ per
+// site, and >60% of Grid3 CPUs were non-dedicated facilities shared with
+// local users.
+package site
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"grid3/internal/glue"
+)
+
+// Errors.
+var (
+	ErrDiskFull     = errors.New("site: disk full")
+	ErrNoSuchFile   = errors.New("site: no such file")
+	ErrFileExists   = errors.New("site: file already exists")
+	ErrNoVOAccount  = errors.New("site: no group account for VO")
+	ErrBadAllocSize = errors.New("site: allocation size must be positive")
+)
+
+// Storage is a finite-capacity file store: the site's shared disk / storage
+// element. Disk-filling was the leading cause of the ATLAS failure class in
+// §6.1 ("Approximately 90% of failures were due to site problems: disk
+// filling errors, gatekeeper overloading, or network interruptions").
+type Storage struct {
+	capacity int64
+	used     int64
+	reserved int64 // space held by SRM reservations (see internal/srm)
+	files    map[string]int64
+}
+
+// NewStorage returns an empty store of the given capacity in bytes.
+func NewStorage(capacity int64) *Storage {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("site: storage capacity %d must be positive", capacity))
+	}
+	return &Storage{capacity: capacity, files: make(map[string]int64)}
+}
+
+// Capacity returns total bytes.
+func (s *Storage) Capacity() int64 { return s.capacity }
+
+// Used returns bytes held by files.
+func (s *Storage) Used() int64 { return s.used }
+
+// Free returns unallocated, unreserved bytes.
+func (s *Storage) Free() int64 { return s.capacity - s.used - s.reserved }
+
+// Reserve holds n bytes for a future write (the SRM path). It fails rather
+// than overcommitting.
+func (s *Storage) Reserve(n int64) error {
+	if n <= 0 {
+		return ErrBadAllocSize
+	}
+	if s.Free() < n {
+		return fmt.Errorf("%w: reserve %d > free %d", ErrDiskFull, n, s.Free())
+	}
+	s.reserved += n
+	return nil
+}
+
+// Release returns reserved bytes to the free pool.
+func (s *Storage) Release(n int64) {
+	if n > s.reserved {
+		n = s.reserved
+	}
+	s.reserved -= n
+}
+
+// Reserved returns bytes currently held by reservations.
+func (s *Storage) Reserved() int64 { return s.reserved }
+
+// Store writes a file of the given size. With fromReservation true the
+// bytes come out of the reserved pool (SRM-managed write); otherwise they
+// must fit in free space (raw GridFTP write — the §8 failure mode).
+func (s *Storage) Store(name string, size int64, fromReservation bool) error {
+	if size <= 0 {
+		return ErrBadAllocSize
+	}
+	if _, ok := s.files[name]; ok {
+		return fmt.Errorf("%w: %s", ErrFileExists, name)
+	}
+	if fromReservation {
+		if size > s.reserved {
+			return fmt.Errorf("%w: write %d > reserved %d", ErrDiskFull, size, s.reserved)
+		}
+		s.reserved -= size
+	} else {
+		if s.Free() < size {
+			return fmt.Errorf("%w: write %d > free %d", ErrDiskFull, size, s.Free())
+		}
+	}
+	s.files[name] = size
+	s.used += size
+	return nil
+}
+
+// Delete removes a file, freeing its space.
+func (s *Storage) Delete(name string) error {
+	size, ok := s.files[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchFile, name)
+	}
+	delete(s.files, name)
+	s.used -= size
+	return nil
+}
+
+// Has reports whether the named file exists.
+func (s *Storage) Has(name string) bool {
+	_, ok := s.files[name]
+	return ok
+}
+
+// Size returns a file's size.
+func (s *Storage) Size(name string) (int64, error) {
+	size, ok := s.files[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoSuchFile, name)
+	}
+	return size, nil
+}
+
+// FileCount returns the number of stored files.
+func (s *Storage) FileCount() int { return len(s.files) }
+
+// Files returns stored file names, sorted.
+func (s *Storage) Files() []string {
+	out := make([]string, 0, len(s.files))
+	for name := range s.files {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FillFraction returns used/capacity, the Ganglia disk metric.
+func (s *Storage) FillFraction() float64 {
+	return float64(s.used+s.reserved) / float64(s.capacity)
+}
+
+// Config describes a site's static configuration.
+type Config struct {
+	Name      string
+	Host      string // gatekeeper host name
+	Tier      int    // 1 = lab Tier1, 2 = university Tier2, 3 = small
+	CPUs      int
+	DiskBytes int64
+	WANMbps   float64       // WAN link capacity, megabits/s
+	LRMS      glue.LRMS     // local batch flavor
+	MaxWall   time.Duration // longest job the queue admits
+	OwnerVO   string        // VO that owns/operates the site ("favorite" affinity, §6.4)
+	Dedicated bool          // false: shared with local users (>60% of Grid3 CPUs)
+	// Accounts maps VO name → Unix group account. Only VOs present here
+	// can run at the site (§5: "Unix group accounts were established at
+	// each site for each VO").
+	Accounts map[string]string
+	// OutboundIP: worker nodes can reach the internet (§6.4 requirement 1).
+	OutboundIP bool
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	switch {
+	case c.Name == "":
+		return errors.New("site: missing name")
+	case c.CPUs <= 0:
+		return fmt.Errorf("site %s: cpus %d", c.Name, c.CPUs)
+	case c.DiskBytes <= 0:
+		return fmt.Errorf("site %s: disk %d", c.Name, c.DiskBytes)
+	case c.WANMbps <= 0:
+		return fmt.Errorf("site %s: wan %f", c.Name, c.WANMbps)
+	case c.MaxWall <= 0:
+		return fmt.Errorf("site %s: maxwall %v", c.Name, c.MaxWall)
+	case len(c.Accounts) == 0:
+		return fmt.Errorf("site %s: no VO accounts", c.Name)
+	}
+	return nil
+}
+
+// Site is the live state of one Grid3 site.
+type Site struct {
+	Config
+	Disk *Storage
+	// AppAreas tracks per-VO installed application releases, keyed by
+	// package name (the $APP area of the Grid3 schema extensions).
+	AppAreas map[string]bool
+	// healthy is toggled by failure injection; an unhealthy site fails
+	// gatekeeper interactions.
+	healthy bool
+}
+
+// New constructs a site from configuration.
+func New(cfg Config) (*Site, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Site{
+		Config:   cfg,
+		Disk:     NewStorage(cfg.DiskBytes),
+		AppAreas: make(map[string]bool),
+		healthy:  true,
+	}, nil
+}
+
+// MustNew constructs a site or panics; for catalog literals and tests.
+func MustNew(cfg Config) *Site {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Account returns the Unix group account for a VO.
+func (s *Site) Account(vo string) (string, error) {
+	acct, ok := s.Accounts[vo]
+	if !ok {
+		return "", fmt.Errorf("%w: %s at %s", ErrNoVOAccount, vo, s.Name)
+	}
+	return acct, nil
+}
+
+// SupportsVO reports whether the site has a group account for vo.
+func (s *Site) SupportsVO(vo string) bool {
+	_, ok := s.Accounts[vo]
+	return ok
+}
+
+// VOs returns supported VO names, sorted.
+func (s *Site) VOs() []string {
+	out := make([]string, 0, len(s.Accounts))
+	for vo := range s.Accounts {
+		out = append(out, vo)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Healthy reports whether the site's services are up.
+func (s *Site) Healthy() bool { return s.healthy }
+
+// SetHealthy toggles site service health (failure injection).
+func (s *Site) SetHealthy(v bool) { s.healthy = v }
+
+// InstallApp marks an application release as present in the $APP area.
+func (s *Site) InstallApp(pkg string) { s.AppAreas[pkg] = true }
+
+// HasApp reports whether an application release is installed.
+func (s *Site) HasApp(pkg string) bool { return s.AppAreas[pkg] }

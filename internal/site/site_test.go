@@ -1,0 +1,227 @@
+package site
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"grid3/internal/glue"
+)
+
+func testConfig() Config {
+	return Config{
+		Name:      "UC_ATLAS_Tier2",
+		Host:      "tier2-01.uchicago.edu",
+		Tier:      2,
+		CPUs:      64,
+		DiskBytes: 1 << 40, // 1 TiB
+		WANMbps:   622,
+		LRMS:      glue.PBS,
+		MaxWall:   48 * time.Hour,
+		OwnerVO:   "usatlas",
+		Accounts:  map[string]string{"usatlas": "grp_usatlas", "ivdgl": "grp_ivdgl"},
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cfg := testConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Name = "" },
+		func(c *Config) { c.CPUs = 0 },
+		func(c *Config) { c.DiskBytes = 0 },
+		func(c *Config) { c.WANMbps = 0 },
+		func(c *Config) { c.MaxWall = 0 },
+		func(c *Config) { c.Accounts = nil },
+	}
+	for i, mutate := range bad {
+		c := testConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d validated", i)
+		}
+	}
+}
+
+func TestSiteAccounts(t *testing.T) {
+	s := MustNew(testConfig())
+	acct, err := s.Account("usatlas")
+	if err != nil || acct != "grp_usatlas" {
+		t.Fatalf("Account = %q, %v", acct, err)
+	}
+	if _, err := s.Account("uscms"); !errors.Is(err, ErrNoVOAccount) {
+		t.Fatalf("unsupported VO error = %v", err)
+	}
+	if !s.SupportsVO("ivdgl") || s.SupportsVO("ligo") {
+		t.Fatal("SupportsVO wrong")
+	}
+	vos := s.VOs()
+	if len(vos) != 2 || vos[0] != "ivdgl" || vos[1] != "usatlas" {
+		t.Fatalf("VOs = %v", vos)
+	}
+}
+
+func TestSiteHealthToggle(t *testing.T) {
+	s := MustNew(testConfig())
+	if !s.Healthy() {
+		t.Fatal("new site unhealthy")
+	}
+	s.SetHealthy(false)
+	if s.Healthy() {
+		t.Fatal("SetHealthy(false) ignored")
+	}
+}
+
+func TestSiteAppArea(t *testing.T) {
+	s := MustNew(testConfig())
+	if s.HasApp("atlas-gce-7.0.3") {
+		t.Fatal("app present before install")
+	}
+	s.InstallApp("atlas-gce-7.0.3")
+	if !s.HasApp("atlas-gce-7.0.3") {
+		t.Fatal("app missing after install")
+	}
+}
+
+func TestStorageStoreDelete(t *testing.T) {
+	st := NewStorage(1000)
+	if err := st.Store("f1", 400, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Store("f1", 100, false); !errors.Is(err, ErrFileExists) {
+		t.Fatalf("duplicate store err = %v", err)
+	}
+	if err := st.Store("f2", 700, false); !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("overfull store err = %v", err)
+	}
+	if err := st.Store("f2", 600, false); err != nil {
+		t.Fatal(err)
+	}
+	if st.Used() != 1000 || st.Free() != 0 {
+		t.Fatalf("used %d free %d", st.Used(), st.Free())
+	}
+	size, err := st.Size("f1")
+	if err != nil || size != 400 {
+		t.Fatalf("Size = %d, %v", size, err)
+	}
+	if err := st.Delete("f1"); err != nil {
+		t.Fatal(err)
+	}
+	if st.Has("f1") {
+		t.Fatal("deleted file still present")
+	}
+	if err := st.Delete("f1"); !errors.Is(err, ErrNoSuchFile) {
+		t.Fatalf("double delete err = %v", err)
+	}
+	if _, err := st.Size("f1"); err == nil {
+		t.Fatal("Size of deleted file succeeded")
+	}
+	files := st.Files()
+	if len(files) != 1 || files[0] != "f2" {
+		t.Fatalf("Files = %v", files)
+	}
+	if st.FileCount() != 1 {
+		t.Fatalf("FileCount = %d", st.FileCount())
+	}
+}
+
+func TestStorageRejectsBadSizes(t *testing.T) {
+	st := NewStorage(100)
+	if err := st.Store("z", 0, false); !errors.Is(err, ErrBadAllocSize) {
+		t.Fatalf("zero-size store err = %v", err)
+	}
+	if err := st.Reserve(-5); !errors.Is(err, ErrBadAllocSize) {
+		t.Fatalf("negative reserve err = %v", err)
+	}
+}
+
+func TestStorageReservations(t *testing.T) {
+	st := NewStorage(1000)
+	if err := st.Reserve(600); err != nil {
+		t.Fatal(err)
+	}
+	if st.Free() != 400 || st.Reserved() != 600 {
+		t.Fatalf("free %d reserved %d", st.Free(), st.Reserved())
+	}
+	// Unreserved write can't take reserved space.
+	if err := st.Store("raw", 500, false); !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("raw store into reserved space err = %v", err)
+	}
+	// Reservation-backed write draws down the reservation.
+	if err := st.Store("managed", 500, true); err != nil {
+		t.Fatal(err)
+	}
+	if st.Reserved() != 100 || st.Used() != 500 {
+		t.Fatalf("after managed write: reserved %d used %d", st.Reserved(), st.Used())
+	}
+	// Writing more than remains reserved fails.
+	if err := st.Store("managed2", 200, true); !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("over-reservation write err = %v", err)
+	}
+	st.Release(1000) // clamps to outstanding reservation
+	if st.Reserved() != 0 {
+		t.Fatalf("release did not clamp: %d", st.Reserved())
+	}
+	if st.Free() != 500 {
+		t.Fatalf("free after release = %d", st.Free())
+	}
+}
+
+func TestStorageFillFraction(t *testing.T) {
+	st := NewStorage(1000)
+	st.Store("a", 250, false)
+	if f := st.FillFraction(); f != 0.25 {
+		t.Fatalf("FillFraction = %v", f)
+	}
+	st.Reserve(250)
+	if f := st.FillFraction(); f != 0.5 {
+		t.Fatalf("FillFraction with reservation = %v", f)
+	}
+}
+
+// Property: used + reserved + free == capacity under any sequence of
+// successful operations.
+func TestStorageConservationProperty(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Size uint16
+	}
+	f := func(ops []op) bool {
+		st := NewStorage(1 << 20)
+		names := 0
+		stored := []string{}
+		for _, o := range ops {
+			size := int64(o.Size) + 1
+			switch o.Kind % 4 {
+			case 0:
+				name := string(rune('a'+names%26)) + "-" + string(rune('0'+names%10))
+				names++
+				if st.Store(name, size, false) == nil {
+					stored = append(stored, name)
+				}
+			case 1:
+				st.Reserve(size)
+			case 2:
+				st.Release(size)
+			case 3:
+				if len(stored) > 0 {
+					st.Delete(stored[0])
+					stored = stored[1:]
+				}
+			}
+			if st.Used()+st.Reserved()+st.Free() != st.Capacity() {
+				return false
+			}
+			if st.Free() < 0 || st.Used() < 0 || st.Reserved() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,182 @@
+// Package sitecatalog implements the Grid3 Site Status Catalog (§5.2):
+// periodic functional probes of every site's services, a status page with
+// per-site state and location, and uptime history.
+//
+// "The Site Status Catalog periodically tests all sites and stores some
+// critical information centrally. A web interface provides a list of all
+// Grid3 sites, their location on a map, their status, and other important
+// information."
+package sitecatalog
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"grid3/internal/sim"
+)
+
+// Status is a site's probe verdict.
+type Status int
+
+// Site statuses.
+const (
+	Unknown Status = iota
+	Pass
+	Fail
+)
+
+func (s Status) String() string {
+	switch s {
+	case Pass:
+		return "PASS"
+	case Fail:
+		return "FAIL"
+	}
+	return "UNKNOWN"
+}
+
+// Probe checks one service at one site; nil means healthy.
+type Probe struct {
+	Name string
+	Run  func() error
+}
+
+// Entry is one cataloged site.
+type Entry struct {
+	SiteName  string
+	Location  string // institution, for the catalog's map view
+	probes    []Probe
+	status    Status
+	lastErr   string
+	lastCheck time.Duration
+
+	// Uptime accounting.
+	passTime    time.Duration
+	totalTime   time.Duration
+	since       time.Duration // time of last status change
+	transitions int
+}
+
+// Status returns the current probe verdict.
+func (e *Entry) Status() Status { return e.status }
+
+// LastError returns the most recent failing probe's message.
+func (e *Entry) LastError() string { return e.lastErr }
+
+// Transitions counts status flips — a proxy for site stability ("Once a
+// site becomes stable, it usually remains so", §7).
+func (e *Entry) Transitions() int { return e.transitions }
+
+// Uptime returns the fraction of monitored time spent in PASS.
+func (e *Entry) Uptime() float64 {
+	if e.totalTime == 0 {
+		return 0
+	}
+	return float64(e.passTime) / float64(e.totalTime)
+}
+
+// Catalog probes all registered sites on a fixed interval.
+type Catalog struct {
+	eng     sim.Scheduler
+	entries map[string]*Entry
+	ticker  *sim.Ticker
+}
+
+// New creates a catalog probing every interval (Grid3 used ~15 minutes).
+func New(eng sim.Scheduler, interval time.Duration) *Catalog {
+	c := &Catalog{eng: eng, entries: make(map[string]*Entry)}
+	c.ticker = sim.NewTicker(eng, interval, c.Sweep)
+	return c
+}
+
+// Register adds a site with its probes.
+func (c *Catalog) Register(siteName, location string, probes ...Probe) *Entry {
+	e := &Entry{SiteName: siteName, Location: location, probes: probes, since: c.eng.Now()}
+	c.entries[siteName] = e
+	return e
+}
+
+// Stop halts probing.
+func (c *Catalog) Stop() { c.ticker.Stop() }
+
+// Sweep probes every site once; the ticker calls this periodically.
+func (c *Catalog) Sweep() {
+	now := c.eng.Now()
+	for _, name := range c.Sites() {
+		e := c.entries[name]
+		// Accrue time in the previous state first.
+		if e.status != Unknown {
+			dt := now - e.lastCheck
+			e.totalTime += dt
+			if e.status == Pass {
+				e.passTime += dt
+			}
+		}
+		next := Pass
+		e.lastErr = ""
+		for _, p := range e.probes {
+			if err := p.Run(); err != nil {
+				next = Fail
+				e.lastErr = fmt.Sprintf("%s: %v", p.Name, err)
+				break
+			}
+		}
+		if next != e.status {
+			if e.status != Unknown {
+				e.transitions++
+			}
+			e.status = next
+			e.since = now
+		}
+		e.lastCheck = now
+	}
+}
+
+// Sites returns registered site names, sorted.
+func (c *Catalog) Sites() []string {
+	out := make([]string, 0, len(c.entries))
+	for n := range c.entries {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Entry returns a site's catalog entry.
+func (c *Catalog) Entry(siteName string) (*Entry, bool) {
+	e, ok := c.entries[siteName]
+	return e, ok
+}
+
+// Passing returns the number of sites currently in PASS.
+func (c *Catalog) Passing() int {
+	n := 0
+	for _, e := range c.entries {
+		if e.status == Pass {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteStatusPage renders the catalog's web view as text.
+func (c *Catalog) WriteStatusPage(w io.Writer) (int64, error) {
+	var total int64
+	n, err := fmt.Fprintf(w, "%-24s %-28s %-7s %8s %s\n", "SITE", "LOCATION", "STATUS", "UPTIME", "LAST ERROR")
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	for _, name := range c.Sites() {
+		e := c.entries[name]
+		n, err := fmt.Fprintf(w, "%-24s %-28s %-7s %7.1f%% %s\n",
+			e.SiteName, e.Location, e.status, 100*e.Uptime(), e.lastErr)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,118 @@
+package sitecatalog
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"grid3/internal/sim"
+)
+
+func TestSweepAndStatus(t *testing.T) {
+	eng := sim.NewEngine(sim.Grid3Epoch)
+	cat := New(eng, 15*time.Minute)
+	healthy := true
+	cat.Register("UC_ATLAS_Tier2", "U. Chicago",
+		Probe{Name: "gram-ping", Run: func() error {
+			if !healthy {
+				return errors.New("connection timed out")
+			}
+			return nil
+		}},
+		Probe{Name: "gridftp-ls", Run: func() error { return nil }},
+	)
+	cat.Register("Vanderbilt", "Vanderbilt U.", Probe{Name: "gram-ping", Run: func() error { return nil }})
+
+	eng.RunUntil(time.Hour)
+	if cat.Passing() != 2 {
+		t.Fatalf("passing = %d", cat.Passing())
+	}
+	e, ok := cat.Entry("UC_ATLAS_Tier2")
+	if !ok || e.Status() != Pass {
+		t.Fatalf("entry = %+v", e)
+	}
+
+	healthy = false
+	eng.RunUntil(90 * time.Minute)
+	if e.Status() != Fail {
+		t.Fatalf("status after failure = %v", e.Status())
+	}
+	if !strings.Contains(e.LastError(), "gram-ping") {
+		t.Fatalf("last error = %q", e.LastError())
+	}
+	if cat.Passing() != 1 {
+		t.Fatalf("passing = %d", cat.Passing())
+	}
+
+	healthy = true
+	eng.RunUntil(2 * time.Hour)
+	if e.Status() != Pass || e.Transitions() != 2 {
+		t.Fatalf("status %v transitions %d", e.Status(), e.Transitions())
+	}
+}
+
+func TestUptimeFraction(t *testing.T) {
+	eng := sim.NewEngine(sim.Grid3Epoch)
+	cat := New(eng, 10*time.Minute)
+	healthy := true
+	cat.Register("site", "loc", Probe{Name: "p", Run: func() error {
+		if !healthy {
+			return errors.New("down")
+		}
+		return nil
+	}})
+	// Healthy for ~12h, down for ~12h: uptime ≈ 50%.
+	eng.RunUntil(12 * time.Hour)
+	healthy = false
+	eng.RunUntil(24 * time.Hour)
+	e, _ := cat.Entry("site")
+	if math.Abs(e.Uptime()-0.5) > 0.02 {
+		t.Fatalf("uptime = %v, want ~0.5", e.Uptime())
+	}
+}
+
+func TestUnknownUntilFirstSweep(t *testing.T) {
+	eng := sim.NewEngine(sim.Grid3Epoch)
+	cat := New(eng, 15*time.Minute)
+	e := cat.Register("site", "loc", Probe{Name: "p", Run: func() error { return nil }})
+	if e.Status() != Unknown {
+		t.Fatalf("pre-sweep status = %v", e.Status())
+	}
+	if _, ok := cat.Entry("ghost"); ok {
+		t.Fatal("phantom entry")
+	}
+}
+
+func TestStatusPage(t *testing.T) {
+	eng := sim.NewEngine(sim.Grid3Epoch)
+	cat := New(eng, 15*time.Minute)
+	cat.Register("BNL_ATLAS_Tier1", "Brookhaven", Probe{Name: "p", Run: func() error { return nil }})
+	cat.Register("KNU_Kyungpook", "Kyungpook Natl. U.", Probe{Name: "p", Run: func() error { return errors.New("firewall") }})
+	eng.RunUntil(time.Hour)
+	var sb strings.Builder
+	if _, err := cat.WriteStatusPage(&sb); err != nil {
+		t.Fatal(err)
+	}
+	page := sb.String()
+	for _, want := range []string{"BNL_ATLAS_Tier1", "PASS", "KNU_Kyungpook", "FAIL", "firewall"} {
+		if !strings.Contains(page, want) {
+			t.Fatalf("status page missing %q:\n%s", want, page)
+		}
+	}
+}
+
+func TestProbeShortCircuits(t *testing.T) {
+	eng := sim.NewEngine(sim.Grid3Epoch)
+	cat := New(eng, 15*time.Minute)
+	secondRan := false
+	cat.Register("site", "loc",
+		Probe{Name: "first", Run: func() error { return errors.New("bad") }},
+		Probe{Name: "second", Run: func() error { secondRan = true; return nil }},
+	)
+	cat.Sweep()
+	if secondRan {
+		t.Fatal("probes after a failure should not run")
+	}
+}

@@ -1,0 +1,153 @@
+package srm
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"grid3/internal/sim"
+	"grid3/internal/site"
+)
+
+func newMgr(t *testing.T, capacity int64) (*sim.Engine, *site.Storage, *Manager) {
+	t.Helper()
+	eng := sim.NewEngine(sim.Grid3Epoch)
+	st := site.NewStorage(capacity)
+	return eng, st, New(eng, st)
+}
+
+func TestReservePutRelease(t *testing.T) {
+	_, st, m := newMgr(t, 1000)
+	r, err := m.Reserve("uscms", 600, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put(r.ID, "evt1", 250); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put(r.ID, "evt2", 250); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put(r.ID, "evt3", 200); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("over-reservation put err = %v", err)
+	}
+	if err := m.Release(r.ID); err != nil {
+		t.Fatal(err)
+	}
+	if st.Used() != 500 || st.Reserved() != 0 || st.Free() != 500 {
+		t.Fatalf("store state: used %d reserved %d free %d", st.Used(), st.Reserved(), st.Free())
+	}
+	if err := m.Release(r.ID); !errors.Is(err, ErrNoReservation) {
+		t.Fatalf("double release err = %v", err)
+	}
+	if m.Granted() != 1 {
+		t.Fatal("granted counter")
+	}
+}
+
+func TestReserveFailsFast(t *testing.T) {
+	_, _, m := newMgr(t, 1000)
+	if _, err := m.Reserve("uscms", 800, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	// The second reservation is denied up front — before any CPU is spent
+	// producing data that could not be stored (the §8 lesson).
+	if _, err := m.Reserve("usatlas", 300, time.Hour); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("overcommit err = %v", err)
+	}
+	if m.Denied() != 1 {
+		t.Fatal("denied counter")
+	}
+}
+
+func TestReservationExpiry(t *testing.T) {
+	eng, st, m := newMgr(t, 1000)
+	r, _ := m.Reserve("ligo", 400, 30*time.Minute)
+	eng.RunUntil(time.Hour)
+	if err := m.Put(r.ID, "late", 100); !errors.Is(err, ErrExpired) {
+		t.Fatalf("expired put err = %v", err)
+	}
+	// Expired space is reclaimed, so a new reservation fits.
+	if _, err := m.Reserve("sdss", 900, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if st.Reserved() != 900 {
+		t.Fatalf("reserved = %d", st.Reserved())
+	}
+	if m.Outstanding() != 1 {
+		t.Fatalf("outstanding = %d", m.Outstanding())
+	}
+}
+
+func TestPutUnknownReservation(t *testing.T) {
+	_, _, m := newMgr(t, 100)
+	if err := m.Put("srm-404", "x", 1); !errors.Is(err, ErrNoReservation) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExpiryReclaimsOnlyUnused(t *testing.T) {
+	eng, st, m := newMgr(t, 1000)
+	r, _ := m.Reserve("btev", 500, 30*time.Minute)
+	m.Put(r.ID, "mc-batch-1", 300)
+	eng.RunUntil(time.Hour)
+	m.Outstanding() // trigger GC
+	// The written file stays; only the unused 200 returns to free.
+	if st.Used() != 300 || st.Reserved() != 0 || st.Free() != 700 {
+		t.Fatalf("store: used %d reserved %d free %d", st.Used(), st.Reserved(), st.Free())
+	}
+	if !st.Has("mc-batch-1") {
+		t.Fatal("stored file vanished with reservation expiry")
+	}
+}
+
+// Property: reserved + used + free == capacity under any operation mix,
+// and reservations never overcommit the store.
+func TestSRMConservationProperty(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Size uint16
+		Life uint8
+	}
+	f := func(ops []op) bool {
+		eng := sim.NewEngine(sim.Grid3Epoch)
+		st := site.NewStorage(1 << 20)
+		m := New(eng, st)
+		var live []*Reservation
+		files := 0
+		for _, o := range ops {
+			size := int64(o.Size)%4096 + 1
+			switch o.Kind % 4 {
+			case 0:
+				if r, err := m.Reserve("vo", size, time.Duration(o.Life%48+1)*time.Hour); err == nil {
+					live = append(live, r)
+				}
+			case 1:
+				if len(live) > 0 {
+					files++
+					m.Put(live[0].ID, fmt.Sprintf("f%d", files), size)
+				}
+			case 2:
+				if len(live) > 0 {
+					m.Release(live[0].ID)
+					live = live[1:]
+				}
+			case 3:
+				eng.RunFor(time.Duration(o.Life%24) * time.Hour)
+				m.Outstanding() // trigger expiry GC
+			}
+			if st.Used()+st.Reserved()+st.Free() != st.Capacity() {
+				return false
+			}
+			if st.Reserved() < 0 || st.Free() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+// Package vdt defines the Virtual Data Toolkit and Grid3 package graphs for
+// Pacman, and the post-installation certification tests of §5.1.
+//
+// "We opted for a middleware installation based on the Virtual Data Toolkit
+// (VDT), which provides services from the Globus Toolkit, Condor, GriPhyN,
+// and PPDG, as well as components from other providers such as the European
+// Data Grid Project." The Grid3 Pacman package pulled in the whole stack:
+// GSI, GRAM, GridFTP, MDS with the Grid3 schema extensions, Ganglia,
+// MonALISA, and VO registration scripts.
+package vdt
+
+import (
+	"fmt"
+
+	"grid3/internal/pacman"
+	"grid3/internal/site"
+)
+
+// Version identifiers matching the Grid3 deployment era.
+const (
+	VDTVersion   = "1.1.8"
+	Grid3Version = "1.0"
+)
+
+// Grid3Cache builds the iGOC's authoritative Pacman cache carrying the
+// Grid3 package and its full dependency closure.
+func Grid3Cache() *pacman.Cache {
+	c := pacman.NewCache("iGOC")
+	add := func(name, version string, deps []string, paths ...string) {
+		c.Add(&pacman.Package{Name: name, Version: version, Depends: deps, Paths: paths})
+	}
+	// Globus Toolkit components.
+	add("globus-gsi", "2.4", nil, "/opt/vdt/globus/etc/grid-security")
+	add("globus-gram", "2.4", []string{"globus-gsi"}, "/opt/vdt/globus/sbin/globus-gatekeeper")
+	add("globus-gridftp", "2.4", []string{"globus-gsi"}, "/opt/vdt/globus/sbin/in.ftpd")
+	add("globus-mds", "2.4", []string{"globus-gsi"}, "/opt/vdt/globus/sbin/grid-info-soft-register")
+	// Condor and friends.
+	add("condor", "6.6.0", nil, "/opt/vdt/condor")
+	add("condor-g", "6.6.0", []string{"condor", "globus-gram"}, "/opt/vdt/condor-g")
+	// GriPhyN virtual data tools.
+	add("chimera", "1.3", []string{"condor-g"}, "/opt/vdt/chimera")
+	add("pegasus", "1.1", []string{"chimera", "rls-client"}, "/opt/vdt/pegasus")
+	add("rls-client", "2.0", []string{"globus-gsi"}, "/opt/vdt/rls")
+	// EDG contributions.
+	add("edg-mkgridmap", "1.0", []string{"globus-gsi"}, "/opt/vdt/edg/sbin/edg-mkgridmap")
+	// Monitoring.
+	add("ganglia", "2.5.4", nil, "/opt/ganglia")
+	add("monalisa", "0.94", nil, "/opt/monalisa")
+	// The VDT umbrella.
+	add("vdt", VDTVersion, []string{
+		"globus-gsi", "globus-gram", "globus-gridftp", "globus-mds",
+		"condor", "condor-g", "chimera", "pegasus", "rls-client",
+		"edg-mkgridmap",
+	}, "/opt/vdt")
+	// Grid3 = VDT + monitoring + site configuration conventions.
+	add("grid3", Grid3Version, []string{"vdt", "ganglia", "monalisa"},
+		"/opt/grid3", "$APP", "$DATA", "$WNTMP")
+	// Per-experiment application releases installed via the same machinery
+	// (user-level Pacman installs, §6.1).
+	add("atlas-gce", "7.0.3", []string{"grid3"}, "$APP/atlas-gce-7.0.3")
+	add("cms-mop", "1.2", []string{"grid3"}, "$APP/cms-mop-1.2")
+	add("ligo-pulsar", "2.1", []string{"grid3"}, "$APP/ligo-pulsar-2.1")
+	add("sdss-cluster", "1.0", []string{"grid3"}, "$APP/sdss-cluster-1.0")
+	add("btev-mc", "0.9", []string{"grid3"}, "$APP/btev-mc-0.9")
+	add("snb", "2.2", []string{"grid3"}, "$APP/snb-2.2")
+	add("gadu", "1.1", []string{"grid3"}, "$APP/gadu-1.1")
+	return c
+}
+
+// SiteTarget adapts a site's application area to pacman.Target.
+type SiteTarget struct {
+	Site *site.Site
+}
+
+// Installed implements pacman.Target.
+func (t SiteTarget) Installed(id string) bool { return t.Site.HasApp(id) }
+
+// Record implements pacman.Target.
+func (t SiteTarget) Record(p *pacman.Package) error {
+	t.Site.InstallApp(p.ID())
+	return nil
+}
+
+// InstallGrid3 performs the §5.1 site installation: `pacman -get Grid3`
+// against the iGOC cache, into the site's software area.
+func InstallGrid3(cache *pacman.Cache, st *site.Site) error {
+	_, err := pacman.Install(cache, SiteTarget{Site: st}, "grid3")
+	return err
+}
+
+// Check is one post-installation certification probe.
+type Check struct {
+	Name string
+	Run  func() error
+}
+
+// Certification is the §5.1 "post-installation testing and certification"
+// checklist for one site.
+type Certification struct {
+	SiteName string
+	Checks   []Check
+}
+
+// Failures runs every check and returns the names of those failing,
+// with their errors.
+func (c *Certification) Failures() map[string]error {
+	out := make(map[string]error)
+	for _, chk := range c.Checks {
+		if err := chk.Run(); err != nil {
+			out[chk.Name] = err
+		}
+	}
+	return out
+}
+
+// Certify runs the checklist and returns an error naming every failed
+// probe, or nil when the site passes certification.
+func (c *Certification) Certify() error {
+	fails := c.Failures()
+	if len(fails) == 0 {
+		return nil
+	}
+	msg := fmt.Sprintf("vdt: site %s failed certification:", c.SiteName)
+	for name, err := range fails {
+		msg += fmt.Sprintf(" [%s: %v]", name, err)
+	}
+	return fmt.Errorf("%s", msg)
+}

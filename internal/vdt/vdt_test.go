@@ -1,0 +1,107 @@
+package vdt
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"grid3/internal/glue"
+	"grid3/internal/pacman"
+	"grid3/internal/site"
+)
+
+func testSite(t *testing.T) *site.Site {
+	t.Helper()
+	return site.MustNew(site.Config{
+		Name: "UFlorida-PG", Host: "pg.phys.ufl.edu", Tier: 2, CPUs: 32,
+		DiskBytes: 1 << 40, WANMbps: 155, LRMS: glue.Condor, MaxWall: 72 * time.Hour,
+		OwnerVO:  "uscms",
+		Accounts: map[string]string{"uscms": "grp_uscms", "ivdgl": "grp_ivdgl"},
+	})
+}
+
+func TestGrid3CacheResolves(t *testing.T) {
+	c := Grid3Cache()
+	order, err := pacman.Resolve(c, "grid3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// grid3's closure covers the whole middleware stack.
+	names := map[string]bool{}
+	for _, p := range order {
+		names[p.Name] = true
+	}
+	for _, want := range []string{
+		"globus-gsi", "globus-gram", "globus-gridftp", "globus-mds",
+		"condor", "condor-g", "chimera", "pegasus", "rls-client",
+		"edg-mkgridmap", "ganglia", "monalisa", "vdt", "grid3",
+	} {
+		if !names[want] {
+			t.Errorf("grid3 closure missing %s", want)
+		}
+	}
+	// grid3 must install last.
+	if order[len(order)-1].Name != "grid3" {
+		t.Fatalf("grid3 not last: %v", order[len(order)-1].Name)
+	}
+}
+
+func TestApplicationPackagesResolve(t *testing.T) {
+	c := Grid3Cache()
+	for _, app := range []string{"atlas-gce", "cms-mop", "ligo-pulsar", "sdss-cluster", "btev-mc", "snb", "gadu"} {
+		if _, err := pacman.Resolve(c, app); err != nil {
+			t.Errorf("%s does not resolve: %v", app, err)
+		}
+	}
+}
+
+func TestInstallGrid3OnSite(t *testing.T) {
+	st := testSite(t)
+	if err := InstallGrid3(Grid3Cache(), st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.HasApp("grid3-"+Grid3Version) || !st.HasApp("vdt-"+VDTVersion) {
+		t.Fatal("grid3/vdt not recorded in site software area")
+	}
+	// Idempotent.
+	if err := InstallGrid3(Grid3Cache(), st); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUserLevelAppInstall(t *testing.T) {
+	st := testSite(t)
+	cache := Grid3Cache()
+	if err := InstallGrid3(cache, st); err != nil {
+		t.Fatal(err)
+	}
+	// ATLAS's automated user-level installation (§6.1).
+	if _, err := pacman.Install(cache, SiteTarget{Site: st}, "atlas-gce"); err != nil {
+		t.Fatal(err)
+	}
+	if !st.HasApp("atlas-gce-7.0.3") {
+		t.Fatal("application release not installed")
+	}
+}
+
+func TestCertification(t *testing.T) {
+	ok := Check{Name: "gram-ping", Run: func() error { return nil }}
+	bad := Check{Name: "gridftp-ls", Run: func() error { return errors.New("connection refused") }}
+	cert := &Certification{SiteName: "UBuffalo-CCR", Checks: []Check{ok, bad}}
+	err := cert.Certify()
+	if err == nil {
+		t.Fatal("failing certification passed")
+	}
+	if !strings.Contains(err.Error(), "gridftp-ls") || !strings.Contains(err.Error(), "connection refused") {
+		t.Fatalf("error lacks probe detail: %v", err)
+	}
+	fails := cert.Failures()
+	if len(fails) != 1 {
+		t.Fatalf("failures = %v", fails)
+	}
+	cert.Checks = []Check{ok}
+	if err := cert.Certify(); err != nil {
+		t.Fatal(err)
+	}
+}
