@@ -5,14 +5,23 @@
 // Usage:
 //
 //	grid3sim [-seed N] [-scale F] [-days D] [-srm] [-no-failures] [-no-affinity]
+//
+// Multi-seed campaign sweeps fan across CPUs, one engine per worker:
+//
+//	grid3sim -seeds 1,2,3,4 [-parallel N] [-bench-json out.json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
+	"grid3/internal/campaign"
 	"grid3/internal/core"
 	"grid3/internal/failure"
 	"grid3/internal/mdviewer"
@@ -20,6 +29,9 @@ import (
 
 func main() {
 	seed := flag.Int64("seed", 1, "simulation seed (same seed, same run)")
+	seedList := flag.String("seeds", "", "comma-separated seed list: sweep all of them in parallel")
+	parallel := flag.Int("parallel", 0, "sweep workers (0 = GOMAXPROCS)")
+	benchJSON := flag.String("bench-json", "", "write run timing/throughput JSON to this file")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper's ~290k jobs)")
 	days := flag.Int("days", 183, "scenario length in days")
 	useSRM := flag.Bool("srm", false, "enable SRM space reservation (the §8 lesson)")
@@ -29,8 +41,7 @@ func main() {
 	csvDir := flag.String("csv", "", "also write figure CSVs into this directory")
 	flag.Parse()
 
-	start := time.Now()
-	s, err := core.NewScenario(core.ScenarioConfig{
+	cfg := core.ScenarioConfig{
 		Config: core.Config{
 			Seed:            *seed,
 			UseSRM:          *useSRM,
@@ -39,7 +50,18 @@ func main() {
 		Horizon:         time.Duration(*days) * 24 * time.Hour,
 		JobScale:        *scale,
 		DisableFailures: *noFailures,
-	})
+	}
+
+	if *seedList != "" {
+		if err := sweep(*seedList, *parallel, *benchJSON, *quiet, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "grid3sim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	start := time.Now()
+	s, err := core.NewScenario(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "grid3sim:", err)
 		os.Exit(1)
@@ -47,8 +69,32 @@ func main() {
 	s.Run()
 	elapsed := time.Since(start)
 
-	fmt.Printf("Grid3 scenario: %d days, seed %d, scale %.2f — %d jobs submitted, %d records, ran in %v\n\n",
-		*days, *seed, *scale, s.SubmittedTotal(), s.Grid.ACDC.Len(), elapsed.Round(time.Millisecond))
+	fmt.Printf("Grid3 scenario: %d days, seed %d, scale %.2f — %d jobs submitted, %d records, %d events, ran in %v\n\n",
+		*days, *seed, *scale, s.SubmittedTotal(), s.Grid.ACDC.Len(), s.Grid.Eng.Processed(),
+		elapsed.Round(time.Millisecond))
+	if *benchJSON != "" {
+		rec := benchRecord{
+			Kind:       "grid3sim-run",
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			Workers:    1,
+			Seeds:      []int64{*seed},
+			Scale:      *scale,
+			Days:       *days,
+			WallSecs:   elapsed.Seconds(),
+			SerialSecs: elapsed.Seconds(),
+			Speedup:    1,
+			Events:     s.Grid.Eng.Processed(),
+			Runs: []benchRun{{
+				Seed: *seed, ElapsedSecs: elapsed.Seconds(),
+				Events: s.Grid.Eng.Processed(),
+				Jobs:   s.SubmittedTotal(), Records: s.Grid.ACDC.Len(),
+			}},
+		}
+		rec.EventsPerSec = float64(rec.Events) / elapsed.Seconds()
+		if err := writeBenchJSON(*benchJSON, rec); err != nil {
+			fmt.Fprintln(os.Stderr, "grid3sim: writing bench JSON:", err)
+		}
+	}
 	if *csvDir != "" {
 		if err := writeCSVs(s, *csvDir); err != nil {
 			fmt.Fprintln(os.Stderr, "grid3sim: writing CSVs:", err)
@@ -173,4 +219,103 @@ func weeklyPlot(daily *mdviewer.Plot) *mdviewer.Plot {
 		out.Series = append(out.Series, mdviewer.Series{Name: s.Name, Values: vals})
 	}
 	return out
+}
+
+// sweep runs the multi-seed campaign mode: every seed is an independent
+// scenario fanned across workers, each on its own engine.
+func sweep(seedList string, workers int, benchJSON string, quiet bool, cfg core.ScenarioConfig) error {
+	var seeds []int64
+	for _, part := range strings.Split(seedList, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad -seeds entry %q: %w", part, err)
+		}
+		seeds = append(seeds, n)
+	}
+	if len(seeds) == 0 {
+		return fmt.Errorf("-seeds %q names no seeds", seedList)
+	}
+	runs := make([]campaign.Run, len(seeds))
+	for i, s := range seeds {
+		runs[i] = campaign.Run{Seed: s, Scale: cfg.JobScale, Config: cfg}
+	}
+	rep, err := campaign.Sweep(runs, workers)
+	if err != nil {
+		return err
+	}
+	rep.Write(os.Stdout)
+	if !quiet {
+		for _, r := range rep.Runs {
+			fmt.Printf("\n=== seed %d (%d jobs, %d records, %v) ===\n%s\n%s",
+				r.Seed, r.Submitted, r.Records, r.Elapsed.Round(time.Millisecond),
+				r.MilestonesText, r.Table1Text)
+		}
+	}
+	if benchJSON != "" {
+		rec := benchRecord{
+			Kind:       "grid3sim-sweep",
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			Workers:    rep.Workers,
+			Seeds:      seeds,
+			Scale:      cfg.JobScale,
+			Days:       int(cfg.Horizon / (24 * time.Hour)),
+			WallSecs:   rep.Elapsed.Seconds(),
+		}
+		var serial time.Duration
+		for _, r := range rep.Runs {
+			serial += r.Elapsed
+			rec.Events += r.Events
+			rec.Runs = append(rec.Runs, benchRun{
+				Seed: r.Seed, ElapsedSecs: r.Elapsed.Seconds(),
+				Events: r.Events, Jobs: r.Submitted, Records: r.Records,
+			})
+		}
+		rec.SerialSecs = serial.Seconds()
+		rec.Speedup = serial.Seconds() / rec.WallSecs
+		rec.EventsPerSec = float64(rec.Events) / rec.WallSecs
+		if err := writeBenchJSON(benchJSON, rec); err != nil {
+			return err
+		}
+		fmt.Printf("\nbench JSON written to %s\n", benchJSON)
+	}
+	return nil
+}
+
+// benchRecord is the -bench-json schema, shared by single runs and sweeps.
+type benchRecord struct {
+	Kind         string     `json:"kind"`
+	GoMaxProcs   int        `json:"gomaxprocs"`
+	Workers      int        `json:"workers"`
+	Seeds        []int64    `json:"seeds"`
+	Scale        float64    `json:"scale"`
+	Days         int        `json:"days"`
+	WallSecs     float64    `json:"wall_seconds"`
+	// SerialSecs sums per-run elapsed times; in sweep mode those are
+	// measured under worker contention, so SerialSecs/Speedup estimate
+	// (and on oversubscribed CPUs overstate) the true serial baseline.
+	SerialSecs   float64    `json:"summed_run_seconds"`
+	Speedup      float64    `json:"speedup_est"`
+	Events       uint64     `json:"events_total"`
+	EventsPerSec float64    `json:"events_per_second"`
+	Runs         []benchRun `json:"runs"`
+}
+
+type benchRun struct {
+	Seed        int64   `json:"seed"`
+	ElapsedSecs float64 `json:"elapsed_seconds"`
+	Events      uint64  `json:"events"`
+	Jobs        int     `json:"jobs"`
+	Records     int     `json:"records"`
+}
+
+func writeBenchJSON(path string, rec benchRecord) error {
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

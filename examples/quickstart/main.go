@@ -1,6 +1,6 @@
-// Quickstart: assemble the full Grid3 stack, submit a handful of jobs
-// through the public scenario API, and read the results back through the
-// monitoring chain.
+// Quickstart: assemble the full Grid3 stack through the public
+// functional-options façade, submit a handful of jobs, and read the
+// results back through the monitoring chain.
 package main
 
 import (
@@ -8,15 +8,15 @@ import (
 	"os"
 	"time"
 
-	"grid3/internal/apps"
-	"grid3/internal/core"
+	"grid3"
 	"grid3/internal/vo"
 )
 
 func main() {
 	// A complete Grid3: 27 sites, VOMS, MDS, GRAM, GridFTP, RLS,
-	// Condor-G, Ganglia/MonALISA/ACDC monitoring — one call.
-	g, err := core.New(core.Config{Seed: 42})
+	// Condor-G, Ganglia/MonALISA/ACDC monitoring — one call. Options
+	// tune the assembly; the zero-option call reproduces the paper.
+	g, err := grid3.New(grid3.WithSeed(42), grid3.WithMonitorInterval(5*time.Minute))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -28,7 +28,7 @@ func main() {
 	// for a few hours, archives 2 GB at Brookhaven, and registers the
 	// output in RLS.
 	for i := 0; i < 10; i++ {
-		g.SubmitJob(apps.Request{
+		g.SubmitJob(grid3.Request{
 			ID:            fmt.Sprintf("quickstart-%02d", i),
 			VO:            vo.USATLAS,
 			User:          "/DC=org/DC=doegrids/OU=People/CN=usatlas user 00",

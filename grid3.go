@@ -6,28 +6,42 @@
 // regenerates the paper's evaluation (Figures 2-6, Table 1, and the §7
 // milestones).
 //
-// This package is the public façade: it re-exports the assembly and
-// scenario API from the internal packages. Typical use:
+// This package is the public façade, configured through functional
+// options:
 //
-//	g, err := grid3.New(grid3.Config{Seed: 42})
+//	g, err := grid3.New(grid3.WithSeed(42), grid3.WithSRM(),
+//		grid3.WithMonitorInterval(5*time.Minute))
 //	g.SubmitJob(grid3.Request{VO: "usatlas", ...})
 //	g.Eng.RunUntil(24 * time.Hour)
 //
 // or, for the full calibrated campaign:
 //
-//	s, err := grid3.RunScenario(1, 1.0)
-//	s.WriteTable1(os.Stdout)
+//	r, err := grid3.RunScenario(1, 1.0)
+//	r.WriteTable1(os.Stdout)
 //
-// The substrates are individually importable under internal/ within this
-// module; see DESIGN.md for the inventory.
+// and, for multi-seed production sweeps across all CPUs:
+//
+//	rep, err := grid3.Sweep([]int64{1, 2, 3, 4}, 1.0)
+//	rep.Write(os.Stdout)
+//
+// The Config/ScenarioConfig structs remain available for callers that
+// prefer to build configuration wholesale; pass them through WithConfig or
+// WithScenarioConfig. The substrates are individually importable under
+// internal/ within this module; see DESIGN.md for the inventory.
 package grid3
 
 import (
+	"io"
+	"time"
+
 	"grid3/internal/apps"
+	"grid3/internal/campaign"
 	"grid3/internal/core"
 )
 
-// Config tunes a Grid3 instance; see core.Config.
+// Config tunes a Grid3 instance; see core.Config. Most callers should use
+// the With* options instead and keep Config for the WithConfig escape
+// hatch.
 type Config = core.Config
 
 // Grid is a fully assembled Grid3 instance: 27 sites, the service mesh,
@@ -37,30 +51,307 @@ type Grid = core.Grid
 // Request is one workload job handed to the grid.
 type Request = apps.Request
 
-// ScenarioConfig tunes a full production campaign.
+// ScenarioConfig tunes a full production campaign; see WithScenarioConfig.
 type ScenarioConfig = core.ScenarioConfig
 
 // Scenario is a running or completed campaign with figure/table queries.
 type Scenario = core.Scenario
 
-// Milestones is the §7 scorecard.
-type Milestones = core.Milestones
-
 // SiteSpec describes one catalog site.
 type SiteSpec = core.SiteSpec
 
-// New assembles a Grid3 instance.
-func New(cfg Config) (*Grid, error) { return core.New(cfg) }
+// Option configures New, RunScenario, or Sweep. Options apply in order, so
+// a later option overrides an earlier one; the WithConfig and
+// WithScenarioConfig escape hatches replace the whole corresponding struct
+// and are therefore best placed first.
+type Option func(*ScenarioConfig)
+
+// WithSeed sets the master RNG seed: same seed, same run, bit for bit.
+func WithSeed(seed int64) Option {
+	return func(c *ScenarioConfig) { c.Config.Seed = seed }
+}
+
+// WithSites replaces the production 27-site catalog.
+func WithSites(sites []SiteSpec) Option {
+	return func(c *ScenarioConfig) { c.Config.Sites = sites }
+}
+
+// WithMonitorInterval paces Ganglia/MonALISA collection (production used
+// 5 minutes; the default 30 minutes consolidates identically).
+func WithMonitorInterval(d time.Duration) Option {
+	return func(c *ScenarioConfig) { c.Config.MonitorInterval = d }
+}
+
+// WithNegotiationInterval paces Condor-G matchmaking (default 15 minutes).
+func WithNegotiationInterval(d time.Duration) Option {
+	return func(c *ScenarioConfig) { c.Config.NegotiationInterval = d }
+}
+
+// WithSRM routes stage-out through SRM space reservations (the §8 lesson;
+// without it the paper's raw-GridFTP disk-full failures reproduce).
+func WithSRM() Option {
+	return func(c *ScenarioConfig) { c.Config.UseSRM = true }
+}
+
+// WithoutAffinity strips VO site pinning from workloads (the ABL-FED
+// ablation: uniform matchmaking instead of favorite resources).
+func WithoutAffinity() Option {
+	return func(c *ScenarioConfig) { c.Config.DisableAffinity = true }
+}
+
+// WithConfig replaces the grid-level configuration wholesale — the escape
+// hatch for callers that already build a Config struct.
+func WithConfig(cfg Config) Option {
+	return func(c *ScenarioConfig) { c.Config = cfg }
+}
+
+// WithHorizon bounds a scenario run (default: the 183-day Table 1 window).
+func WithHorizon(d time.Duration) Option {
+	return func(c *ScenarioConfig) { c.Horizon = d }
+}
+
+// WithJobScale multiplies every class's job count (sub-1.0 for quick runs).
+func WithJobScale(f float64) Option {
+	return func(c *ScenarioConfig) { c.JobScale = f }
+}
+
+// WithoutFailures turns off failure injection.
+func WithoutFailures() Option {
+	return func(c *ScenarioConfig) { c.DisableFailures = true }
+}
+
+// WithoutTransferDemo turns off the §6.3 GridFTP demonstrator.
+func WithoutTransferDemo() Option {
+	return func(c *ScenarioConfig) { c.DisableTransferDemo = true }
+}
+
+// WithNetLogger attaches NetLogger instrumentation (§4.7) to the WAN. Off
+// by default: a full campaign logs ~10^6 transfer events.
+func WithNetLogger() Option {
+	return func(c *ScenarioConfig) { c.EnableNetLogger = true }
+}
+
+// WithScenarioConfig replaces the scenario configuration wholesale — the
+// escape hatch for callers that already build a ScenarioConfig struct.
+func WithScenarioConfig(cfg ScenarioConfig) Option {
+	return func(c *ScenarioConfig) { *c = cfg }
+}
+
+func buildConfig(opts []Option) ScenarioConfig {
+	var cfg ScenarioConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return cfg
+}
+
+// New assembles a Grid3 instance: 27 sites, the full service mesh, and
+// per-VO Condor-G schedds, ready for SubmitJob.
+func New(opts ...Option) (*Grid, error) {
+	cfg := buildConfig(opts)
+	return core.New(cfg.Config)
+}
 
 // NewScenario assembles a grid with the calibrated workloads, the §6.3
-// transfer demonstrator, and failure injection armed.
-func NewScenario(cfg ScenarioConfig) (*Scenario, error) { return core.NewScenario(cfg) }
+// transfer demonstrator, and failure injection armed, without running it —
+// for callers that advance time incrementally.
+func NewScenario(opts ...Option) (*Scenario, error) {
+	return core.NewScenario(buildConfig(opts))
+}
 
 // RunScenario runs the full 183-day campaign at the given seed and
-// workload scale (1.0 reproduces the paper's ~290k-job sample).
-func RunScenario(seed int64, scale float64) (*Scenario, error) {
-	return core.DefaultScenario(seed, scale)
+// workload scale (1.0 reproduces the paper's ~290k-job sample). The
+// positional seed and scale take precedence over any conflicting option.
+func RunScenario(seed int64, scale float64, opts ...Option) (*Result, error) {
+	cfg := buildConfig(opts)
+	cfg.Config.Seed = seed
+	cfg.JobScale = scale
+	s, err := core.NewScenario(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.Run()
+	return &Result{scen: s}, nil
 }
 
 // Grid3Sites returns the production 27-site catalog.
 func Grid3Sites() []SiteSpec { return core.Grid3Sites() }
+
+// Milestones is the §7 milestones-and-metrics scorecard, the public view of
+// a completed run's headline numbers.
+type Milestones struct {
+	CPUs            int     // catalog peak; target 400, paper 2163/peak 2800+
+	MeanOnlineCPUs  float64 // time-averaged in-service capacity
+	Users           int     // target 10, paper actual 102
+	Applications    int     // target >4, paper actual 10
+	ConcurrentSites int     // sites serving ≥2 VOs' jobs; target >10, actual 17
+	DataTBPerDay    float64 // target 2-3, actual 4
+	Utilization     float64 // target 0.9, actual 0.4-0.7
+	PeakJobs        int     // target 1000, actual 1300
+	SupportFTEs     float64 // target <2 FTEs
+	OpenTickets     int
+	ResolvedMTTR    time.Duration
+	EfficiencyByVO  map[string]float64
+}
+
+func milestonesView(m core.Milestones) Milestones {
+	return Milestones{
+		CPUs:            m.CPUs,
+		MeanOnlineCPUs:  m.MeanOnlineCPUs,
+		Users:           m.Users,
+		Applications:    m.Applications,
+		ConcurrentSites: m.ConcurrentSites,
+		DataTBPerDay:    m.DataTBPerDay,
+		Utilization:     m.Utilization,
+		PeakJobs:        m.PeakJobs,
+		SupportFTEs:     m.SupportFTEs,
+		OpenTickets:     m.OpenTickets,
+		ResolvedMTTR:    m.ResolvedMTTR,
+		EfficiencyByVO:  m.EfficiencyByVO,
+	}
+}
+
+// Result is a completed campaign. It exposes the paper's exhibits without
+// leaking the internal scenario machinery; Scenario() opens the trapdoor
+// for callers that want the full figure/query surface.
+type Result struct {
+	scen *core.Scenario
+}
+
+// Scenario returns the underlying campaign for figure queries
+// (Figure2..Figure6, UsagePlot) beyond the headline exhibits.
+func (r *Result) Scenario() *Scenario { return r.scen }
+
+// Milestones evaluates the §7 scorecard.
+func (r *Result) Milestones() Milestones {
+	return milestonesView(r.scen.ComputeMilestones())
+}
+
+// WriteTable1 renders the Table 1 reproduction next to the paper's values.
+func (r *Result) WriteTable1(w io.Writer) { r.scen.WriteTable1(w) }
+
+// WriteMilestones renders the §7 scorecard against the paper's targets.
+func (r *Result) WriteMilestones(w io.Writer) {
+	r.scen.ComputeMilestones().Write(w)
+}
+
+// Submitted returns the total jobs handed to the grid across classes.
+func (r *Result) Submitted() int { return r.scen.SubmittedTotal() }
+
+// Records returns the number of completed-job records in the ACDC
+// warehouse.
+func (r *Result) Records() int { return r.scen.Grid.ACDC.Len() }
+
+// EventsProcessed returns the discrete events the engine executed.
+func (r *Result) EventsProcessed() uint64 { return r.scen.Grid.Eng.Processed() }
+
+// SweepStat is a min/mean/max summary across a sweep's seeds.
+type SweepStat struct {
+	Min, Mean, Max float64
+}
+
+// SweepAggregate carries the cross-seed summaries of the headline
+// quantities.
+type SweepAggregate struct {
+	JobsCompleted    SweepStat
+	PeakJobs         SweepStat
+	Utilization      SweepStat
+	DataTBPerDay     SweepStat
+	SupportFTEs      SweepStat
+	ConcurrentVOSite SweepStat
+	EfficiencyByVO   map[string]SweepStat
+}
+
+// SweepReport is a completed multi-seed campaign sweep.
+type SweepReport struct {
+	rep *campaign.Report
+}
+
+// Sweep runs the calibrated campaign once per seed, fanned across all CPUs
+// (one discrete-event engine per worker, so every seed's run is bit-for-bit
+// identical to running it alone). Options apply to every run.
+func Sweep(seeds []int64, scale float64, opts ...Option) (*SweepReport, error) {
+	cfg := buildConfig(opts)
+	runs := make([]campaign.Run, len(seeds))
+	for i, seed := range seeds {
+		runs[i] = campaign.Run{Seed: seed, Scale: scale, Config: cfg}
+	}
+	rep, err := campaign.Sweep(runs, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &SweepReport{rep: rep}, nil
+}
+
+// Seeds lists the sweep's seeds in run order.
+func (r *SweepReport) Seeds() []int64 {
+	out := make([]int64, len(r.rep.Runs))
+	for i, res := range r.rep.Runs {
+		out[i] = res.Seed
+	}
+	return out
+}
+
+// Elapsed returns the sweep's wall-clock time.
+func (r *SweepReport) Elapsed() time.Duration { return r.rep.Elapsed }
+
+// Workers returns how many runs executed concurrently.
+func (r *SweepReport) Workers() int { return r.rep.Workers }
+
+// Speedup returns the ratio of summed per-seed runtimes to wall-clock time
+// — the parallel efficiency of the sweep. Per-seed runtimes are measured
+// while the other workers run, so this is an estimate: oversubscribing the
+// CPUs inflates it. For a true speedup, time a workers=1 sweep separately
+// (as BenchmarkSweep does).
+func (r *SweepReport) Speedup() float64 {
+	var serial time.Duration
+	for _, res := range r.rep.Runs {
+		serial += res.Elapsed
+	}
+	if r.rep.Elapsed <= 0 {
+		return 0
+	}
+	return float64(serial) / float64(r.rep.Elapsed)
+}
+
+// Milestones returns one seed's scorecard.
+func (r *SweepReport) Milestones(seed int64) (Milestones, bool) {
+	for _, res := range r.rep.Runs {
+		if res.Seed == seed {
+			return milestonesView(res.Milestones), true
+		}
+	}
+	return Milestones{}, false
+}
+
+// Table1Text returns one seed's rendered Table 1, byte-identical to the
+// output of a serial run of that seed.
+func (r *SweepReport) Table1Text(seed int64) (string, bool) {
+	for _, res := range r.rep.Runs {
+		if res.Seed == seed {
+			return res.Table1Text, true
+		}
+	}
+	return "", false
+}
+
+// Aggregate returns the cross-seed min/mean/max summaries.
+func (r *SweepReport) Aggregate() SweepAggregate {
+	conv := func(s campaign.Stat) SweepStat { return SweepStat(s) }
+	agg := SweepAggregate{
+		JobsCompleted:    conv(r.rep.Agg.JobsCompleted),
+		PeakJobs:         conv(r.rep.Agg.PeakJobs),
+		Utilization:      conv(r.rep.Agg.Utilization),
+		DataTBPerDay:     conv(r.rep.Agg.DataTBPerDay),
+		SupportFTEs:      conv(r.rep.Agg.SupportFTEs),
+		ConcurrentVOSite: conv(r.rep.Agg.ConcurrentVO),
+		EfficiencyByVO:   map[string]SweepStat{},
+	}
+	for v, s := range r.rep.Agg.EfficiencyByVO {
+		agg.EfficiencyByVO[v] = conv(s)
+	}
+	return agg
+}
+
+// Write renders the cross-seed summary report.
+func (r *SweepReport) Write(w io.Writer) { r.rep.Write(w) }

@@ -102,7 +102,7 @@ type Job struct {
 	OnStart func(*Job)
 	OnDone  func(*Job)
 
-	endEvent *sim.Event
+	endEvent sim.Event
 	seq      uint64
 }
 
@@ -365,12 +365,8 @@ func (s *System) stopRunningInternal(j *Job, outcome Outcome, resched bool) {
 	if j.State != Running {
 		return
 	}
-	if j.endEvent != nil {
-		if eng, ok := s.eng.(*sim.Engine); ok {
-			eng.Cancel(j.endEvent)
-		}
-		j.endEvent = nil
-	}
+	j.endEvent.Cancel()
+	j.endEvent = sim.Event{}
 	delete(s.running, j.ID)
 	s.runningVO[j.VO]--
 	if s.runningVO[j.VO] == 0 {

@@ -1,0 +1,103 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"grid3/internal/core"
+)
+
+func testCfg() core.ScenarioConfig {
+	return core.ScenarioConfig{
+		Horizon:  12 * 24 * time.Hour,
+		JobScale: 0.01,
+	}
+}
+
+// TestSweepParallelMatchesSerial is the determinism property: sweeping seeds
+// {1..4} across parallel workers must produce byte-identical per-seed
+// Table 1 and Milestones output to running the same seeds one at a time.
+// Each run owns a private engine, so placement on a worker goroutine cannot
+// perturb the discrete-event order.
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep scenario in -short mode")
+	}
+	runs := Seeds(1, 4, 0.01, testCfg())
+	parallel, err := Sweep(runs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := Sweep(runs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range runs {
+		p, s := parallel.Runs[i], serial.Runs[i]
+		if p.Seed != s.Seed {
+			t.Fatalf("result order diverged: %d vs %d", p.Seed, s.Seed)
+		}
+		if p.Table1Text != s.Table1Text {
+			t.Errorf("seed %d: parallel Table 1 differs from serial:\n--- parallel ---\n%s\n--- serial ---\n%s",
+				p.Seed, p.Table1Text, s.Table1Text)
+		}
+		if p.MilestonesText != s.MilestonesText {
+			t.Errorf("seed %d: parallel Milestones differ from serial:\n--- parallel ---\n%s\n--- serial ---\n%s",
+				p.Seed, p.MilestonesText, s.MilestonesText)
+		}
+		if p.Events != s.Events || p.Submitted != s.Submitted || p.Records != s.Records {
+			t.Errorf("seed %d: counters diverged: parallel {events %d jobs %d records %d}, serial {events %d jobs %d records %d}",
+				p.Seed, p.Events, p.Submitted, p.Records, s.Events, s.Submitted, s.Records)
+		}
+	}
+	// Distinct seeds must actually produce distinct campaigns.
+	if parallel.Runs[0].Table1Text == parallel.Runs[1].Table1Text {
+		t.Error("seeds 1 and 2 produced identical Table 1 output")
+	}
+}
+
+func TestSweepAggregates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep scenario in -short mode")
+	}
+	rep, err := Sweep(Seeds(7, 2, 0.01, testCfg()), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := rep.Agg
+	if agg.JobsCompleted.Min <= 0 || agg.JobsCompleted.Min > agg.JobsCompleted.Mean ||
+		agg.JobsCompleted.Mean > agg.JobsCompleted.Max {
+		t.Fatalf("jobs stat out of order: %+v", agg.JobsCompleted)
+	}
+	if agg.PeakJobs.Max <= 0 {
+		t.Fatalf("peak jobs = %+v", agg.PeakJobs)
+	}
+	if len(agg.EfficiencyByVO) == 0 {
+		t.Fatal("no per-VO efficiency aggregates")
+	}
+	var buf strings.Builder
+	rep.Write(&buf)
+	out := buf.String()
+	for _, want := range []string{"Campaign sweep: 2 seeds {7 8}", "Jobs completed", "Efficiency"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSweepRejectsEmpty(t *testing.T) {
+	if _, err := Sweep(nil, 4); err == nil {
+		t.Fatal("empty sweep did not error")
+	}
+}
+
+func TestStat(t *testing.T) {
+	s := newStat([]float64{3, 1, 2})
+	if s.Min != 1 || s.Max != 3 || s.Mean != 2 {
+		t.Fatalf("stat = %+v", s)
+	}
+	if z := newStat(nil); z != (Stat{}) {
+		t.Fatalf("empty stat = %+v", z)
+	}
+}

@@ -59,7 +59,7 @@ type Transfer struct {
 	remaining  float64
 	rate       float64 // current allocation, bytes/sec
 	lastUpdate time.Duration
-	finish     *sim.Event
+	finish     sim.Event
 	done       func(*Transfer, error)
 	failed     bool
 }
@@ -280,10 +280,8 @@ func (n *Network) fail(t *Transfer, err error) {
 
 func (n *Network) remove(t *Transfer) {
 	delete(n.active, t.ID)
-	if t.finish != nil {
-		n.eng.Cancel(t.finish)
-		t.finish = nil
-	}
+	t.finish.Cancel()
+	t.finish = sim.Event{}
 }
 
 // settle advances every active transfer's remaining-byte counter to now at
@@ -396,14 +394,12 @@ func (n *Network) rebalanceSettled() {
 			continue
 		}
 		rate := newRates[id]
-		if t.finish != nil && !t.finish.Cancelled() && rateClose(rate, t.rate) {
+		if t.finish.Pending() && rateClose(rate, t.rate) {
 			continue
 		}
 		t.rate = rate
-		if t.finish != nil {
-			n.eng.Cancel(t.finish)
-			t.finish = nil
-		}
+		t.finish.Cancel()
+		t.finish = sim.Event{}
 		if t.rate <= 0 {
 			continue // starved; rescheduled on the next rebalance
 		}
@@ -425,7 +421,7 @@ func rateClose(a, b float64) bool {
 }
 
 func (n *Network) complete(t *Transfer) {
-	t.finish = nil // this event has fired
+	t.finish = sim.Event{} // this event has fired
 	n.settle()
 	if t.remaining > 0.5 {
 		// Rounding left a sliver; finish it at the current rate.

@@ -183,6 +183,237 @@ func TestReentrantRunPanics(t *testing.T) {
 	e.Run()
 }
 
+func TestEnginePendingExcludesCancelled(t *testing.T) {
+	e := NewEngine(Grid3Epoch)
+	evs := make([]Event, 10)
+	for i := range evs {
+		evs[i] = e.Schedule(time.Duration(i+1)*time.Second, func() {})
+	}
+	if e.Pending() != 10 {
+		t.Fatalf("Pending = %d, want 10", e.Pending())
+	}
+	for i := 0; i < 4; i++ {
+		e.Cancel(evs[i])
+	}
+	if e.Pending() != 6 {
+		t.Fatalf("Pending after 4 cancels = %d, want 6 (cancelled must not count)", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after Run = %d", e.Pending())
+	}
+	if e.Processed() != 6 {
+		t.Fatalf("Processed = %d, want 6", e.Processed())
+	}
+	if e.Discarded() != 4 {
+		t.Fatalf("Discarded = %d, want 4 (cancelled events count as housekeeping)", e.Discarded())
+	}
+}
+
+func TestEngineSlotReuseKeepsStaleHandlesSafe(t *testing.T) {
+	e := NewEngine(Grid3Epoch)
+	fired := 0
+	stale := e.Schedule(time.Second, func() { fired++ })
+	e.Run()
+	// The slot is free now; the next event reuses it under a new generation.
+	fresh := e.Schedule(time.Second, func() { fired++ })
+	if stale.Pending() {
+		t.Fatal("fired event still reports pending")
+	}
+	stale.Cancel() // must not cancel the slot's new occupant
+	if fresh.Cancelled() || !fresh.Pending() {
+		t.Fatal("stale Cancel aliased the reused slot")
+	}
+	if stale.Cancelled() {
+		t.Fatal("fired event reports cancelled")
+	}
+	e.Run()
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+}
+
+func TestEngineScheduleDoesNotAllocate(t *testing.T) {
+	e := NewEngine(Grid3Epoch)
+	fn := func() {}
+	// Warm the arena and heap so growth is amortized away.
+	for i := 0; i < 1024; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, fn)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.Schedule(time.Millisecond, fn)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule+step allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestEngineCompaction(t *testing.T) {
+	e := NewEngine(Grid3Epoch)
+	var keep []Event
+	var cancel []Event
+	for i := 0; i < 300; i++ {
+		ev := e.Schedule(time.Duration(i+1)*time.Second, func() {})
+		if i%3 == 0 {
+			keep = append(keep, ev)
+		} else {
+			cancel = append(cancel, ev)
+		}
+	}
+	for _, ev := range cancel {
+		ev.Cancel()
+	}
+	// Cancelling 200 of 300 must have tripped compaction (at the point
+	// cancellations exceeded half the queue); stragglers cancelled after
+	// the pass stay lazily queued until they surface.
+	if e.Discarded() == 0 {
+		t.Fatal("compaction never triggered")
+	}
+	if e.Pending() != len(keep) {
+		t.Fatalf("Pending = %d, want %d", e.Pending(), len(keep))
+	}
+	var fired int
+	prev := time.Duration(-1)
+	for e.Step() {
+		if e.Now() <= prev {
+			t.Fatalf("events fired out of order after compaction: %v after %v", e.Now(), prev)
+		}
+		prev = e.Now()
+		fired++
+	}
+	if fired != len(keep) {
+		t.Fatalf("fired %d, want %d", fired, len(keep))
+	}
+	if got := e.Discarded(); got != uint64(len(cancel)) {
+		t.Fatalf("Discarded after drain = %d, want %d", got, len(cancel))
+	}
+	for _, ev := range keep {
+		if ev.Cancelled() {
+			t.Fatal("survivor reports cancelled")
+		}
+	}
+}
+
+func TestEngineHeapOrderRandomised(t *testing.T) {
+	// A deterministic LCG shuffles insert order; the engine must still fire
+	// in (time, seq) order. This exercises the 4-ary sift paths at depth.
+	e := NewEngine(Grid3Epoch)
+	const n = 5000
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return state >> 33
+	}
+	var fired []time.Duration
+	for i := 0; i < n; i++ {
+		at := time.Duration(next()%10000) * time.Millisecond
+		e.At(at, func() { fired = append(fired, e.Now()) })
+	}
+	e.Run()
+	if len(fired) != n {
+		t.Fatalf("fired %d of %d", len(fired), n)
+	}
+	for i := 1; i < n; i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("out of order at %d: %v < %v", i, fired[i], fired[i-1])
+		}
+	}
+}
+
+func TestPeriodicTimerWheel(t *testing.T) {
+	e := NewEngine(Grid3Epoch)
+	var ticks []time.Duration
+	tm := e.Periodic(10*time.Minute, func() { ticks = append(ticks, e.Now()) })
+	if !tm.Active() {
+		t.Fatal("fresh timer inactive")
+	}
+	e.RunUntil(time.Hour)
+	if len(ticks) != 6 {
+		t.Fatalf("%d ticks in 1h at 10m, want 6: %v", len(ticks), ticks)
+	}
+	tm.Stop()
+	tm.Stop() // double-stop is a no-op
+	if tm.Active() {
+		t.Fatal("stopped timer active")
+	}
+	e.RunUntil(2 * time.Hour)
+	if len(ticks) != 6 {
+		t.Fatalf("stopped timer kept firing: %d ticks", len(ticks))
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending with only a stopped timer = %d, want 0", e.Pending())
+	}
+}
+
+// TestPeriodicInterleavesWithEvents pins the determinism contract across the
+// two queues: wheel timers and one-shot events share the (time, seq) order.
+// At 1m the tick fires first (registered before the event, so earlier seq);
+// at 2m the event fires first, because the re-arm drew its seq only when the
+// 1m tick completed — exactly as the legacy re-scheduling Ticker behaved.
+func TestPeriodicInterleavesWithEvents(t *testing.T) {
+	e := NewEngine(Grid3Epoch)
+	var order []string
+	e.Periodic(time.Minute, func() { order = append(order, "tick") })
+	e.At(time.Minute, func() { order = append(order, "event") })
+	e.At(2*time.Minute, func() { order = append(order, "event") })
+	e.RunUntil(2 * time.Minute)
+	want := []string{"tick", "event", "event", "tick"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestTickerMatchesFallbackSchedule replays the same workload through the
+// wheel fast path and the legacy re-scheduling path; the observable fire
+// sequence must be identical.
+func TestTickerMatchesFallbackSchedule(t *testing.T) {
+	run := func(viaWheel bool) []time.Duration {
+		e := NewEngine(Grid3Epoch)
+		var fires []time.Duration
+		fn := func() { fires = append(fires, e.Now()) }
+		if viaWheel {
+			NewTicker(e, 7*time.Minute, fn)
+		} else {
+			NewTicker(schedulerOnly{e}, 7*time.Minute, fn)
+		}
+		e.RunUntil(3 * time.Hour)
+		return fires
+	}
+	wheel, legacy := run(true), run(false)
+	if len(wheel) != len(legacy) {
+		t.Fatalf("wheel fired %d, legacy %d", len(wheel), len(legacy))
+	}
+	for i := range wheel {
+		if wheel[i] != legacy[i] {
+			t.Fatalf("fire %d: wheel %v, legacy %v", i, wheel[i], legacy[i])
+		}
+	}
+}
+
+// schedulerOnly hides the *Engine concrete type so NewTicker takes the
+// fallback path.
+type schedulerOnly struct{ *Engine }
+
+func TestZeroEventSafe(t *testing.T) {
+	var ev Event
+	if ev.Valid() || ev.Pending() || ev.Cancelled() {
+		t.Fatal("zero Event not inert")
+	}
+	ev.Cancel() // must not panic
+	var tm Timer
+	if tm.Valid() || tm.Active() {
+		t.Fatal("zero Timer not inert")
+	}
+	tm.Stop() // must not panic
+}
+
 func BenchmarkEngineScheduleRun(b *testing.B) {
 	e := NewEngine(Grid3Epoch)
 	b.ReportAllocs()

@@ -5,11 +5,15 @@ import "time"
 // Ticker invokes a callback at a fixed virtual-time interval until stopped.
 // Grid3 uses tickers for monitoring collection cycles, site-catalog probes,
 // the Condor exerciser's 15-minute backfill runs, and soft-state refresh.
+//
+// When the Scheduler is a *Engine the ticker rides the engine's timer-wheel
+// fast path, so each tick re-arms without touching the main event queue or
+// allocating. Against any other Scheduler it falls back to re-scheduling.
 type Ticker struct {
 	sched    Scheduler
 	interval time.Duration
 	fn       func()
-	pending  *Event
+	timer    Timer // wheel fast path, when sched is a *Engine
 	stopped  bool
 	fires    int
 }
@@ -21,17 +25,26 @@ func NewTicker(s Scheduler, interval time.Duration, fn func()) *Ticker {
 		panic("sim: ticker interval must be positive")
 	}
 	t := &Ticker{sched: s, interval: interval, fn: fn}
-	t.arm()
+	if eng, ok := s.(*Engine); ok {
+		t.timer = eng.Periodic(interval, t.tick)
+	} else {
+		t.arm()
+	}
 	return t
 }
 
+func (t *Ticker) tick() {
+	t.fires++
+	t.fn()
+}
+
+// arm is the slow path for non-Engine Schedulers.
 func (t *Ticker) arm() {
-	t.pending = t.sched.Schedule(t.interval, func() {
+	t.sched.Schedule(t.interval, func() {
 		if t.stopped {
 			return
 		}
-		t.fires++
-		t.fn()
+		t.tick()
 		if !t.stopped {
 			t.arm()
 		}
@@ -42,6 +55,7 @@ func (t *Ticker) arm() {
 // from within the ticker's own callback.
 func (t *Ticker) Stop() {
 	t.stopped = true
+	t.timer.Stop()
 }
 
 // Fires returns how many times the ticker has fired.

@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// timerWheel is the fast path for fixed-interval periodic work — the
+// Ganglia/MonALISA collection cycles, Condor-G negotiation, MDS soft-state
+// expiry, and site probes that account for most of a campaign's queue
+// traffic. Instead of re-pushing a fresh closure into the main event heap on
+// every tick (the dominant cost of the old container/heap engine), each
+// periodic timer lives in this small dedicated 4-ary heap: a re-arm is an
+// O(log₄ m) sift among the ~10² active timers rather than an O(log n)
+// insert into the ~10⁴–10⁵-entry event queue, and allocates nothing.
+//
+// Determinism is preserved because timers share the engine's (at, seq)
+// ordering domain: a re-armed timer draws a fresh sequence number at exactly
+// the point the old Ticker's re-schedule did, so an engine with the wheel
+// fires the same callbacks in the same order as one without it.
+type timerWheel struct {
+	h       []ptimer
+	slots   []timerSlot
+	free    []uint32
+	stopped int // stopped timers still occupying h
+}
+
+// ptimer is one periodic timer, keyed by its next fire time.
+type ptimer struct {
+	at       time.Duration
+	seq      uint64
+	interval time.Duration
+	fn       func()
+	id       uint32
+}
+
+// timerSlot carries the cancel state; like event slots, timer ids are
+// generation-checked so stale handles are harmless.
+type timerSlot struct {
+	gen     uint32
+	stopped bool
+}
+
+// Timer is a handle to a periodic timer. The zero Timer is invalid.
+type Timer struct {
+	eng *Engine
+	id  uint32
+	gen uint32
+}
+
+// Valid reports whether the handle refers to a registered timer.
+func (t Timer) Valid() bool { return t.eng != nil }
+
+// Stop prevents all future firings. Safe to call repeatedly, from the
+// timer's own callback, and on the zero Timer.
+func (t Timer) Stop() {
+	if t.eng == nil {
+		return
+	}
+	w := &t.eng.wheel
+	s := &w.slots[t.id]
+	if s.gen != t.gen || s.stopped {
+		return
+	}
+	s.stopped = true
+	w.stopped++
+}
+
+// Active reports whether the timer will still fire.
+func (t Timer) Active() bool {
+	if t.eng == nil {
+		return false
+	}
+	s := &t.eng.wheel.slots[t.id]
+	return s.gen == t.gen && !s.stopped
+}
+
+// Periodic registers fn to run every interval, first firing one full
+// interval from now. This is the timer-wheel fast path: prefer it (or a
+// Ticker, which uses it automatically) over manually re-scheduling.
+func (e *Engine) Periodic(interval time.Duration, fn func()) Timer {
+	if interval <= 0 {
+		panic(fmt.Sprintf("sim: non-positive timer interval %v", interval))
+	}
+	if fn == nil {
+		panic("sim: nil timer function")
+	}
+	w := &e.wheel
+	var id uint32
+	if n := len(w.free); n > 0 {
+		id = w.free[n-1]
+		w.free = w.free[:n-1]
+	} else {
+		w.slots = append(w.slots, timerSlot{})
+		id = uint32(len(w.slots) - 1)
+	}
+	e.seq++
+	w.push(ptimer{at: e.now + interval, seq: e.seq, interval: interval, fn: fn, id: id})
+	return Timer{eng: e, id: id, gen: w.slots[id].gen}
+}
+
+// active returns the number of timers that will still fire.
+func (w *timerWheel) active() int { return len(w.h) - w.stopped }
+
+// retire frees a timer's slot for reuse under the next generation.
+func (w *timerWheel) retire(id uint32) {
+	s := &w.slots[id]
+	s.gen++
+	s.stopped = false
+	w.free = append(w.free, id)
+}
+
+// peek returns the earliest live timer, lazily discarding stopped ones that
+// surface at the root.
+func (w *timerWheel) peek() (ptimer, bool) {
+	for len(w.h) > 0 {
+		t := w.h[0]
+		if !w.slots[t.id].stopped {
+			return t, true
+		}
+		w.pop()
+		w.retire(t.id)
+		w.stopped--
+	}
+	return ptimer{}, false
+}
+
+// fire runs the root timer's callback and re-arms it. The engine has already
+// advanced the clock and verified via peek that the root is live.
+func (w *timerWheel) fire(e *Engine) {
+	t := w.h[0]
+	w.pop()
+	t.fn()
+	if w.slots[t.id].stopped { // stopped from within its own callback
+		w.retire(t.id)
+		w.stopped--
+		return
+	}
+	t.at += t.interval
+	e.seq++
+	t.seq = e.seq
+	w.push(t)
+}
+
+func tless(a, b ptimer) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (w *timerWheel) push(t ptimer) {
+	w.h = append(w.h, t)
+	i := len(w.h) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !tless(t, w.h[parent]) {
+			break
+		}
+		w.h[i] = w.h[parent]
+		i = parent
+	}
+	w.h[i] = t
+}
+
+func (w *timerWheel) pop() {
+	n := len(w.h) - 1
+	t := w.h[n]
+	w.h[n] = ptimer{}
+	w.h = w.h[:n]
+	if n == 0 {
+		return
+	}
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if tless(w.h[c], w.h[min]) {
+				min = c
+			}
+		}
+		if !tless(w.h[min], t) {
+			break
+		}
+		w.h[i] = w.h[min]
+		i = min
+	}
+	w.h[i] = t
+}
