@@ -9,9 +9,15 @@
 // Multi-seed campaign sweeps fan across CPUs, one engine per worker:
 //
 //	grid3sim -seeds 1,2,3,4 [-parallel N] [-bench-json out.json]
+//
+// Observability (job-lifecycle spans and the metrics registry) is off by
+// default; either flag enables it for the run:
+//
+//	grid3sim -trace-out trace.jsonl -metrics-out metrics.txt
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -25,6 +31,7 @@ import (
 	"grid3/internal/core"
 	"grid3/internal/failure"
 	"grid3/internal/mdviewer"
+	"grid3/internal/obs"
 )
 
 func main() {
@@ -39,6 +46,8 @@ func main() {
 	noAffinity := flag.Bool("no-affinity", false, "disable VO site affinity (uniform matchmaking)")
 	quiet := flag.Bool("quiet", false, "print only the summary line")
 	csvDir := flag.String("csv", "", "also write figure CSVs into this directory")
+	traceOut := flag.String("trace-out", "", "enable tracing and write the span trace (JSONL) to this file")
+	metricsOut := flag.String("metrics-out", "", "enable metrics and write the registry snapshot (text) to this file")
 	flag.Parse()
 
 	cfg := core.ScenarioConfig{
@@ -53,11 +62,45 @@ func main() {
 	}
 
 	if *seedList != "" {
+		if *traceOut != "" || *metricsOut != "" {
+			fmt.Fprintln(os.Stderr, "grid3sim: -trace-out/-metrics-out apply to single-seed runs only")
+			os.Exit(1)
+		}
 		if err := sweep(*seedList, *parallel, *benchJSON, *quiet, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "grid3sim:", err)
 			os.Exit(1)
 		}
 		return
+	}
+
+	// Observability outputs: sinks flush when the scenario finishes, so the
+	// files are opened up front and closed after the run.
+	var obsClose []func() error
+	addObsFile := func(path string, attach func(*bufio.Writer)) {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "grid3sim:", err)
+			os.Exit(1)
+		}
+		bw := bufio.NewWriter(f)
+		attach(bw)
+		obsClose = append(obsClose, func() error {
+			if err := bw.Flush(); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		})
+	}
+	if *traceOut != "" {
+		addObsFile(*traceOut, func(w *bufio.Writer) {
+			cfg.TraceSinks = append(cfg.TraceSinks, obs.JSONLSink(w))
+		})
+	}
+	if *metricsOut != "" {
+		addObsFile(*metricsOut, func(w *bufio.Writer) {
+			cfg.MetricsSinks = append(cfg.MetricsSinks, obs.TextMetricsSink(w))
+		})
 	}
 
 	start := time.Now()
@@ -68,6 +111,18 @@ func main() {
 	}
 	s.Run()
 	elapsed := time.Since(start)
+	for _, closeFn := range obsClose {
+		if err := closeFn(); err != nil {
+			fmt.Fprintln(os.Stderr, "grid3sim: writing observability output:", err)
+			os.Exit(1)
+		}
+	}
+	if *traceOut != "" {
+		fmt.Printf("span trace written to %s\n", *traceOut)
+	}
+	if *metricsOut != "" {
+		fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
+	}
 
 	fmt.Printf("Grid3 scenario: %d days, seed %d, scale %.2f — %d jobs submitted, %d records, %d events, ran in %v\n\n",
 		*days, *seed, *scale, s.SubmittedTotal(), s.Grid.ACDC.Len(), s.Grid.Eng.Processed(),
@@ -287,13 +342,13 @@ func sweep(seedList string, workers int, benchJSON string, quiet bool, cfg core.
 
 // benchRecord is the -bench-json schema, shared by single runs and sweeps.
 type benchRecord struct {
-	Kind         string     `json:"kind"`
-	GoMaxProcs   int        `json:"gomaxprocs"`
-	Workers      int        `json:"workers"`
-	Seeds        []int64    `json:"seeds"`
-	Scale        float64    `json:"scale"`
-	Days         int        `json:"days"`
-	WallSecs     float64    `json:"wall_seconds"`
+	Kind       string  `json:"kind"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	Workers    int     `json:"workers"`
+	Seeds      []int64 `json:"seeds"`
+	Scale      float64 `json:"scale"`
+	Days       int     `json:"days"`
+	WallSecs   float64 `json:"wall_seconds"`
 	// SerialSecs sums per-run elapsed times; in sweep mode those are
 	// measured under worker contention, so SerialSecs/Speedup estimate
 	// (and on oversubscribed CPUs overstate) the true serial baseline.

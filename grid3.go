@@ -37,6 +37,7 @@ import (
 	"grid3/internal/apps"
 	"grid3/internal/campaign"
 	"grid3/internal/core"
+	"grid3/internal/obs"
 )
 
 // Config tunes a Grid3 instance; see core.Config. Most callers should use
@@ -59,6 +60,39 @@ type Scenario = core.Scenario
 
 // SiteSpec describes one catalog site.
 type SiteSpec = core.SiteSpec
+
+// Observability views. The grid records per-job lifecycle spans (submit,
+// match, gram-auth, stage-in, run, stage-out) and a metrics registry of
+// counters and fixed-bucket histograms when observability is enabled; both
+// are no-ops by default so seeded runs stay bit-identical.
+type (
+	// Trace is a completed run's span set with parent/child and
+	// critical-path queries.
+	Trace = obs.Trace
+	// Span is one recorded lifecycle interval on sim time.
+	Span = obs.Span
+	// SpanID identifies a span within its trace (0 = none).
+	SpanID = obs.SpanID
+	// SpanKind classifies lifecycle spans (job, submit, match, ...).
+	SpanKind = obs.Kind
+	// MetricsSnapshot is a point-in-time copy of every counter, gauge, and
+	// histogram.
+	MetricsSnapshot = obs.Snapshot
+	// TraceSink consumes the finished trace (see JSONLSink, NetLoggerSink).
+	TraceSink = obs.TraceSink
+	// MetricsSink consumes the final metrics snapshot (see TextMetricsSink).
+	MetricsSink = obs.MetricsSink
+)
+
+// JSONLSink writes the trace as one fixed-key-order JSON object per span.
+func JSONLSink(w io.Writer) TraceSink { return obs.JSONLSink(w) }
+
+// NetLoggerSink writes the trace in NetLogger format (§4.7); transfer spans
+// render the classic gridftp.transfer.start/end/error lines.
+func NetLoggerSink(w io.Writer) TraceSink { return obs.NetLoggerSink(w) }
+
+// TextMetricsSink writes the metrics snapshot as a text report.
+func TextMetricsSink(w io.Writer) MetricsSink { return obs.TextMetricsSink(w) }
 
 // Option configures New, RunScenario, or Sweep. Options apply in order, so
 // a later option overrides an earlier one; the WithConfig and
@@ -125,10 +159,52 @@ func WithoutTransferDemo() Option {
 	return func(c *ScenarioConfig) { c.DisableTransferDemo = true }
 }
 
-// WithNetLogger attaches NetLogger instrumentation (§4.7) to the WAN. Off
-// by default: a full campaign logs ~10^6 transfer events.
+// WithNetLogger attaches the legacy transfer-only NetLogger shim (§4.7) to
+// the WAN. Off by default: a full campaign logs ~10^6 transfer events.
+//
+// Deprecated: use WithTracer(NetLoggerSink(w)), which emits the same
+// gridftp.transfer.* lines plus every other lifecycle span. This option is
+// kept as a thin alias for callers reading Scenario.NetLogger directly.
 func WithNetLogger() Option {
 	return func(c *ScenarioConfig) { c.EnableNetLogger = true }
+}
+
+// WithObservability enables job-lifecycle tracing and the metrics registry
+// without attaching any sink; read the results via Result.Trace and
+// Result.Metrics (or SweepReport.Aggregate's stage latencies).
+func WithObservability() Option {
+	return func(c *ScenarioConfig) { c.Config.EnableObservability = true }
+}
+
+// WithTracer enables observability and registers a trace sink, flushed once
+// when the scenario finishes. In a Sweep every seed flushes to the same
+// sink concurrently — give each seed its own writer, or prefer
+// WithObservability plus the aggregate views.
+func WithTracer(sink TraceSink) Option {
+	return func(c *ScenarioConfig) {
+		c.Config.EnableObservability = true
+		c.TraceSinks = append(c.TraceSinks, sink)
+	}
+}
+
+// WithMetricsSink enables observability and registers a metrics sink,
+// flushed once when the scenario finishes.
+func WithMetricsSink(sink MetricsSink) Option {
+	return func(c *ScenarioConfig) {
+		c.Config.EnableObservability = true
+		c.MetricsSinks = append(c.MetricsSinks, sink)
+	}
+}
+
+// WithoutObservability turns the observability layer back off and drops any
+// registered sinks (options apply in order, so this wins over earlier
+// WithTracer/WithMetricsSink/WithObservability).
+func WithoutObservability() Option {
+	return func(c *ScenarioConfig) {
+		c.Config.EnableObservability = false
+		c.TraceSinks = nil
+		c.MetricsSinks = nil
+	}
 }
 
 // WithScenarioConfig replaces the scenario configuration wholesale — the
@@ -245,10 +321,32 @@ func (r *Result) Records() int { return r.scen.Grid.ACDC.Len() }
 // EventsProcessed returns the discrete events the engine executed.
 func (r *Result) EventsProcessed() uint64 { return r.scen.Grid.Eng.Processed() }
 
+// Trace returns the run's span trace, or nil when the run was executed
+// without observability (see WithObservability / WithTracer).
+func (r *Result) Trace() *Trace {
+	if o := r.scen.Grid.Obs; o != nil {
+		return o.Tracer.Trace()
+	}
+	return nil
+}
+
+// Metrics returns the run's final metrics snapshot, or nil when the run was
+// executed without observability.
+func (r *Result) Metrics() *MetricsSnapshot {
+	if o := r.scen.Grid.Obs; o != nil {
+		return o.Metrics.Snapshot()
+	}
+	return nil
+}
+
 // SweepStat is a min/mean/max summary across a sweep's seeds.
 type SweepStat struct {
 	Min, Mean, Max float64
 }
+
+// StageQuantiles is one lifecycle stage's cross-seed latency summary
+// (histogram-merged; quantiles are bucket-interpolated estimates).
+type StageQuantiles = campaign.StageQuantiles
 
 // SweepAggregate carries the cross-seed summaries of the headline
 // quantities.
@@ -260,6 +358,10 @@ type SweepAggregate struct {
 	SupportFTEs      SweepStat
 	ConcurrentVOSite SweepStat
 	EfficiencyByVO   map[string]SweepStat
+	// StageLatency maps lifecycle stage (submit, match, run, ...) to its
+	// merged latency quantiles; nil unless the sweep ran with
+	// WithObservability (or any tracer/metrics sink).
+	StageLatency map[string]StageQuantiles
 }
 
 // SweepReport is a completed multi-seed campaign sweep.
@@ -349,6 +451,12 @@ func (r *SweepReport) Aggregate() SweepAggregate {
 	}
 	for v, s := range r.rep.Agg.EfficiencyByVO {
 		agg.EfficiencyByVO[v] = conv(s)
+	}
+	if len(r.rep.Agg.StageLatency) > 0 {
+		agg.StageLatency = make(map[string]StageQuantiles, len(r.rep.Agg.StageLatency))
+		for stage, q := range r.rep.Agg.StageLatency {
+			agg.StageLatency[stage] = q
+		}
 	}
 	return agg
 }

@@ -1,9 +1,12 @@
 package grid3
 
 import (
+	"io"
 	"strings"
 	"testing"
 	"time"
+
+	"grid3/internal/obs"
 )
 
 // TestPublicAPI exercises the façade end-to-end: assemble, submit, run,
@@ -158,5 +161,100 @@ func TestPublicSweep(t *testing.T) {
 	rep.Write(&buf)
 	if !strings.Contains(buf.String(), "Campaign sweep: 2 seeds") {
 		t.Fatalf("sweep report:\n%s", buf.String())
+	}
+}
+
+// TestObservabilityOptions pins the new option semantics: sinks imply the
+// layer, WithoutObservability wins over earlier enables, and the deprecated
+// WithNetLogger alias still sets the legacy flag.
+func TestObservabilityOptions(t *testing.T) {
+	cfg := buildConfig([]Option{
+		WithTracer(JSONLSink(io.Discard)),
+		WithMetricsSink(TextMetricsSink(io.Discard)),
+	})
+	if !cfg.Config.EnableObservability || len(cfg.TraceSinks) != 1 || len(cfg.MetricsSinks) != 1 {
+		t.Fatalf("sink options did not enable observability: %+v", cfg)
+	}
+	cfg = buildConfig([]Option{
+		WithObservability(),
+		WithTracer(NetLoggerSink(io.Discard)),
+		WithoutObservability(),
+	})
+	if cfg.Config.EnableObservability || cfg.TraceSinks != nil || cfg.MetricsSinks != nil {
+		t.Fatalf("WithoutObservability did not win: %+v", cfg)
+	}
+	if cfg := buildConfig([]Option{WithNetLogger()}); !cfg.EnableNetLogger {
+		t.Fatal("deprecated WithNetLogger no longer sets EnableNetLogger")
+	}
+}
+
+// TestTracedRunMatchesUntraced is the determinism property: the same seed
+// produces byte-identical Table 1 and milestone exhibits whether the run is
+// traced or not — the observability layer records the simulation without
+// steering it.
+func TestTracedRunMatchesUntraced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario in -short mode")
+	}
+	exhibits := func(r *Result) (string, string) {
+		var t1, ms strings.Builder
+		r.WriteTable1(&t1)
+		r.WriteMilestones(&ms)
+		return t1.String(), ms.String()
+	}
+	plain, err := RunScenario(5, 0.005, WithHorizon(8*24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := RunScenario(5, 0.005, WithHorizon(8*24*time.Hour), WithObservability())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainT1, plainMS := exhibits(plain)
+	tracedT1, tracedMS := exhibits(traced)
+	if plainT1 != tracedT1 {
+		t.Fatalf("Table 1 diverged with tracing on:\n--- untraced ---\n%s--- traced ---\n%s", plainT1, tracedT1)
+	}
+	if plainMS != tracedMS {
+		t.Fatalf("milestones diverged with tracing on:\n--- untraced ---\n%s--- traced ---\n%s", plainMS, tracedMS)
+	}
+
+	if plain.Trace() != nil || plain.Metrics() != nil {
+		t.Fatal("untraced run exposes observability views")
+	}
+	tr := traced.Trace()
+	if tr == nil || tr.Len() == 0 {
+		t.Fatal("traced run recorded no spans")
+	}
+
+	// At least one completed job carries a full span chain (submit, match,
+	// run under the job root), every child inside the root's interval.
+	chains := 0
+	for _, root := range tr.Roots() {
+		if root.Kind != obs.KindJob || !root.Ended() || root.Err != "" {
+			continue
+		}
+		kinds := map[obs.Kind]bool{}
+		for _, child := range tr.Children(root.ID) {
+			kinds[child.Kind] = true
+			if child.Start < root.Start || (child.Ended() && child.End > root.End) {
+				t.Fatalf("child span %d outside its root's interval", child.ID)
+			}
+		}
+		if kinds[obs.KindSubmit] && kinds[obs.KindMatch] && kinds[obs.KindRun] {
+			chains++
+		}
+	}
+	if chains == 0 {
+		t.Fatal("no completed job has a submit+match+run span chain")
+	}
+
+	snap := traced.Metrics()
+	if snap == nil {
+		t.Fatal("traced run has no metrics snapshot")
+	}
+	stages := snap.StageLatencies()
+	if len(stages) == 0 {
+		t.Fatal("no stage latency histograms recorded")
 	}
 }

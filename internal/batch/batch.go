@@ -19,8 +19,34 @@ import (
 	"sort"
 	"time"
 
+	"grid3/internal/obs"
 	"grid3/internal/sim"
 )
+
+// Instruments is the batch layer's observability wiring: a run span per
+// executed job plus queue-wait and outcome metrics. Shared by every site's
+// batch system (the registry aggregates grid-wide); nil disables.
+type Instruments struct {
+	Tracer    *obs.Tracer
+	QueueWait *obs.Histogram // local queue wait, submit → start, seconds
+	Started   *obs.Counter
+	Completed *obs.Counter
+	Failed    *obs.Counter
+}
+
+// NewInstruments wires batch instruments into an observer; nil in, nil out.
+func NewInstruments(o *obs.Observer) *Instruments {
+	if o == nil {
+		return nil
+	}
+	return &Instruments{
+		Tracer:    o.Tracer,
+		QueueWait: o.Metrics.Histogram("batch.queue_wait.seconds", obs.DurationBounds),
+		Started:   o.Metrics.Counter("batch.started"),
+		Completed: o.Metrics.Counter("batch.completed"),
+		Failed:    o.Metrics.Counter("batch.failed"),
+	}
+}
 
 // State is a job's lifecycle state.
 type State int
@@ -102,8 +128,13 @@ type Job struct {
 	OnStart func(*Job)
 	OnDone  func(*Job)
 
+	// Parent is the submit-side lifecycle span the run span is linked
+	// under (0 = untraced).
+	Parent obs.SpanID
+
 	endEvent sim.Event
 	seq      uint64
+	runSpan  obs.SpanID
 }
 
 // CPUTime returns consumed CPU time (wall occupancy of one slot).
@@ -175,6 +206,9 @@ type System struct {
 	totalCompleted int
 	totalFailed    int
 	busyTime       time.Duration // slot-seconds of execution, for utilization
+
+	// Ins enables run spans and queue metrics; nil (default) disables.
+	Ins *Instruments
 }
 
 // New creates a batch system with the given engine and configuration.
@@ -339,6 +373,11 @@ func (s *System) start(j *Job) {
 	s.running[j.ID] = j
 	s.runningVO[j.VO]++
 	s.totalStarted++
+	if in := s.Ins; in != nil {
+		in.Started.Inc()
+		in.QueueWait.Observe((j.Started - j.Submitted).Seconds())
+		j.runSpan = in.Tracer.Begin(obs.KindRun, j.Parent, j.ID, j.VO, s.cfg.Name)
+	}
 
 	execTime := j.Runtime
 	outcome := Completed
@@ -391,6 +430,16 @@ func (s *System) finish(j *Job, outcome Outcome) {
 		s.totalCompleted++
 	default:
 		s.totalFailed++
+	}
+	if in := s.Ins; in != nil {
+		if outcome == Completed {
+			in.Completed.Inc()
+			in.Tracer.End(j.runSpan)
+		} else {
+			in.Failed.Inc()
+			in.Tracer.Fail(j.runSpan, outcome.String())
+		}
+		j.runSpan = 0
 	}
 	s.records = append(s.records, Record{
 		JobID:     j.ID,

@@ -21,6 +21,7 @@ import (
 
 	"grid3/internal/acdc"
 	"grid3/internal/core"
+	"grid3/internal/obs"
 )
 
 // Run describes one independent scenario execution. Seed and Scale override
@@ -56,6 +57,9 @@ type Result struct {
 	Table1         []acdc.ClassStats
 	Table1Text     string
 	MilestonesText string
+	// StageLatencies holds the run's per-stage span-duration histograms
+	// (stage name → snapshot), nil unless the run had observability on.
+	StageLatencies map[string]obs.HistSnapshot
 }
 
 // Stat is a min/mean/max summary across seeds.
@@ -82,6 +86,13 @@ func newStat(vals []float64) Stat {
 	return s
 }
 
+// StageQuantiles summarizes one lifecycle stage's latency across all seeds
+// (histogram-merged, so quantiles are bucket-interpolated estimates).
+type StageQuantiles struct {
+	Count         uint64
+	P50, P90, P99 float64 // seconds
+}
+
 // Aggregate summarizes the sweep across seeds.
 type Aggregate struct {
 	JobsCompleted  Stat // all classes combined
@@ -91,6 +102,9 @@ type Aggregate struct {
 	SupportFTEs    Stat
 	ConcurrentVO   Stat // sites serving ≥2 VOs
 	EfficiencyByVO map[string]Stat
+	// StageLatency maps lifecycle stage (submit, match, run, ...) to its
+	// cross-seed latency quantiles; nil unless runs had observability on.
+	StageLatency map[string]StageQuantiles
 }
 
 // Report is a completed sweep: per-seed results in input order plus the
@@ -175,6 +189,9 @@ func execute(r Run) (Result, error) {
 	buf.Reset()
 	res.Milestones.Write(&buf)
 	res.MilestonesText = buf.String()
+	if o := s.Grid.Obs; o != nil {
+		res.StageLatencies = o.Metrics.Snapshot().StageLatencies()
+	}
 	return res, nil
 }
 
@@ -210,6 +227,32 @@ func aggregate(results []Result) Aggregate {
 		}
 		if len(vals) > 0 {
 			agg.EfficiencyByVO[voName] = newStat(vals)
+		}
+	}
+	// Merge stage histograms across seeds, then read quantiles off the
+	// combined distribution.
+	merged := map[string]obs.HistSnapshot{}
+	for _, r := range results {
+		for stage, snap := range r.StageLatencies {
+			// The zero snapshot's first Merge copies, so per-seed counts
+			// are never mutated in place.
+			m := merged[stage]
+			m.Merge(snap)
+			merged[stage] = m
+		}
+	}
+	for stage, snap := range merged {
+		if snap.N == 0 {
+			continue
+		}
+		if agg.StageLatency == nil {
+			agg.StageLatency = map[string]StageQuantiles{}
+		}
+		agg.StageLatency[stage] = StageQuantiles{
+			Count: snap.N,
+			P50:   snap.Quantile(0.50),
+			P90:   snap.Quantile(0.90),
+			P99:   snap.Quantile(0.99),
 		}
 	}
 	return agg
@@ -248,6 +291,19 @@ func (rep *Report) Write(w io.Writer) {
 	sort.Strings(voNames)
 	for _, v := range voNames {
 		row("Efficiency "+v, rep.Agg.EfficiencyByVO[v], "%8.2f")
+	}
+	if len(rep.Agg.StageLatency) > 0 {
+		fmt.Fprintf(w, "  Stage latency quantiles (s):\n")
+		stages := make([]string, 0, len(rep.Agg.StageLatency))
+		for stage := range rep.Agg.StageLatency {
+			stages = append(stages, stage)
+		}
+		sort.Strings(stages)
+		for _, stage := range stages {
+			q := rep.Agg.StageLatency[stage]
+			fmt.Fprintf(w, "    %-22s n %8d  p50 %10.1f  p90 %10.1f  p99 %10.1f\n",
+				stage, q.Count, q.P50, q.P90, q.P99)
+		}
 	}
 }
 

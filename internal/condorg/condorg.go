@@ -17,8 +17,47 @@ import (
 
 	"grid3/internal/classad"
 	"grid3/internal/gram"
+	"grid3/internal/obs"
 	"grid3/internal/sim"
 )
+
+// Instruments is the schedd's observability wiring: match and gram-auth
+// spans for the per-job lifecycle trace plus registry counters. A nil
+// *Instruments (the default) disables all of it at the cost of one branch.
+type Instruments struct {
+	Tracer        *obs.Tracer
+	Submitted     *obs.Counter
+	Completed     *obs.Counter
+	Held          *obs.Counter
+	MatchFailures *obs.Counter
+	// CyclePlacements is the number of jobs actually launched per
+	// negotiation cycle — the negotiator's effective throughput.
+	CyclePlacements *obs.Histogram
+}
+
+// NewInstruments wires instruments into an observer; nil in, nil out.
+func NewInstruments(o *obs.Observer) *Instruments {
+	if o == nil {
+		return nil
+	}
+	return &Instruments{
+		Tracer:        o.Tracer,
+		Submitted:     o.Metrics.Counter("condorg.submitted"),
+		Completed:     o.Metrics.Counter("condorg.completed"),
+		Held:          o.Metrics.Counter("condorg.held"),
+		MatchFailures: o.Metrics.Counter("condorg.match_failures"),
+		CyclePlacements: o.Metrics.Histogram("condorg.negotiation.placements",
+			[]float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000}),
+	}
+}
+
+// tracer returns the span tracer, nil (disabled) when instruments are off.
+func (in *Instruments) tracer() *obs.Tracer {
+	if in == nil {
+		return nil
+	}
+	return in.Tracer
+}
 
 // Errors.
 var (
@@ -84,12 +123,18 @@ type GridJob struct {
 	OnStart func(*GridJob)
 	// OnDone fires exactly once on terminal state; err nil on success.
 	OnDone func(*GridJob, error)
+	// Span is the job's root lifecycle span (0 = untraced); the schedd
+	// parents its match and gram-auth spans under it and forwards it to
+	// the gatekeeper for the run span.
+	Span obs.SpanID
 
 	State    JobState
 	Site     string // where it ran (last attempt)
 	Contact  string // execution-side GRAM contact of the last attempt
 	Attempts int
 	LastErr  error
+
+	matchSpan obs.SpanID // open while the job waits to be placed
 }
 
 // Schedd is the Condor-G scheduler daemon.
@@ -104,6 +149,9 @@ type Schedd struct {
 	// MaxMatchesPerCycle bounds matchmaking work per negotiation cycle;
 	// excess idle jobs wait for the next cycle (0 = unlimited).
 	MaxMatchesPerCycle int
+
+	// Ins enables lifecycle tracing and metrics; nil (default) disables.
+	Ins *Instruments
 
 	submitted, completed, held int
 	matchFailures              int
@@ -179,6 +227,7 @@ func (s *Schedd) Submit(j *GridJob) error {
 	j.Ad.SetInt("WallTime", int64(j.Spec.Walltime/time.Second))
 	j.State = Idle
 	s.jobs[j.ID] = j
+	j.matchSpan = s.Ins.tracer().Begin(obs.KindMatch, j.Span, j.ID, j.Spec.VO, "")
 	// Try to place the new job right away; if nothing fits it waits for
 	// the negotiation ticker. (Placing only the newcomer keeps a burst of
 	// submissions linear — a full queue scan per submit would be
@@ -196,6 +245,9 @@ func (s *Schedd) placeOne(j *GridJob) bool {
 	r := s.pickResource(j, s.eng.Now())
 	if r == nil {
 		s.matchFailures++
+		if in := s.Ins; in != nil {
+			in.MatchFailures.Inc()
+		}
 		return false
 	}
 	if err := s.launch(j, r); err != nil {
@@ -230,7 +282,7 @@ func (s *Schedd) Negotiate() {
 	// failures requeue onto the fresh s.idle without being clobbered.
 	jobs := s.idle
 	s.idle = nil
-	matches := 0
+	matches, placed := 0, 0
 	for _, j := range jobs {
 		if s.MaxMatchesPerCycle > 0 && matches >= s.MaxMatchesPerCycle {
 			s.idle = append(s.idle, j)
@@ -240,12 +292,20 @@ func (s *Schedd) Negotiate() {
 		r := s.pickResource(j, now)
 		if r == nil {
 			s.matchFailures++
+			if in := s.Ins; in != nil {
+				in.MatchFailures.Inc()
+			}
 			s.idle = append(s.idle, j)
 			continue
 		}
 		if err := s.launch(j, r); err != nil {
 			s.idle = append(s.idle, j)
+			continue
 		}
+		placed++
+	}
+	if in := s.Ins; in != nil && placed > 0 {
+		in.CyclePlacements.Observe(float64(placed))
 	}
 }
 
@@ -290,6 +350,7 @@ func (s *Schedd) Job(id string) (*GridJob, bool) {
 // launch submits a job to a resource's gatekeeper.
 func (s *Schedd) launch(j *GridJob, r *Resource) error {
 	spec := j.Spec
+	spec.Parent = j.Span
 	spec.OnState = func(gj *gram.Job, st gram.JobState) {
 		switch st {
 		case gram.StateDone:
@@ -297,6 +358,9 @@ func (s *Schedd) launch(j *GridJob, r *Resource) error {
 			r.backoffStep = 0
 			j.State = Completed
 			s.completed++
+			if in := s.Ins; in != nil {
+				in.Completed.Inc()
+			}
 			if j.OnDone != nil {
 				j.OnDone(j, nil)
 			}
@@ -305,10 +369,13 @@ func (s *Schedd) launch(j *GridJob, r *Resource) error {
 			s.remoteFailure(j, fmt.Errorf("condorg: remote failure at %s: %s", r.Name, gj.FailureReason))
 		}
 	}
+	tr := s.Ins.tracer()
+	auth := tr.Begin(obs.KindGramAuth, j.Span, j.ID, spec.VO, r.Name)
 	gj, err := r.Gatekeeper.Submit(spec)
 	if err != nil {
+		tr.Fail(auth, err.Error())
 		// Overload / down gatekeeper: exponential backoff on the
-		// resource, job stays idle.
+		// resource, job stays idle (its match span stays open).
 		if errors.Is(err, gram.ErrOverloaded) || errors.Is(err, gram.ErrSiteDown) {
 			if r.backoffStep == 0 {
 				r.backoffStep = initialBackoff
@@ -324,12 +391,19 @@ func (s *Schedd) launch(j *GridJob, r *Resource) error {
 		s.remoteFailure(j, err)
 		return nil
 	}
+	tr.End(auth)
+	tr.SetSite(j.matchSpan, r.Name)
+	tr.End(j.matchSpan)
+	j.matchSpan = 0
 	j.Attempts++
 	j.State = Running
 	j.Site = r.Name
 	j.Contact = gj.ID
 	r.inFlight++
 	s.submitted++
+	if in := s.Ins; in != nil {
+		in.Submitted.Inc()
+	}
 	if j.OnStart != nil {
 		j.OnStart(j)
 	}
@@ -342,10 +416,21 @@ func (s *Schedd) remoteFailure(j *GridJob, err error) {
 	if j.Attempts <= j.MaxRetries {
 		j.State = Idle
 		s.idle = append(s.idle, j)
+		if j.matchSpan == 0 {
+			// Back in the idle queue: a fresh match wait starts now.
+			j.matchSpan = s.Ins.tracer().Begin(obs.KindMatch, j.Span, j.ID, j.Spec.VO, "")
+		}
 		return
 	}
 	j.State = Held
 	s.held++
+	if in := s.Ins; in != nil {
+		in.Held.Inc()
+	}
+	if j.matchSpan != 0 {
+		s.Ins.tracer().Fail(j.matchSpan, "held: retries exhausted")
+		j.matchSpan = 0
+	}
 	if j.OnDone != nil {
 		j.OnDone(j, fmt.Errorf("%w: %v", ErrExhausted, err))
 	}

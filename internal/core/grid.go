@@ -22,6 +22,7 @@ import (
 	"grid3/internal/gsi"
 	"grid3/internal/mds"
 	"grid3/internal/monalisa"
+	"grid3/internal/obs"
 	"grid3/internal/pacman"
 	"grid3/internal/rls"
 	"grid3/internal/sim"
@@ -49,6 +50,11 @@ type Config struct {
 	// DisableAffinity strips site pinning from workloads (the ABL-FED
 	// ablation: uniform matchmaking vs favorite resources).
 	DisableAffinity bool
+	// EnableObservability turns on job-lifecycle tracing and the metrics
+	// registry. Off by default: the observability layer publishes registry
+	// totals through an extra MonALISA station, so enabling it changes the
+	// engine's processed-event count (never the scheduling of sim logic).
+	EnableObservability bool
 }
 
 func (c *Config) defaults() {
@@ -140,6 +146,16 @@ type Grid struct {
 	DIAL     *dial.Catalog
 	Schedds  map[string]*condorg.Schedd
 
+	// Obs is the grid's tracer + metrics registry; nil unless
+	// Config.EnableObservability is set.
+	Obs *obs.Observer
+
+	// Shared per-subsystem instrument bundles, nil when observability is
+	// off (every instrumented call site tolerates nil).
+	batchIns  *batch.Instruments
+	gramIns   *gram.Instruments
+	condorIns *condorg.Instruments
+
 	stats map[string]*VOStats
 	seq   int64
 
@@ -163,6 +179,12 @@ func New(cfg Config) (*Grid, error) {
 		Nodes:   make(map[string]*Node),
 		Schedds: make(map[string]*condorg.Schedd),
 		stats:   make(map[string]*VOStats),
+	}
+	if cfg.EnableObservability {
+		g.Obs = obs.New(g.Eng.Now)
+		g.batchIns = batch.NewInstruments(g.Obs)
+		g.gramIns = gram.NewInstruments(g.Obs)
+		g.condorIns = condorg.NewInstruments(g.Obs)
 	}
 
 	// --- Security fabric.
@@ -203,6 +225,7 @@ func New(cfg Config) (*Grid, error) {
 
 	// --- Shared fabric and central services.
 	g.Network = gridftp.NewNetwork(g.Eng)
+	g.Network.Ins = gridftp.NewInstruments(g.Obs)
 	g.RLI = rls.NewRLI(g.Eng)
 	g.TopGIIS = mds.NewGIIS("igoc-giis", g.Eng)
 	// §5: "registration to a VO-level set of services such as index
@@ -233,6 +256,7 @@ func New(cfg Config) (*Grid, error) {
 	for _, voName := range vo.Grid3VOs {
 		sch := condorg.New(g.Eng, cfg.NegotiationInterval)
 		sch.MaxMatchesPerCycle = 2000
+		sch.Ins = g.condorIns
 		for _, name := range g.Order {
 			n := g.Nodes[name]
 			if !n.Site.SupportsVO(voName) {
@@ -248,6 +272,22 @@ func New(cfg Config) (*Grid, error) {
 		}
 		g.Schedds[voName] = sch
 		g.stats[voName] = &VOStats{}
+	}
+
+	// --- MonALISA bridge: an iGOC-side station publishing the registry's
+	// counter totals into the central repository, so observability data
+	// shows up alongside the per-site job and load series.
+	if g.Obs != nil {
+		station := monalisa.NewStation(g.Eng, "igoc-obs", cfg.MonitorInterval)
+		station.AddAgent(monalisa.AgentFunc(func() []monalisa.Metric {
+			snap := g.Obs.Metrics.Snapshot()
+			out := make([]monalisa.Metric, 0, len(snap.Counters))
+			for _, c := range snap.Counters {
+				out = append(out, monalisa.Metric{Param: "obs." + c.Name, Value: float64(c.Value)})
+			}
+			return out
+		}))
+		station.Forward(g.Repo.Ingest)
 	}
 
 	// --- Housekeeping: prune terminal gram jobs, migrate archive files.
@@ -372,8 +412,10 @@ func (g *Grid) addSite(spec SiteSpec) error {
 		Name: spec.Name, Slots: spec.CPUs, Policy: policy,
 		EnforceWall: enforce, MaxWall: spec.MaxWall,
 	})
+	bs.Ins = g.batchIns
 	gridmap := g.Registry.GenerateGridmap(spec.Accounts)
 	gk := gram.New(g.Eng, st, bs, gridmap)
+	gk.Ins = g.gramIns
 	g.Network.AddEndpoint(spec.Name, spec.WANMbps)
 	lrc := rls.NewLRC(spec.Name)
 	srmMgr := srm.New(g.Eng, st.Disk)
@@ -716,12 +758,27 @@ func (g *Grid) SubmitJobFunc(req apps.Request, onDone func(error)) {
 			StagingFactor: req.StagingFactor,
 		},
 	}
+	// Root lifecycle span for the job, with a (synchronous) submit child;
+	// match/gram-auth/run children hang off job.Span down the stack.
+	tr := g.Obs.TracerOf()
+	root := tr.Begin(obs.KindJob, 0, job.ID, req.VO, "")
+	job.Span = root
+	finish := func(err error) {
+		if err != nil {
+			tr.Fail(root, err.Error())
+		} else {
+			tr.End(root)
+		}
+		notify(err)
+	}
+
 	job.OnStart = func(j *condorg.GridJob) {
 		if req.InputBytes > 0 {
-			g.stageIn(req, j.Site)
+			g.stageIn(req, j.Site, root, j.ID)
 		}
 	}
 	job.OnDone = func(j *condorg.GridJob, err error) {
+		tr.SetSite(root, j.Site)
 		if err != nil {
 			stats.ExecFailures++
 			stats.AttemptFailures += j.Attempts
@@ -729,14 +786,16 @@ func (g *Grid) SubmitJobFunc(req apps.Request, onDone func(error)) {
 			if reservation != nil {
 				g.releaseReservation(req.VO, reservation)
 			}
-			notify(err)
+			finish(err)
 			return
 		}
 		// Attempts beyond the first were failures that got retried.
 		stats.AttemptFailures += j.Attempts - 1
-		g.stageOut(req, j, reservation, notify)
+		g.stageOut(req, j, reservation, root, finish)
 	}
+	sub := tr.Begin(obs.KindSubmit, root, job.ID, req.VO, "")
 	sch.Submit(job)
+	tr.End(sub)
 }
 
 // defaultRank prefers emptier sites; parsed once (one parse per job
@@ -756,18 +815,33 @@ func (g *Grid) maxWallFor(voName string) time.Duration {
 }
 
 // stageIn moves input data from the VO's archive to the execution site.
-func (g *Grid) stageIn(req apps.Request, execSite string) {
+func (g *Grid) stageIn(req apps.Request, execSite string, parent obs.SpanID, jobID string) {
 	archive := ArchiveSiteFor(req.VO)
 	if archive == execSite {
 		return
 	}
-	g.Network.Start(archive, execSite, req.InputBytes, req.VO, nil)
+	tr := g.Obs.TracerOf()
+	if !tr.Enabled() {
+		g.Network.Start(archive, execSite, req.InputBytes, req.VO, nil)
+		return
+	}
+	span := tr.Begin(obs.KindStageIn, parent, jobID, req.VO, execSite)
+	if _, err := g.Network.StartTraced(archive, execSite, req.InputBytes, req.VO, span,
+		func(_ *gridftp.Transfer, err error) {
+			if err != nil {
+				tr.Fail(span, err.Error())
+			} else {
+				tr.End(span)
+			}
+		}); err != nil {
+		tr.Fail(span, err.Error())
+	}
 }
 
 // stageOut archives the job's output: a GridFTP transfer to the Tier1,
 // then a write into its storage element (SRM-managed or raw), then RLS
 // registration. A raw write into a full disk is the §8 failure class.
-func (g *Grid) stageOut(req apps.Request, j *condorg.GridJob, reservation *srm.Reservation, notify func(error)) {
+func (g *Grid) stageOut(req apps.Request, j *condorg.GridJob, reservation *srm.Reservation, parent obs.SpanID, notify func(error)) {
 	stats := g.Stats(req.VO)
 	if req.OutputBytes <= 0 {
 		stats.Completed++
@@ -777,8 +851,14 @@ func (g *Grid) stageOut(req apps.Request, j *condorg.GridJob, reservation *srm.R
 	archiveName := ArchiveSiteFor(req.VO)
 	archive := g.Nodes[archiveName]
 	lfn := "lfn:" + req.VO + "/" + j.ID
+	tr := g.Obs.TracerOf()
+	var span obs.SpanID
+	if archive != nil {
+		span = tr.Begin(obs.KindStageOut, parent, j.ID, req.VO, archiveName)
+	}
 	finish := func(transferErr error) {
 		if transferErr != nil {
+			tr.Fail(span, transferErr.Error())
 			stats.StageOutFailures++
 			stats.WastedCPU += req.Runtime
 			if reservation != nil {
@@ -795,6 +875,7 @@ func (g *Grid) stageOut(req apps.Request, j *condorg.GridJob, reservation *srm.R
 			err = archive.Site.Disk.Store(lfn, req.OutputBytes, false)
 		}
 		if err != nil {
+			tr.Fail(span, err.Error())
 			stats.StageOutFailures++
 			stats.WastedCPU += req.Runtime
 			notify(err)
@@ -806,6 +887,7 @@ func (g *Grid) stageOut(req apps.Request, j *condorg.GridJob, reservation *srm.R
 		// §6.1: "A dataset catalog was created for produced samples,
 		// making them available to the DIAL distributed analysis package."
 		g.DIAL.Append(req.VO+".produced", lfn, req.OutputBytes)
+		tr.End(span)
 		stats.Completed++
 		notify(nil)
 	}
@@ -818,7 +900,7 @@ func (g *Grid) stageOut(req apps.Request, j *condorg.GridJob, reservation *srm.R
 		finish(nil)
 		return
 	}
-	if _, err := g.Network.Start(j.Site, archiveName, req.OutputBytes, req.VO, func(_ *gridftp.Transfer, err error) {
+	if _, err := g.Network.StartTraced(j.Site, archiveName, req.OutputBytes, req.VO, span, func(_ *gridftp.Transfer, err error) {
 		finish(err)
 	}); err != nil {
 		finish(err)

@@ -6,6 +6,7 @@ import (
 	"grid3/internal/apps"
 	"grid3/internal/failure"
 	"grid3/internal/gridftp"
+	"grid3/internal/obs"
 	"grid3/internal/sim"
 	"grid3/internal/vo"
 )
@@ -47,6 +48,12 @@ type ScenarioConfig struct {
 	// JobScale multiplies every class's TotalJobs (sub-1.0 for quick
 	// tests); 0 means 1.0.
 	JobScale float64
+	// TraceSinks receive the finished span trace once, at Finish. Setting
+	// any sink implies EnableObservability.
+	TraceSinks []obs.TraceSink
+	// MetricsSinks receive the final metrics snapshot once, at Finish.
+	// Setting any sink implies EnableObservability.
+	MetricsSinks []obs.MetricsSink
 }
 
 // Scenario is a running or completed production campaign.
@@ -57,6 +64,8 @@ type Scenario struct {
 	Demo       *apps.TransferDemo
 	Injector   *failure.Injector
 	NetLogger  *gridftp.NetLogger // non-nil when EnableNetLogger is set
+
+	obsFlushed bool
 }
 
 // NewScenario assembles a grid and arms the workloads, demonstrators, and
@@ -70,6 +79,9 @@ func NewScenario(cfg ScenarioConfig) (*Scenario, error) {
 	}
 	if cfg.Classes == nil {
 		cfg.Classes = apps.Grid3Classes()
+	}
+	if len(cfg.TraceSinks) > 0 || len(cfg.MetricsSinks) > 0 {
+		cfg.EnableObservability = true
 	}
 	// Resolve defaults here too so the scenario's retained Cfg reflects
 	// what actually ran (ComputeMilestones reads Cfg.Config.Sites).
@@ -143,6 +155,7 @@ func NewScenario(cfg ScenarioConfig) (*Scenario, error) {
 			}
 		}
 		s.Injector = failure.New(g.Eng, g.RNG.Fork(), fcfg, g.Network)
+		s.Injector.Ins = failure.NewInstruments(g.Obs)
 		for _, name := range g.Order {
 			n := g.Nodes[name]
 			s.Injector.Register(&failure.Target{
@@ -176,6 +189,36 @@ func (s *Scenario) Finish() {
 	// Let in-flight jobs and transfers drain briefly, then pull the logs.
 	s.Grid.Eng.RunFor(6 * time.Hour)
 	s.Grid.ACDC.Pull()
+	s.FlushObservability()
+}
+
+// FlushObservability runs every configured trace and metrics sink against
+// the final trace and snapshot. Finish calls it; repeated calls are no-ops
+// so sinks never see the run twice. It returns the first sink error.
+func (s *Scenario) FlushObservability() error {
+	o := s.Grid.Obs
+	if o == nil || s.obsFlushed {
+		return nil
+	}
+	s.obsFlushed = true
+	var first error
+	if len(s.Cfg.TraceSinks) > 0 {
+		tr := o.Tracer.Trace()
+		for _, sink := range s.Cfg.TraceSinks {
+			if err := sink(tr); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	if len(s.Cfg.MetricsSinks) > 0 {
+		snap := o.Metrics.Snapshot()
+		for _, sink := range s.Cfg.MetricsSinks {
+			if err := sink(snap); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
 }
 
 // SubmittedTotal sums generator output across classes.

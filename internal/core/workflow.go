@@ -8,6 +8,7 @@ import (
 	"grid3/internal/dagman"
 	"grid3/internal/gram"
 	"grid3/internal/gridftp"
+	"grid3/internal/obs"
 	"grid3/internal/pegasus"
 	"grid3/internal/rls"
 )
@@ -36,6 +37,7 @@ func (g *Grid) PlannerFor(voName string, policy pegasus.Policy) *pegasus.Planner
 		},
 		ArchiveSite: ArchiveSiteFor(voName),
 		Policy:      policy,
+		Ins:         pegasus.NewInstruments(g.Obs),
 	}
 }
 
@@ -70,6 +72,9 @@ type WorkflowRun struct {
 	Runner *dagman.Runner
 	// JobSites records where each compute node ran.
 	JobSites map[string]string
+	// Span is the workflow's root lifecycle span (zero with tracing off);
+	// DAG-node and compute-job spans are parented under it.
+	Span obs.SpanID
 }
 
 // RunWorkflow executes a Pegasus concrete DAG on the grid: compute nodes
@@ -83,6 +88,8 @@ func (g *Grid) RunWorkflow(cdag *pegasus.ConcreteDAG, voName, user string, onDon
 	}
 	d := dagman.New()
 	run := &WorkflowRun{DAG: d, JobSites: make(map[string]string)}
+	tr := g.Obs.TracerOf()
+	run.Span = tr.Begin(obs.KindWorkflow, 0, voName+"-dag", voName, "")
 
 	for _, name := range cdag.Order {
 		cj := cdag.Jobs[name]
@@ -91,7 +98,7 @@ func (g *Grid) RunWorkflow(cdag *pegasus.ConcreteDAG, voName, user string, onDon
 		case pegasus.Compute:
 			node.Work = g.computeWork(run, cj, sch, voName, user)
 		case pegasus.StageIn, pegasus.Transfer, pegasus.StageOut:
-			node.Work = g.transferWork(cj, voName)
+			node.Work = g.transferWork(cj, voName, run.Span)
 		case pegasus.Register:
 			cjob := cj
 			node.Work = func(done func(error)) {
@@ -122,7 +129,19 @@ func (g *Grid) RunWorkflow(cdag *pegasus.ConcreteDAG, voName, user string, onDon
 	}
 	run.Runner = dagman.NewRunner(d)
 	run.Runner.MaxJobs = 50 // DAGMan -maxjobs, protects gatekeepers (§6.4)
-	if err := run.Runner.Run(onDone); err != nil {
+	run.Runner.Ins = dagman.NewInstruments(g.Obs)
+	run.Runner.Parent = run.Span
+	wrapped := func(res dagman.Result) {
+		if res.Succeeded() {
+			tr.End(run.Span)
+		} else {
+			tr.Fail(run.Span, fmt.Sprintf("%d failed, %d unrunnable", len(res.Failed), len(res.Unrunnable)))
+		}
+		if onDone != nil {
+			onDone(res)
+		}
+	}
+	if err := run.Runner.Run(wrapped); err != nil {
 		return nil, err
 	}
 	return run, nil
@@ -143,6 +162,7 @@ func (g *Grid) computeWork(run *WorkflowRun, cj *pegasus.ConcreteJob, sch *condo
 		g.seq++
 		job := &condorg.GridJob{
 			ID:         fmt.Sprintf("wf-%s-%08d", cj.Name, g.seq),
+			Span:       run.Span,
 			TargetSite: cj.Site,
 			MaxRetries: 1,
 			Spec: gram.Spec{
@@ -166,7 +186,7 @@ func (g *Grid) computeWork(run *WorkflowRun, cj *pegasus.ConcreteJob, sch *condo
 
 // transferWork wraps a planned data movement as a DAGMan payload: a
 // GridFTP transfer followed by a destination storage write.
-func (g *Grid) transferWork(cj *pegasus.ConcreteJob, voName string) dagman.Work {
+func (g *Grid) transferWork(cj *pegasus.ConcreteJob, voName string, parent obs.SpanID) dagman.Work {
 	return func(done func(error)) {
 		dst := g.Nodes[cj.Site]
 		if dst == nil {
@@ -187,7 +207,7 @@ func (g *Grid) transferWork(cj *pegasus.ConcreteJob, voName string) dagman.Work 
 			done(store())
 			return
 		}
-		_, err := g.Network.Start(cj.SrcSite, cj.Site, bytes, voName, func(_ *gridftp.Transfer, terr error) {
+		_, err := g.Network.StartTraced(cj.SrcSite, cj.Site, bytes, voName, parent, func(_ *gridftp.Transfer, terr error) {
 			if terr != nil {
 				done(terr)
 				return

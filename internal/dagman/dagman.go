@@ -13,7 +13,40 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"grid3/internal/obs"
 )
+
+// Instruments is DAGMan's observability wiring: one span per node attempt
+// plus outcome counters. DAGMan has no clock of its own; the tracer carries
+// the sim clock. Nil disables.
+type Instruments struct {
+	Tracer  *obs.Tracer
+	Done    *obs.Counter
+	Failed  *obs.Counter
+	Retried *obs.Counter
+}
+
+// NewInstruments wires DAG instruments into an observer; nil in, nil out.
+func NewInstruments(o *obs.Observer) *Instruments {
+	if o == nil {
+		return nil
+	}
+	return &Instruments{
+		Tracer:  o.Tracer,
+		Done:    o.Metrics.Counter("dagman.nodes.done"),
+		Failed:  o.Metrics.Counter("dagman.nodes.failed"),
+		Retried: o.Metrics.Counter("dagman.nodes.retried"),
+	}
+}
+
+// tracer returns the span tracer, nil (disabled) when instruments are off.
+func (in *Instruments) tracer() *obs.Tracer {
+	if in == nil {
+		return nil
+	}
+	return in.Tracer
+}
 
 // Errors.
 var (
@@ -74,6 +107,7 @@ type Node struct {
 	children []*Node
 	waiting  int // unfinished parents
 	lastErr  error
+	span     obs.SpanID // open span for the current attempt
 }
 
 // State returns the node's current state.
@@ -186,6 +220,11 @@ type Runner struct {
 	MaxJobs int
 	// Skip marks nodes to treat as already done (a rescue-DAG restart).
 	Skip map[string]bool
+	// Ins enables observability (nil = off).
+	Ins *Instruments
+	// Parent is the span under which node spans are parented (the enclosing
+	// workflow span), zero for none.
+	Parent obs.SpanID
 
 	running   int
 	ready     []*Node
@@ -251,6 +290,7 @@ func (r *Runner) start(n *Node) {
 	n.state = NodeRunning
 	n.attempts++
 	r.running++
+	n.span = r.Ins.tracer().Begin(obs.KindDAGNode, r.Parent, n.Name, "", "")
 	if n.Pre != nil {
 		if err := n.Pre(); err != nil {
 			r.finishAttempt(n, fmt.Errorf("pre script: %w", err))
@@ -280,16 +320,29 @@ func (r *Runner) finishAttempt(n *Node, err error) {
 	r.running--
 	if err != nil {
 		n.lastErr = err
+		r.Ins.tracer().Fail(n.span, err.Error())
+		n.span = 0
 		if n.attempts <= n.Retries {
 			// Retry: back to the ready queue.
+			if in := r.Ins; in != nil {
+				in.Retried.Inc()
+			}
 			n.state = NodeIdle
 			r.ready = append(r.ready, n)
 			r.pump()
 			r.checkDone()
 			return
 		}
+		if in := r.Ins; in != nil {
+			in.Failed.Inc()
+		}
 		r.settle(n, NodeFailed, err)
 	} else {
+		r.Ins.tracer().End(n.span)
+		n.span = 0
+		if in := r.Ins; in != nil {
+			in.Done.Inc()
+		}
 		r.settle(n, NodeDone, nil)
 	}
 	r.pump()

@@ -16,9 +16,34 @@ import (
 	"grid3/internal/dist"
 	"grid3/internal/gram"
 	"grid3/internal/gridftp"
+	"grid3/internal/obs"
 	"grid3/internal/sim"
 	"grid3/internal/site"
 )
+
+// numKinds is the count of failure kinds, for per-kind counter arrays.
+const numKinds = int(RandomLoss) + 1
+
+// Instruments tallies injected incidents and their job kills per failure
+// kind. Nil disables.
+type Instruments struct {
+	Incidents  [numKinds]*obs.Counter
+	JobsKilled [numKinds]*obs.Counter
+}
+
+// NewInstruments wires failure instruments into an observer; nil in, nil out.
+func NewInstruments(o *obs.Observer) *Instruments {
+	if o == nil {
+		return nil
+	}
+	in := &Instruments{}
+	for k := 0; k < numKinds; k++ {
+		name := Kind(k).String()
+		in.Incidents[k] = o.Metrics.Counter("failure." + name + ".incidents")
+		in.JobsKilled[k] = o.Metrics.Counter("failure." + name + ".jobs_killed")
+	}
+	return in
+}
 
 // Kind classifies injected failures.
 type Kind int
@@ -115,6 +140,17 @@ type Injector struct {
 	targets map[string]*Target
 	events  []Event
 	stopped bool
+	// Ins enables observability (nil = off). Set before registering targets.
+	Ins *Instruments
+}
+
+// record appends the incident to the event log and bumps per-kind counters.
+func (inj *Injector) record(e Event) {
+	inj.events = append(inj.events, e)
+	if in := inj.Ins; in != nil {
+		in.Incidents[e.Kind].Inc()
+		in.JobsKilled[e.Kind].Add(uint64(e.JobsKilled))
+	}
 }
 
 // New creates an injector. network may be nil to disable WAN outages.
@@ -211,7 +247,7 @@ func (inj *Injector) diskFull(t *Target) {
 		t.Site.Disk.Store(name, free, false)
 	}
 	killed := t.Batch.KillRunning(nil, batch.NodeFailure)
-	inj.events = append(inj.events, Event{
+	inj.record(Event{
 		Kind: DiskFull, Site: t.Site.Name, At: inj.eng.Now(),
 		Duration: inj.cfg.DiskFullDuration, JobsKilled: killed,
 	})
@@ -245,7 +281,7 @@ func (inj *Injector) serviceFailure(t *Target) {
 	// die with the site services too.
 	killed += t.Batch.KillRunning(nil, batch.NodeFailure)
 	killed += t.Batch.FlushQueue()
-	inj.events = append(inj.events, Event{
+	inj.record(Event{
 		Kind: ServiceFailure, Site: t.Site.Name, At: inj.eng.Now(),
 		Duration: inj.cfg.ServiceDuration, JobsKilled: killed,
 	})
@@ -262,7 +298,7 @@ func (inj *Injector) armOutage(t *Target) {
 		}
 		name := t.Site.Name
 		inj.network.SetEndpointUp(name, false)
-		inj.events = append(inj.events, Event{
+		inj.record(Event{
 			Kind: NetworkOutage, Site: name, At: inj.eng.Now(),
 			Duration: inj.cfg.OutageDuration,
 		})
@@ -286,7 +322,7 @@ func (inj *Injector) armRollover(t *Target) {
 			n = 1
 		}
 		killed := t.Batch.DrainSlots(n)
-		inj.events = append(inj.events, Event{
+		inj.record(Event{
 			Kind: NightlyRollover, Site: t.Site.Name, At: inj.eng.Now(),
 			Duration: inj.cfg.RolloverDuration, JobsKilled: killed,
 		})
@@ -318,7 +354,7 @@ func (inj *Injector) armRandomLoss(t *Target) {
 		if victimFound {
 			killed = 1
 		}
-		inj.events = append(inj.events, Event{
+		inj.record(Event{
 			Kind: RandomLoss, Site: t.Site.Name, At: inj.eng.Now(), JobsKilled: killed,
 		})
 		inj.eng.Schedule(inj.rng.ExpDuration(mtbf), next)

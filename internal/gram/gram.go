@@ -22,9 +22,38 @@ import (
 
 	"grid3/internal/batch"
 	"grid3/internal/gsi"
+	"grid3/internal/obs"
 	"grid3/internal/sim"
 	"grid3/internal/site"
 )
+
+// Instruments mirrors gatekeeper admission decisions into the metrics
+// registry, broken down by rejection cause — the paper's §6.1 failure
+// attribution needs exactly this split. Shared across all gatekeepers
+// (counters aggregate grid-wide); nil disables.
+type Instruments struct {
+	Accepted         *obs.Counter
+	RejectedInvalid  *obs.Counter
+	RejectedDown     *obs.Counter
+	RejectedOverload *obs.Counter
+	RejectedAuth     *obs.Counter
+	RejectedLocal    *obs.Counter
+}
+
+// NewInstruments wires gatekeeper counters into an observer; nil in, nil out.
+func NewInstruments(o *obs.Observer) *Instruments {
+	if o == nil {
+		return nil
+	}
+	return &Instruments{
+		Accepted:         o.Metrics.Counter("gram.accepted"),
+		RejectedInvalid:  o.Metrics.Counter("gram.rejected.invalid"),
+		RejectedDown:     o.Metrics.Counter("gram.rejected.site_down"),
+		RejectedOverload: o.Metrics.Counter("gram.rejected.overload"),
+		RejectedAuth:     o.Metrics.Counter("gram.rejected.auth"),
+		RejectedLocal:    o.Metrics.Counter("gram.rejected.local"),
+	}
+}
 
 // JobState is the GRAM job state machine (GRAM 1.x states).
 type JobState int
@@ -76,6 +105,10 @@ type Spec struct {
 	StagingFactor float64
 	// OnState fires on every state transition.
 	OnState func(*Job, JobState)
+	// Parent is the submit-side lifecycle span this job runs under
+	// (0 = untraced); the gatekeeper forwards it to the batch system so
+	// the run span links back to the grid job.
+	Parent obs.SpanID
 }
 
 // Validate checks the spec.
@@ -127,6 +160,10 @@ type Gatekeeper struct {
 
 	// Counters for monitoring.
 	accepted, rejected, completed, failed int
+
+	// Ins mirrors admission decisions into the metrics registry; nil
+	// (default) disables.
+	Ins *Instruments
 }
 
 // New creates a gatekeeper for a site and its batch system. The gridmap is
@@ -215,22 +252,34 @@ func (g *Gatekeeper) FailedCount() int { return g.failed }
 func (g *Gatekeeper) Submit(spec Spec) (*Job, error) {
 	if err := spec.Validate(); err != nil {
 		g.rejected++
+		if in := g.Ins; in != nil {
+			in.RejectedInvalid.Inc()
+		}
 		return nil, err
 	}
 	if !g.site.Healthy() {
 		g.rejected++
+		if in := g.Ins; in != nil {
+			in.RejectedDown.Inc()
+		}
 		return nil, fmt.Errorf("%w: %s", ErrSiteDown, g.site.Name)
 	}
 	g.decayRate()
 	g.submitRate++
 	if g.Load() > g.OverloadThreshold {
 		g.rejected++
+		if in := g.Ins; in != nil {
+			in.RejectedOverload.Inc()
+		}
 		return nil, fmt.Errorf("%w: load %.0f > %.0f at %s",
 			ErrOverloaded, g.Load(), g.OverloadThreshold, g.site.Name)
 	}
 	acct, err := g.gridmap.Lookup(spec.Subject)
 	if err != nil {
 		g.rejected++
+		if in := g.Ins; in != nil {
+			in.RejectedAuth.Inc()
+		}
 		return nil, fmt.Errorf("%w: %s at %s", ErrNotAuthorized, spec.Subject, g.site.Name)
 	}
 	// The VO must have a group account here, and the mapped account must
@@ -238,10 +287,16 @@ func (g *Gatekeeper) Submit(spec Spec) (*Job, error) {
 	voAcct, err := g.site.Account(spec.VO)
 	if err != nil {
 		g.rejected++
+		if in := g.Ins; in != nil {
+			in.RejectedAuth.Inc()
+		}
 		return nil, fmt.Errorf("%w: VO %s has no account at %s", ErrNotAuthorized, spec.VO, g.site.Name)
 	}
 	if voAcct != acct {
 		g.rejected++
+		if in := g.Ins; in != nil {
+			in.RejectedAuth.Inc()
+		}
 		return nil, fmt.Errorf("%w: %s maps to %s, not VO %s's account", ErrNotAuthorized, spec.Subject, acct, spec.VO)
 	}
 
@@ -256,6 +311,7 @@ func (g *Gatekeeper) Submit(spec Spec) (*Job, error) {
 		Walltime: spec.Walltime,
 		Runtime:  spec.Runtime,
 		Priority: spec.Priority,
+		Parent:   spec.Parent,
 		OnStart: func(*batch.Job) {
 			g.transition(j, StateActive)
 		},
@@ -273,10 +329,16 @@ func (g *Gatekeeper) Submit(spec Spec) (*Job, error) {
 	j.batchJob = bj
 	if err := g.batch.Submit(bj); err != nil {
 		g.rejected++
+		if in := g.Ins; in != nil {
+			in.RejectedLocal.Inc()
+		}
 		return nil, fmt.Errorf("gram: local submission failed: %w", err)
 	}
 	g.jobs[id] = j
 	g.accepted++
+	if in := g.Ins; in != nil {
+		in.Accepted.Inc()
+	}
 	if j.State == StateUnsubmitted {
 		// Batch may have started it synchronously (free slot); only move
 		// to PENDING if still queued.

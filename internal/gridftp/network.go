@@ -18,8 +18,37 @@ import (
 	"sort"
 	"time"
 
+	"grid3/internal/obs"
 	"grid3/internal/sim"
 )
+
+// Instruments is the WAN's observability wiring: a transfer span per bulk
+// movement plus volume and throughput metrics. A nil *Instruments (the
+// default) disables all of it.
+type Instruments struct {
+	Tracer         *obs.Tracer
+	Started        *obs.Counter
+	Completed      *obs.Counter
+	Failed         *obs.Counter
+	Bytes          *obs.Counter   // completed transfer volume
+	ThroughputMbps *obs.Histogram // achieved rate per completed transfer
+}
+
+// NewInstruments wires network instruments into an observer; nil in, nil out.
+func NewInstruments(o *obs.Observer) *Instruments {
+	if o == nil {
+		return nil
+	}
+	return &Instruments{
+		Tracer:    o.Tracer,
+		Started:   o.Metrics.Counter("gridftp.transfers.started"),
+		Completed: o.Metrics.Counter("gridftp.transfers.completed"),
+		Failed:    o.Metrics.Counter("gridftp.transfers.failed"),
+		Bytes:     o.Metrics.Counter("gridftp.bytes.completed"),
+		ThroughputMbps: o.Metrics.Histogram("gridftp.throughput.mbps",
+			[]float64{1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 10000}),
+	}
+}
 
 // Errors.
 var (
@@ -62,6 +91,7 @@ type Transfer struct {
 	finish     sim.Event
 	done       func(*Transfer, error)
 	failed     bool
+	span       obs.SpanID
 }
 
 // Rate returns the transfer's current bandwidth allocation in bytes/sec.
@@ -82,6 +112,9 @@ type Network struct {
 	SetupDelay time.Duration
 
 	logger func(Event) // NetLogger hook; see netlogger.go
+
+	// Ins enables transfer spans and throughput metrics; nil disables.
+	Ins *Instruments
 
 	// rebalancePending coalesces rate recomputations: many transfers
 	// starting or finishing at the same virtual instant trigger a single
@@ -193,6 +226,14 @@ func (n *Network) History() []CompletedTransfer { return n.history }
 // Start begins a transfer of size bytes from src to dst. done fires exactly
 // once, with nil on success or an error if the transfer was interrupted.
 func (n *Network) Start(src, dst string, size int64, label string, done func(*Transfer, error)) (*Transfer, error) {
+	return n.StartTraced(src, dst, size, label, 0, done)
+}
+
+// StartTraced is Start with a lifecycle-span parent: the transfer span is
+// linked under parent (a stage-in/stage-out or workflow span), so a job's
+// trace includes the data movements it caused. With tracing disabled or
+// parent 0 the behaviour is identical to Start.
+func (n *Network) StartTraced(src, dst string, size int64, label string, parent obs.SpanID, done func(*Transfer, error)) (*Transfer, error) {
 	if size <= 0 {
 		return nil, ErrBadSize
 	}
@@ -222,6 +263,10 @@ func (n *Network) Start(src, dst string, size int64, label string, done func(*Tr
 		Label:     label,
 		remaining: float64(size),
 		done:      done,
+	}
+	if in := n.Ins; in != nil {
+		in.Started.Inc()
+		t.span = in.Tracer.BeginTransfer(parent, label, label, src, dst, size)
 	}
 	n.log(Event{Kind: EventStart, Transfer: t})
 	n.eng.Schedule(n.SetupDelay, func() {
@@ -272,6 +317,10 @@ func (n *Network) fail(t *Transfer, err error) {
 	t.failed = true
 	t.Ended = n.eng.Now()
 	n.failures++
+	if in := n.Ins; in != nil {
+		in.Failed.Inc()
+		in.Tracer.Fail(t.span, err.Error())
+	}
 	n.log(Event{Kind: EventError, Transfer: t, Err: err})
 	if t.done != nil {
 		t.done(t, err)
@@ -437,6 +486,14 @@ func (n *Network) complete(t *Transfer) {
 	n.remove(t)
 	t.Ended = n.eng.Now()
 	n.completed++
+	if in := n.Ins; in != nil {
+		in.Completed.Inc()
+		in.Bytes.Add(uint64(t.Bytes))
+		if secs := (t.Ended - t.Started).Seconds(); secs > 0 {
+			in.ThroughputMbps.Observe(float64(t.Bytes) * 8 / 1e6 / secs)
+		}
+		in.Tracer.End(t.span)
+	}
 	n.totalByLabel[t.Label] += t.Bytes
 	n.endpoints[t.Src].BytesOut += t.Bytes
 	n.endpoints[t.Dst].BytesIn += t.Bytes

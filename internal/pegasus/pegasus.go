@@ -18,7 +18,38 @@ import (
 
 	"grid3/internal/chimera"
 	"grid3/internal/mds"
+	"grid3/internal/obs"
 )
+
+// Instruments is the planner's observability wiring: one span per Plan call
+// plus planning counters. Nil disables.
+type Instruments struct {
+	Tracer     *obs.Tracer
+	Plans      *obs.Counter
+	JobsOut    *obs.Counter // concrete jobs emitted across all plans
+	JobsReused *obs.Counter // abstract jobs pruned by virtual-data reuse
+}
+
+// NewInstruments wires planner instruments into an observer; nil in, nil out.
+func NewInstruments(o *obs.Observer) *Instruments {
+	if o == nil {
+		return nil
+	}
+	return &Instruments{
+		Tracer:     o.Tracer,
+		Plans:      o.Metrics.Counter("pegasus.plans"),
+		JobsOut:    o.Metrics.Counter("pegasus.jobs.planned"),
+		JobsReused: o.Metrics.Counter("pegasus.jobs.reused"),
+	}
+}
+
+// tracer returns the span tracer, nil (disabled) when instruments are off.
+func (in *Instruments) tracer() *obs.Tracer {
+	if in == nil {
+		return nil
+	}
+	return in.Tracer
+}
 
 // Errors.
 var (
@@ -172,12 +203,33 @@ type Planner struct {
 	ArchiveSite string
 	// Policy picks the site-selection strategy.
 	Policy Policy
+	// Ins enables observability (nil = off).
+	Ins *Instruments
+	// Parent is the span under which plan spans are parented (the enclosing
+	// workflow span), zero for none.
+	Parent obs.SpanID
 
 	rrNext int // round-robin cursor
 }
 
 // Plan produces a concrete DAG for the VO's abstract workflow.
 func (p *Planner) Plan(a *chimera.AbstractDAG, vo string) (*ConcreteDAG, error) {
+	span := p.Ins.tracer().Begin(obs.KindPlan, p.Parent, "", vo, "")
+	dag, err := p.plan(a, vo)
+	if err != nil {
+		p.Ins.tracer().Fail(span, err.Error())
+		return nil, err
+	}
+	p.Ins.tracer().End(span)
+	if in := p.Ins; in != nil {
+		in.Plans.Inc()
+		in.JobsOut.Add(uint64(len(dag.Order)))
+		in.JobsReused.Add(uint64(len(dag.Reused)))
+	}
+	return dag, nil
+}
+
+func (p *Planner) plan(a *chimera.AbstractDAG, vo string) (*ConcreteDAG, error) {
 	if p.Sites == nil {
 		return nil, errors.New("pegasus: planner has no site catalog")
 	}

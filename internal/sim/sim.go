@@ -142,6 +142,7 @@ type Engine struct {
 	slots     []slot   // event arena; q items point into it
 	freeSlots []uint32 // recycled arena indices
 	cancelled int      // cancelled events still occupying q
+	live      int      // scheduled one-shot events neither fired nor cancelled
 
 	wheel timerWheel
 
@@ -179,9 +180,12 @@ func (e *Engine) Discarded() uint64 { return e.discarded }
 
 // Pending returns the number of live events scheduled but not yet fired:
 // cancelled-but-undiscarded events are excluded, active periodic timers
-// count one each.
+// count one each. The live count is maintained incrementally in the arena
+// bookkeeping (push/Cancel/fire) rather than derived from the queue, so
+// Pending is O(1) and independent of how many cancelled entries are still
+// awaiting lazy discard.
 func (e *Engine) Pending() int {
-	return len(e.q) - e.cancelled + e.wheel.active()
+	return e.live + e.wheel.active()
 }
 
 // Schedule implements Scheduler.
@@ -216,6 +220,7 @@ func (e *Engine) push(t time.Duration, fn func()) Event {
 	s := &e.slots[id]
 	s.fn = fn
 	s.state = slotPending
+	e.live++
 	e.q = append(e.q, qitem{at: t, seq: e.seq, id: id})
 	e.siftUp(len(e.q) - 1)
 	return Event{eng: e, at: t, id: id, gen: s.gen}
@@ -247,6 +252,7 @@ func (e *Engine) Cancel(ev Event) {
 	s.state = slotCancelled
 	s.fn = nil // release the closure immediately
 	e.cancelled++
+	e.live--
 	if e.cancelled > len(e.q)/2 && len(e.q) >= 64 {
 		e.compact()
 	}
@@ -298,6 +304,7 @@ func (e *Engine) Step() bool {
 		s := &e.slots[it.id]
 		fn := s.fn
 		e.freeSlot(it.id, false)
+		e.live--
 		e.now = it.at
 		e.processed++
 		fn()

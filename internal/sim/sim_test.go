@@ -425,3 +425,48 @@ func BenchmarkEngineScheduleRun(b *testing.B) {
 	}
 	e.Run()
 }
+
+func TestEnginePendingLiveCountInvariant(t *testing.T) {
+	// Pending is maintained as an incremental live count, so it must track
+	// the ground truth — scheduled minus fired minus cancelled, plus active
+	// tickers — through every interaction: double cancels, cancels racing
+	// compaction, lazy discards at the heap root, and timer-wheel ticks.
+	e := NewEngine(Grid3Epoch)
+	tick := NewTicker(e, 7*time.Second, func() {})
+
+	check := func(want int, at string) {
+		t.Helper()
+		if got := e.Pending(); got != want {
+			t.Fatalf("%s: Pending = %d, want %d", at, got, want)
+		}
+	}
+	check(1, "ticker only")
+
+	evs := make([]Event, 200)
+	for i := range evs {
+		evs[i] = e.Schedule(time.Duration(i+1)*time.Second, func() {})
+	}
+	check(201, "after scheduling")
+
+	// Double-cancel and cancel-of-fired must not decrement twice.
+	evs[0].Cancel()
+	evs[0].Cancel()
+	check(200, "after double cancel")
+
+	// Cancel enough to trip compaction, then keep cancelling so lazy
+	// discards at the root also exercise the count.
+	for i := 1; i < 150; i++ {
+		evs[i].Cancel()
+	}
+	check(51, "after mass cancel + compaction")
+
+	e.RunUntil(200 * time.Second)
+	// All 50 survivors (151..200s) fired; ticker still armed.
+	check(1, "after drain")
+
+	evs[160].Cancel() // already fired: must be a no-op on the count
+	check(1, "after cancelling a fired event")
+
+	tick.Stop()
+	check(0, "after stopping the ticker")
+}

@@ -1,0 +1,41 @@
+#!/bin/sh
+# Trace a one-day production run and pretty-print the ten slowest spans.
+# The JSONL dump has a fixed key order and one span per line, so awk is
+# enough — no JSON parser needed.
+# Run from the repo root: ./scripts/trace-demo.sh [seed]
+set -eu
+
+seed=${1:-1}
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+go build -o "$tmp/grid3sim" ./cmd/grid3sim
+"$tmp/grid3sim" -seed "$seed" -days 1 -quiet \
+	-trace-out "$tmp/trace.jsonl" -metrics-out "$tmp/metrics.txt"
+
+total=$(wc -l <"$tmp/trace.jsonl")
+echo
+echo "== $total spans recorded; ten slowest (seed $seed, one day) =="
+printf '%-10s %-26s %-20s %-24s %10s\n' KIND JOB SITE ERR 'DUR(s)'
+# Open spans carry dur_s of -1; the character class below skips them.
+awk '
+	function f(key,    v) {
+		v = ""
+		if (match($0, "\"" key "\":\"[^\"]*\"")) {
+			v = substr($0, RSTART, RLENGTH)
+			sub("\"" key "\":\"", "", v)
+			sub("\"$", "", v)
+		}
+		return v
+	}
+	match($0, /"dur_s":[0-9.]+/) {
+		dur = substr($0, RSTART + 8, RLENGTH - 8)
+		printf "%s\t%s\t%s\t%s\t%s\n", dur, f("kind"), f("job"), f("site"), f("err")
+	}
+' "$tmp/trace.jsonl" |
+	sort -t '	' -k1,1gr | head -10 |
+	awk -F '\t' '{ printf "%-10s %-26s %-20s %-24s %10.1f\n", $2, $3, $4, $5, $1 }'
+
+echo
+echo "== Metrics snapshot (head) =="
+head -30 "$tmp/metrics.txt"
