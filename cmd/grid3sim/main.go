@@ -14,6 +14,14 @@
 // default; either flag enables it for the run:
 //
 //	grid3sim -trace-out trace.jsonl -metrics-out metrics.txt
+//
+// Fault management: -health arms read-only site probing with circuit
+// breakers and iGOC tickets; -recovery closes the loop (breaker-aware
+// matchmaking and planning, replica failover, bounded stage retries). The
+// chaos campaign mode sweeps failure intensity across seeds, running a
+// no-reaction baseline and a recovery run at every point:
+//
+//	grid3sim -chaos 1,2,4 -seeds 1,2,3 -scale 0.05 -days 30 [-chaos-json out.json]
 package main
 
 import (
@@ -48,6 +56,10 @@ func main() {
 	csvDir := flag.String("csv", "", "also write figure CSVs into this directory")
 	traceOut := flag.String("trace-out", "", "enable tracing and write the span trace (JSONL) to this file")
 	metricsOut := flag.String("metrics-out", "", "enable metrics and write the registry snapshot (text) to this file")
+	healthOn := flag.Bool("health", false, "arm site health probing with circuit breakers (read-only)")
+	recoveryOn := flag.Bool("recovery", false, "close the fault-management loop (implies -health)")
+	chaosList := flag.String("chaos", "", "comma-separated failure intensities: run the chaos campaign over seeds x intensities")
+	chaosJSON := flag.String("chaos-json", "", "write the chaos sweep report JSON to this file")
 	flag.Parse()
 
 	cfg := core.ScenarioConfig{
@@ -55,10 +67,20 @@ func main() {
 			Seed:            *seed,
 			UseSRM:          *useSRM,
 			DisableAffinity: *noAffinity,
+			EnableHealth:    *healthOn,
+			EnableRecovery:  *recoveryOn,
 		},
 		Horizon:         time.Duration(*days) * 24 * time.Hour,
 		JobScale:        *scale,
 		DisableFailures: *noFailures,
+	}
+
+	if *chaosList != "" {
+		if err := chaos(*chaosList, *seedList, *seed, *parallel, *chaosJSON, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "grid3sim:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *seedList != "" {
@@ -279,20 +301,9 @@ func weeklyPlot(daily *mdviewer.Plot) *mdviewer.Plot {
 // sweep runs the multi-seed campaign mode: every seed is an independent
 // scenario fanned across workers, each on its own engine.
 func sweep(seedList string, workers int, benchJSON string, quiet bool, cfg core.ScenarioConfig) error {
-	var seeds []int64
-	for _, part := range strings.Split(seedList, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		n, err := strconv.ParseInt(part, 10, 64)
-		if err != nil {
-			return fmt.Errorf("bad -seeds entry %q: %w", part, err)
-		}
-		seeds = append(seeds, n)
-	}
-	if len(seeds) == 0 {
-		return fmt.Errorf("-seeds %q names no seeds", seedList)
+	seeds, err := parseSeeds(seedList)
+	if err != nil {
+		return err
 	}
 	runs := make([]campaign.Run, len(seeds))
 	for i, s := range seeds {
@@ -338,6 +349,153 @@ func sweep(seedList string, workers int, benchJSON string, quiet bool, cfg core.
 		fmt.Printf("\nbench JSON written to %s\n", benchJSON)
 	}
 	return nil
+}
+
+func parseSeeds(seedList string) ([]int64, error) {
+	var seeds []int64
+	for _, part := range strings.Split(seedList, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -seeds entry %q: %w", part, err)
+		}
+		seeds = append(seeds, n)
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("-seeds %q names no seeds", seedList)
+	}
+	return seeds, nil
+}
+
+// chaos runs the chaos campaign: seeds x intensities, each point measured
+// with and without the recovery loop against a failure-free reference.
+func chaos(intensityList, seedList string, seed int64, workers int, jsonPath string, cfg core.ScenarioConfig) error {
+	var intensities []float64
+	for _, part := range strings.Split(intensityList, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil || v <= 0 {
+			return fmt.Errorf("bad -chaos intensity %q", part)
+		}
+		intensities = append(intensities, v)
+	}
+	seeds := []int64{seed}
+	if seedList != "" {
+		var err error
+		if seeds, err = parseSeeds(seedList); err != nil {
+			return err
+		}
+	}
+	rep, err := campaign.ChaosSweep(campaign.ChaosSweepConfig{
+		Seeds:       seeds,
+		Intensities: intensities,
+		Base:        cfg,
+		Workers:     workers,
+	})
+	if err != nil {
+		return err
+	}
+	rep.Write(os.Stdout)
+	if jsonPath != "" {
+		if err := writeChaosJSON(jsonPath, rep, cfg); err != nil {
+			return err
+		}
+		fmt.Printf("\nchaos JSON written to %s\n", jsonPath)
+	}
+	return nil
+}
+
+// chaosRecord is the -chaos-json schema: the goodput-retention and
+// recovery-latency curves, durations in seconds.
+type chaosRecord struct {
+	Kind     string           `json:"kind"`
+	Scale    float64          `json:"scale"`
+	Days     int              `json:"days"`
+	WallSecs float64          `json:"wall_seconds"`
+	Clean    map[string]int   `json:"clean_completed_by_seed"`
+	Points   []chaosPointJSON `json:"points"`
+}
+
+type chaosPointJSON struct {
+	Seed      int64            `json:"seed"`
+	Intensity float64          `json:"intensity"`
+	Baseline  chaosOutcomeJSON `json:"baseline"`
+	Recovery  chaosOutcomeJSON `json:"recovery"`
+}
+
+type chaosOutcomeJSON struct {
+	Submitted        int                   `json:"submitted"`
+	Completed        int                   `json:"completed"`
+	JobsLost         int                   `json:"jobs_lost"`
+	CompletionRate   float64               `json:"completion_rate"`
+	GoodputRetention float64               `json:"goodput_retention"`
+	Incidents        int                   `json:"incidents"`
+	ReplicaFailovers uint64                `json:"replica_failovers"`
+	StageRetries     uint64                `json:"stage_retries"`
+	BreakersOpened   uint64                `json:"breakers_opened"`
+	TicketsOpened    int                   `json:"tickets_opened"`
+	Outages          map[string]outageJSON `json:"outages,omitempty"`
+}
+
+type outageJSON struct {
+	Injected int     `json:"injected"`
+	Detected int     `json:"detected"`
+	MTTDSecs float64 `json:"mttd_seconds"`
+	MTTRSecs float64 `json:"mttr_seconds"`
+}
+
+func writeChaosJSON(path string, rep *campaign.ChaosReport, cfg core.ScenarioConfig) error {
+	conv := func(o campaign.ChaosOutcome) chaosOutcomeJSON {
+		out := chaosOutcomeJSON{
+			Submitted:        o.Submitted,
+			Completed:        o.Completed,
+			JobsLost:         o.JobsLost,
+			CompletionRate:   o.CompletionRate,
+			GoodputRetention: o.GoodputRetention,
+			Incidents:        o.Incidents,
+			ReplicaFailovers: o.ReplicaFailovers,
+			StageRetries:     o.StageRetries,
+			BreakersOpened:   o.BreakersOpened,
+			TicketsOpened:    o.TicketsOpened,
+		}
+		for kind, st := range o.Outages {
+			if out.Outages == nil {
+				out.Outages = map[string]outageJSON{}
+			}
+			out.Outages[kind] = outageJSON{
+				Injected: st.Injected, Detected: st.Detected,
+				MTTDSecs: st.MTTD.Seconds(), MTTRSecs: st.MTTR.Seconds(),
+			}
+		}
+		return out
+	}
+	rec := chaosRecord{
+		Kind:     "grid3sim-chaos",
+		Scale:    cfg.JobScale,
+		Days:     int(cfg.Horizon / (24 * time.Hour)),
+		WallSecs: rep.Elapsed.Seconds(),
+		Clean:    map[string]int{},
+	}
+	for seed, n := range rep.CleanCompleted {
+		rec.Clean[strconv.FormatInt(seed, 10)] = n
+	}
+	for _, pt := range rep.Points {
+		rec.Points = append(rec.Points, chaosPointJSON{
+			Seed: pt.Seed, Intensity: pt.Intensity,
+			Baseline: conv(pt.Baseline), Recovery: conv(pt.Recovery),
+		})
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // benchRecord is the -bench-json schema, shared by single runs and sweeps.

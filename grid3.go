@@ -207,6 +207,30 @@ func WithoutObservability() Option {
 	}
 }
 
+// WithHealthProbes arms the health monitor: per-site, per-service circuit
+// breakers fed by periodic probes, with iGOC tickets opened and resolved on
+// breaker transitions. Probes are read-only — scheduling and data paths are
+// unaffected unless WithRecovery is also given.
+func WithHealthProbes() Option {
+	return func(c *ScenarioConfig) { c.Config.EnableHealth = true }
+}
+
+// WithRecovery closes the fault-management loop (implies WithHealthProbes):
+// matchmaking and Pegasus planning skip sites with open breakers, Condor-G
+// steers retries away from sites that already failed a job, stage-in/out
+// transfers get bounded delayed retries, and workflow transfers fail over
+// to alternate RLS replicas.
+func WithRecovery() Option {
+	return func(c *ScenarioConfig) { c.Config.EnableRecovery = true }
+}
+
+// WithChaos scales failure injection by the given intensity (MTBFs divide
+// by it, the random-loss rate multiplies by it) — the single-run face of
+// the chaos campaign. 0 and 1 leave the calibrated rates untouched.
+func WithChaos(intensity float64) Option {
+	return func(c *ScenarioConfig) { c.ChaosIntensity = intensity }
+}
+
 // WithScenarioConfig replaces the scenario configuration wholesale — the
 // escape hatch for callers that already build a ScenarioConfig struct.
 func WithScenarioConfig(cfg ScenarioConfig) Option {
@@ -463,3 +487,28 @@ func (r *SweepReport) Aggregate() SweepAggregate {
 
 // Write renders the cross-seed summary report.
 func (r *SweepReport) Write(w io.Writer) { r.rep.Write(w) }
+
+// Chaos-sweep views: the campaign mode that measures how much goodput the
+// closed fault-management loop preserves as failure intensity climbs.
+type (
+	// ChaosSweepConfig shapes a chaos campaign (seeds × intensities, each
+	// point run with and without recovery plus a failure-free reference).
+	ChaosSweepConfig = campaign.ChaosSweepConfig
+	// ChaosReport is a completed chaos sweep with goodput-retention and
+	// MTTD/MTTR curves.
+	ChaosReport = campaign.ChaosReport
+	// ChaosPoint is one (seed, intensity) measurement.
+	ChaosPoint = campaign.ChaosPoint
+	// ChaosOutcome is one run's fault-tolerance scorecard.
+	ChaosOutcome = campaign.ChaosOutcome
+)
+
+// ChaosSweep runs a chaos campaign: for every (seed, intensity) pair, a
+// no-reaction baseline and a closed-loop recovery run, scored against each
+// seed's failure-free reference. Options apply to every run (the sweep
+// overrides the seed, intensity, failure and recovery toggles per run).
+func ChaosSweep(cfg ChaosSweepConfig, opts ...Option) (*ChaosReport, error) {
+	base := buildConfig(opts)
+	cfg.Base = base
+	return campaign.ChaosSweep(cfg)
+}

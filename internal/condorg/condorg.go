@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"grid3/internal/classad"
+	"grid3/internal/dist"
 	"grid3/internal/gram"
 	"grid3/internal/obs"
 	"grid3/internal/sim"
@@ -30,6 +31,9 @@ type Instruments struct {
 	Completed     *obs.Counter
 	Held          *obs.Counter
 	MatchFailures *obs.Counter
+	// PinFallbacks counts planned (site-pinned) jobs that fell back to full
+	// matchmaking because their target's health breaker was open.
+	PinFallbacks *obs.Counter
 	// CyclePlacements is the number of jobs actually launched per
 	// negotiation cycle — the negotiator's effective throughput.
 	CyclePlacements *obs.Histogram
@@ -46,6 +50,7 @@ func NewInstruments(o *obs.Observer) *Instruments {
 		Completed:     o.Metrics.Counter("condorg.completed"),
 		Held:          o.Metrics.Counter("condorg.held"),
 		MatchFailures: o.Metrics.Counter("condorg.match_failures"),
+		PinFallbacks:  o.Metrics.Counter("condorg.pin_fallbacks"),
 		CyclePlacements: o.Metrics.Histogram("condorg.negotiation.placements",
 			[]float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000}),
 	}
@@ -134,7 +139,9 @@ type GridJob struct {
 	Attempts int
 	LastErr  error
 
-	matchSpan obs.SpanID // open while the job waits to be placed
+	matchSpan   obs.SpanID      // open while the job waits to be placed
+	avoid       map[string]bool // sites where this job already failed
+	pinFellBack bool            // pin-fallback already counted for this job
 }
 
 // Schedd is the Condor-G scheduler daemon.
@@ -149,6 +156,22 @@ type Schedd struct {
 	// MaxMatchesPerCycle bounds matchmaking work per negotiation cycle;
 	// excess idle jobs wait for the next cycle (0 = unlimited).
 	MaxMatchesPerCycle int
+
+	// BackoffJitter, when set, spreads each GridManager backoff delay by a
+	// deterministic ±25% draw from this private seeded stream, so the
+	// GridManagers of every schedd do not retry a recovered gatekeeper in
+	// lockstep (a synchronized retry storm). Nil keeps pure doubling.
+	BackoffJitter *dist.RNG
+
+	// Exclude, when set, reports sites that must not receive new traffic
+	// (open health breakers). Excluded resources are skipped in matchmaking,
+	// and a pinned job whose target is excluded falls back to full
+	// matchmaking instead of queueing on a dead site.
+	Exclude func(site string) bool
+
+	// AvoidFailedSites steers a job's grid-level retries away from sites
+	// where it already failed, as long as another resource is eligible.
+	AvoidFailedSites bool
 
 	// Ins enables lifecycle tracing and metrics; nil (default) disables.
 	Ins *Instruments
@@ -166,6 +189,9 @@ const initialBackoff = time.Minute
 
 // maxBackoff caps the retry delay.
 const maxBackoff = 30 * time.Minute
+
+// backoffJitterFrac is the ± spread BackoffJitter applies to each delay.
+const backoffJitterFrac = 0.25
 
 // New creates a schedd negotiating every interval (0 = default).
 func New(eng *sim.Engine, interval time.Duration) *Schedd {
@@ -310,33 +336,61 @@ func (s *Schedd) Negotiate() {
 }
 
 // pickResource selects the target for a job, honoring pinning, throttles,
-// backoff, and ClassAd matching.
+// backoff, breaker exclusion, failed-site avoidance, and ClassAd matching.
 func (s *Schedd) pickResource(j *GridJob, now time.Duration) *Resource {
 	candidates := s.order
 	if j.TargetSite != "" {
-		candidates = []string{j.TargetSite}
-	}
-	var ads []*classad.Ad
-	var avail []*Resource
-	for _, name := range candidates {
-		r, ok := s.resources[name]
-		if !ok {
-			continue
+		if s.Exclude != nil && s.Exclude(j.TargetSite) {
+			// Pinned to a site with an open breaker: fall back to full
+			// matchmaking rather than queueing on a dead site.
+			if !j.pinFellBack {
+				j.pinFellBack = true
+				if in := s.Ins; in != nil {
+					in.PinFallbacks.Inc()
+				}
+			}
+		} else {
+			candidates = []string{j.TargetSite}
 		}
-		if r.MaxSubmitted > 0 && r.inFlight >= r.MaxSubmitted {
-			continue
-		}
-		if now < r.backoffUntil {
-			continue
-		}
-		ads = append(ads, r.AdFunc())
-		avail = append(avail, r)
 	}
-	best := classad.BestMatch(j.Ad, ads)
-	if best < 0 {
-		return nil
+	pick := func(avoidFailed bool) *Resource {
+		var ads []*classad.Ad
+		var avail []*Resource
+		for _, name := range candidates {
+			r, ok := s.resources[name]
+			if !ok {
+				continue
+			}
+			if r.MaxSubmitted > 0 && r.inFlight >= r.MaxSubmitted {
+				continue
+			}
+			if now < r.backoffUntil {
+				continue
+			}
+			if s.Exclude != nil && s.Exclude(name) {
+				continue
+			}
+			if avoidFailed && j.avoid[name] {
+				continue
+			}
+			ads = append(ads, r.AdFunc())
+			avail = append(avail, r)
+		}
+		best := classad.BestMatch(j.Ad, ads)
+		if best < 0 {
+			return nil
+		}
+		return avail[best]
 	}
-	return avail[best]
+	// Prefer a site the job has not failed at; if avoidance filters out
+	// every eligible resource, fall back to the full set rather than
+	// stranding the job.
+	if s.AvoidFailedSites && len(j.avoid) > 0 {
+		if r := pick(true); r != nil {
+			return r
+		}
+	}
+	return pick(false)
 }
 
 // Job returns a submitted job by schedd-side ID — the §8 troubleshooting
@@ -366,7 +420,7 @@ func (s *Schedd) launch(j *GridJob, r *Resource) error {
 			}
 		case gram.StateFailed:
 			r.inFlight--
-			s.remoteFailure(j, fmt.Errorf("condorg: remote failure at %s: %s", r.Name, gj.FailureReason))
+			s.remoteFailure(j, r.Name, fmt.Errorf("condorg: remote failure at %s: %s", r.Name, gj.FailureReason))
 		}
 	}
 	tr := s.Ins.tracer()
@@ -382,13 +436,17 @@ func (s *Schedd) launch(j *GridJob, r *Resource) error {
 			} else if r.backoffStep < maxBackoff {
 				r.backoffStep *= 2
 			}
-			r.backoffUntil = s.eng.Now() + r.backoffStep
+			delay := r.backoffStep
+			if s.BackoffJitter != nil {
+				delay = s.BackoffJitter.Jitter(delay, backoffJitterFrac)
+			}
+			r.backoffUntil = s.eng.Now() + delay
 			return err
 		}
 		// Anything else (authorization, walltime policy) is a job-level
 		// failure: burn an attempt.
 		j.Attempts++
-		s.remoteFailure(j, err)
+		s.remoteFailure(j, r.Name, err)
 		return nil
 	}
 	tr.End(auth)
@@ -410,9 +468,16 @@ func (s *Schedd) launch(j *GridJob, r *Resource) error {
 	return nil
 }
 
-// remoteFailure retries a failed job or holds it.
-func (s *Schedd) remoteFailure(j *GridJob, err error) {
+// remoteFailure retries a failed job or holds it. site is where the failed
+// attempt ran, recorded so retries can steer elsewhere.
+func (s *Schedd) remoteFailure(j *GridJob, site string, err error) {
 	j.LastErr = err
+	if s.AvoidFailedSites && site != "" {
+		if j.avoid == nil {
+			j.avoid = make(map[string]bool)
+		}
+		j.avoid[site] = true
+	}
 	if j.Attempts <= j.MaxRetries {
 		j.State = Idle
 		s.idle = append(s.idle, j)

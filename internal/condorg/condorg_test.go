@@ -8,6 +8,7 @@ import (
 
 	"grid3/internal/batch"
 	"grid3/internal/classad"
+	"grid3/internal/dist"
 	"grid3/internal/glue"
 	"grid3/internal/gram"
 	"grid3/internal/gsi"
@@ -311,5 +312,114 @@ func TestAllResourcesThrottledFastPath(t *testing.T) {
 	r.eng.RunUntil(24 * time.Hour)
 	if r.schedd.CompletedCount() != 6 {
 		t.Fatalf("completed = %d", r.schedd.CompletedCount())
+	}
+}
+
+func TestBackoffJitterSpreadsRetries(t *testing.T) {
+	// Two schedds see the same down site; with distinct jitter streams
+	// their GridManager backoff windows must not stay in lockstep.
+	until := func(seed int64) []time.Duration {
+		r := newRig(t)
+		r.schedd.BackoffJitter = dist.New(seed)
+		r.sites["UC"].SetHealthy(false)
+		j := gridJob("storm", time.Hour)
+		j.TargetSite = "UC"
+		r.schedd.Submit(j)
+		var out []time.Duration
+		res, _ := r.schedd.Resource("UC")
+		for i := 0; i < 5; i++ {
+			r.eng.RunFor(2 * time.Hour)
+			out = append(out, res.backoffUntil)
+		}
+		return out
+	}
+	a := until(1)
+	b := until(2)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("different jitter seeds produced identical backoff schedules: %v", a)
+	}
+	// Same seed must reproduce the schedule exactly (determinism).
+	c := until(1)
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("same seed diverged: %v vs %v", a, c)
+		}
+	}
+}
+
+func TestJitterStaysWithinBackoffEnvelope(t *testing.T) {
+	r := newRig(t)
+	r.schedd.BackoffJitter = dist.New(7)
+	r.sites["UC"].SetHealthy(false)
+	j := gridJob("envelope", time.Hour)
+	j.TargetSite = "UC"
+	r.schedd.Submit(j) // first failure: step = initialBackoff, jittered ±25%
+	res, _ := r.schedd.Resource("UC")
+	delay := res.backoffUntil - r.eng.Now()
+	lo := time.Duration(float64(initialBackoff) * (1 - backoffJitterFrac))
+	hi := time.Duration(float64(initialBackoff) * (1 + backoffJitterFrac))
+	if delay < lo || delay > hi {
+		t.Fatalf("first jittered backoff %v outside [%v, %v]", delay, lo, hi)
+	}
+}
+
+func TestExcludeSkipsSiteInMatchmaking(t *testing.T) {
+	r := newRig(t)
+	r.schedd.Exclude = func(site string) bool { return site == "BNL" }
+	j := gridJob("steer", time.Hour)
+	j.Ad = classad.NewAd()
+	j.Ad.SetExpr("Rank", "TARGET.FreeCpus") // would pick BNL (8 > 4 CPUs)
+	r.schedd.Submit(j)
+	if j.Site != "UC" {
+		t.Fatalf("excluded site still used: placed at %q", j.Site)
+	}
+}
+
+func TestExcludedPinFallsBackToMatchmaking(t *testing.T) {
+	r := newRig(t)
+	r.schedd.Exclude = func(site string) bool { return site == "UC" }
+	j := gridJob("pinned-sick", time.Hour)
+	j.TargetSite = "UC"
+	r.schedd.Submit(j)
+	if j.Site != "BNL" {
+		t.Fatalf("pinned job did not fall back: site %q state %v", j.Site, j.State)
+	}
+	// Without Exclude the pin is honored (regression guard).
+	r2 := newRig(t)
+	j2 := gridJob("pinned-ok", time.Hour)
+	j2.TargetSite = "UC"
+	r2.schedd.Submit(j2)
+	if j2.Site != "UC" {
+		t.Fatalf("pin not honored without exclusion: %q", j2.Site)
+	}
+}
+
+func TestAvoidFailedSitesSteersRetry(t *testing.T) {
+	r := newRig(t)
+	r.schedd.AvoidFailedSites = true
+	// Under-requested walltime: the job is killed wherever it runs, so
+	// without avoidance the retry would land on the same best-ranked site.
+	j := gridJob("avoider", 4*time.Hour)
+	j.Spec.Walltime = time.Hour
+	j.MaxRetries = 1
+	j.Ad = classad.NewAd()
+	j.Ad.SetExpr("Rank", "TARGET.FreeCpus")
+	r.schedd.Submit(j)
+	first := j.Site
+	if first == "" {
+		t.Fatalf("job not placed")
+	}
+	r.eng.RunUntil(24 * time.Hour)
+	if j.Site == first {
+		t.Fatalf("retry landed on the failed site %q again", first)
+	}
+	if !j.avoid[first] {
+		t.Fatalf("failed site %q not recorded: %v", first, j.avoid)
 	}
 }

@@ -3,8 +3,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"grid3/internal/acdc"
@@ -20,6 +22,7 @@ import (
 	"grid3/internal/gram"
 	"grid3/internal/gridftp"
 	"grid3/internal/gsi"
+	"grid3/internal/health"
 	"grid3/internal/mds"
 	"grid3/internal/monalisa"
 	"grid3/internal/obs"
@@ -55,6 +58,19 @@ type Config struct {
 	// totals through an extra MonALISA station, so enabling it changes the
 	// engine's processed-event count (never the scheduling of sim logic).
 	EnableObservability bool
+	// EnableHealth arms the health monitor: per-site, per-service circuit
+	// breakers fed by periodic probes, with iGOC tickets opened and resolved
+	// on breaker transitions. Probes are read-only; scheduling and data
+	// paths are unaffected unless EnableRecovery is also set.
+	EnableHealth bool
+	// EnableRecovery closes the fault-management loop (implies
+	// EnableHealth): matchmaking and Pegasus planning skip sites with open
+	// breakers, Condor-G steers retries away from sites that already failed
+	// a job, stage-in/out transfers get bounded delayed retries, and
+	// workflow transfers fail over to alternate RLS replicas. Strictly
+	// opt-in: with this off, job routing is byte-identical to a grid built
+	// without the health subsystem.
+	EnableRecovery bool
 }
 
 func (c *Config) defaults() {
@@ -66,6 +82,9 @@ func (c *Config) defaults() {
 	}
 	if c.NegotiationInterval <= 0 {
 		c.NegotiationInterval = 15 * time.Minute
+	}
+	if c.EnableRecovery {
+		c.EnableHealth = true
 	}
 }
 
@@ -150,11 +169,27 @@ type Grid struct {
 	// Config.EnableObservability is set.
 	Obs *obs.Observer
 
+	// Health is the circuit-breaker monitor; nil unless Config.EnableHealth
+	// (or EnableRecovery) is set. Every consumer tolerates nil.
+	Health *health.Monitor
+
 	// Shared per-subsystem instrument bundles, nil when observability is
 	// off (every instrumented call site tolerates nil).
 	batchIns  *batch.Instruments
 	gramIns   *gram.Instruments
 	condorIns *condorg.Instruments
+	healthIns *health.Instruments
+
+	// opsRNG drives iGOC effort bookkeeping for breaker tickets; retryRNG
+	// jitters stage-in/out retry delays. Both are private streams derived
+	// from the seed so the recovery loop never perturbs g.RNG.
+	opsRNG   *dist.RNG
+	retryRNG *dist.RNG
+	// healthTickets maps a degraded site to its open breaker ticket;
+	// resolvedTickets remembers the last resolved one so a repeat failure
+	// reopens it instead of opening a fresh ticket.
+	healthTickets   map[string]int
+	resolvedTickets map[string]int
 
 	stats map[string]*VOStats
 	seq   int64
@@ -252,11 +287,59 @@ func New(cfg Config) (*Grid, error) {
 		}
 	}
 
+	// --- Health monitor: one breaker per (site, service), probing the same
+	// three services the Site Status Catalog checks. Built before the
+	// schedds so matchmaking can consult it.
+	if cfg.EnableHealth {
+		g.healthIns = health.NewInstruments(g.Obs)
+		g.Health = health.NewMonitor(g.Eng, dist.New(cfg.Seed^healthSeedSalt), health.Config{}, g.healthIns)
+		for _, name := range g.Order {
+			n := g.Nodes[name]
+			st := n.Site
+			siteName := name
+			g.Health.Register(siteName, health.GRAM, func() error {
+				if !st.Healthy() {
+					return errors.New("gatekeeper unreachable")
+				}
+				return nil
+			})
+			g.Health.Register(siteName, health.GridFTP, func() error {
+				ep, err := g.Network.Endpoint(siteName)
+				if err != nil || !ep.Up() {
+					return errors.New("gridftp endpoint down")
+				}
+				return nil
+			})
+			g.Health.Register(siteName, health.SRM, func() error {
+				if st.Disk.Free() <= 0 {
+					return errors.New("storage full")
+				}
+				return nil
+			})
+		}
+		g.opsRNG = dist.New(cfg.Seed ^ opsSeedSalt)
+		g.retryRNG = dist.New(cfg.Seed ^ retrySeedSalt)
+		g.healthTickets = make(map[string]int)
+		g.resolvedTickets = make(map[string]int)
+		g.Health.OnTransition = g.healthTransition
+		g.Health.Start()
+	}
+
 	// --- Per-VO Condor-G schedds.
 	for _, voName := range vo.Grid3VOs {
 		sch := condorg.New(g.Eng, cfg.NegotiationInterval)
 		sch.MaxMatchesPerCycle = 2000
 		sch.Ins = g.condorIns
+		// Seeded retry-backoff jitter, one private stream per schedd so a
+		// VO's resubmission bursts desynchronize (§6.4 load lesson) without
+		// touching the master RNG.
+		sch.BackoffJitter = dist.New(cfg.Seed ^ voSeedSalt(voName))
+		if cfg.EnableRecovery {
+			sch.Exclude = func(site string) bool {
+				return !g.Health.Allow(site, health.GRAM)
+			}
+			sch.AvoidFailedSites = true
+		}
 		for _, name := range g.Order {
 			n := g.Nodes[name]
 			if !n.Site.SupportsVO(voName) {
@@ -337,6 +420,78 @@ func New(cfg Config) (*Grid, error) {
 	g.armLocalLoad()
 
 	return g, nil
+}
+
+// Seed salts for the private RNG streams the fault-management loop uses.
+// Deriving them from the master seed keeps runs reproducible while leaving
+// g.RNG's draw sequence untouched by health features.
+const (
+	healthSeedSalt = 0x6865616c7468 // "health"
+	opsSeedSalt    = 0x69676f63     // "igoc"
+	retrySeedSalt  = 0x7265747279   // "retry"
+)
+
+// voSeedSalt derives a per-VO salt for the schedd backoff-jitter stream.
+func voSeedSalt(voName string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(voName))
+	return int64(h.Sum64())
+}
+
+// healthTransition is the iGOC side of the closed loop: breaker state
+// changes annotate the Site Status Catalog's status page and drive trouble
+// tickets. A site's first open breaker opens a ticket (reopening the prior
+// one on a repeat failure); severity reflects blast radius — losing the
+// gatekeeper or multiple services strands jobs grid-wide (High), a single
+// degraded data service is Medium. When the last breaker recloses, the
+// ticket resolves with logged effort.
+func (g *Grid) healthTransition(tr health.Transition) {
+	open := g.Health.OpenServices(tr.Site)
+	note := ""
+	if len(open) > 0 {
+		names := make([]string, len(open))
+		for i, svc := range open {
+			names[i] = svc.String()
+		}
+		note = "breakers open: " + strings.Join(names, ",")
+	}
+	g.Catalog.SetNote(tr.Site, note)
+
+	switch {
+	case tr.To == health.Open:
+		sev := goc.Medium
+		if !g.Health.Allow(tr.Site, health.GRAM) || len(open) >= 2 {
+			sev = goc.High
+		}
+		summary := fmt.Sprintf("breaker open: %s (%v)", tr.Service, tr.Err)
+		if id, isOpen := g.healthTickets[tr.Site]; isOpen {
+			// Already ticketed; escalate if the blast radius grew.
+			if sev == goc.High {
+				g.Desk.Escalate(id, sev)
+			}
+			return
+		}
+		if id, wasResolved := g.resolvedTickets[tr.Site]; wasResolved {
+			if err := g.Desk.Reopen(id, summary, sev); err == nil {
+				delete(g.resolvedTickets, tr.Site)
+				g.healthTickets[tr.Site] = id
+				return
+			}
+		}
+		owner := ""
+		if n := g.Nodes[tr.Site]; n != nil {
+			owner = n.Spec.OwnerVO
+		}
+		tk := g.Desk.Open(tr.Site, owner, summary, sev)
+		g.Desk.Assign(tk.ID, tr.Site+"-admin")
+		g.healthTickets[tr.Site] = tk.ID
+	case tr.To == health.Closed && len(open) == 0:
+		if id, isOpen := g.healthTickets[tr.Site]; isOpen {
+			g.Desk.Resolve(id, g.opsRNG.Uniform(0.5, 3))
+			delete(g.healthTickets, tr.Site)
+			g.resolvedTickets[tr.Site] = id
+		}
+	}
 }
 
 // RefreshGridmaps regenerates every site's grid-mapfile from the current
@@ -814,28 +969,69 @@ func (g *Grid) maxWallFor(voName string) time.Duration {
 	return max
 }
 
+// Bounded stage retry schedule (EnableRecovery only): doubling delays from
+// stageRetryBase, jittered, up to maxStageRetries attempts beyond the
+// first. The sum (~15.5 h) outlasts the longest injected incident class
+// (the 8 h disk-full), so a transient outage costs latency, not the job.
+const (
+	maxStageRetries  = 5
+	stageRetryBase   = 30 * time.Minute
+	stageRetryJitter = 0.25
+)
+
+// stageRetryDelay returns the jittered delay before retry number n (1-based).
+func (g *Grid) stageRetryDelay(n int) time.Duration {
+	d := stageRetryBase << (n - 1)
+	return g.retryRNG.Jitter(d, stageRetryJitter)
+}
+
+// stageRetryable reports whether a stage failure is worth a delayed retry:
+// recovery must be on, the budget unspent, and the error a transient
+// endpoint/storage condition rather than a planning bug.
+func (g *Grid) stageRetryable(attempt int, err error) bool {
+	if !g.Cfg.EnableRecovery || attempt > maxStageRetries || err == nil {
+		return false
+	}
+	return gridftp.IsEndpointFailure(err) || errors.Is(err, site.ErrDiskFull)
+}
+
 // stageIn moves input data from the VO's archive to the execution site.
+// With recovery on, a transfer that dies on a downed endpoint is retried on
+// the bounded stage schedule.
 func (g *Grid) stageIn(req apps.Request, execSite string, parent obs.SpanID, jobID string) {
 	archive := ArchiveSiteFor(req.VO)
 	if archive == execSite {
 		return
 	}
 	tr := g.Obs.TracerOf()
-	if !tr.Enabled() {
-		g.Network.Start(archive, execSite, req.InputBytes, req.VO, nil)
-		return
+	var span obs.SpanID
+	if tr.Enabled() {
+		span = tr.Begin(obs.KindStageIn, parent, jobID, req.VO, execSite)
 	}
-	span := tr.Begin(obs.KindStageIn, parent, jobID, req.VO, execSite)
-	if _, err := g.Network.StartTraced(archive, execSite, req.InputBytes, req.VO, span,
-		func(_ *gridftp.Transfer, err error) {
-			if err != nil {
-				tr.Fail(span, err.Error())
-			} else {
-				tr.End(span)
+	attempt := 0
+	var start func()
+	settle := func(err error) {
+		if g.stageRetryable(attempt, err) {
+			if g.healthIns != nil {
+				g.healthIns.StageRetries.Inc()
 			}
-		}); err != nil {
-		tr.Fail(span, err.Error())
+			g.Eng.Schedule(g.stageRetryDelay(attempt), start)
+			return
+		}
+		if err != nil {
+			tr.Fail(span, err.Error())
+		} else {
+			tr.End(span)
+		}
 	}
+	start = func() {
+		attempt++
+		if _, err := g.Network.StartTraced(archive, execSite, req.InputBytes, req.VO, span,
+			func(_ *gridftp.Transfer, err error) { settle(err) }); err != nil {
+			settle(err)
+		}
+	}
+	start()
 }
 
 // stageOut archives the job's output: a GridFTP transfer to the Tier1,
@@ -856,8 +1052,30 @@ func (g *Grid) stageOut(req apps.Request, j *condorg.GridJob, reservation *srm.R
 	if archive != nil {
 		span = tr.Begin(obs.KindStageOut, parent, j.ID, req.VO, archiveName)
 	}
-	finish := func(transferErr error) {
+	// Bounded delayed retries (recovery mode): a transfer killed by a downed
+	// endpoint restarts from the execution site's scratch copy, and a raw
+	// archive write bounced by a full disk waits out the incident. Retried
+	// attempts do not count as stage-out failures — only the final verdict
+	// lands in stats.
+	retries := 0
+	var startTransfer func()
+	tryAgain := func(err error, again func()) bool {
+		if !g.stageRetryable(retries+1, err) {
+			return false
+		}
+		retries++
+		if g.healthIns != nil {
+			g.healthIns.StageRetries.Inc()
+		}
+		g.Eng.Schedule(g.stageRetryDelay(retries), again)
+		return true
+	}
+	var finish func(transferErr error)
+	finish = func(transferErr error) {
 		if transferErr != nil {
+			if tryAgain(transferErr, startTransfer) {
+				return
+			}
 			tr.Fail(span, transferErr.Error())
 			stats.StageOutFailures++
 			stats.WastedCPU += req.Runtime
@@ -873,6 +1091,9 @@ func (g *Grid) stageOut(req apps.Request, j *condorg.GridJob, reservation *srm.R
 			archive.SRM.Release(reservation.ID)
 		} else {
 			err = archive.Site.Disk.Store(lfn, req.OutputBytes, false)
+			if err != nil && tryAgain(err, func() { finish(nil) }) {
+				return
+			}
 		}
 		if err != nil {
 			tr.Fail(span, err.Error())
@@ -900,11 +1121,14 @@ func (g *Grid) stageOut(req apps.Request, j *condorg.GridJob, reservation *srm.R
 		finish(nil)
 		return
 	}
-	if _, err := g.Network.StartTraced(j.Site, archiveName, req.OutputBytes, req.VO, span, func(_ *gridftp.Transfer, err error) {
-		finish(err)
-	}); err != nil {
-		finish(err)
+	startTransfer = func() {
+		if _, err := g.Network.StartTraced(j.Site, archiveName, req.OutputBytes, req.VO, span, func(_ *gridftp.Transfer, err error) {
+			finish(err)
+		}); err != nil {
+			finish(err)
+		}
 	}
+	startTransfer()
 }
 
 func (g *Grid) releaseReservation(voName string, res *srm.Reservation) {

@@ -39,6 +39,10 @@ type ScenarioConfig struct {
 	// DisableFailures turns injection off entirely.
 	Failures        failure.Config
 	DisableFailures bool
+	// ChaosIntensity scales failure injection for chaos campaigns: MTBFs
+	// divide by it and the random-loss rate multiplies by it, so 2.0 doubles
+	// the incident rate. 0 and 1 leave the configured rates untouched.
+	ChaosIntensity float64
 	// DisableTransferDemo turns off the §6.3 GridFTP demonstrator.
 	DisableTransferDemo bool
 	// EnableNetLogger attaches the NetLogger instrumentation (§4.7) to
@@ -154,6 +158,7 @@ func NewScenario(cfg ScenarioConfig) (*Scenario, error) {
 				}
 			}
 		}
+		fcfg = failure.Scaled(fcfg, cfg.ChaosIntensity)
 		s.Injector = failure.New(g.Eng, g.RNG.Fork(), fcfg, g.Network)
 		s.Injector.Ins = failure.NewInstruments(g.Obs)
 		for _, name := range g.Order {

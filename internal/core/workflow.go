@@ -8,6 +8,7 @@ import (
 	"grid3/internal/dagman"
 	"grid3/internal/gram"
 	"grid3/internal/gridftp"
+	"grid3/internal/health"
 	"grid3/internal/obs"
 	"grid3/internal/pegasus"
 	"grid3/internal/rls"
@@ -16,7 +17,7 @@ import (
 // PlannerFor builds a Pegasus planner wired to this grid's live MDS and
 // RLS state for the given VO (archive per ArchiveSiteFor).
 func (g *Grid) PlannerFor(voName string, policy pegasus.Policy) *pegasus.Planner {
-	return &pegasus.Planner{
+	p := &pegasus.Planner{
 		Sites: func() []pegasus.SiteInfo {
 			var out []pegasus.SiteInfo
 			for _, e := range g.TopGIIS.Entries() {
@@ -39,6 +40,15 @@ func (g *Grid) PlannerFor(voName string, policy pegasus.Policy) *pegasus.Planner
 		Policy:      policy,
 		Ins:         pegasus.NewInstruments(g.Obs),
 	}
+	if g.Cfg.EnableRecovery {
+		// Plan around degraded sites: any open breaker disqualifies a site
+		// from compute placement and replica selection (advisory — the
+		// planner falls back to the full set if everything is excluded).
+		p.Exclude = func(site string) bool {
+			return len(g.Health.OpenServices(site)) > 0
+		}
+	}
+	return p
 }
 
 // PublishRLS pushes every site LRC into the RLI (the periodic soft-state
@@ -131,6 +141,14 @@ func (g *Grid) RunWorkflow(cdag *pegasus.ConcreteDAG, voName, user string, onDon
 	run.Runner.MaxJobs = 50 // DAGMan -maxjobs, protects gatekeepers (§6.4)
 	run.Runner.Ins = dagman.NewInstruments(g.Obs)
 	run.Runner.Parent = run.Span
+	if g.Cfg.EnableRecovery && g.Obs != nil {
+		// Count node-level recoveries. Per-site exclusion on retried compute
+		// nodes happens downstream: the resubmitted GridJob keeps its planned
+		// pin, but matchmaking's Exclude hook re-places it if that site's
+		// gatekeeper breaker has opened since planning.
+		retried := g.Obs.Metrics.Counter("workflow.node.retries")
+		run.Runner.OnNodeRetry = func(string, int, error) { retried.Inc() }
+	}
 	wrapped := func(res dagman.Result) {
 		if res.Succeeded() {
 			tr.End(run.Span)
@@ -207,15 +225,56 @@ func (g *Grid) transferWork(cj *pegasus.ConcreteJob, voName string, parent obs.S
 			done(store())
 			return
 		}
-		_, err := g.Network.StartTraced(cj.SrcSite, cj.Site, bytes, voName, parent, func(_ *gridftp.Transfer, terr error) {
-			if terr != nil {
-				done(terr)
+		// Replica failover (recovery mode): when the planned source dies
+		// mid-flight or is unreachable, consult RLS for other sites holding
+		// the same LFN and chain onto the next one instead of burning a
+		// DAGMan node retry.
+		tried := []string{cj.Site, cj.SrcSite}
+		var start func(src string)
+		settle := func(err error) {
+			if err != nil {
+				if next, ok := g.alternateReplica(cj.LFN, err, tried); ok {
+					tried = append(tried, next)
+					if g.healthIns != nil {
+						g.healthIns.ReplicaFailovers.Inc()
+					}
+					start(next)
+					return
+				}
+				done(err)
 				return
 			}
 			done(store())
-		})
-		if err != nil {
-			done(err)
+		}
+		start = func(src string) {
+			_, err := g.Network.StartTraced(src, cj.Site, bytes, voName, parent, func(_ *gridftp.Transfer, terr error) {
+				settle(terr)
+			})
+			if err != nil {
+				settle(err)
+			}
+		}
+		start(cj.SrcSite)
+	}
+}
+
+// alternateReplica picks the next failover source for an LFN after a
+// transfer error: recovery must be on, the error a transient endpoint
+// condition, and RLS must know another publisher beyond the already-tried
+// sites. Candidates whose GridFTP breaker is open are passed over unless
+// every candidate is degraded.
+func (g *Grid) alternateReplica(lfn string, err error, tried []string) (string, bool) {
+	if !g.Cfg.EnableRecovery || lfn == "" || !gridftp.IsEndpointFailure(err) {
+		return "", false
+	}
+	alts := g.RLI.AlternateSites(lfn, tried...)
+	if len(alts) == 0 {
+		return "", false
+	}
+	for _, site := range alts {
+		if g.Health.Allow(site, health.GridFTP) {
+			return site, true
 		}
 	}
+	return alts[0], true
 }

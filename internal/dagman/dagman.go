@@ -225,6 +225,11 @@ type Runner struct {
 	// Parent is the span under which node spans are parented (the enclosing
 	// workflow span), zero for none.
 	Parent obs.SpanID
+	// OnNodeRetry, if set, observes every node retry before the node
+	// re-enters the ready queue: the fault-management hook that lets the
+	// embedding system steer the next attempt (per-site exclusion) or count
+	// recoveries. attempt is the number of attempts already burned.
+	OnNodeRetry func(node string, attempt int, err error)
 
 	running   int
 	ready     []*Node
@@ -326,6 +331,9 @@ func (r *Runner) finishAttempt(n *Node, err error) {
 			// Retry: back to the ready queue.
 			if in := r.Ins; in != nil {
 				in.Retried.Inc()
+			}
+			if r.OnNodeRetry != nil {
+				r.OnNodeRetry(n.Name, n.attempts, err)
 			}
 			n.state = NodeIdle
 			r.ready = append(r.ready, n)

@@ -387,3 +387,65 @@ func TestLargeChain(t *testing.T) {
 		t.Fatalf("count = %d, res ok = %v", count, res.Succeeded())
 	}
 }
+
+func TestOnNodeRetryHook(t *testing.T) {
+	d := New()
+	attempts := 0
+	flaky := &Node{Name: "flaky", Retries: 2, Work: func(done func(error)) {
+		attempts++
+		if attempts < 3 {
+			done(errors.New("site down"))
+			return
+		}
+		done(nil)
+	}}
+	if err := d.Add(flaky); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(d)
+	type retry struct {
+		node    string
+		attempt int
+	}
+	var seen []retry
+	r.OnNodeRetry = func(node string, attempt int, err error) {
+		if err == nil {
+			t.Fatal("retry hook fired without an error")
+		}
+		seen = append(seen, retry{node, attempt})
+	}
+	var res Result
+	r.Run(func(out Result) { res = out })
+	if !res.Succeeded() {
+		t.Fatalf("result = %+v", res)
+	}
+	want := []retry{{"flaky", 1}, {"flaky", 2}}
+	if len(seen) != len(want) {
+		t.Fatalf("retry hook calls = %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("retry %d = %+v, want %+v", i, seen[i], want[i])
+		}
+	}
+}
+
+func TestOnNodeRetryNotCalledOnFinalFailure(t *testing.T) {
+	d := New()
+	if err := d.Add(&Node{Name: "doomed", Retries: 0, Work: func(done func(error)) {
+		done(errors.New("disk full"))
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(d)
+	called := 0
+	r.OnNodeRetry = func(string, int, error) { called++ }
+	var res Result
+	r.Run(func(out Result) { res = out })
+	if res.Succeeded() {
+		t.Fatal("expected failure")
+	}
+	if called != 0 {
+		t.Fatalf("retry hook fired %d times on a node with no retries", called)
+	}
+}

@@ -131,6 +131,32 @@ func Grid3Defaults() Config {
 	}
 }
 
+// Scaled returns cfg with incident rates multiplied by intensity: MTBFs
+// shrink and the random-loss rate grows by the factor, while incident
+// durations stay untouched (a disk takes as long to clear at any failure
+// rate). intensity <= 0 or exactly 1 returns cfg unchanged, so 0 can mean
+// "default" in sweep configs. Scaled MTBFs are floored at one minute.
+func Scaled(cfg Config, intensity float64) Config {
+	if intensity <= 0 || intensity == 1 {
+		return cfg
+	}
+	scale := func(d time.Duration) time.Duration {
+		if d <= 0 {
+			return d
+		}
+		nd := time.Duration(float64(d) / intensity)
+		if nd < time.Minute {
+			nd = time.Minute
+		}
+		return nd
+	}
+	cfg.DiskFullMTBF = scale(cfg.DiskFullMTBF)
+	cfg.ServiceMTBF = scale(cfg.ServiceMTBF)
+	cfg.OutageMTBF = scale(cfg.OutageMTBF)
+	cfg.RandomLossPerDay *= intensity
+	return cfg
+}
+
 // Injector drives incidents against registered targets.
 type Injector struct {
 	eng     *sim.Engine

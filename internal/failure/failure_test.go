@@ -11,6 +11,7 @@ import (
 	"grid3/internal/gram"
 	"grid3/internal/gridftp"
 	"grid3/internal/gsi"
+	"grid3/internal/obs"
 	"grid3/internal/sim"
 	"grid3/internal/site"
 )
@@ -196,5 +197,86 @@ func TestDeterministicReplay(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
 		}
+	}
+}
+
+func TestInstrumentsMatchEventLog(t *testing.T) {
+	// Satellite check: the per-kind incident / jobs-killed counters must
+	// equal the injector's own event log across a seeded, failure-heavy day.
+	r := newRig(t)
+	o := obs.New(r.eng.Now)
+	cfg := Config{
+		DiskFullMTBF: 6 * time.Hour, DiskFullDuration: 2 * time.Hour,
+		ServiceMTBF: 8 * time.Hour, ServiceDuration: time.Hour,
+		OutageMTBF: 10 * time.Hour, OutageDuration: time.Hour,
+		RolloverSites: []string{"IU"}, RolloverFraction: 0.25, RolloverDuration: time.Hour,
+		RandomLossPerDay: 4,
+	}
+	inj := New(r.eng, r.rng, cfg, r.net)
+	inj.Ins = NewInstruments(o)
+	inj.Register(r.tgt)
+	// Keep the batch slots occupied so incidents have jobs to kill.
+	refill := sim.NewTicker(r.eng, 30*time.Minute, func() {
+		for i := r.tgt.Batch.RunningCount(); i < 8; i++ {
+			r.tgt.Batch.Submit(&batch.Job{
+				ID: fmt.Sprintf("fill-%d-%d", r.eng.Now(), i), VO: "ivdgl",
+				Walltime: 90 * time.Hour, Runtime: 80 * time.Hour,
+			})
+		}
+	})
+	defer refill.Stop()
+	r.eng.RunUntil(24 * time.Hour)
+
+	incidents := inj.CountByKind()
+	killed := inj.KilledByKind()
+	total := 0
+	for _, n := range incidents {
+		total += n
+	}
+	if total == 0 || incidents[DiskFull] == 0 || incidents[ServiceFailure] == 0 {
+		t.Fatalf("day too quiet to validate counters: %v", incidents)
+	}
+	snap := o.Metrics.Snapshot()
+	counter := func(name string) uint64 {
+		for _, c := range snap.Counters {
+			if c.Name == name {
+				return c.Value
+			}
+		}
+		return 0
+	}
+	for k := 0; k < numKinds; k++ {
+		kind := Kind(k)
+		if got := counter("failure." + kind.String() + ".incidents"); got != uint64(incidents[kind]) {
+			t.Errorf("%s incidents counter = %d, event log = %d", kind, got, incidents[kind])
+		}
+		if got := counter("failure." + kind.String() + ".jobs_killed"); got != uint64(killed[kind]) {
+			t.Errorf("%s jobs_killed counter = %d, event log = %d", kind, got, killed[kind])
+		}
+	}
+}
+
+func TestScaledConfig(t *testing.T) {
+	base := Grid3Defaults()
+	got := Scaled(base, 4)
+	if got.DiskFullMTBF != base.DiskFullMTBF/4 || got.ServiceMTBF != base.ServiceMTBF/4 || got.OutageMTBF != base.OutageMTBF/4 {
+		t.Fatalf("MTBFs not scaled: %+v", got)
+	}
+	if got.RandomLossPerDay != base.RandomLossPerDay*4 {
+		t.Fatalf("RandomLossPerDay = %v", got.RandomLossPerDay)
+	}
+	if got.DiskFullDuration != base.DiskFullDuration || got.ServiceDuration != base.ServiceDuration {
+		t.Fatal("durations must not scale")
+	}
+	for _, in := range []float64{1, 0, -2} {
+		id := Scaled(base, in)
+		if id.DiskFullMTBF != base.DiskFullMTBF || id.RandomLossPerDay != base.RandomLossPerDay {
+			t.Fatalf("intensity %v must return cfg unchanged", in)
+		}
+	}
+	// Extreme intensity floors at one minute rather than going to zero.
+	tiny := Scaled(Config{DiskFullMTBF: time.Hour}, 1e9)
+	if tiny.DiskFullMTBF != time.Minute {
+		t.Fatalf("floor = %v", tiny.DiskFullMTBF)
 	}
 }

@@ -61,6 +61,7 @@ func (s TicketState) String() string {
 var (
 	ErrNoTicket       = errors.New("goc: no such ticket")
 	ErrAlreadyClosed  = errors.New("goc: ticket already resolved")
+	ErrNotResolved    = errors.New("goc: ticket not resolved")
 	ErrPolicyViolated = errors.New("goc: acceptable use policy violation")
 )
 
@@ -75,8 +76,12 @@ type Ticket struct {
 	Assignee string
 	Opened   time.Duration
 	Resolved time.Duration
-	// EffortHours is support effort logged against the ticket.
+	// EffortHours is support effort logged against the ticket, summed
+	// across every resolution when the ticket has been reopened.
 	EffortHours float64
+	// Reopens counts how many times the ticket came back after being
+	// resolved — the §6 "site fixed, then broke again" pattern.
+	Reopens int
 }
 
 // Desk is the iGOC trouble-ticket system.
@@ -118,7 +123,9 @@ func (d *Desk) Assign(id int, assignee string) error {
 	return nil
 }
 
-// Resolve closes a ticket, logging the effort spent.
+// Resolve closes a ticket, logging the effort spent. Resolving an
+// already-resolved ticket is rejected with ErrAlreadyClosed; effort
+// accumulates across reopen/resolve cycles.
 func (d *Desk) Resolve(id int, effortHours float64) error {
 	t, ok := d.tickets[id]
 	if !ok {
@@ -129,9 +136,54 @@ func (d *Desk) Resolve(id int, effortHours float64) error {
 	}
 	t.State = Resolved
 	t.Resolved = d.clock.Now()
-	t.EffortHours = effortHours
+	t.EffortHours += effortHours
 	return nil
 }
+
+// Reopen puts a resolved ticket back in the queue when the same problem
+// recurs, recording the new symptom and escalating severity if the repeat
+// failure is worse. Reopening a ticket that is still open is rejected with
+// ErrNotResolved. Opened keeps the original filing time, so
+// MeanTimeToResolve charges the full saga to the ticket.
+func (d *Desk) Reopen(id int, summary string, sev Severity) error {
+	t, ok := d.tickets[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoTicket, id)
+	}
+	if t.State != Resolved {
+		return fmt.Errorf("%w: %d", ErrNotResolved, id)
+	}
+	t.State = Open
+	t.Resolved = 0
+	t.Reopens++
+	if summary != "" {
+		t.Summary = summary
+	}
+	if sev > t.Severity {
+		t.Severity = sev
+	}
+	return nil
+}
+
+// Escalate raises an open ticket's severity when the blast radius grows
+// (severity never decreases). Escalating a resolved ticket is rejected with
+// ErrAlreadyClosed.
+func (d *Desk) Escalate(id int, sev Severity) error {
+	t, ok := d.tickets[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoTicket, id)
+	}
+	if t.State == Resolved {
+		return fmt.Errorf("%w: %d", ErrAlreadyClosed, id)
+	}
+	if sev > t.Severity {
+		t.Severity = sev
+	}
+	return nil
+}
+
+// TicketCount returns the total number of tickets ever filed.
+func (d *Desk) TicketCount() int { return len(d.tickets) }
 
 // Ticket returns a ticket by ID.
 func (d *Desk) Ticket(id int) (*Ticket, error) {
@@ -143,10 +195,22 @@ func (d *Desk) Ticket(id int) (*Ticket, error) {
 }
 
 // OpenTickets returns unresolved tickets sorted by (severity desc, ID).
-func (d *Desk) OpenTickets() []*Ticket {
+// With site arguments it returns only tickets filed against those sites.
+func (d *Desk) OpenTickets(sites ...string) []*Ticket {
+	match := func(t *Ticket) bool {
+		if len(sites) == 0 {
+			return true
+		}
+		for _, s := range sites {
+			if t.Site == s {
+				return true
+			}
+		}
+		return false
+	}
 	var out []*Ticket
 	for _, t := range d.tickets {
-		if t.State != Resolved {
+		if t.State != Resolved && match(t) {
 			out = append(out, t)
 		}
 	}

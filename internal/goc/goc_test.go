@@ -117,3 +117,81 @@ func TestAssignUnknownTicket(t *testing.T) {
 		t.Fatal("MTTR with no resolved tickets should be 0")
 	}
 }
+
+func TestReopenSemantics(t *testing.T) {
+	eng := sim.NewEngine(sim.Grid3Epoch)
+	desk := NewDesk(eng)
+	tk := desk.Open("BNL_ATLAS_Tier1", "usatlas", "gridftp door down", Medium)
+
+	// Reopening a still-open ticket is rejected.
+	if err := desk.Reopen(tk.ID, "again", High); !errors.Is(err, ErrNotResolved) {
+		t.Fatalf("reopen open ticket err = %v", err)
+	}
+	if err := desk.Reopen(99, "x", Low); !errors.Is(err, ErrNoTicket) {
+		t.Fatalf("reopen missing ticket err = %v", err)
+	}
+
+	eng.RunUntil(2 * time.Hour)
+	if err := desk.Resolve(tk.ID, 1.5); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same problem recurs: the ticket comes back with the new symptom,
+	// severity escalates but never de-escalates.
+	eng.RunUntil(10 * time.Hour)
+	if err := desk.Reopen(tk.ID, "gridftp door down again, gatekeeper too", High); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := desk.Ticket(tk.ID)
+	if got.State != Open || got.Reopens != 1 || got.Severity != High {
+		t.Fatalf("reopened ticket = %+v", got)
+	}
+	if got.Opened != 0 {
+		t.Fatalf("reopen must keep the original filing time, got %v", got.Opened)
+	}
+	if err := desk.Reopen(tk.ID, "x", Low); !errors.Is(err, ErrNotResolved) {
+		t.Fatalf("double reopen err = %v", err)
+	}
+
+	// Effort accumulates across the saga; double-resolve still rejected.
+	eng.RunUntil(14 * time.Hour)
+	if err := desk.Resolve(tk.ID, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = desk.Ticket(tk.ID)
+	if got.EffortHours != 4.0 {
+		t.Fatalf("EffortHours = %v, want accumulated 4.0", got.EffortHours)
+	}
+	if got.Severity != High {
+		t.Fatalf("severity after de-escalating reopen attempt = %v", got.Severity)
+	}
+	if err := desk.Resolve(tk.ID, 1); !errors.Is(err, ErrAlreadyClosed) {
+		t.Fatalf("double resolve err = %v", err)
+	}
+	// The whole saga counts toward MTTR: 14h open-to-final-resolve.
+	if desk.MeanTimeToResolve() != 14*time.Hour {
+		t.Fatalf("MTTR = %v", desk.MeanTimeToResolve())
+	}
+}
+
+func TestOpenTicketsSiteFilter(t *testing.T) {
+	eng := sim.NewEngine(sim.Grid3Epoch)
+	desk := NewDesk(eng)
+	desk.Open("BNL", "usatlas", "a", Low)
+	desk.Open("FNAL", "uscms", "b", High)
+	bnl2 := desk.Open("BNL", "ivdgl", "c", Medium)
+	desk.Resolve(bnl2.ID, 0.1)
+
+	if got := desk.OpenTickets("BNL"); len(got) != 1 || got[0].Site != "BNL" {
+		t.Fatalf("OpenTickets(BNL) = %+v", got)
+	}
+	if got := desk.OpenTickets("BNL", "FNAL"); len(got) != 2 {
+		t.Fatalf("OpenTickets(BNL, FNAL) = %d tickets", len(got))
+	}
+	if got := desk.OpenTickets("IU"); len(got) != 0 {
+		t.Fatalf("OpenTickets(IU) = %+v", got)
+	}
+	if got := desk.OpenTickets(); len(got) != 2 {
+		t.Fatalf("OpenTickets() = %d tickets", len(got))
+	}
+}

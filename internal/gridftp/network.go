@@ -59,6 +59,16 @@ var (
 	ErrSameEndpoint    = errors.New("gridftp: source and destination are the same endpoint")
 )
 
+// IsEndpointFailure reports whether a transfer error is a site-side service
+// failure (door down, unknown, or the transfer was severed by an outage) —
+// the class where retrying an alternate replica source can succeed — as
+// opposed to a caller mistake like a bad size.
+func IsEndpointFailure(err error) bool {
+	return errors.Is(err, ErrEndpointDown) ||
+		errors.Is(err, ErrUnknownEndpoint) ||
+		errors.Is(err, ErrInterrupted)
+}
+
 // Endpoint is one site's WAN attachment.
 type Endpoint struct {
 	Name        string

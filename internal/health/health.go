@@ -1,0 +1,481 @@
+// Package health is the Site Status Catalog's active half: the closed-loop
+// fault-management subsystem the Grid2003 operations chapter describes.
+//
+// §6 of the paper attributes roughly 90% of failures to site-level problems
+// — full disks, dead gatekeepers, network interruptions — and §5.2/§6
+// describe the response: periodic probes against each site's public
+// services, a status page, iGOC trouble tickets, and operators steering
+// work away from sick sites until the probes pass again. The Monitor here
+// automates that loop. It runs a probe per (site, service) on the sim timer
+// wheel and drives a circuit breaker per pair:
+//
+//	Closed ──FailureThreshold consecutive failures──▶ Open
+//	Open ──backoff elapses, trial probe passes──▶ HalfOpen
+//	Open ──trial probe fails──▶ Open (backoff doubles, capped)
+//	HalfOpen ──SuccessThreshold consecutive passes──▶ Closed
+//	HalfOpen ──any failure──▶ Open (backoff doubles, capped)
+//
+// While a breaker is Open the monitor stops probing the service until the
+// backoff elapses (no hammering a dead endpoint) and Allow reports false,
+// which schedulers and data movers use to route around the site. Backoff is
+// exponential with deterministic seeded jitter from a private RNG, so
+// recovered services are not hit by every consumer in lockstep and runs
+// remain bit-reproducible for a given seed.
+//
+// Detection and recovery are observable: each probe records a latency
+// sample, breakers export state gauges, and every Open→…→Closed episode is
+// one KindOutage span whose Start−injection and End−injection offsets give
+// mean-time-to-detect and mean-time-to-recover in the chaos sweep.
+package health
+
+import (
+	"sort"
+	"time"
+
+	"grid3/internal/dist"
+	"grid3/internal/obs"
+	"grid3/internal/sim"
+)
+
+// Service identifies one probed site service, mirroring the three entries a
+// Grid3 site published: the GRAM gatekeeper, the GridFTP door, and the
+// storage element.
+type Service int
+
+// Probed services.
+const (
+	GRAM Service = iota
+	GridFTP
+	SRM
+	numServices
+)
+
+func (s Service) String() string {
+	switch s {
+	case GRAM:
+		return "gram"
+	case GridFTP:
+		return "gridftp"
+	case SRM:
+		return "srm"
+	}
+	return "unknown"
+}
+
+// State is a circuit-breaker state.
+type State int
+
+// Breaker states.
+const (
+	Closed   State = iota // service believed healthy; traffic allowed
+	Open                  // service believed down; traffic blocked, probes backed off
+	HalfOpen              // trial probe passed; traffic allowed while confidence rebuilds
+)
+
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Probe checks one service once; a nil error means healthy. Probes run on
+// the sim clock and must be side-effect free.
+type Probe func() error
+
+// Config tunes probe cadence and breaker thresholds. Zero fields take the
+// defaults noted per field, which echo the ~10-minute cadence of the real
+// Site Status Catalog scripts.
+type Config struct {
+	Interval         time.Duration // probe cadence (default 10m)
+	FailureThreshold int           // consecutive failures that open a breaker (default 2)
+	SuccessThreshold int           // consecutive half-open passes that close it (default 2)
+	BaseBackoff      time.Duration // first open→trial delay (default 20m)
+	MaxBackoff       time.Duration // backoff cap (default 3h)
+	JitterFrac       float64       // ± fraction applied to every backoff (default 0.25)
+	ProbeRTT         time.Duration // mean round-trip of a passing probe (default 2s)
+	ProbeTimeout     time.Duration // latency charged to a failing probe (default 30s)
+}
+
+func (c *Config) defaults() {
+	if c.Interval <= 0 {
+		c.Interval = 10 * time.Minute
+	}
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 2
+	}
+	if c.SuccessThreshold <= 0 {
+		c.SuccessThreshold = 2
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 20 * time.Minute
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 3 * time.Hour
+	}
+	if c.JitterFrac <= 0 || c.JitterFrac >= 1 {
+		c.JitterFrac = 0.25
+	}
+	if c.ProbeRTT <= 0 {
+		c.ProbeRTT = 2 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 30 * time.Second
+	}
+}
+
+// Transition records one breaker state change, in the order they happened.
+type Transition struct {
+	Site    string
+	Service Service
+	At      time.Duration
+	From    State
+	To      State
+	Err     string // probe error that caused an opening transition
+}
+
+// Instruments is the monitor's obs surface. A nil *Instruments (observability
+// off) makes every recording a no-op; the breakers behave identically either
+// way.
+type Instruments struct {
+	Tracer       *obs.Tracer
+	ProbeLatency *obs.Histogram // health.probe.seconds
+	ProbePass    *obs.Counter   // health.probe.pass
+	ProbeFail    *obs.Counter   // health.probe.fail
+	Opened       *obs.Counter   // health.breaker.opened
+	Reclosed     *obs.Counter   // health.breaker.closed
+
+	// Failover counters are bumped by the scheduling and data paths that
+	// consult the monitor, not by the monitor itself.
+	ReplicaFailovers *obs.Counter // health.failover.replica: transfer rerouted to an alternate replica
+	StageRetries     *obs.Counter // health.retry.stage: stage-in/out attempt retried after failure
+
+	reg *obs.Registry
+}
+
+// NewInstruments builds the instrument set on o's registry and tracer, or
+// returns nil when o is nil.
+func NewInstruments(o *obs.Observer) *Instruments {
+	if o == nil {
+		return nil
+	}
+	reg := o.Metrics
+	return &Instruments{
+		Tracer:           o.Tracer,
+		ProbeLatency:     reg.Histogram("health.probe.seconds", obs.DurationBounds),
+		ProbePass:        reg.Counter("health.probe.pass"),
+		ProbeFail:        reg.Counter("health.probe.fail"),
+		Opened:           reg.Counter("health.breaker.opened"),
+		Reclosed:         reg.Counter("health.breaker.closed"),
+		ReplicaFailovers: reg.Counter("health.failover.replica"),
+		StageRetries:     reg.Counter("health.retry.stage"),
+		reg:              reg,
+	}
+}
+
+// breaker is the per-(site, service) state machine.
+type breaker struct {
+	probe   Probe
+	state   State
+	fails   int           // consecutive failures while Closed
+	oks     int           // consecutive passes while HalfOpen
+	backoff time.Duration // current raw (unjittered) open→trial delay
+	retryAt time.Duration // next trial probe time while Open
+	span    obs.SpanID    // open outage span, 0 when healthy
+}
+
+type siteHealth struct {
+	name string
+	svcs [numServices]*breaker
+}
+
+// Monitor probes every registered (site, service) pair on a fixed cadence
+// and maintains their circuit breakers. It is single-threaded on the sim
+// engine like every other service.
+type Monitor struct {
+	eng sim.Scheduler
+	rng *dist.RNG // private stream: backoff jitter + probe RTT only
+	cfg Config
+	Ins *Instruments
+
+	// OnTransition, if set, observes every breaker state change after it is
+	// applied — the hook the iGOC ticket loop hangs off.
+	OnTransition func(Transition)
+
+	sites       map[string]*siteHealth
+	order       []string // sorted site names: deterministic sweep order
+	transitions []Transition
+	ticker      *sim.Ticker
+	openCount   int // breakers currently Open (exported as a gauge)
+}
+
+// NewMonitor builds a monitor on eng. rng must be a private stream (never
+// the scenario's master RNG: probe cadence would otherwise perturb the
+// workload draw sequence). ins may be nil.
+func NewMonitor(eng sim.Scheduler, rng *dist.RNG, cfg Config, ins *Instruments) *Monitor {
+	cfg.defaults()
+	m := &Monitor{eng: eng, rng: rng, cfg: cfg, Ins: ins, sites: map[string]*siteHealth{}}
+	if ins != nil && ins.reg != nil {
+		ins.reg.Gauge("health.breakers.open", func() float64 { return float64(m.openCount) })
+		ins.reg.Gauge("health.sites.degraded", func() float64 { return float64(len(m.DegradedSites())) })
+	}
+	return m
+}
+
+// Interval returns the probe cadence after defaulting.
+func (m *Monitor) Interval() time.Duration { return m.cfg.Interval }
+
+// Register adds a probe for one service at one site. Registering the same
+// pair again replaces the probe but keeps breaker state.
+func (m *Monitor) Register(site string, svc Service, probe Probe) {
+	sh, ok := m.sites[site]
+	if !ok {
+		sh = &siteHealth{name: site}
+		m.sites[site] = sh
+		m.order = append(m.order, site)
+		sort.Strings(m.order)
+	}
+	if b := sh.svcs[svc]; b != nil {
+		b.probe = probe
+		return
+	}
+	sh.svcs[svc] = &breaker{probe: probe}
+}
+
+// Start arms the periodic sweep on the timer wheel. The first sweep fires
+// one full interval in, matching the sitecatalog ticker.
+func (m *Monitor) Start() {
+	if m.ticker == nil {
+		m.ticker = sim.NewTicker(m.eng, m.cfg.Interval, m.Sweep)
+	}
+}
+
+// Stop cancels the periodic sweep.
+func (m *Monitor) Stop() {
+	if m.ticker != nil {
+		m.ticker.Stop()
+		m.ticker = nil
+	}
+}
+
+// Sweep probes every registered pair once, in deterministic (site, service)
+// order. Open breakers whose backoff has not elapsed are skipped — the whole
+// point of the breaker is to stop hammering a dead endpoint.
+func (m *Monitor) Sweep() {
+	now := m.eng.Now()
+	for _, name := range m.order {
+		sh := m.sites[name]
+		for svc, b := range sh.svcs {
+			if b == nil {
+				continue
+			}
+			if b.state == Open && now < b.retryAt {
+				continue
+			}
+			err := b.probe()
+			// The RTT draw happens whether or not instruments are attached,
+			// so enabling observability never shifts the jitter stream.
+			rtt := m.rng.Jitter(m.cfg.ProbeRTT, 0.5)
+			if err != nil {
+				rtt = m.cfg.ProbeTimeout
+			}
+			if m.Ins != nil {
+				if err != nil {
+					m.Ins.ProbeFail.Inc()
+				} else {
+					m.Ins.ProbePass.Inc()
+				}
+				m.Ins.ProbeLatency.Observe(rtt.Seconds())
+			}
+			m.step(sh.name, Service(svc), b, err, now)
+		}
+	}
+}
+
+// step advances one breaker on one probe outcome.
+func (m *Monitor) step(site string, svc Service, b *breaker, err error, now time.Duration) {
+	pass := err == nil
+	switch b.state {
+	case Closed:
+		if pass {
+			b.fails = 0
+			return
+		}
+		b.fails++
+		if b.fails >= m.cfg.FailureThreshold {
+			b.backoff = m.cfg.BaseBackoff
+			b.retryAt = now + m.jitter(b.backoff)
+			m.transition(site, svc, b, Open, err, now)
+		}
+	case Open:
+		// The backoff elapsed and this probe was the half-open trial.
+		if pass {
+			m.transition(site, svc, b, HalfOpen, nil, now)
+			b.oks = 1
+			if b.oks >= m.cfg.SuccessThreshold {
+				m.transition(site, svc, b, Closed, nil, now)
+			}
+		} else {
+			// Still down: double the capped backoff and stay Open. Not a
+			// state change, so no transition is recorded.
+			if b.backoff < m.cfg.MaxBackoff {
+				b.backoff *= 2
+				if b.backoff > m.cfg.MaxBackoff {
+					b.backoff = m.cfg.MaxBackoff
+				}
+			}
+			b.retryAt = now + m.jitter(b.backoff)
+		}
+	case HalfOpen:
+		if pass {
+			b.oks++
+			if b.oks >= m.cfg.SuccessThreshold {
+				m.transition(site, svc, b, Closed, nil, now)
+			}
+		} else {
+			if b.backoff < m.cfg.MaxBackoff {
+				b.backoff *= 2
+				if b.backoff > m.cfg.MaxBackoff {
+					b.backoff = m.cfg.MaxBackoff
+				}
+			}
+			b.retryAt = now + m.jitter(b.backoff)
+			m.transition(site, svc, b, Open, err, now)
+		}
+	}
+}
+
+// jitter spreads d by ±JitterFrac using the monitor's private stream.
+func (m *Monitor) jitter(d time.Duration) time.Duration {
+	return m.rng.Jitter(d, m.cfg.JitterFrac)
+}
+
+// transition applies a state change, maintains the outage span and gauges,
+// records it, and notifies OnTransition.
+func (m *Monitor) transition(site string, svc Service, b *breaker, to State, err error, now time.Duration) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	switch to {
+	case Open:
+		b.fails = 0
+		m.openCount++
+		if m.Ins != nil {
+			m.Ins.Opened.Inc()
+			if b.span == 0 {
+				// One outage span covers the whole episode, Open through the
+				// possibly repeated half-open attempts until Closed.
+				b.span = m.Ins.Tracer.Begin(obs.KindOutage, 0, svc.String(), "", site)
+			}
+		}
+	case HalfOpen:
+		m.openCount--
+	case Closed:
+		if from == Open {
+			m.openCount--
+		}
+		b.oks = 0
+		b.backoff = 0
+		if m.Ins != nil {
+			m.Ins.Reclosed.Inc()
+			if b.span != 0 {
+				m.Ins.Tracer.End(b.span)
+				b.span = 0
+			}
+		}
+	}
+	tr := Transition{Site: site, Service: svc, At: now, From: from, To: to}
+	if err != nil {
+		tr.Err = err.Error()
+	}
+	m.transitions = append(m.transitions, tr)
+	if m.OnTransition != nil {
+		m.OnTransition(tr)
+	}
+}
+
+// Allow reports whether traffic may be sent to the service: true unless its
+// breaker is Open. HalfOpen admits traffic — that is how confidence rebuilds.
+// Unregistered pairs are always allowed.
+func (m *Monitor) Allow(site string, svc Service) bool {
+	if m == nil {
+		return true
+	}
+	if sh, ok := m.sites[site]; ok {
+		if b := sh.svcs[svc]; b != nil {
+			return b.state != Open
+		}
+	}
+	return true
+}
+
+// State returns the breaker state for a pair (Closed for unknown pairs).
+func (m *Monitor) State(site string, svc Service) State {
+	if m == nil {
+		return Closed
+	}
+	if sh, ok := m.sites[site]; ok {
+		if b := sh.svcs[svc]; b != nil {
+			return b.state
+		}
+	}
+	return Closed
+}
+
+// OpenServices returns the services with Open breakers at site, in service
+// order — the blast radius the ticket loop maps to severity.
+func (m *Monitor) OpenServices(site string) []Service {
+	if m == nil {
+		return nil
+	}
+	sh, ok := m.sites[site]
+	if !ok {
+		return nil
+	}
+	var out []Service
+	for svc, b := range sh.svcs {
+		if b != nil && b.state == Open {
+			out = append(out, Service(svc))
+		}
+	}
+	return out
+}
+
+// DegradedSites returns the sorted names of sites with at least one Open
+// breaker.
+func (m *Monitor) DegradedSites() []string {
+	if m == nil {
+		return nil
+	}
+	var out []string
+	for _, name := range m.order {
+		if len(m.OpenServices(name)) > 0 {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// OpenBreakers returns how many breakers are currently Open.
+func (m *Monitor) OpenBreakers() int {
+	if m == nil {
+		return 0
+	}
+	return m.openCount
+}
+
+// Transitions returns every recorded state change in order. The slice is
+// the monitor's own storage; callers must not mutate it.
+func (m *Monitor) Transitions() []Transition {
+	if m == nil {
+		return nil
+	}
+	return m.transitions
+}

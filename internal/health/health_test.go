@@ -1,0 +1,278 @@
+package health
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"grid3/internal/dist"
+	"grid3/internal/obs"
+	"grid3/internal/sim"
+)
+
+var errDown = errors.New("service down")
+
+// scripted is a probe whose outcome a test flips at will.
+type scripted struct{ down bool }
+
+func (p *scripted) run() error {
+	if p.down {
+		return errDown
+	}
+	return nil
+}
+
+func newTestMonitor(t *testing.T, o *obs.Observer) (*sim.Engine, *Monitor, *scripted) {
+	t.Helper()
+	eng := sim.NewEngine(sim.Grid3Epoch)
+	m := NewMonitor(eng, dist.New(42), Config{}, NewInstruments(o))
+	p := &scripted{}
+	m.Register("BNL", GRAM, p.run)
+	m.Start()
+	return eng, m, p
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	eng, m, p := newTestMonitor(t, nil)
+
+	eng.RunFor(1 * time.Hour)
+	if got := m.State("BNL", GRAM); got != Closed {
+		t.Fatalf("healthy service: state = %v, want Closed", got)
+	}
+	if !m.Allow("BNL", GRAM) {
+		t.Fatal("healthy service must be allowed")
+	}
+
+	// Two consecutive failures (FailureThreshold default) open the breaker.
+	p.down = true
+	eng.RunFor(2 * m.Interval())
+	if got := m.State("BNL", GRAM); got != Open {
+		t.Fatalf("after %d failing probes: state = %v, want Open", 2, got)
+	}
+	if m.Allow("BNL", GRAM) {
+		t.Fatal("open breaker must not allow traffic")
+	}
+	if got := m.OpenBreakers(); got != 1 {
+		t.Fatalf("OpenBreakers = %d, want 1", got)
+	}
+	if got := m.DegradedSites(); len(got) != 1 || got[0] != "BNL" {
+		t.Fatalf("DegradedSites = %v, want [BNL]", got)
+	}
+
+	// While the service stays down the breaker stays open; trial probes are
+	// spaced by the (growing) backoff, not the base interval.
+	eng.RunFor(12 * time.Hour)
+	if got := m.State("BNL", GRAM); got != Open {
+		t.Fatalf("service still down: state = %v, want Open", got)
+	}
+
+	// Recovery: trial passes -> HalfOpen, SuccessThreshold passes -> Closed.
+	p.down = false
+	eng.RunFor(6 * time.Hour)
+	if got := m.State("BNL", GRAM); got != Closed {
+		t.Fatalf("after recovery: state = %v, want Closed", got)
+	}
+	if got := m.OpenBreakers(); got != 0 {
+		t.Fatalf("OpenBreakers after recovery = %d, want 0", got)
+	}
+
+	// The transition log shows the full episode in order.
+	var states []State
+	for _, tr := range m.Transitions() {
+		states = append(states, tr.To)
+	}
+	want := []State{Open, HalfOpen, Closed}
+	if len(states) != len(want) {
+		t.Fatalf("transitions = %v, want %v", states, want)
+	}
+	for i := range want {
+		if states[i] != want[i] {
+			t.Fatalf("transition %d = %v, want %v", i, states[i], want[i])
+		}
+	}
+	if m.Transitions()[0].Err != "service down" {
+		t.Fatalf("opening transition error = %q", m.Transitions()[0].Err)
+	}
+}
+
+func TestSingleFailureDoesNotOpen(t *testing.T) {
+	eng := sim.NewEngine(sim.Grid3Epoch)
+	m := NewMonitor(eng, dist.New(1), Config{}, nil)
+	p := &scripted{}
+	m.Register("UF", GridFTP, p.run)
+	m.Start()
+
+	// One failing probe, then recovery before the threshold is met.
+	eng.RunFor(m.Interval() + time.Minute)
+	p.down = true
+	eng.RunFor(m.Interval())
+	p.down = false
+	eng.RunFor(2 * m.Interval())
+	if got := m.State("UF", GridFTP); got != Closed {
+		t.Fatalf("single blip: state = %v, want Closed", got)
+	}
+	if len(m.Transitions()) != 0 {
+		t.Fatalf("single blip recorded transitions: %v", m.Transitions())
+	}
+}
+
+func TestBackoffStopsProbeTraffic(t *testing.T) {
+	eng := sim.NewEngine(sim.Grid3Epoch)
+	probes := 0
+	m := NewMonitor(eng, dist.New(7), Config{}, nil)
+	m.Register("IU", SRM, func() error { probes++; return errDown })
+	m.Start()
+
+	// Run long enough for many intervals; once the breaker opens, probe
+	// traffic is paced by the exponential backoff instead of the interval.
+	eng.RunFor(24 * time.Hour)
+	intervals := int(24 * time.Hour / m.Interval())
+	if probes >= intervals {
+		t.Fatalf("open breaker kept probing every interval: %d probes in %d intervals", probes, intervals)
+	}
+	if probes < 5 {
+		t.Fatalf("expected periodic trial probes, got %d", probes)
+	}
+}
+
+func TestHalfOpenRelapseReopens(t *testing.T) {
+	// Drive sweeps by hand for precise state control: no ticker.
+	eng := sim.NewEngine(sim.Grid3Epoch)
+	m := NewMonitor(eng, dist.New(3), Config{SuccessThreshold: 3}, nil)
+	p := &scripted{down: true}
+	m.Register("CIT", GRAM, p.run)
+
+	m.Sweep() // fail 1
+	m.Sweep() // fail 2 -> Open
+	if got := m.State("CIT", GRAM); got != Open {
+		t.Fatalf("state = %v, want Open", got)
+	}
+	eng.RunFor(6 * time.Hour) // well past any jittered backoff
+	p.down = false
+	m.Sweep() // trial passes -> HalfOpen (needs 3 passes to close)
+	if got := m.State("CIT", GRAM); got != HalfOpen {
+		t.Fatalf("state = %v, want HalfOpen", got)
+	}
+	p.down = true
+	m.Sweep() // relapse -> straight back to Open
+	if got := m.State("CIT", GRAM); got != Open {
+		t.Fatalf("state after relapse = %v, want Open", got)
+	}
+}
+
+func TestDeterministicBackoff(t *testing.T) {
+	run := func() []Transition {
+		eng := sim.NewEngine(sim.Grid3Epoch)
+		m := NewMonitor(eng, dist.New(99), Config{}, nil)
+		p := &scripted{}
+		m.Register("BU", GRAM, p.run)
+		m.Start()
+		eng.Schedule(2*time.Hour, func() { p.down = true })
+		eng.Schedule(20*time.Hour, func() { p.down = false })
+		eng.RunFor(48 * time.Hour)
+		return m.Transitions()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) < 3 {
+		t.Fatalf("runs diverged or too short: %d vs %d transitions", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("transition %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Jitter must actually be applied: the gap between Open and the first
+	// recovery transition is not an exact multiple of the base backoff.
+	if a[0].To != Open {
+		t.Fatalf("first transition %+v, want Open", a[0])
+	}
+}
+
+func TestOutageSpansAndInstruments(t *testing.T) {
+	eng := sim.NewEngine(sim.Grid3Epoch)
+	o := obs.New(eng.Now)
+	m := NewMonitor(eng, dist.New(5), Config{}, NewInstruments(o))
+	p := &scripted{}
+	m.Register("BNL", GRAM, p.run)
+	m.Start()
+
+	downAt := 4 * time.Hour
+	upAt := 16 * time.Hour
+	eng.Schedule(downAt, func() { p.down = true })
+	eng.Schedule(upAt, func() { p.down = false })
+	eng.RunFor(48 * time.Hour)
+
+	var outages []obs.Span
+	for _, sp := range o.Tracer.Spans() {
+		if sp.Kind == obs.KindOutage {
+			outages = append(outages, sp)
+		}
+	}
+	if len(outages) != 1 {
+		t.Fatalf("outage spans = %d, want 1", len(outages))
+	}
+	sp := outages[0]
+	if sp.Site != "BNL" || sp.Job != "gram" {
+		t.Fatalf("outage span site/service = %q/%q", sp.Site, sp.Job)
+	}
+	if !sp.Ended() {
+		t.Fatal("outage span never closed despite recovery")
+	}
+	if sp.Start < downAt || sp.Start > downAt+4*m.Interval() {
+		t.Fatalf("detection at %v, outage began at %v (interval %v)", sp.Start, downAt, m.Interval())
+	}
+	if sp.End < upAt {
+		t.Fatalf("recovery span ended %v before service came back at %v", sp.End, upAt)
+	}
+
+	snap := o.Metrics.Snapshot()
+	var pass, fail, opened, closed float64
+	var probeN uint64
+	for _, c := range snap.Counters {
+		switch c.Name {
+		case "health.probe.pass":
+			pass = float64(c.Value)
+		case "health.probe.fail":
+			fail = float64(c.Value)
+		case "health.breaker.opened":
+			opened = float64(c.Value)
+		case "health.breaker.closed":
+			closed = float64(c.Value)
+		}
+	}
+	for _, h := range snap.Histograms {
+		if h.Name == "health.probe.seconds" {
+			probeN = h.N
+		}
+	}
+	if pass == 0 || fail == 0 {
+		t.Fatalf("probe counters pass=%v fail=%v", pass, fail)
+	}
+	if opened != 1 || closed != 1 {
+		t.Fatalf("breaker counters opened=%v closed=%v, want 1/1", opened, closed)
+	}
+	if probeN != uint64(pass+fail) {
+		t.Fatalf("probe latency samples %d != pass+fail %v", probeN, pass+fail)
+	}
+	var openGauge float64 = -1
+	for _, g := range snap.Gauges {
+		if g.Name == "health.breakers.open" {
+			openGauge = g.Value
+		}
+	}
+	if openGauge != 0 {
+		t.Fatalf("health.breakers.open gauge = %v, want 0 after recovery", openGauge)
+	}
+}
+
+func TestUnregisteredAlwaysAllowed(t *testing.T) {
+	var m *Monitor
+	if !m.Allow("X", GRAM) || m.State("X", GRAM) != Closed || m.OpenBreakers() != 0 {
+		t.Fatal("nil monitor must behave as all-healthy")
+	}
+	eng := sim.NewEngine(sim.Grid3Epoch)
+	m = NewMonitor(eng, dist.New(1), Config{}, nil)
+	if !m.Allow("X", SRM) {
+		t.Fatal("unregistered pair must be allowed")
+	}
+}

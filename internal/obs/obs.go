@@ -44,6 +44,7 @@ const (
 	KindWorkflow             // one DAG execution
 	KindDAGNode              // one DAG node attempt
 	KindPlan                 // one Pegasus planning pass
+	KindOutage               // one detected service outage: breaker open → close
 	numKinds
 )
 
@@ -71,6 +72,8 @@ func (k Kind) String() string {
 		return "dag-node"
 	case KindPlan:
 		return "plan"
+	case KindOutage:
+		return "outage"
 	}
 	return "unknown"
 }

@@ -203,6 +203,11 @@ type Planner struct {
 	ArchiveSite string
 	// Policy picks the site-selection strategy.
 	Policy Policy
+	// Exclude, when set, reports sites that should not be planned onto or
+	// read from (open health breakers). Exclusion is advisory: if every
+	// otherwise-eligible site is excluded the planner uses the full set
+	// rather than failing the workflow.
+	Exclude func(site string) bool
 	// Ins enables observability (nil = off).
 	Ins *Instruments
 	// Parent is the span under which plan spans are parented (the enclosing
@@ -356,7 +361,7 @@ func (p *Planner) plan(a *chimera.AbstractDAG, vo string) (*ConcreteDAG, error) 
 					Name:    fmt.Sprintf("stagein_%s_to_%s", lfn, execSite),
 					Type:    StageIn,
 					Site:    execSite,
-					SrcSite: replicas[0],
+					SrcSite: p.pickReplica(replicas),
 					LFN:     lfn,
 					Bytes:   sizeOf(lfn),
 				})
@@ -411,6 +416,18 @@ func (p *Planner) selectSite(sites []SiteInfo, tr *chimera.Transformation, vo st
 	if len(eligible) == 0 {
 		return "", fmt.Errorf("%w for VO %s, TR %s", ErrNoEligibleSite, vo, tr.Name)
 	}
+	// Steer around sick sites, but never let exclusion alone fail the plan.
+	if p.Exclude != nil {
+		var healthy []SiteInfo
+		for _, s := range eligible {
+			if !p.Exclude(s.Name) {
+				healthy = append(healthy, s)
+			}
+		}
+		if len(healthy) > 0 {
+			eligible = healthy
+		}
+	}
 	sort.Slice(eligible, func(i, j int) bool { return eligible[i].Name < eligible[j].Name })
 
 	switch p.Policy {
@@ -440,6 +457,20 @@ func (p *Planner) selectSite(sites []SiteInfo, tr *chimera.Transformation, vo st
 		return best.Name, nil
 	}
 	return eligible[0].Name, nil
+}
+
+// pickReplica chooses a stage-in source: the first replica whose site is
+// not excluded, or the first replica when every holder is sick (the
+// transfer layer retries with failover at execution time).
+func (p *Planner) pickReplica(replicas []string) string {
+	if p.Exclude != nil {
+		for _, r := range replicas {
+			if !p.Exclude(r) {
+				return r
+			}
+		}
+	}
+	return replicas[0]
 }
 
 // score ranks sites: free CPUs minus queue depth (higher is better).

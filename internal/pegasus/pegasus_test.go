@@ -370,3 +370,56 @@ func TestPolicyStrings(t *testing.T) {
 		}
 	}
 }
+
+func TestExcludeSteersPlanning(t *testing.T) {
+	a := twoStepDAG(t)
+	p := newPlanner(rlsStub{"lfn:card": {"BNL"}, "lfn:geom": {"BNL"}})
+	// BNL's breaker is open: planning must land on UC instead (the other
+	// usatlas-owned site) even though BNL has more free CPUs.
+	p.Exclude = func(site string) bool { return site == "BNL" }
+	dag, err := p.Plan(a, "usatlas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range dag.Order {
+		j := dag.Jobs[name]
+		if j.Type == Compute && j.Site == "BNL" {
+			t.Fatalf("compute %s planned onto excluded site", name)
+		}
+	}
+	if dag.Jobs["compute_g1"].Site != "UC" {
+		t.Fatalf("gen site = %q, want UC", dag.Jobs["compute_g1"].Site)
+	}
+}
+
+func TestExcludeAllFallsBackToFullSet(t *testing.T) {
+	a := twoStepDAG(t)
+	p := newPlanner(rlsStub{"lfn:card": {"BNL"}, "lfn:geom": {"BNL"}})
+	// Every site sick: exclusion is advisory, the plan must still succeed.
+	p.Exclude = func(string) bool { return true }
+	dag, err := p.Plan(a, "usatlas")
+	if err != nil {
+		t.Fatalf("plan with all sites excluded failed: %v", err)
+	}
+	if dag.Jobs["compute_g1"].Site == "" {
+		t.Fatal("no site chosen")
+	}
+}
+
+func TestExcludePrefersHealthyReplica(t *testing.T) {
+	a := twoStepDAG(t)
+	// Both inputs have two replicas; the first holder is sick.
+	p := newPlanner(rlsStub{"lfn:card": {"UC", "Buffalo"}, "lfn:geom": {"UC", "Buffalo"}})
+	p.Exclude = func(site string) bool { return site == "UC" }
+	dag, err := p.Plan(a, "usatlas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	si, ok := dag.Jobs["stagein_lfn:card_to_BNL"]
+	if !ok {
+		t.Fatalf("no stage-in node: %v", dag.Order)
+	}
+	if si.SrcSite != "Buffalo" {
+		t.Fatalf("stage-in source = %q, want healthy replica Buffalo", si.SrcSite)
+	}
+}

@@ -186,6 +186,26 @@ func (r *RLI) Sites(lfn string) []string {
 	return out
 }
 
+// AlternateSites returns the sites currently publishing an LFN other than
+// the excluded ones, sorted — the failover candidates a transfer retries
+// against when its planned source fails mid-flight.
+func (r *RLI) AlternateSites(lfn string, exclude ...string) []string {
+	var out []string
+	for _, site := range r.Sites(lfn) {
+		skip := false
+		for _, x := range exclude {
+			if site == x {
+				skip = true
+				break
+			}
+		}
+		if !skip {
+			out = append(out, site)
+		}
+	}
+	return out
+}
+
 // Locate resolves an LFN to physical locations by consulting the index and
 // then each publishing site's LRC.
 func (r *RLI) Locate(lfn string) ([]PFN, error) {

@@ -156,3 +156,25 @@ func TestRLIScale(t *testing.T) {
 		t.Fatalf("Locate found %d replicas, want %d", len(pfns), sites)
 	}
 }
+
+func TestAlternateSites(t *testing.T) {
+	eng := sim.NewEngine(sim.Grid3Epoch)
+	rli := NewRLI(eng)
+	for _, s := range []string{"BNL", "UC", "IU"} {
+		lrc := NewLRC(s)
+		if err := lrc.Add("lfn:ev", "/data/ev", 1<<20); err != nil {
+			t.Fatal(err)
+		}
+		rli.Publish(lrc, time.Hour)
+	}
+	got := rli.AlternateSites("lfn:ev", "BNL")
+	if len(got) != 2 || got[0] != "IU" || got[1] != "UC" {
+		t.Fatalf("AlternateSites excluding BNL = %v", got)
+	}
+	if got := rli.AlternateSites("lfn:ev", "BNL", "IU", "UC"); len(got) != 0 {
+		t.Fatalf("all excluded: %v", got)
+	}
+	if got := rli.AlternateSites("lfn:missing"); len(got) != 0 {
+		t.Fatalf("unknown lfn: %v", got)
+	}
+}

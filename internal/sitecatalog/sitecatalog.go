@@ -57,6 +57,11 @@ type Entry struct {
 	totalTime   time.Duration
 	since       time.Duration // time of last status change
 	transitions int
+
+	// note is an operator annotation shown on the status page (e.g. the
+	// health monitor's open-breaker summary). Informational only: it never
+	// affects the probe verdict.
+	note string
 }
 
 // Status returns the current probe verdict.
@@ -150,6 +155,17 @@ func (c *Catalog) Entry(siteName string) (*Entry, bool) {
 	return e, ok
 }
 
+// SetNote annotates a site's status-page row (empty clears it). Notes are
+// purely informational: the probe verdict and uptime are unaffected.
+func (c *Catalog) SetNote(siteName, note string) {
+	if e, ok := c.entries[siteName]; ok {
+		e.note = note
+	}
+}
+
+// Note returns the site's current status-page annotation.
+func (e *Entry) Note() string { return e.note }
+
 // Passing returns the number of sites currently in PASS.
 func (c *Catalog) Passing() int {
 	n := 0
@@ -171,8 +187,15 @@ func (c *Catalog) WriteStatusPage(w io.Writer) (int64, error) {
 	}
 	for _, name := range c.Sites() {
 		e := c.entries[name]
+		detail := e.lastErr
+		if e.note != "" {
+			if detail != "" {
+				detail += " | "
+			}
+			detail += e.note
+		}
 		n, err := fmt.Fprintf(w, "%-24s %-28s %-7s %7.1f%% %s\n",
-			e.SiteName, e.Location, e.status, 100*e.Uptime(), e.lastErr)
+			e.SiteName, e.Location, e.status, 100*e.Uptime(), detail)
 		total += int64(n)
 		if err != nil {
 			return total, err

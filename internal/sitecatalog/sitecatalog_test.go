@@ -1,6 +1,7 @@
 package sitecatalog
 
 import (
+	"bytes"
 	"errors"
 	"math"
 	"strings"
@@ -115,4 +116,32 @@ func TestProbeShortCircuits(t *testing.T) {
 	if secondRan {
 		t.Fatal("probes after a failure should not run")
 	}
+}
+
+func TestStatusPageNotes(t *testing.T) {
+	eng := sim.NewEngine(sim.Grid3Epoch)
+	c := New(eng, 15*time.Minute)
+	c.Register("BNL", "Brookhaven", Probe{Name: "gram-ping", Run: func() error { return nil }})
+	eng.RunFor(time.Hour)
+
+	c.SetNote("BNL", "breaker open: gridftp")
+	e, _ := c.Entry("BNL")
+	if e.Note() != "breaker open: gridftp" {
+		t.Fatalf("note = %q", e.Note())
+	}
+	if e.Status() != Pass {
+		t.Fatalf("note must not change status, got %v", e.Status())
+	}
+	var buf bytes.Buffer
+	if _, err := c.WriteStatusPage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "breaker open: gridftp") {
+		t.Fatalf("status page missing note:\n%s", buf.String())
+	}
+	c.SetNote("BNL", "")
+	if e.Note() != "" {
+		t.Fatal("note not cleared")
+	}
+	c.SetNote("NOPE", "ignored") // unknown site: no-op
 }

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Run a small reference chaos sweep and record it in BENCH_chaos.json:
+# the fault-tolerance curve this repo tracks across PRs (goodput
+# retention, baseline vs closed-loop recovery, and per-failure-kind
+# MTTD/MTTR at each intensity).
+#
+# Run from the repo root: ./scripts/chaos-demo.sh [out.json]
+set -eu
+
+OUT=${1:-BENCH_chaos.json}
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+go build -o "$TMP/grid3sim" ./cmd/grid3sim
+"$TMP/grid3sim" -chaos 1,2,4 -seeds 1,2 -scale 0.05 -days 1 \
+	-chaos-json "$OUT"
+
+echo
+echo "wrote $OUT"
