@@ -22,6 +22,13 @@
 // no-reaction baseline and a recovery run at every point:
 //
 //	grid3sim -chaos 1,2,4 -seeds 1,2,3 -scale 0.05 -days 30 [-chaos-json out.json]
+//
+// Testbed scaling: -sites N grows the site population past the historical
+// 27 with a seeded synthetic generator (N <= 27 is a catalog prefix). The
+// scale-sweep mode measures simulation cost across populations:
+//
+//	grid3sim -sites 1000 -days 1
+//	grid3sim -scale-sweep 27,100,300,1000 -days 1 [-scale-json out.json]
 package main
 
 import (
@@ -60,6 +67,9 @@ func main() {
 	recoveryOn := flag.Bool("recovery", false, "close the fault-management loop (implies -health)")
 	chaosList := flag.String("chaos", "", "comma-separated failure intensities: run the chaos campaign over seeds x intensities")
 	chaosJSON := flag.String("chaos-json", "", "write the chaos sweep report JSON to this file")
+	sites := flag.Int("sites", 0, "testbed size: 0 = the historical 27-site catalog, larger adds synthetic sites")
+	scaleSweepList := flag.String("scale-sweep", "", "comma-separated site counts: run the testbed scale sweep")
+	scaleJSON := flag.String("scale-json", "", "write the scale sweep report JSON to this file")
 	flag.Parse()
 
 	cfg := core.ScenarioConfig{
@@ -69,10 +79,19 @@ func main() {
 			DisableAffinity: *noAffinity,
 			EnableHealth:    *healthOn,
 			EnableRecovery:  *recoveryOn,
+			TestbedSites:    *sites,
 		},
 		Horizon:         time.Duration(*days) * 24 * time.Hour,
 		JobScale:        *scale,
 		DisableFailures: *noFailures,
+	}
+
+	if *scaleSweepList != "" {
+		if err := scaleSweep(*scaleSweepList, *seedList, *seed, *days, *scaleJSON, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "grid3sim:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *chaosList != "" {
@@ -409,6 +428,71 @@ func chaos(intensityList, seedList string, seed int64, workers int, jsonPath str
 		fmt.Printf("\nchaos JSON written to %s\n", jsonPath)
 	}
 	return nil
+}
+
+// scaleSweep runs the testbed scale campaign: the same scenario at
+// growing site populations, measured serially so per-point allocation
+// deltas are clean.
+func scaleSweep(countList, seedList string, seed int64, days int, jsonPath string, cfg core.ScenarioConfig) error {
+	var counts []int
+	for _, part := range strings.Split(countList, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad -scale-sweep site count %q", part)
+		}
+		counts = append(counts, n)
+	}
+	seeds := []int64{seed}
+	if seedList != "" {
+		var err error
+		if seeds, err = parseSeeds(seedList); err != nil {
+			return err
+		}
+	}
+	rep, err := campaign.ScaleSweep(campaign.ScaleSweepConfig{
+		SiteCounts: counts,
+		Seeds:      seeds,
+		Days:       days,
+		JobScale:   cfg.JobScale,
+		Base:       cfg,
+	})
+	if err != nil {
+		return err
+	}
+	rep.Write(os.Stdout)
+	if jsonPath != "" {
+		rec := scaleRecord{
+			Kind:       "grid3sim-scale",
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			Days:       rep.Days,
+			JobScale:   rep.JobScale,
+			WallSecs:   rep.Elapsed.Seconds(),
+			Points:     rep.Points,
+		}
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nscale JSON written to %s\n", jsonPath)
+	}
+	return nil
+}
+
+// scaleRecord is the -scale-json schema.
+type scaleRecord struct {
+	Kind       string                `json:"kind"`
+	GoMaxProcs int                   `json:"gomaxprocs"`
+	Days       int                   `json:"days"`
+	JobScale   float64               `json:"job_scale"`
+	WallSecs   float64               `json:"wall_seconds"`
+	Points     []campaign.ScalePoint `json:"points"`
 }
 
 // chaosRecord is the -chaos-json schema: the goodput-retention and

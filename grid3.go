@@ -110,6 +110,14 @@ func WithSites(sites []SiteSpec) Option {
 	return func(c *ScenarioConfig) { c.Config.Sites = sites }
 }
 
+// WithTestbedScale sizes the site population with the synthetic testbed
+// generator: n <= 27 is a prefix of the historical catalog (27 reproduces
+// the paper's Table 1 sites exactly), larger n appends seeded synthetic
+// sites drawn from the default tier distribution. Overridden by WithSites.
+func WithTestbedScale(n int) Option {
+	return func(c *ScenarioConfig) { c.Config.TestbedSites = n }
+}
+
 // WithMonitorInterval paces Ganglia/MonALISA collection (production used
 // 5 minutes; the default 30 minutes consolidates identically).
 func WithMonitorInterval(d time.Duration) Option {
@@ -511,4 +519,24 @@ func ChaosSweep(cfg ChaosSweepConfig, opts ...Option) (*ChaosReport, error) {
 	base := buildConfig(opts)
 	cfg.Base = base
 	return campaign.ChaosSweep(cfg)
+}
+
+// Scale-sweep views: the campaign mode that measures simulation cost as
+// the synthetic testbed grows past the historical 27 sites.
+type (
+	// ScaleSweepConfig shapes a scale campaign (site counts × seeds, run
+	// serially so per-point allocation deltas attribute cleanly).
+	ScaleSweepConfig = campaign.ScaleSweepConfig
+	// ScaleReport is a completed scale sweep.
+	ScaleReport = campaign.ScaleReport
+	// ScalePoint is one (sites, seed) measurement.
+	ScalePoint = campaign.ScalePoint
+)
+
+// ScaleSweep measures wall time, event throughput, and allocation volume
+// across testbed sizes. Options apply to every point (the sweep overrides
+// the seed and site count per point).
+func ScaleSweep(cfg ScaleSweepConfig, opts ...Option) (*ScaleReport, error) {
+	cfg.Base = buildConfig(opts)
+	return campaign.ScaleSweep(cfg)
 }

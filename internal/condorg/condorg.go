@@ -106,11 +106,22 @@ type Resource struct {
 	// keeps at the resource simultaneously (protects the gatekeeper from
 	// the §6.4 overload). 0 = unlimited.
 	MaxSubmitted int
+	// Excluded, when set, reports that the resource must not receive new
+	// traffic (its health breaker is open). It is the per-resource form of
+	// Schedd.Exclude — resolved once at wiring time, so the matchmaking
+	// scan pays a closure call instead of a site-name hash — and takes
+	// precedence over Schedd.Exclude when both are set.
+	Excluded func() bool
 
 	inFlight int
 	// backoffUntil pauses submissions after an overload/down response.
 	backoffUntil time.Duration
 	backoffStep  time.Duration
+}
+
+// full reports whether the GridManager throttle is saturated.
+func (r *Resource) full() bool {
+	return r.MaxSubmitted > 0 && r.inFlight >= r.MaxSubmitted
 }
 
 // GridJob is one queued grid job.
@@ -139,19 +150,35 @@ type GridJob struct {
 	Attempts int
 	LastErr  error
 
-	matchSpan   obs.SpanID      // open while the job waits to be placed
-	avoid       map[string]bool // sites where this job already failed
-	pinFellBack bool            // pin-fallback already counted for this job
+	matchSpan obs.SpanID // open while the job waits to be placed
+	// avoid marks resources where this job already failed. Keyed by
+	// pointer: membership tests in the candidate scan stay O(1) without
+	// hashing site names, and pointers are stable for the schedd's life.
+	avoid       map[*Resource]bool
+	pinFellBack bool // pin-fallback already counted for this job
 }
 
 // Schedd is the Condor-G scheduler daemon.
 type Schedd struct {
 	eng       *sim.Engine
 	resources map[string]*Resource
-	order     []string
-	idle      []*GridJob
-	jobs      map[string]*GridJob // every submitted job, by ID
-	ticker    *sim.Ticker
+	// list holds the resources in sorted-name order: the dense candidate
+	// array every matchmaking scan walks (no per-candidate map lookup).
+	list   []*Resource
+	idle   []*GridJob
+	jobs   map[string]*GridJob // every submitted job, by ID
+	ticker *sim.Ticker
+
+	// fullCount tracks how many resources are throttle-saturated,
+	// maintained event-driven on launch/completion instead of rescanned:
+	// when every resource is full, a negotiation cycle is O(1), which is
+	// what bounds cost when a production burst outruns a 1000-site grid.
+	fullCount int
+
+	// Scratch buffers reused across matchmaking scans; rebuilt from
+	// scratch per call, so only their backing arrays persist.
+	adScratch    []*classad.Ad
+	availScratch []*Resource
 
 	// MaxMatchesPerCycle bounds matchmaking work per negotiation cycle;
 	// excess idle jobs wait for the next cycle (0 = unlimited).
@@ -206,14 +233,20 @@ func New(eng *sim.Engine, interval time.Duration) *Schedd {
 // Stop halts the negotiation cycle.
 func (s *Schedd) Stop() { s.ticker.Stop() }
 
-// AddResource registers a grid site.
+// AddResource registers a grid site, inserting it into the sorted
+// candidate list (no full re-sort per registration).
 func (s *Schedd) AddResource(r *Resource) {
 	if r.Name == "" {
 		r.Name = r.Gatekeeper.Site().Name
 	}
 	s.resources[r.Name] = r
-	s.order = append(s.order, r.Name)
-	sort.Strings(s.order)
+	i := sort.Search(len(s.list), func(i int) bool { return s.list[i].Name >= r.Name })
+	s.list = append(s.list, nil)
+	copy(s.list[i+1:], s.list[i:])
+	s.list[i] = r
+	if r.full() {
+		s.fullCount++
+	}
 }
 
 // Resource returns a registered resource.
@@ -292,11 +325,15 @@ func (s *Schedd) Negotiate() {
 	now := s.eng.Now()
 	// Fast path: if every resource is throttled or backing off, nothing
 	// can be placed this cycle. This bounds negotiation cost when a
-	// production burst outruns the grid (§6.4 peak months).
+	// production burst outruns the grid (§6.4 peak months). The saturation
+	// counter makes the all-throttled case O(1); otherwise the scan breaks
+	// at the first open resource.
+	if len(s.list) > 0 && s.fullCount == len(s.list) {
+		return
+	}
 	anyOpen := false
-	for _, name := range s.order {
-		r := s.resources[name]
-		if (r.MaxSubmitted == 0 || r.inFlight < r.MaxSubmitted) && now >= r.backoffUntil {
+	for _, r := range s.list {
+		if !r.full() && now >= r.backoffUntil {
 			anyOpen = true
 			break
 		}
@@ -335,14 +372,34 @@ func (s *Schedd) Negotiate() {
 	}
 }
 
+// excluded reports whether a resource is breaker-blocked, preferring the
+// pre-resolved per-resource hook over the schedd-level name lookup.
+func (s *Schedd) excluded(r *Resource) bool {
+	if r.Excluded != nil {
+		return r.Excluded()
+	}
+	return s.Exclude != nil && s.Exclude(r.Name)
+}
+
 // pickResource selects the target for a job, honoring pinning, throttles,
 // backoff, breaker exclusion, failed-site avoidance, and ClassAd matching.
 func (s *Schedd) pickResource(j *GridJob, now time.Duration) *Resource {
-	candidates := s.order
+	// pinned selects the single-candidate path; nil with pinnedOnly false
+	// means full matchmaking over the sorted list.
+	var pinned *Resource
+	pinnedOnly := false
 	if j.TargetSite != "" {
-		if s.Exclude != nil && s.Exclude(j.TargetSite) {
+		pinned = s.resources[j.TargetSite]
+		excl := false
+		if pinned != nil {
+			excl = s.excluded(pinned)
+		} else if s.Exclude != nil {
+			excl = s.Exclude(j.TargetSite)
+		}
+		if excl {
 			// Pinned to a site with an open breaker: fall back to full
 			// matchmaking rather than queueing on a dead site.
+			pinned = nil
 			if !j.pinFellBack {
 				j.pinFellBack = true
 				if in := s.Ins; in != nil {
@@ -350,32 +407,35 @@ func (s *Schedd) pickResource(j *GridJob, now time.Duration) *Resource {
 				}
 			}
 		} else {
-			candidates = []string{j.TargetSite}
+			// An unknown pinned target keeps the job idle (pinned nil,
+			// pinnedOnly true), matching a schedd with no such resource.
+			pinnedOnly = true
 		}
 	}
+	eligible := func(r *Resource) bool {
+		return !r.full() && now >= r.backoffUntil && !s.excluded(r)
+	}
 	pick := func(avoidFailed bool) *Resource {
-		var ads []*classad.Ad
-		var avail []*Resource
-		for _, name := range candidates {
-			r, ok := s.resources[name]
-			if !ok {
-				continue
+		ads := s.adScratch[:0]
+		avail := s.availScratch[:0]
+		if pinnedOnly {
+			if pinned != nil && eligible(pinned) && !(avoidFailed && j.avoid[pinned]) {
+				ads = append(ads, pinned.AdFunc())
+				avail = append(avail, pinned)
 			}
-			if r.MaxSubmitted > 0 && r.inFlight >= r.MaxSubmitted {
-				continue
+		} else {
+			for _, r := range s.list {
+				if !eligible(r) {
+					continue
+				}
+				if avoidFailed && j.avoid[r] {
+					continue
+				}
+				ads = append(ads, r.AdFunc())
+				avail = append(avail, r)
 			}
-			if now < r.backoffUntil {
-				continue
-			}
-			if s.Exclude != nil && s.Exclude(name) {
-				continue
-			}
-			if avoidFailed && j.avoid[name] {
-				continue
-			}
-			ads = append(ads, r.AdFunc())
-			avail = append(avail, r)
 		}
+		s.adScratch, s.availScratch = ads, avail
 		best := classad.BestMatch(j.Ad, ads)
 		if best < 0 {
 			return nil
@@ -408,7 +468,7 @@ func (s *Schedd) launch(j *GridJob, r *Resource) error {
 	spec.OnState = func(gj *gram.Job, st gram.JobState) {
 		switch st {
 		case gram.StateDone:
-			r.inFlight--
+			s.dropInFlight(r)
 			r.backoffStep = 0
 			j.State = Completed
 			s.completed++
@@ -419,8 +479,8 @@ func (s *Schedd) launch(j *GridJob, r *Resource) error {
 				j.OnDone(j, nil)
 			}
 		case gram.StateFailed:
-			r.inFlight--
-			s.remoteFailure(j, r.Name, fmt.Errorf("condorg: remote failure at %s: %s", r.Name, gj.FailureReason))
+			s.dropInFlight(r)
+			s.remoteFailure(j, r, fmt.Errorf("condorg: remote failure at %s: %s", r.Name, gj.FailureReason))
 		}
 	}
 	tr := s.Ins.tracer()
@@ -446,7 +506,7 @@ func (s *Schedd) launch(j *GridJob, r *Resource) error {
 		// Anything else (authorization, walltime policy) is a job-level
 		// failure: burn an attempt.
 		j.Attempts++
-		s.remoteFailure(j, r.Name, err)
+		s.remoteFailure(j, r, err)
 		return nil
 	}
 	tr.End(auth)
@@ -457,7 +517,7 @@ func (s *Schedd) launch(j *GridJob, r *Resource) error {
 	j.State = Running
 	j.Site = r.Name
 	j.Contact = gj.ID
-	r.inFlight++
+	s.addInFlight(r)
 	s.submitted++
 	if in := s.Ins; in != nil {
 		in.Submitted.Inc()
@@ -468,15 +528,33 @@ func (s *Schedd) launch(j *GridJob, r *Resource) error {
 	return nil
 }
 
-// remoteFailure retries a failed job or holds it. site is where the failed
+// addInFlight and dropInFlight adjust a resource's GridManager occupancy
+// while keeping the schedd's saturation counter exact.
+func (s *Schedd) addInFlight(r *Resource) {
+	wasFull := r.full()
+	r.inFlight++
+	if !wasFull && r.full() {
+		s.fullCount++
+	}
+}
+
+func (s *Schedd) dropInFlight(r *Resource) {
+	wasFull := r.full()
+	r.inFlight--
+	if wasFull && !r.full() {
+		s.fullCount--
+	}
+}
+
+// remoteFailure retries a failed job or holds it. r is where the failed
 // attempt ran, recorded so retries can steer elsewhere.
-func (s *Schedd) remoteFailure(j *GridJob, site string, err error) {
+func (s *Schedd) remoteFailure(j *GridJob, r *Resource, err error) {
 	j.LastErr = err
-	if s.AvoidFailedSites && site != "" {
+	if s.AvoidFailedSites && r != nil {
 		if j.avoid == nil {
-			j.avoid = make(map[string]bool)
+			j.avoid = make(map[*Resource]bool)
 		}
-		j.avoid[site] = true
+		j.avoid[r] = true
 	}
 	if j.Attempts <= j.MaxRetries {
 		j.State = Idle

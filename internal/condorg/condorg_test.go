@@ -419,7 +419,11 @@ func TestAvoidFailedSitesSteersRetry(t *testing.T) {
 	if j.Site == first {
 		t.Fatalf("retry landed on the failed site %q again", first)
 	}
-	if !j.avoid[first] {
+	failedRes, err := r.schedd.Resource(first)
+	if err != nil {
+		t.Fatalf("failed site %q not registered: %v", first, err)
+	}
+	if !j.avoid[failedRes] {
 		t.Fatalf("failed site %q not recorded: %v", first, j.avoid)
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"grid3/internal/gridftp"
 	"grid3/internal/gsi"
 	"grid3/internal/health"
+	"grid3/internal/intern"
 	"grid3/internal/mds"
 	"grid3/internal/monalisa"
 	"grid3/internal/obs"
@@ -40,8 +41,13 @@ import (
 type Config struct {
 	// Seed drives all randomness; same seed, same scenario.
 	Seed int64
-	// Sites is the site catalog; nil means Grid3Sites().
+	// Sites is the site catalog; nil means Grid3Sites() (or a generated
+	// testbed when TestbedSites is set).
 	Sites []SiteSpec
+	// TestbedSites, when positive and Sites is nil, builds the catalog
+	// with ScaledSites(TestbedSites, Seed): the historical 27 sites up to
+	// N=27, catalog plus synthetic sites beyond.
+	TestbedSites int
 	// MonitorInterval paces Ganglia/MonALISA collection (default 30 m —
 	// production used 5 m, but scenario runs consolidate identically).
 	MonitorInterval time.Duration
@@ -75,7 +81,11 @@ type Config struct {
 
 func (c *Config) defaults() {
 	if c.Sites == nil {
-		c.Sites = Grid3Sites()
+		if c.TestbedSites > 0 {
+			c.Sites = ScaledSites(c.TestbedSites, c.Seed)
+		} else {
+			c.Sites = Grid3Sites()
+		}
 	}
 	if c.MonitorInterval <= 0 {
 		c.MonitorInterval = 30 * time.Minute
@@ -90,6 +100,9 @@ func (c *Config) defaults() {
 
 // Node bundles one site's full service stack.
 type Node struct {
+	// ID is the site's dense interned identifier (ascending in sorted
+	// site-name order); hot paths index by it instead of hashing Spec.Name.
+	ID         intern.ID
 	Spec       SiteSpec
 	Site       *site.Site
 	Batch      *batch.System
@@ -151,6 +164,11 @@ type Grid struct {
 	Registry *vo.Registry
 	Nodes    map[string]*Node
 	Order    []string
+	// SiteIDs interns site names in sorted-name order, so ascending-ID
+	// iteration over nodeList reproduces the historical sorted-string
+	// sweeps exactly. nodeList[id] is the node whose Node.ID == id.
+	SiteIDs  *intern.Table
+	nodeList []*Node
 	Network  *gridftp.Network
 	RLI      *rls.RLI
 	TopGIIS  *mds.GIIS
@@ -193,6 +211,12 @@ type Grid struct {
 
 	stats map[string]*VOStats
 	seq   int64
+
+	// maxWallByVO caches maxWallFor: site walltime policies and the VO
+	// support matrix are fixed at construction, and rescanning every site
+	// per submission is the kind of linear cost that only shows up at
+	// 1000-site scale.
+	maxWallByVO map[string]time.Duration
 
 	// Concurrency sampling for the §7 peak-jobs and utilization metrics.
 	peakRunning    int
@@ -286,6 +310,17 @@ func New(cfg Config) (*Grid, error) {
 			return nil, fmt.Errorf("core: site %s: %w", spec.Name, err)
 		}
 	}
+	// Freeze the catalog into dense IDs: sort once (addSite only appends),
+	// intern names in sorted order, and build the ID-indexed node list the
+	// hot loops iterate instead of Order+map lookups.
+	sort.Strings(g.Order)
+	g.SiteIDs = intern.FromSorted(g.Order)
+	g.nodeList = make([]*Node, len(g.Order))
+	for i, name := range g.Order {
+		n := g.Nodes[name]
+		n.ID = intern.ID(i)
+		g.nodeList[i] = n
+	}
 
 	// --- Health monitor: one breaker per (site, service), probing the same
 	// three services the Site Status Catalog checks. Built before the
@@ -293,26 +328,25 @@ func New(cfg Config) (*Grid, error) {
 	if cfg.EnableHealth {
 		g.healthIns = health.NewInstruments(g.Obs)
 		g.Health = health.NewMonitor(g.Eng, dist.New(cfg.Seed^healthSeedSalt), health.Config{}, g.healthIns)
-		for _, name := range g.Order {
-			n := g.Nodes[name]
+		for _, n := range g.nodeList {
 			st := n.Site
-			siteName := name
+			siteName := n.Spec.Name
 			g.Health.Register(siteName, health.GRAM, func() error {
 				if !st.Healthy() {
-					return errors.New("gatekeeper unreachable")
+					return errGatekeeperDown
 				}
 				return nil
 			})
 			g.Health.Register(siteName, health.GridFTP, func() error {
 				ep, err := g.Network.Endpoint(siteName)
 				if err != nil || !ep.Up() {
-					return errors.New("gridftp endpoint down")
+					return errGridFTPDown
 				}
 				return nil
 			})
 			g.Health.Register(siteName, health.SRM, func() error {
 				if st.Disk.Free() <= 0 {
-					return errors.New("storage full")
+					return errStorageFull
 				}
 				return nil
 			})
@@ -340,18 +374,27 @@ func New(cfg Config) (*Grid, error) {
 			}
 			sch.AvoidFailedSites = true
 		}
-		for _, name := range g.Order {
-			n := g.Nodes[name]
+		// Each schedd only ever sees the VO-authorized shard of the grid:
+		// AddResource in sorted-site order so candidate scans reproduce the
+		// historical iteration exactly.
+		for _, n := range g.nodeList {
 			if !n.Site.SupportsVO(voName) {
 				continue
 			}
 			node := n
-			sch.AddResource(&condorg.Resource{
-				Name:         name,
+			res := &condorg.Resource{
+				Name:         n.Spec.Name,
 				Gatekeeper:   n.Gatekeeper,
 				MaxSubmitted: 2 * n.Batch.Slots(),
 				AdFunc:       func() *classad.Ad { return g.ceAd(node) },
-			})
+			}
+			if cfg.EnableRecovery {
+				// Per-resource breaker handle: one map lookup at wiring
+				// time instead of one per (job, resource) per cycle.
+				h := g.Health.HandleFor(n.Spec.Name)
+				res.Excluded = func() bool { return !h.Allow(health.GRAM) }
+			}
+			sch.AddResource(res)
 		}
 		g.Schedds[voName] = sch
 		g.stats[voName] = &VOStats{}
@@ -375,9 +418,9 @@ func New(cfg Config) (*Grid, error) {
 
 	// --- Housekeeping: prune terminal gram jobs, migrate archive files.
 	sim.NewTicker(g.Eng, 6*time.Hour, func() {
-		for _, name := range g.Order {
-			g.Nodes[name].Gatekeeper.PruneTerminal()
-			g.migrateToTape(g.Nodes[name])
+		for _, n := range g.nodeList {
+			n.Gatekeeper.PruneTerminal()
+			g.migrateToTape(n)
 		}
 	})
 	// Concurrency sampling for milestones.
@@ -398,8 +441,8 @@ func New(cfg Config) (*Grid, error) {
 	// (target <2 FTEs once the infrastructure stabilized).
 	openTickets := make(map[string]int)
 	sim.NewTicker(g.Eng, time.Hour, func() {
-		for _, name := range g.Catalog.Sites() {
-			entry, _ := g.Catalog.Entry(name)
+		for _, entry := range g.Catalog.Entries() {
+			name := entry.SiteName
 			ticketID, open := openTickets[name]
 			switch {
 			case entry.Status() == sitecatalog.Fail && !open:
@@ -421,6 +464,16 @@ func New(cfg Config) (*Grid, error) {
 
 	return g, nil
 }
+
+// Probe sentinel errors. The health monitor and the Site Status Catalog
+// run these probes every sweep for every site; at 1000-site scale the
+// errors.New per failing probe was a steady allocation source, and the
+// messages are fixed strings anyway.
+var (
+	errGatekeeperDown = errors.New("gatekeeper unreachable")
+	errGridFTPDown    = errors.New("gridftp endpoint down")
+	errStorageFull    = errors.New("storage full")
+)
 
 // Seed salts for the private RNG streams the fault-management loop uses.
 // Deriving them from the master seed keeps runs reproducible while leaving
@@ -497,8 +550,7 @@ func (g *Grid) healthTransition(tr health.Transition) {
 // RefreshGridmaps regenerates every site's grid-mapfile from the current
 // VOMS membership (the edg-mkgridmap cron cycle of §5.3).
 func (g *Grid) RefreshGridmaps() {
-	for _, name := range g.Order {
-		n := g.Nodes[name]
+	for _, n := range g.nodeList {
 		n.Gridmap.ReplaceAll(g.Registry.GenerateGridmap(n.Spec.Accounts))
 	}
 }
@@ -510,8 +562,7 @@ const LocalVO = "local"
 // armLocalLoad keeps each shared site's local occupancy near a
 // site-specific target fraction.
 func (g *Grid) armLocalLoad() {
-	for _, name := range g.Order {
-		n := g.Nodes[name]
+	for _, n := range g.nodeList {
 		if n.Spec.Dedicated {
 			continue
 		}
@@ -660,20 +711,20 @@ func (g *Grid) addSite(spec SiteSpec) error {
 	g.Catalog.Register(spec.Name, spec.Location,
 		sitecatalog.Probe{Name: "gram-ping", Run: func() error {
 			if !st.Healthy() {
-				return errors.New("gatekeeper unreachable")
+				return errGatekeeperDown
 			}
 			return nil
 		}},
 		sitecatalog.Probe{Name: "gridftp-ping", Run: func() error {
 			ep, err := g.Network.Endpoint(spec.Name)
 			if err != nil || !ep.Up() {
-				return errors.New("gridftp endpoint down")
+				return errGridFTPDown
 			}
 			return nil
 		}},
 		sitecatalog.Probe{Name: "disk-space", Run: func() error {
 			if st.Disk.Free() <= 0 {
-				return errors.New("storage full")
+				return errStorageFull
 			}
 			return nil
 		}},
@@ -697,7 +748,6 @@ func (g *Grid) addSite(spec SiteSpec) error {
 
 	g.Nodes[spec.Name] = node
 	g.Order = append(g.Order, spec.Name)
-	sort.Strings(g.Order)
 	return nil
 }
 
@@ -796,8 +846,7 @@ func (g *Grid) sampleConcurrency() {
 	gridRunning := 0
 	allRunning := 0
 	capacity := 0
-	for _, name := range g.Order {
-		n := g.Nodes[name]
+	for _, n := range g.nodeList {
 		r := n.Batch.RunningCount()
 		allRunning += r
 		gridRunning += r - n.Batch.RunningByVO(LocalVO)
@@ -957,15 +1006,23 @@ func (g *Grid) SubmitJobFunc(req apps.Request, onDone func(error)) {
 // submission showed up in scenario profiles).
 var defaultRank = classad.MustParse("TARGET.FreeCpus - TARGET.WaitingJobs")
 
-// maxWallFor returns the largest MaxWall among sites supporting the VO.
+// maxWallFor returns the largest MaxWall among sites supporting the VO,
+// computed once per VO (the support matrix and walltime policies are
+// fixed at construction).
 func (g *Grid) maxWallFor(voName string) time.Duration {
+	if d, ok := g.maxWallByVO[voName]; ok {
+		return d
+	}
 	var max time.Duration
-	for _, name := range g.Order {
-		n := g.Nodes[name]
+	for _, n := range g.nodeList {
 		if n.Site.SupportsVO(voName) && n.Spec.MaxWall > max {
 			max = n.Spec.MaxWall
 		}
 	}
+	if g.maxWallByVO == nil {
+		g.maxWallByVO = make(map[string]time.Duration)
+	}
+	g.maxWallByVO[voName] = max
 	return max
 }
 
@@ -1162,12 +1219,11 @@ func (g *Grid) PreferredSitesFor(voName string) []string {
 		cpus  int
 	}
 	var cands []cand
-	for _, name := range g.Order {
-		n := g.Nodes[name]
+	for _, n := range g.nodeList {
 		if !n.Site.SupportsVO(voName) {
 			continue
 		}
-		cands = append(cands, cand{name, n.Spec.OwnerVO == voName, n.Spec.CPUs})
+		cands = append(cands, cand{n.Spec.Name, n.Spec.OwnerVO == voName, n.Spec.CPUs})
 	}
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].owned != cands[j].owned {
@@ -1217,9 +1273,9 @@ func (g *Grid) TraceJob(id string) (JobTrace, bool) {
 // SitesSupporting lists sites with a group account for the VO.
 func (g *Grid) SitesSupporting(voName string) []string {
 	var out []string
-	for _, name := range g.Order {
-		if g.Nodes[name].Site.SupportsVO(voName) {
-			out = append(out, name)
+	for _, n := range g.nodeList {
+		if n.Site.SupportsVO(voName) {
+			out = append(out, n.Spec.Name)
 		}
 	}
 	return out

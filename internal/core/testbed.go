@@ -1,0 +1,208 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"grid3/internal/dist"
+	"grid3/internal/glue"
+	"grid3/internal/site"
+	"grid3/internal/vo"
+)
+
+// testbedSeedSalt forks a private RNG stream for site-population synthesis
+// so generating a testbed never perturbs the simulation's own draws.
+const testbedSeedSalt = 0x74657374626564 // "testbed"
+
+// VOMix is one authorization pattern a synthetic site can adopt: the VO
+// that owns the site plus the set of VOs with group accounts there. The
+// patterns mirror Table 1, where sites ranged from everything-welcome lab
+// centers to single-experiment university clusters.
+type VOMix struct {
+	Owner  string
+	VOs    []string
+	Weight float64
+}
+
+// TestbedTier describes one heterogeneity class of synthetic sites — the
+// knobs the CMS Integration Grid Testbed experience (PAPERS.md) showed
+// matter per site: CPU count, WAN bandwidth, storage, batch flavor,
+// walltime policy, and VO authorization mix.
+type TestbedTier struct {
+	Name string
+	Tier int
+	// Frac is the fraction of synthetic sites in this tier. Counts are
+	// derived deterministically: floor(Frac·n) per tier with the
+	// remainder assigned to the last tier.
+	Frac           float64
+	CPUMin, CPUMax int
+	DiskTBMin      int64
+	DiskTBMax      int64
+	WANChoices     []float64
+	LRMSChoices    []glue.LRMS
+	MaxWallChoices []time.Duration
+	DedicatedProb  float64
+	VOMixes        []VOMix
+}
+
+// TestbedConfig parameterizes GenerateTestbed.
+type TestbedConfig struct {
+	// Sites is the total population size. Up to len(Grid3Sites()) the
+	// generator returns a prefix of the historical catalog; beyond that
+	// it appends synthetic sites.
+	Sites int
+	// Seed drives all synthetic draws (forked with a private salt).
+	Seed int64
+	// Tiers defaults to DefaultTestbedTiers when nil.
+	Tiers []TestbedTier
+}
+
+// DefaultTestbedTiers returns the tier distribution calibrated on Table 1:
+// a thin layer of dedicated lab centers, a broad band of university Tier2
+// facilities, and a long tail of small shared clusters (growth skews
+// toward the tail, as the INFN-GRID federation experience suggests).
+func DefaultTestbedTiers() []TestbedTier {
+	all := []string{vo.USATLAS, vo.USCMS, vo.SDSS, vo.LIGO, vo.BTeV, vo.IVDGL, vo.Exerciser}
+	atlas := []string{vo.USATLAS, vo.IVDGL, vo.Exerciser}
+	cms := []string{vo.USCMS, vo.IVDGL, vo.Exerciser}
+	ligo := []string{vo.LIGO, vo.IVDGL, vo.Exerciser}
+	sdss := []string{vo.SDSS, vo.IVDGL, vo.Exerciser}
+	btev := []string{vo.BTeV, vo.IVDGL, vo.Exerciser}
+	ivdgl := []string{vo.IVDGL, vo.Exerciser}
+	return []TestbedTier{
+		{
+			Name: "lab-tier1", Tier: 1, Frac: 0.04,
+			CPUMin: 256, CPUMax: 512,
+			DiskTBMin: 40, DiskTBMax: 100,
+			WANChoices:     []float64{2488},
+			LRMSChoices:    []glue.LRMS{glue.Condor, glue.LSF},
+			MaxWallChoices: []time.Duration{300 * time.Hour, 1300 * time.Hour},
+			DedicatedProb:  1.0,
+			VOMixes: []VOMix{
+				{Owner: vo.USATLAS, VOs: all, Weight: 1},
+				{Owner: vo.USCMS, VOs: all, Weight: 1},
+				{Owner: vo.IVDGL, VOs: all, Weight: 1},
+			},
+		},
+		{
+			Name: "university-tier2", Tier: 2, Frac: 0.36,
+			CPUMin: 64, CPUMax: 192,
+			DiskTBMin: 3, DiskTBMax: 8,
+			WANChoices:     []float64{622, 622, 622, 155},
+			LRMSChoices:    []glue.LRMS{glue.Condor, glue.PBS, glue.PBS, glue.LSF},
+			MaxWallChoices: []time.Duration{100 * time.Hour, 120 * time.Hour, 200 * time.Hour, 36 * time.Hour},
+			DedicatedProb:  0.2,
+			VOMixes: []VOMix{
+				{Owner: vo.USATLAS, VOs: atlas, Weight: 5},
+				{Owner: vo.USCMS, VOs: cms, Weight: 5},
+				{Owner: vo.LIGO, VOs: ligo, Weight: 1},
+				{Owner: vo.SDSS, VOs: sdss, Weight: 1},
+				{Owner: vo.BTeV, VOs: btev, Weight: 1},
+				{Owner: vo.IVDGL, VOs: all, Weight: 3},
+			},
+		},
+		{
+			Name: "small-shared", Tier: 3, Frac: 0.60,
+			CPUMin: 16, CPUMax: 48,
+			DiskTBMin: 1, DiskTBMax: 2,
+			WANChoices:     []float64{155, 155, 45},
+			LRMSChoices:    []glue.LRMS{glue.PBS, glue.PBS, glue.Condor},
+			MaxWallChoices: []time.Duration{48 * time.Hour, 72 * time.Hour},
+			DedicatedProb:  0.0,
+			VOMixes: []VOMix{
+				{Owner: vo.USATLAS, VOs: atlas, Weight: 3},
+				{Owner: vo.USCMS, VOs: cms, Weight: 2},
+				{Owner: vo.LIGO, VOs: ligo, Weight: 1},
+				{Owner: vo.SDSS, VOs: sdss, Weight: 1},
+				{Owner: vo.IVDGL, VOs: ivdgl, Weight: 4},
+			},
+		},
+	}
+}
+
+// TierCounts returns the exact per-tier synthetic-site counts the
+// generator will produce for n synthetic sites: floor(Frac·n) per tier,
+// remainder to the last tier. Exposed so tests can assert distributions
+// without re-deriving the rounding rule.
+func TierCounts(tiers []TestbedTier, n int) []int {
+	counts := make([]int, len(tiers))
+	total := 0
+	for i, tier := range tiers {
+		counts[i] = int(tier.Frac * float64(n))
+		total += counts[i]
+	}
+	if len(counts) > 0 {
+		counts[len(counts)-1] += n - total
+	}
+	return counts
+}
+
+// GenerateTestbed produces a deterministic heterogeneous site population.
+// The first min(Sites, 27) entries are the historical Grid3 catalog
+// verbatim — so N=27 reproduces the paper's Table 1 sites exactly and the
+// default simulation is byte-identical to the catalog-driven one — and
+// the remainder are synthetic sites drawn from the tier distribution.
+func GenerateTestbed(cfg TestbedConfig) []SiteSpec {
+	catalog := Grid3Sites()
+	if cfg.Sites <= 0 {
+		cfg.Sites = len(catalog)
+	}
+	if cfg.Sites <= len(catalog) {
+		return catalog[:cfg.Sites]
+	}
+	if cfg.Tiers == nil {
+		cfg.Tiers = DefaultTestbedTiers()
+	}
+	rng := dist.New(cfg.Seed ^ testbedSeedSalt)
+	specs := make([]SiteSpec, 0, cfg.Sites)
+	specs = append(specs, catalog...)
+
+	synth := cfg.Sites - len(catalog)
+	counts := TierCounts(cfg.Tiers, synth)
+	idx := len(catalog) + 1 // human-facing ordinal, 28...
+	for ti, tier := range cfg.Tiers {
+		weights := make([]float64, len(tier.VOMixes))
+		for i, m := range tier.VOMixes {
+			weights[i] = m.Weight
+		}
+		pick := dist.NewWeighted(weights)
+		for i := 0; i < counts[ti]; i++ {
+			mix := tier.VOMixes[pick.Choose(rng)]
+			cpus := tier.CPUMin
+			if tier.CPUMax > tier.CPUMin {
+				cpus += rng.Intn(tier.CPUMax - tier.CPUMin + 1)
+			}
+			diskTB := tier.DiskTBMin
+			if tier.DiskTBMax > tier.DiskTBMin {
+				diskTB += int64(rng.Intn(int(tier.DiskTBMax - tier.DiskTBMin + 1)))
+			}
+			name := fmt.Sprintf("SYN%04d_T%d", idx, tier.Tier)
+			specs = append(specs, SiteSpec{
+				Config: site.Config{
+					Name:       name,
+					Host:       fmt.Sprintf("gk.syn%04d.grid3.org", idx),
+					Tier:       tier.Tier,
+					CPUs:       cpus,
+					DiskBytes:  diskTB * tb,
+					WANMbps:    tier.WANChoices[rng.Intn(len(tier.WANChoices))],
+					LRMS:       tier.LRMSChoices[rng.Intn(len(tier.LRMSChoices))],
+					MaxWall:    tier.MaxWallChoices[rng.Intn(len(tier.MaxWallChoices))],
+					OwnerVO:    mix.Owner,
+					Dedicated:  rng.Bernoulli(tier.DedicatedProb),
+					Accounts:   accounts(mix.VOs...),
+					OutboundIP: true,
+				},
+				Location: fmt.Sprintf("Synthetic facility %d (%s)", idx, tier.Name),
+			})
+			idx++
+		}
+	}
+	return specs
+}
+
+// ScaledSites is the convenience entry point behind `grid3sim -sites N`
+// and the façade's WithTestbedScale: the historical catalog up to 27,
+// catalog + synthetic population beyond.
+func ScaledSites(n int, seed int64) []SiteSpec {
+	return GenerateTestbed(TestbedConfig{Sites: n, Seed: seed})
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// N ≤ 27 must reproduce the historical catalog verbatim — the property
+// that keeps `-sites 27` byte-identical to the default simulation.
+func TestGenerateTestbedCatalogPrefix(t *testing.T) {
+	catalog := Grid3Sites()
+	for _, n := range []int{1, 5, len(catalog)} {
+		got := ScaledSites(n, 1)
+		if len(got) != n {
+			t.Fatalf("ScaledSites(%d): got %d sites", n, len(got))
+		}
+		if !reflect.DeepEqual(got, catalog[:n]) {
+			t.Fatalf("ScaledSites(%d) diverges from the historical catalog", n)
+		}
+	}
+	// Zero means "the full catalog", matching Config.defaults.
+	if got := ScaledSites(0, 1); !reflect.DeepEqual(got, catalog) {
+		t.Fatalf("ScaledSites(0) should return the full catalog")
+	}
+}
+
+func TestGenerateTestbedBeyondCatalogKeepsPrefix(t *testing.T) {
+	catalog := Grid3Sites()
+	got := ScaledSites(100, 7)
+	if len(got) != 100 {
+		t.Fatalf("got %d sites, want 100", len(got))
+	}
+	if !reflect.DeepEqual(got[:len(catalog)], catalog) {
+		t.Fatalf("synthetic population must keep the historical catalog as its prefix")
+	}
+}
+
+func TestGenerateTestbedDeterministic(t *testing.T) {
+	a := ScaledSites(300, 42)
+	b := ScaledSites(300, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed must generate identical populations")
+	}
+	c := ScaledSites(300, 43)
+	if reflect.DeepEqual(a, c) {
+		t.Fatalf("different seeds should generate different populations")
+	}
+}
+
+func TestGenerateTestbedTierDistribution(t *testing.T) {
+	tiers := DefaultTestbedTiers()
+	for _, n := range []int{100, 300, 1000} {
+		synth := n - len(Grid3Sites())
+		counts := TierCounts(tiers, synth)
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		if total != synth {
+			t.Fatalf("n=%d: TierCounts sums to %d, want %d", n, total, synth)
+		}
+		got := make(map[int]int)
+		for _, s := range ScaledSites(n, 1)[len(Grid3Sites()):] {
+			got[s.Tier]++
+		}
+		for i, tier := range tiers {
+			if got[tier.Tier] != counts[i] {
+				t.Errorf("n=%d tier %d: %d sites, want %d", n, tier.Tier, got[tier.Tier], counts[i])
+			}
+		}
+	}
+}
+
+func TestGenerateTestbedSitesValidate(t *testing.T) {
+	specs := ScaledSites(1000, 1)
+	names := make(map[string]bool, len(specs))
+	for i := range specs {
+		s := &specs[i]
+		if err := s.Config.Validate(); err != nil {
+			t.Fatalf("site %d: %v", i, err)
+		}
+		if names[s.Name] {
+			t.Fatalf("duplicate site name %s", s.Name)
+		}
+		names[s.Name] = true
+	}
+}
+
+func TestGenerateTestbedRespectsTierRanges(t *testing.T) {
+	tiers := DefaultTestbedTiers()
+	byTier := make(map[int]TestbedTier)
+	for _, tier := range tiers {
+		byTier[tier.Tier] = tier
+	}
+	for _, s := range ScaledSites(500, 9)[len(Grid3Sites()):] {
+		tier, ok := byTier[s.Tier]
+		if !ok {
+			t.Fatalf("site %s: unknown tier %d", s.Name, s.Tier)
+		}
+		if s.CPUs < tier.CPUMin || s.CPUs > tier.CPUMax {
+			t.Errorf("site %s: %d CPUs outside [%d,%d]", s.Name, s.CPUs, tier.CPUMin, tier.CPUMax)
+		}
+		if s.DiskBytes < tier.DiskTBMin*tb || s.DiskBytes > tier.DiskTBMax*tb {
+			t.Errorf("site %s: disk %d outside tier range", s.Name, s.DiskBytes)
+		}
+		if _, ok := s.Accounts[s.OwnerVO]; !ok {
+			t.Errorf("site %s: owner VO %s has no account", s.Name, s.OwnerVO)
+		}
+	}
+}

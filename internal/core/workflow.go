@@ -45,7 +45,7 @@ func (g *Grid) PlannerFor(voName string, policy pegasus.Policy) *pegasus.Planner
 		// from compute placement and replica selection (advisory — the
 		// planner falls back to the full set if everything is excluded).
 		p.Exclude = func(site string) bool {
-			return len(g.Health.OpenServices(site)) > 0
+			return g.Health.HandleFor(site).Degraded()
 		}
 	}
 	return p

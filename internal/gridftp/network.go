@@ -78,6 +78,14 @@ type Endpoint struct {
 	// Traffic accounting for Figure 5 ("data consumed by Grid3 sites").
 	BytesIn  int64
 	BytesOut int64
+
+	// Progressive-filling scratch, valid only within one rebalance pass
+	// (rebalGen marks which). Keeping it on the endpoint lets a pass run
+	// without allocating per-endpoint maps — the dominant rebalance cost
+	// once hundreds of sites move data concurrently.
+	remCapScratch float64
+	countScratch  int
+	rebalGen      uint64
 }
 
 // Up reports whether the endpoint is in service.
@@ -102,6 +110,13 @@ type Transfer struct {
 	done       func(*Transfer, error)
 	failed     bool
 	span       obs.SpanID
+
+	// srcEP/dstEP are resolved once at Start so the rebalance and
+	// completion paths never hash endpoint names again.
+	srcEP, dstEP *Endpoint
+	// Progressive-filling scratch, valid only within one rebalance pass.
+	newRate float64
+	frozen  bool
 }
 
 // Rate returns the transfer's current bandwidth allocation in bytes/sec.
@@ -130,6 +145,13 @@ type Network struct {
 	// starting or finishing at the same virtual instant trigger a single
 	// progressive-filling pass.
 	rebalancePending bool
+
+	// Pooled rebalance scratch: the sorted transfer and endpoint working
+	// sets are rebuilt per pass into these reusable backing arrays, and
+	// rebalGen stamps which pass an endpoint's scratch fields belong to.
+	transferScratch []*Transfer
+	epScratch       []*Endpoint
+	rebalGen        uint64
 
 	// TotalBytes accumulates completed transfer volume by label.
 	totalByLabel map[string]int64
@@ -273,6 +295,8 @@ func (n *Network) StartTraced(src, dst string, size int64, label string, parent 
 		Label:     label,
 		remaining: float64(size),
 		done:      done,
+		srcEP:     se,
+		dstEP:     de,
 	}
 	if in := n.Ins; in != nil {
 		in.Started.Inc()
@@ -380,66 +404,76 @@ func (n *Network) rebalance() {
 }
 
 // rebalanceSettled assigns max–min fair rates by progressive filling and
-// reschedules completion events.
+// reschedules completion events. The working sets live in pooled scratch
+// (per-endpoint fields stamped by generation, reusable sorted slices):
+// steady-state passes allocate nothing, which matters once hundreds of
+// sites move data concurrently.
 func (n *Network) rebalanceSettled() {
 	if len(n.active) == 0 {
 		return
 	}
-	// Remaining capacity and unfrozen-transfer count per endpoint.
-	remCap := make(map[string]float64)
-	count := make(map[string]int)
-	unfrozen := make(map[int64]*Transfer, len(n.active))
-	for id, t := range n.active {
-		unfrozen[id] = t
-		count[t.Src]++
-		count[t.Dst]++
-	}
-	for name := range count {
-		remCap[name] = n.endpoints[name].CapacityBps
-	}
+	n.rebalGen++
+	gen := n.rebalGen
 
-	// Deterministic ID order for the freezing passes.
-	ids := make([]int64, 0, len(unfrozen))
-	for id := range unfrozen {
-		ids = append(ids, id)
+	// Gather active transfers in deterministic ID order and initialize
+	// per-endpoint remaining capacity / unfrozen counts.
+	ts := n.transferScratch[:0]
+	eps := n.epScratch[:0]
+	for _, t := range n.active {
+		ts = append(ts, t)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	names := make([]string, 0, len(count))
-	for name := range count {
-		names = append(names, name)
+	sort.Slice(ts, func(i, j int) bool { return ts[i].ID < ts[j].ID })
+	touch := func(ep *Endpoint) {
+		if ep.rebalGen != gen {
+			ep.rebalGen = gen
+			ep.remCapScratch = ep.CapacityBps
+			ep.countScratch = 0
+			eps = append(eps, ep)
+		}
+		ep.countScratch++
 	}
-	sort.Strings(names)
+	for _, t := range ts {
+		t.frozen = false
+		t.newRate = 0
+		touch(t.srcEP)
+		touch(t.dstEP)
+	}
+	// The bottleneck search iterates endpoints in sorted-name order so
+	// share ties break exactly as the historical map-collect-and-sort did.
+	sort.Slice(eps, func(i, j int) bool { return eps[i].Name < eps[j].Name })
+	n.transferScratch = ts
+	n.epScratch = eps
 
-	newRates := make(map[int64]float64, len(ids))
-	for len(unfrozen) > 0 {
+	unfrozen := len(ts)
+	for unfrozen > 0 {
 		// Find the bottleneck endpoint: minimum per-transfer share.
-		bottleneck := ""
+		var bottleneck *Endpoint
 		best := math.Inf(1)
-		for _, name := range names {
-			if count[name] <= 0 {
+		for _, ep := range eps {
+			if ep.countScratch <= 0 {
 				continue
 			}
-			share := remCap[name] / float64(count[name])
+			share := ep.remCapScratch / float64(ep.countScratch)
 			if share < best {
 				best = share
-				bottleneck = name
+				bottleneck = ep
 			}
 		}
-		if bottleneck == "" {
+		if bottleneck == nil {
 			break
 		}
 		// Freeze every unfrozen transfer touching the bottleneck.
-		for _, id := range ids {
-			t, ok := unfrozen[id]
-			if !ok || (t.Src != bottleneck && t.Dst != bottleneck) {
+		for _, t := range ts {
+			if t.frozen || (t.srcEP != bottleneck && t.dstEP != bottleneck) {
 				continue
 			}
-			newRates[id] = best
-			delete(unfrozen, id)
-			remCap[t.Src] -= best
-			remCap[t.Dst] -= best
-			count[t.Src]--
-			count[t.Dst]--
+			t.newRate = best
+			t.frozen = true
+			unfrozen--
+			t.srcEP.remCapScratch -= best
+			t.dstEP.remCapScratch -= best
+			t.srcEP.countScratch--
+			t.dstEP.countScratch--
 		}
 	}
 
@@ -447,12 +481,8 @@ func (n *Network) rebalanceSettled() {
 	// actually changed: with an unchanged rate, the previously scheduled
 	// absolute finish time is still exact.
 	now := n.eng.Now()
-	for _, id := range ids {
-		t := n.active[id]
-		if t == nil {
-			continue
-		}
-		rate := newRates[id]
+	for _, t := range ts {
+		rate := t.newRate
 		if t.finish.Pending() && rateClose(rate, t.rate) {
 			continue
 		}
@@ -505,8 +535,8 @@ func (n *Network) complete(t *Transfer) {
 		in.Tracer.End(t.span)
 	}
 	n.totalByLabel[t.Label] += t.Bytes
-	n.endpoints[t.Src].BytesOut += t.Bytes
-	n.endpoints[t.Dst].BytesIn += t.Bytes
+	t.srcEP.BytesOut += t.Bytes
+	t.dstEP.BytesIn += t.Bytes
 	n.history = append(n.history, CompletedTransfer{
 		Src: t.Src, Dst: t.Dst, Label: t.Label, Bytes: t.Bytes, Ended: t.Ended,
 	})

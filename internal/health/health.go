@@ -237,8 +237,12 @@ func (m *Monitor) Register(site string, svc Service, probe Probe) {
 	if !ok {
 		sh = &siteHealth{name: site}
 		m.sites[site] = sh
-		m.order = append(m.order, site)
-		sort.Strings(m.order)
+		// Insert into sorted position rather than re-sorting the whole
+		// order per registration (quadratic at 1000-site populations).
+		i := sort.SearchStrings(m.order, site)
+		m.order = append(m.order, "")
+		copy(m.order[i+1:], m.order[i:])
+		m.order[i] = site
 	}
 	if b := sh.svcs[svc]; b != nil {
 		b.probe = probe
@@ -414,6 +418,47 @@ func (m *Monitor) Allow(site string, svc Service) bool {
 		}
 	}
 	return true
+}
+
+// Handle is a pre-resolved view of one site's breakers. Consumers that
+// check the same site repeatedly (per-resource matchmaking hooks, planner
+// exclusion) resolve the site once at wiring time and skip the per-call
+// map lookup — the difference between O(1) and one string hash per
+// (job, resource) pair per negotiation cycle at 1000-site scale.
+type Handle struct {
+	sh *siteHealth
+}
+
+// HandleFor resolves a site once. Handles for unregistered sites (or a nil
+// monitor) always allow traffic, matching Allow's contract.
+func (m *Monitor) HandleFor(site string) Handle {
+	if m == nil {
+		return Handle{}
+	}
+	return Handle{sh: m.sites[site]}
+}
+
+// Allow reports whether traffic may be sent to the service at the handle's
+// site; semantics match Monitor.Allow.
+func (h Handle) Allow(svc Service) bool {
+	if h.sh == nil {
+		return true
+	}
+	b := h.sh.svcs[svc]
+	return b == nil || b.state != Open
+}
+
+// Degraded reports whether any of the site's breakers is Open.
+func (h Handle) Degraded() bool {
+	if h.sh == nil {
+		return false
+	}
+	for _, b := range h.sh.svcs {
+		if b != nil && b.state == Open {
+			return true
+		}
+	}
+	return false
 }
 
 // State returns the breaker state for a pair (Closed for unknown pairs).

@@ -1,0 +1,144 @@
+// Package intern maps the stack's recurring string identifiers — site
+// names first of all — onto dense integer IDs, so hot paths index slices
+// and bitsets instead of hashing strings.
+//
+// Grid2003 ran 27 sites, and at that size a map[string]*Node lookup per
+// scheduling decision is invisible. The paper's §7 trajectory (and the
+// INFN-GRID operations experience in PAPERS.md) points at federations an
+// order of magnitude larger; at 1000+ sites the string keys show up in
+// every profile: matchmaking candidate scans, health-breaker checks,
+// concurrency sampling. A Table assigns each name an ID once, at
+// construction, and everything downstream carries the ID.
+package intern
+
+import "sort"
+
+// ID is a dense identifier handed out by a Table. IDs are small
+// non-negative integers suitable for slice indexing; None marks "no ID".
+type ID int32
+
+// None is the zero-value-adjacent sentinel for "not interned".
+const None ID = -1
+
+// Table is a bidirectional string↔ID registry. The zero value is not
+// usable; call NewTable. Tables are not safe for concurrent mutation —
+// like the rest of the simulation they live on one engine goroutine.
+type Table struct {
+	ids   map[string]ID
+	names []string
+}
+
+// NewTable returns an empty table.
+func NewTable() *Table {
+	return &Table{ids: make(map[string]ID)}
+}
+
+// FromSorted builds a table whose IDs follow the given name order. The
+// caller guarantees names are unique; sortedness is conventional (the
+// grid interns its site catalog in sorted-name order so ascending-ID
+// iteration reproduces the historical sorted-string sweeps exactly).
+func FromSorted(names []string) *Table {
+	t := &Table{ids: make(map[string]ID, len(names)), names: append([]string(nil), names...)}
+	for i, n := range names {
+		t.ids[n] = ID(i)
+	}
+	return t
+}
+
+// Intern returns the name's ID, assigning the next dense ID on first use.
+func (t *Table) Intern(name string) ID {
+	if id, ok := t.ids[name]; ok {
+		return id
+	}
+	id := ID(len(t.names))
+	t.ids[name] = id
+	t.names = append(t.names, name)
+	return id
+}
+
+// ID returns the name's ID, or None when the name was never interned.
+func (t *Table) ID(name string) ID {
+	if id, ok := t.ids[name]; ok {
+		return id
+	}
+	return None
+}
+
+// Name returns the string for an ID; it panics on out-of-range IDs, the
+// same contract as slice indexing.
+func (t *Table) Name(id ID) string { return t.names[id] }
+
+// Len returns the number of interned names.
+func (t *Table) Len() int { return len(t.names) }
+
+// Names returns a copy of the table's names in ID order.
+func (t *Table) Names() []string { return append([]string(nil), t.names...) }
+
+// SortedNames returns a sorted copy of the table's names.
+func (t *Table) SortedNames() []string {
+	out := t.Names()
+	sort.Strings(out)
+	return out
+}
+
+// Set is a bitset keyed by ID — the dense replacement for the
+// map[string]bool site sets the scheduler used to allocate per job. The
+// zero value is an empty set.
+type Set struct {
+	bits []uint64
+}
+
+// Add inserts an ID.
+func (s *Set) Add(id ID) {
+	w := int(id >> 6)
+	for len(s.bits) <= w {
+		s.bits = append(s.bits, 0)
+	}
+	s.bits[w] |= 1 << (uint(id) & 63)
+}
+
+// Has reports membership.
+func (s *Set) Has(id ID) bool {
+	w := int(id >> 6)
+	if id < 0 || w >= len(s.bits) {
+		return false
+	}
+	return s.bits[w]&(1<<(uint(id)&63)) != 0
+}
+
+// Remove deletes an ID (no-op when absent).
+func (s *Set) Remove(id ID) {
+	w := int(id >> 6)
+	if id < 0 || w >= len(s.bits) {
+		return
+	}
+	s.bits[w] &^= 1 << (uint(id) & 63)
+}
+
+// Len counts members.
+func (s *Set) Len() int {
+	n := 0
+	for _, w := range s.bits {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Empty reports whether the set has no members.
+func (s *Set) Empty() bool {
+	for _, w := range s.bits {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear empties the set, keeping its storage for reuse.
+func (s *Set) Clear() {
+	for i := range s.bits {
+		s.bits[i] = 0
+	}
+}

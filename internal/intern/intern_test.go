@@ -1,0 +1,71 @@
+package intern
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTableInternAssignsDenseIDs(t *testing.T) {
+	tab := NewTable()
+	a := tab.Intern("ANL_HEP")
+	b := tab.Intern("BNL_ATLAS_Tier1")
+	if a != 0 || b != 1 {
+		t.Fatalf("expected dense IDs 0,1; got %d,%d", a, b)
+	}
+	if got := tab.Intern("ANL_HEP"); got != a {
+		t.Fatalf("re-intern changed ID: %d != %d", got, a)
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tab.Len())
+	}
+	if tab.Name(a) != "ANL_HEP" || tab.Name(b) != "BNL_ATLAS_Tier1" {
+		t.Fatalf("Name round-trip broken")
+	}
+	if tab.ID("nope") != None {
+		t.Fatalf("missing name should map to None")
+	}
+}
+
+func TestFromSortedPreservesOrder(t *testing.T) {
+	names := []string{"ANL_HEP", "BNL_ATLAS_Tier1", "CalTech_PG"}
+	tab := FromSorted(names)
+	for i, n := range names {
+		if tab.ID(n) != ID(i) {
+			t.Fatalf("ID(%q) = %d, want %d", n, tab.ID(n), i)
+		}
+	}
+	if !reflect.DeepEqual(tab.Names(), names) {
+		t.Fatalf("Names() = %v, want %v", tab.Names(), names)
+	}
+	if !reflect.DeepEqual(tab.SortedNames(), names) {
+		t.Fatalf("SortedNames() = %v, want %v", tab.SortedNames(), names)
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	var s Set
+	if !s.Empty() || s.Len() != 0 {
+		t.Fatalf("zero set should be empty")
+	}
+	s.Add(3)
+	s.Add(70) // second word
+	s.Add(3)  // idempotent
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if !s.Has(3) || !s.Has(70) || s.Has(4) || s.Has(-1) {
+		t.Fatalf("membership wrong: %v", s)
+	}
+	s.Remove(3)
+	s.Remove(500) // out of range no-op
+	if s.Has(3) || !s.Has(70) || s.Len() != 1 {
+		t.Fatalf("remove wrong: %v", s)
+	}
+	s.Clear()
+	if !s.Empty() {
+		t.Fatalf("Clear should empty the set")
+	}
+	if s.Has(70) {
+		t.Fatalf("cleared set retained member")
+	}
+}

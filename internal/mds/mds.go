@@ -169,6 +169,7 @@ func (g *GRIS) Entries() []Entry {
 
 // registration tracks one soft-state child of a GIIS.
 type registration struct {
+	name     string
 	src      Source
 	lastSeen time.Duration
 	ttl      time.Duration
@@ -184,6 +185,11 @@ type GIIS struct {
 	name     string
 	clock    sim.Clock
 	children map[string]*registration
+	// order holds registrations in sorted-name order, maintained
+	// incrementally on register/deregister. Queries used to collect and
+	// sort the child names on every call — fine for a 27-site index,
+	// quadratic noise by 1000 sites when planners query per workflow.
+	order []*registration
 	// CacheTTL bounds how stale a served cache may be; zero disables
 	// caching (every query hits every source).
 	CacheTTL time.Duration
@@ -205,10 +211,15 @@ func (g *GIIS) Name() string { return g.name }
 
 // Register adds or refreshes a child with the given soft-state TTL.
 func (g *GIIS) Register(src Source, ttl time.Duration) {
-	reg, ok := g.children[src.Name()]
+	name := src.Name()
+	reg, ok := g.children[name]
 	if !ok {
-		reg = &registration{src: src}
-		g.children[src.Name()] = reg
+		reg = &registration{name: name, src: src}
+		g.children[name] = reg
+		i := sort.Search(len(g.order), func(i int) bool { return g.order[i].name >= name })
+		g.order = append(g.order, nil)
+		copy(g.order[i+1:], g.order[i:])
+		g.order[i] = reg
 	}
 	reg.src = src
 	reg.lastSeen = g.clock.Now()
@@ -227,7 +238,14 @@ func (g *GIIS) Refresh(name string) error {
 
 // Deregister removes a child immediately.
 func (g *GIIS) Deregister(name string) {
+	if _, ok := g.children[name]; !ok {
+		return
+	}
 	delete(g.children, name)
+	i := sort.Search(len(g.order), func(i int) bool { return g.order[i].name >= name })
+	if i < len(g.order) && g.order[i].name == name {
+		g.order = append(g.order[:i], g.order[i+1:]...)
+	}
 }
 
 // alive reports whether a registration is within its TTL.
@@ -238,12 +256,11 @@ func (g *GIIS) alive(reg *registration) bool {
 // Registered returns the names of children whose registration is live.
 func (g *GIIS) Registered() []string {
 	var out []string
-	for name, reg := range g.children {
+	for _, reg := range g.order {
 		if g.alive(reg) {
-			out = append(out, name)
+			out = append(out, reg.name)
 		}
 	}
-	sort.Strings(out)
 	return out
 }
 
@@ -253,17 +270,12 @@ func (g *GIIS) Entries() []Entry {
 }
 
 // Query returns entries from all live children matching the filter.
-// Results are gathered in sorted child order for determinism.
+// Results are gathered in sorted child order (maintained incrementally)
+// for determinism.
 func (g *GIIS) Query(f Filter) []Entry {
 	var out []Entry
 	now := g.clock.Now()
-	names := make([]string, 0, len(g.children))
-	for name := range g.children {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		reg := g.children[name]
+	for _, reg := range g.order {
 		if !g.alive(reg) {
 			continue
 		}

@@ -1,0 +1,73 @@
+#!/bin/sh
+# Benchmark regression check: rerun the tracked hot-path benchmarks at a
+# short benchtime and compare against the checked-in BENCH_sim.json
+# baselines. Fails when ns/op regresses more than the threshold or when
+# allocs/op grows at all (the hot path is supposed to stay allocation-flat).
+#
+# Short benchtimes are noisy, so CI runs this as a non-blocking job: a red
+# check is a prompt to rerun scripts/bench.sh on quiet hardware, not proof
+# of a regression. Run from the repo root: ./scripts/bench-check.sh
+set -eu
+
+BASE=${1:-BENCH_sim.json}
+# ns/op may regress up to 30% before this trips (short-run noise margin).
+NS_SLACK=1.3
+BENCHES='BenchmarkEngineStep$|BenchmarkScenarioDay$'
+
+if [ ! -f "$BASE" ]; then
+    echo "bench-check: baseline $BASE not found" >&2
+    exit 1
+fi
+
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench "$BENCHES" -benchmem -benchtime 0.2s . > "$RAW" 2>&1 \
+    || { cat "$RAW"; exit 1; }
+cat "$RAW"
+
+if ! grep -q '^Benchmark' "$RAW"; then
+    echo "bench-check: no benchmark output produced" >&2
+    exit 1
+fi
+
+status=0
+for name in BenchmarkEngineStep BenchmarkScenarioDay; do
+    baseline=$(sed -n "s/.*\"name\": \"$name\", .*\"ns_per_op\": \([0-9.e+]*\), \"bytes_per_op\": [0-9.e+]*, \"allocs_per_op\": \([0-9]*\).*/\1 \2/p" "$BASE")
+    if [ -z "$baseline" ]; then
+        echo "bench-check: $name missing from $BASE" >&2
+        status=1
+        continue
+    fi
+    current=$(awk -v name="$name" '
+        $1 ~ "^" name "(-[0-9]+)?$" {
+            ns = ""; allocs = ""
+            for (i = 2; i <= NF; i++) {
+                if ($(i+1) == "ns/op")     ns = $i
+                if ($(i+1) == "allocs/op") allocs = $i
+            }
+            print ns, allocs
+            exit
+        }
+    ' "$RAW")
+    if [ -z "$current" ]; then
+        echo "bench-check: $name did not run" >&2
+        status=1
+        continue
+    fi
+    verdict=$(echo "$baseline $current" | awk -v slack="$NS_SLACK" '{
+        base_ns = $1; base_allocs = $2; ns = $3; allocs = $4
+        if (ns > base_ns * slack)
+            printf "FAIL ns/op %s vs baseline %s (limit %.0f)\n", ns, base_ns, base_ns * slack
+        else if (allocs != "" && allocs + 0 > base_allocs + 0)
+            printf "FAIL allocs/op %s vs baseline %s\n", allocs, base_allocs
+        else
+            printf "ok ns/op %s (baseline %s), allocs/op %s (baseline %s)\n", ns, base_ns, allocs, base_allocs
+    }')
+    echo "bench-check: $name: $verdict"
+    case "$verdict" in
+        FAIL*) status=1 ;;
+    esac
+done
+
+exit $status

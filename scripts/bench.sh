@@ -13,15 +13,23 @@ OUT=${1:-BENCH_sim.json}
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
+# No tee: piping the test run would hide its exit status under set -e
+# (dash has no pipefail), so capture to the temp file and replay it.
 go test -run '^$' \
     -bench 'BenchmarkEngineStep$|BenchmarkEngineStepHeapBaseline|BenchmarkEngineCancel|BenchmarkScenarioDay|BenchmarkSweep' \
-    -benchmem -benchtime 2s . | tee "$RAW"
+    -benchmem -benchtime 2s . > "$RAW" 2>&1 || { cat "$RAW"; exit 1; }
+cat "$RAW"
+
+if ! grep -q '^Benchmark' "$RAW"; then
+    echo "bench.sh: no benchmark output produced, refusing to write an empty $OUT" >&2
+    exit 1
+fi
 
 {
     echo '{'
     printf '  "generated_by": "scripts/bench.sh",\n'
     printf '  "go": "%s",\n' "$(go env GOVERSION)"
-    printf '  "gomaxprocs": %s,\n' "${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN)}"
+    printf '  "gomaxprocs": %s,\n' "${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc 2>/dev/null || echo 1)}"
     printf '  "benchmarks": [\n'
     awk '
         /^Benchmark/ {

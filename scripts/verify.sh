@@ -1,13 +1,30 @@
 #!/bin/sh
-# Full verification gate: build, vet, and the complete test suite under
-# the race detector (the parallel sweep runner is the main customer).
-# Run from the repo root: ./scripts/verify.sh
-set -eux
+# Full verification gate: build, vet, formatting, the complete test suite,
+# and the race detector over the concurrency surfaces (the parallel sweep
+# runner, the shared metrics registry, the health monitor).
+#
+# CI runs this exact script (.github/workflows/ci.yml), so the local gate
+# and the hosted one cannot drift. Run from the repo root: ./scripts/verify.sh
+set -eu
 
+echo '== go build'
 go build ./...
+
+echo '== go vet'
 go vet ./...
-# Race the observability layer first: it is the newest concurrency surface
-# (shared registry under the parallel sweep), and failing fast here beats
-# waiting out the full suite.
-go test -race ./internal/obs/...
-go test -race ./...
+
+echo '== gofmt'
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: these files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo '== go test'
+go test ./...
+
+echo '== go test -race (concurrency surfaces)'
+go test -race ./internal/obs/... ./internal/campaign/... ./internal/health/...
+
+echo 'verify: OK'
