@@ -29,6 +29,14 @@
 //
 //	grid3sim -sites 1000 -days 1
 //	grid3sim -scale-sweep 27,100,300,1000 -days 1 [-scale-json out.json]
+//
+// Data plane: -doors bounds concurrent GridFTP flows per endpoint (excess
+// transfers queue FIFO), -cleanup arms the SRM lifecycle loop (scheduled
+// reservation expiry, pins, watermark eviction), and -replica-rank picks
+// Pegasus stage-in sources by live WAN load. The data campaign scores the
+// raw-GridFTP baseline against the managed plane per seed:
+//
+//	grid3sim -data-sweep -seeds 1,2,3 -days 30 -scale 0.05 -doors 4 [-data-json out.json]
 package main
 
 import (
@@ -70,20 +78,36 @@ func main() {
 	sites := flag.Int("sites", 0, "testbed size: 0 = the historical 27-site catalog, larger adds synthetic sites")
 	scaleSweepList := flag.String("scale-sweep", "", "comma-separated site counts: run the testbed scale sweep")
 	scaleJSON := flag.String("scale-json", "", "write the scale sweep report JSON to this file")
+	doors := flag.Int("doors", 0, "bound concurrent GridFTP flows per endpoint (0 = historical unbounded WAN)")
+	cleanupOn := flag.Bool("cleanup", false, "arm the SRM lifecycle loop (scheduled expiry, pins, watermark eviction sweep)")
+	replicaRank := flag.Bool("replica-rank", false, "rank Pegasus stage-in replicas by live WAN load")
+	dataSweepOn := flag.Bool("data-sweep", false, "run the data campaign: raw-GridFTP baseline vs managed data plane, per seed")
+	dataJSON := flag.String("data-json", "", "write the data sweep report JSON to this file")
 	flag.Parse()
 
 	cfg := core.ScenarioConfig{
 		Config: core.Config{
-			Seed:            *seed,
-			UseSRM:          *useSRM,
-			DisableAffinity: *noAffinity,
-			EnableHealth:    *healthOn,
-			EnableRecovery:  *recoveryOn,
-			TestbedSites:    *sites,
+			Seed:                 *seed,
+			UseSRM:               *useSRM,
+			DisableAffinity:      *noAffinity,
+			EnableHealth:         *healthOn,
+			EnableRecovery:       *recoveryOn,
+			TestbedSites:         *sites,
+			TransferDoors:        *doors,
+			EnableStorageCleanup: *cleanupOn,
+			EnableReplicaRanking: *replicaRank,
 		},
 		Horizon:         time.Duration(*days) * 24 * time.Hour,
 		JobScale:        *scale,
 		DisableFailures: *noFailures,
+	}
+
+	if *dataSweepOn {
+		if err := dataSweep(*seedList, *seed, *days, *parallel, *dataJSON, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "grid3sim:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *scaleSweepList != "" {
@@ -483,6 +507,68 @@ func scaleSweep(countList, seedList string, seed int64, days int, jsonPath strin
 		fmt.Printf("\nscale JSON written to %s\n", jsonPath)
 	}
 	return nil
+}
+
+// dataSweep runs the data campaign: every seed measured with the raw
+// GridFTP baseline and the managed data plane (SRM lifecycle, transfer
+// doors, replica ranking).
+func dataSweep(seedList string, seed int64, days, workers int, jsonPath string, cfg core.ScenarioConfig) error {
+	seeds := []int64{seed}
+	if seedList != "" {
+		var err error
+		if seeds, err = parseSeeds(seedList); err != nil {
+			return err
+		}
+	}
+	rep, err := campaign.DataSweep(campaign.DataSweepConfig{
+		Seeds:     seeds,
+		Days:      days,
+		Doors:     cfg.TransferDoors,
+		Watermark: cfg.CleanupWatermark,
+		Base:      cfg,
+		Workers:   workers,
+	})
+	if err != nil {
+		return err
+	}
+	rep.Write(os.Stdout)
+	if jsonPath != "" {
+		rec := dataRecord{
+			Kind:         "grid3sim-data",
+			GoMaxProcs:   runtime.GOMAXPROCS(0),
+			Days:         rep.Days,
+			JobScale:     cfg.JobScale,
+			Doors:        rep.Doors,
+			WallSecs:     rep.Elapsed.Seconds(),
+			MinTBPerDay:  rep.MinTBPerDay,
+			MeanTBPerDay: rep.MeanTBPerDay,
+			MaxTBPerDay:  rep.MaxTBPerDay,
+			Points:       rep.Points,
+		}
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\ndata JSON written to %s\n", jsonPath)
+	}
+	return nil
+}
+
+// dataRecord is the -data-json schema.
+type dataRecord struct {
+	Kind         string               `json:"kind"`
+	GoMaxProcs   int                  `json:"gomaxprocs"`
+	Days         int                  `json:"days"`
+	JobScale     float64              `json:"job_scale"`
+	Doors        int                  `json:"doors"`
+	WallSecs     float64              `json:"wall_seconds"`
+	MinTBPerDay  float64              `json:"managed_tb_per_day_min"`
+	MeanTBPerDay float64              `json:"managed_tb_per_day_mean"`
+	MaxTBPerDay  float64              `json:"managed_tb_per_day_max"`
+	Points       []campaign.DataPoint `json:"points"`
 }
 
 // scaleRecord is the -scale-json schema.

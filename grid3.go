@@ -239,6 +239,31 @@ func WithChaos(intensity float64) Option {
 	return func(c *ScenarioConfig) { c.ChaosIntensity = intensity }
 }
 
+// WithTransferDoors bounds concurrent GridFTP flows per endpoint at n, the
+// site's gsiftp door count; excess transfers queue FIFO until a door frees
+// on both ends. 0 (the default) keeps the historical unbounded WAN.
+func WithTransferDoors(n int) Option {
+	return func(c *ScenarioConfig) { c.Config.TransferDoors = n }
+}
+
+// WithReplicaRanking makes Pegasus stage-in pick its replica source by live
+// WAN load (fewest flows holding or waiting for a door, then least link
+// pressure) instead of the first catalog listing.
+func WithReplicaRanking() Option {
+	return func(c *ScenarioConfig) { c.Config.EnableReplicaRanking = true }
+}
+
+// WithStorageCleanup arms the SRM lifecycle loop at every site: reservation
+// expiry on the timer wheel, archive outputs pinned, and a periodic sweep
+// that evicts unpinned staged files when free space falls below the
+// watermark (0 keeps the default 0.15).
+func WithStorageCleanup(watermark float64) Option {
+	return func(c *ScenarioConfig) {
+		c.Config.EnableStorageCleanup = true
+		c.Config.CleanupWatermark = watermark
+	}
+}
+
 // WithScenarioConfig replaces the scenario configuration wholesale — the
 // escape hatch for callers that already build a ScenarioConfig struct.
 func WithScenarioConfig(cfg ScenarioConfig) Option {
@@ -369,6 +394,34 @@ func (r *Result) Metrics() *MetricsSnapshot {
 		return o.Metrics.Snapshot()
 	}
 	return nil
+}
+
+// DataTBPerDay returns the run's transfer volume in TB per simulated day,
+// all VO labels — the §7 "2-3 TB/day" milestone quantity.
+func (r *Result) DataTBPerDay() float64 {
+	var bytes int64
+	for _, v := range r.scen.Grid.Network.BytesByLabel() {
+		bytes += v
+	}
+	days := r.scen.Grid.Eng.Now().Hours() / 24
+	if days <= 0 {
+		return 0
+	}
+	return float64(bytes) / float64(1<<40) / days
+}
+
+// DataTBPerDayByVO splits DataTBPerDay by VO label — the Figure 5 traffic
+// accounting over the whole run rather than the SC2003 window.
+func (r *Result) DataTBPerDayByVO() map[string]float64 {
+	out := map[string]float64{}
+	days := r.scen.Grid.Eng.Now().Hours() / 24
+	if days <= 0 {
+		return out
+	}
+	for label, v := range r.scen.Grid.Network.BytesByLabel() {
+		out[label] = float64(v) / float64(1<<40) / days
+	}
+	return out
 }
 
 // SweepStat is a min/mean/max summary across a sweep's seeds.
@@ -539,4 +592,27 @@ type (
 func ScaleSweep(cfg ScaleSweepConfig, opts ...Option) (*ScaleReport, error) {
 	cfg.Base = buildConfig(opts)
 	return campaign.ScaleSweep(cfg)
+}
+
+// Data-sweep views: the campaign mode that scores the data plane — raw
+// GridFTP baseline against the managed plane (SRM lifecycle, transfer
+// doors, load-ranked replicas) — per seed.
+type (
+	// DataSweepConfig shapes a data campaign (seeds, horizon, door count).
+	DataSweepConfig = campaign.DataSweepConfig
+	// DataReport is a completed data sweep with the TB/day evidence.
+	DataReport = campaign.DataReport
+	// DataPoint is one seed's baseline/managed pair.
+	DataPoint = campaign.DataPoint
+	// DataOutcome is one run's data-plane scorecard.
+	DataOutcome = campaign.DataOutcome
+)
+
+// DataSweep runs a data-plane campaign: for every seed, a raw-GridFTP
+// baseline and a managed run, scored on TB/day, WAN queueing, and SRM
+// lifecycle activity. Options apply to every run (the sweep overrides the
+// seed, horizon, and data-plane toggles per run).
+func DataSweep(cfg DataSweepConfig, opts ...Option) (*DataReport, error) {
+	cfg.Base = buildConfig(opts)
+	return campaign.DataSweep(cfg)
 }

@@ -77,6 +77,22 @@ type Config struct {
 	// opt-in: with this off, job routing is byte-identical to a grid built
 	// without the health subsystem.
 	EnableRecovery bool
+	// TransferDoors bounds concurrent GridFTP flows per endpoint, queueing
+	// the excess FIFO until a door frees (the gatekeeper-overload analog
+	// for data movement). 0 keeps the historical unbounded WAN.
+	TransferDoors int
+	// EnableReplicaRanking makes Pegasus stage-in pick its replica source
+	// by live WAN state — door occupancy, queue depth, allocated bandwidth
+	// — instead of the first sorted site. Strictly opt-in.
+	EnableReplicaRanking bool
+	// EnableStorageCleanup arms the SRM lifecycle loop at every site:
+	// stage-out outputs are pinned for a grace period and a periodic sweep
+	// evicts unpinned staged files (retracting their LRC entries) whenever
+	// free space falls below CleanupWatermark. Strictly opt-in.
+	EnableStorageCleanup bool
+	// CleanupWatermark is the Free()/Capacity() fraction below which the
+	// cleanup sweep evicts (default 0.15).
+	CleanupWatermark float64
 }
 
 func (c *Config) defaults() {
@@ -95,6 +111,9 @@ func (c *Config) defaults() {
 	}
 	if c.EnableRecovery {
 		c.EnableHealth = true
+	}
+	if c.CleanupWatermark <= 0 {
+		c.CleanupWatermark = 0.15
 	}
 }
 
@@ -285,6 +304,7 @@ func New(cfg Config) (*Grid, error) {
 	// --- Shared fabric and central services.
 	g.Network = gridftp.NewNetwork(g.Eng)
 	g.Network.Ins = gridftp.NewInstruments(g.Obs)
+	g.Network.DefaultDoors = cfg.TransferDoors
 	g.RLI = rls.NewRLI(g.Eng)
 	g.TopGIIS = mds.NewGIIS("igoc-giis", g.Eng)
 	// §5: "registration to a VO-level set of services such as index
@@ -629,6 +649,23 @@ func (g *Grid) addSite(spec SiteSpec) error {
 	node := &Node{
 		Spec: spec, Site: st, Batch: bs, Gatekeeper: gk,
 		Gridmap: gridmap, LRC: lrc, SRM: srmMgr,
+	}
+
+	if g.Cfg.EnableStorageCleanup {
+		// SRM lifecycle loop: the sweep evicts unpinned staged files when
+		// the SE runs low, retracting each victim from the site catalog
+		// (the RLI catches up through soft state) and returning its bytes
+		// to the tape-migration budget.
+		srmMgr.OnEvict = func(name string, size int64) {
+			lrc.Drop(name)
+			node.archBytes -= size
+			if node.archBytes < 0 {
+				node.archBytes = 0
+			}
+		}
+		if err := srmMgr.EnableCleanup(cleanupInterval, g.Cfg.CleanupWatermark); err != nil {
+			return err
+		}
 	}
 
 	// §5.1: pacman -get Grid3, then the application releases for each VO
@@ -1026,6 +1063,15 @@ func (g *Grid) maxWallFor(voName string) time.Duration {
 	return max
 }
 
+// SRM lifecycle pacing (EnableStorageCleanup only): the cleanup sweep runs
+// every cleanupInterval at each SE, and stage-out outputs stay pinned for
+// archivePinTTL — long enough to be read back or migrated to tape, short
+// enough that abandoned outputs free their space within the run.
+const (
+	cleanupInterval = 6 * time.Hour
+	archivePinTTL   = 7 * 24 * time.Hour
+)
+
 // Bounded stage retry schedule (EnableRecovery only): doubling delays from
 // stageRetryBase, jittered, up to maxStageRetries attempts beyond the
 // first. The sum (~15.5 h) outlasts the longest injected incident class
@@ -1146,6 +1192,11 @@ func (g *Grid) stageOut(req apps.Request, j *condorg.GridJob, reservation *srm.R
 		if reservation != nil {
 			err = archive.SRM.Put(reservation.ID, lfn, req.OutputBytes)
 			archive.SRM.Release(reservation.ID)
+			if err == nil && g.Cfg.EnableStorageCleanup {
+				// Fresh outputs get a pin so the cleanup sweep cannot evict
+				// them before tape migration or analysis reads them back.
+				archive.SRM.Pin(lfn, archivePinTTL)
+			}
 		} else {
 			err = archive.Site.Disk.Store(lfn, req.OutputBytes, false)
 			if err != nil && tryAgain(err, func() { finish(nil) }) {

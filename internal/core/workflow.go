@@ -48,7 +48,32 @@ func (g *Grid) PlannerFor(voName string, policy pegasus.Policy) *pegasus.Planner
 			return g.Health.HandleFor(site).Degraded()
 		}
 	}
+	if g.Cfg.EnableReplicaRanking {
+		p.RankReplicas = func(_ string, cands []string) string {
+			return g.rankReplica(cands)
+		}
+	}
 	return p
+}
+
+// rankReplica picks the stage-in source with the least WAN pressure:
+// fewest flows holding or waiting for a door, then the smallest fraction
+// of link capacity already allocated by the filling pass, then sorted name
+// (candidates arrive sorted from the RLI, so ties are deterministic).
+func (g *Grid) rankReplica(cands []string) string {
+	best := cands[0]
+	bestFlows, bestQueued, bestBusy := g.Network.Load(best)
+	for _, c := range cands[1:] {
+		flows, queued, busy := g.Network.Load(c)
+		switch {
+		case flows+queued < bestFlows+bestQueued:
+		case flows+queued == bestFlows+bestQueued && busy < bestBusy:
+		default:
+			continue
+		}
+		best, bestFlows, bestQueued, bestBusy = c, flows, queued, busy
+	}
+	return best
 }
 
 // PublishRLS pushes every site LRC into the RLI (the periodic soft-state

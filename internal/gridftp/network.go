@@ -32,6 +32,13 @@ type Instruments struct {
 	Failed         *obs.Counter
 	Bytes          *obs.Counter   // completed transfer volume
 	ThroughputMbps *obs.Histogram // achieved rate per completed transfer
+	Queued         *obs.Counter   // transfers that waited for a door
+	QueueWaitSecs  *obs.Histogram // time spent waiting for a door
+
+	// metrics backs the lazily created per-VO byte counters (Figure 5's
+	// per-VO traffic accounting); voBytes caches them by label.
+	metrics *obs.Registry
+	voBytes map[string]*obs.Counter
 }
 
 // NewInstruments wires network instruments into an observer; nil in, nil out.
@@ -47,7 +54,28 @@ func NewInstruments(o *obs.Observer) *Instruments {
 		Bytes:     o.Metrics.Counter("gridftp.bytes.completed"),
 		ThroughputMbps: o.Metrics.Histogram("gridftp.throughput.mbps",
 			[]float64{1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 10000}),
+		Queued: o.Metrics.Counter("gridftp.transfers.queued"),
+		QueueWaitSecs: o.Metrics.Histogram("gridftp.queue.wait.secs",
+			[]float64{1, 10, 60, 300, 1800, 3600, 21600}),
+		metrics: o.Metrics,
 	}
+}
+
+// labelBytes returns the per-VO completed-bytes counter for a label,
+// creating it on first use ("gridftp.bytes.vo.<label>").
+func (in *Instruments) labelBytes(label string) *obs.Counter {
+	if in.metrics == nil {
+		return nil // Counter methods are nil-safe
+	}
+	c, ok := in.voBytes[label]
+	if !ok {
+		c = in.metrics.Counter("gridftp.bytes.vo." + label)
+		if in.voBytes == nil {
+			in.voBytes = make(map[string]*obs.Counter)
+		}
+		in.voBytes[label] = c
+	}
+	return c
 }
 
 // Errors.
@@ -75,14 +103,27 @@ type Endpoint struct {
 	CapacityBps float64 // bytes per second
 	up          bool
 
+	// Doors bounds concurrent transfers through this endpoint (the GridFTP
+	// data-door limit, the gatekeeper-overload analog for data movement).
+	// 0 means unbounded — the historical behavior.
+	Doors int
+
 	// Traffic accounting for Figure 5 ("data consumed by Grid3 sites").
 	BytesIn  int64
 	BytesOut int64
 
+	// doorsBusy counts admitted transfers (including connection setup)
+	// holding a door here; queuedHere counts pending transfers waiting on
+	// this endpoint. Both feed replica ranking.
+	doorsBusy  int
+	queuedHere int
+
 	// Progressive-filling scratch, valid only within one rebalance pass
 	// (rebalGen marks which). Keeping it on the endpoint lets a pass run
 	// without allocating per-endpoint maps — the dominant rebalance cost
-	// once hundreds of sites move data concurrently.
+	// once hundreds of sites move data concurrently. Between passes the
+	// leftover remCapScratch doubles as the live allocation snapshot that
+	// Load reports.
 	remCapScratch float64
 	countScratch  int
 	rebalGen      uint64
@@ -90,6 +131,12 @@ type Endpoint struct {
 
 // Up reports whether the endpoint is in service.
 func (e *Endpoint) Up() bool { return e.up }
+
+// ActiveFlows returns the number of transfers currently holding a door.
+func (e *Endpoint) ActiveFlows() int { return e.doorsBusy }
+
+// QueuedFlows returns the number of transfers waiting for a door here.
+func (e *Endpoint) QueuedFlows() int { return e.queuedHere }
 
 // Transfer is one bulk file movement.
 type Transfer struct {
@@ -110,6 +157,10 @@ type Transfer struct {
 	done       func(*Transfer, error)
 	failed     bool
 	span       obs.SpanID
+
+	// queuedAt stamps when the transfer joined the door queue (zero when it
+	// was admitted immediately).
+	queuedAt time.Duration
 
 	// srcEP/dstEP are resolved once at Start so the rebalance and
 	// completion paths never hash endpoint names again.
@@ -135,6 +186,22 @@ type Network struct {
 	// SetupDelay models connection establishment and GSI handshake
 	// before data flows.
 	SetupDelay time.Duration
+
+	// DefaultDoors is the door count applied to endpoints added after it is
+	// set; 0 keeps every endpoint unbounded (the historical WAN).
+	DefaultDoors int
+
+	// pending is the FIFO of transfers waiting for a free door on both of
+	// their endpoints; drainPending coalesces admission scans the way
+	// rebalancePending coalesces filling passes.
+	pending      []*Transfer
+	drainPending bool
+
+	// Door-queue accounting for the data sweep.
+	queuedTotal  int64
+	peakQueue    int
+	queueWaitSum time.Duration
+	dequeued     int64
 
 	logger func(Event) // NetLogger hook; see netlogger.go
 
@@ -187,9 +254,42 @@ func (n *Network) AddEndpoint(name string, mbps float64) *Endpoint {
 	if mbps <= 0 {
 		panic(fmt.Sprintf("gridftp: endpoint %s capacity %f", name, mbps))
 	}
-	e := &Endpoint{Name: name, CapacityBps: mbps * 1e6 / 8, up: true}
+	e := &Endpoint{Name: name, CapacityBps: mbps * 1e6 / 8, up: true, Doors: n.DefaultDoors}
 	n.endpoints[name] = e
 	return e
+}
+
+// Load reports an endpoint's live WAN state: transfers holding doors
+// (including connection setup), transfers queued for a door, and the
+// fraction of link capacity allocated by the most recent max–min filling
+// pass. Unknown endpoints report idle.
+func (n *Network) Load(name string) (flows, queued int, busyFrac float64) {
+	e, ok := n.endpoints[name]
+	if !ok {
+		return 0, 0, 0
+	}
+	if e.rebalGen == n.rebalGen && e.CapacityBps > 0 {
+		busyFrac = (e.CapacityBps - e.remCapScratch) / e.CapacityBps
+	}
+	return e.doorsBusy, e.queuedHere, busyFrac
+}
+
+// QueueDepth returns the number of transfers currently waiting for a door.
+func (n *Network) QueueDepth() int { return len(n.pending) }
+
+// PeakQueueDepth returns the deepest the door queue has been.
+func (n *Network) PeakQueueDepth() int { return n.peakQueue }
+
+// QueuedTotal returns how many transfers have ever waited for a door.
+func (n *Network) QueuedTotal() int64 { return n.queuedTotal }
+
+// MeanQueueWait returns the mean time queued transfers waited before
+// admission (zero if nothing has been dequeued).
+func (n *Network) MeanQueueWait() time.Duration {
+	if n.dequeued == 0 {
+		return 0
+	}
+	return n.queueWaitSum / time.Duration(n.dequeued)
 }
 
 // Endpoint returns a registered endpoint.
@@ -303,9 +403,39 @@ func (n *Network) StartTraced(src, dst string, size int64, label string, parent 
 		t.span = in.Tracer.BeginTransfer(parent, label, label, src, dst, size)
 	}
 	n.log(Event{Kind: EventStart, Transfer: t})
+	if doorsFull(se) || doorsFull(de) {
+		// Both endpoints must have a free door; otherwise wait in FIFO
+		// order (the GridFTP door limit — excess requests queue at the
+		// server instead of thrashing the link).
+		t.queuedAt = n.eng.Now()
+		se.queuedHere++
+		de.queuedHere++
+		n.pending = append(n.pending, t)
+		n.queuedTotal++
+		if len(n.pending) > n.peakQueue {
+			n.peakQueue = len(n.pending)
+		}
+		if in := n.Ins; in != nil {
+			in.Queued.Inc()
+		}
+		return t, nil
+	}
+	n.admit(t)
+	return t, nil
+}
+
+// doorsFull reports whether an endpoint has no free door.
+func doorsFull(e *Endpoint) bool { return e.Doors > 0 && e.doorsBusy >= e.Doors }
+
+// admit takes a door on both endpoints and begins connection setup.
+func (n *Network) admit(t *Transfer) {
+	se, de := t.srcEP, t.dstEP
+	se.doorsBusy++
+	de.doorsBusy++
 	n.eng.Schedule(n.SetupDelay, func() {
 		// The endpoint may have failed during setup.
 		if !se.up || !de.up {
+			n.releaseDoors(t)
 			n.fail(t, fmt.Errorf("%w during setup", ErrEndpointDown))
 			return
 		}
@@ -314,7 +444,55 @@ func (n *Network) StartTraced(src, dst string, size int64, label string, parent 
 		n.active[t.ID] = t
 		n.scheduleRebalance()
 	})
-	return t, nil
+}
+
+// releaseDoors returns a transfer's doors and wakes the admission scan.
+func (n *Network) releaseDoors(t *Transfer) {
+	t.srcEP.doorsBusy--
+	t.dstEP.doorsBusy--
+	n.scheduleDrain()
+}
+
+// scheduleDrain coalesces door-queue admission to the end of the current
+// virtual instant, mirroring scheduleRebalance.
+func (n *Network) scheduleDrain() {
+	if n.drainPending || len(n.pending) == 0 {
+		return
+	}
+	n.drainPending = true
+	n.eng.Schedule(0, func() {
+		n.drainPending = false
+		n.drain()
+	})
+}
+
+// drain scans the door queue in FIFO order, admitting every transfer whose
+// endpoints both have a free door. A transfer blocked on a busy endpoint
+// does not hold up later transfers between other endpoints (the scan is
+// work-conserving), but transfers contending for the same door are served
+// in arrival order.
+func (n *Network) drain() {
+	if len(n.pending) == 0 {
+		return
+	}
+	now := n.eng.Now()
+	kept := n.pending[:0]
+	for _, t := range n.pending {
+		if doorsFull(t.srcEP) || doorsFull(t.dstEP) {
+			kept = append(kept, t)
+			continue
+		}
+		t.srcEP.queuedHere--
+		t.dstEP.queuedHere--
+		wait := now - t.queuedAt
+		n.queueWaitSum += wait
+		n.dequeued++
+		if in := n.Ins; in != nil {
+			in.QueueWaitSecs.Observe(wait.Seconds())
+		}
+		n.admit(t)
+	}
+	n.pending = kept
 }
 
 // SetEndpointUp changes an endpoint's service state. Taking an endpoint
@@ -330,6 +508,21 @@ func (n *Network) SetEndpointUp(name string, up bool) error {
 	}
 	e.up = up
 	if !up {
+		// Queued transfers touching the endpoint fail in arrival order —
+		// they never held a door, so none is released.
+		if len(n.pending) > 0 {
+			kept := n.pending[:0]
+			for _, t := range n.pending {
+				if t.Src != name && t.Dst != name {
+					kept = append(kept, t)
+					continue
+				}
+				t.srcEP.queuedHere--
+				t.dstEP.queuedHere--
+				n.fail(t, fmt.Errorf("%w: %s went down while queued", ErrEndpointDown, name))
+			}
+			n.pending = kept
+		}
 		var victims []*Transfer
 		for _, t := range n.active {
 			if t.Src == name || t.Dst == name {
@@ -365,6 +558,7 @@ func (n *Network) remove(t *Transfer) {
 	delete(n.active, t.ID)
 	t.finish.Cancel()
 	t.finish = sim.Event{}
+	n.releaseDoors(t)
 }
 
 // settle advances every active transfer's remaining-byte counter to now at
@@ -410,6 +604,9 @@ func (n *Network) rebalance() {
 // sites move data concurrently.
 func (n *Network) rebalanceSettled() {
 	if len(n.active) == 0 {
+		// Still invalidate the endpoint allocation snapshots: with nothing
+		// active, Load must report idle links, not the last pass's rates.
+		n.rebalGen++
 		return
 	}
 	n.rebalGen++
@@ -529,6 +726,7 @@ func (n *Network) complete(t *Transfer) {
 	if in := n.Ins; in != nil {
 		in.Completed.Inc()
 		in.Bytes.Add(uint64(t.Bytes))
+		in.labelBytes(t.Label).Add(uint64(t.Bytes))
 		if secs := (t.Ended - t.Started).Seconds(); secs > 0 {
 			in.ThroughputMbps.Observe(float64(t.Bytes) * 8 / 1e6 / secs)
 		}

@@ -208,6 +208,11 @@ type Planner struct {
 	// otherwise-eligible site is excluded the planner uses the full set
 	// rather than failing the workflow.
 	Exclude func(site string) bool
+	// RankReplicas, when set, chooses the stage-in source among the
+	// candidate replica holders (already filtered by Exclude, sorted).
+	// Nil keeps the historical first-sorted-site choice; the embedding
+	// system wires a WAN-load ranker here for replica-aware staging.
+	RankReplicas func(lfn string, candidates []string) string
 	// Ins enables observability (nil = off).
 	Ins *Instruments
 	// Parent is the span under which plan spans are parented (the enclosing
@@ -361,7 +366,7 @@ func (p *Planner) plan(a *chimera.AbstractDAG, vo string) (*ConcreteDAG, error) 
 					Name:    fmt.Sprintf("stagein_%s_to_%s", lfn, execSite),
 					Type:    StageIn,
 					Site:    execSite,
-					SrcSite: p.pickReplica(replicas),
+					SrcSite: p.pickReplica(lfn, replicas),
 					LFN:     lfn,
 					Bytes:   sizeOf(lfn),
 				})
@@ -459,18 +464,28 @@ func (p *Planner) selectSite(sites []SiteInfo, tr *chimera.Transformation, vo st
 	return eligible[0].Name, nil
 }
 
-// pickReplica chooses a stage-in source: the first replica whose site is
-// not excluded, or the first replica when every holder is sick (the
-// transfer layer retries with failover at execution time).
-func (p *Planner) pickReplica(replicas []string) string {
+// pickReplica chooses a stage-in source among the LFN's replica holders.
+// Excluded (sick) sites are filtered first, falling back to the full set
+// when every holder is sick (the transfer layer retries with failover at
+// execution time). The survivors go through RankReplicas when the embedder
+// wired one; otherwise the first sorted site wins, the historical choice.
+func (p *Planner) pickReplica(lfn string, replicas []string) string {
+	cands := replicas
 	if p.Exclude != nil {
+		var healthy []string
 		for _, r := range replicas {
 			if !p.Exclude(r) {
-				return r
+				healthy = append(healthy, r)
 			}
 		}
+		if len(healthy) > 0 {
+			cands = healthy
+		}
 	}
-	return replicas[0]
+	if p.RankReplicas != nil {
+		return p.RankReplicas(lfn, cands)
+	}
+	return cands[0]
 }
 
 // score ranks sites: free CPUs minus queue depth (higher is better).

@@ -406,6 +406,51 @@ func TestExcludeAllFallsBackToFullSet(t *testing.T) {
 	}
 }
 
+func TestRankReplicasSelectsSource(t *testing.T) {
+	a := twoStepDAG(t)
+	p := newPlanner(rlsStub{"lfn:card": {"Buffalo", "UC"}, "lfn:geom": {"Buffalo", "UC"}})
+	ranked := 0
+	p.RankReplicas = func(_ string, cands []string) string {
+		ranked++
+		return cands[len(cands)-1] // deliberately not the default first pick
+	}
+	dag, err := p.Plan(a, "usatlas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	si, ok := dag.Jobs["stagein_lfn:card_to_BNL"]
+	if !ok {
+		t.Fatalf("no stage-in node: %v", dag.Order)
+	}
+	if si.SrcSite != "UC" {
+		t.Fatalf("stage-in source = %q, want the ranker's pick UC", si.SrcSite)
+	}
+	if ranked == 0 {
+		t.Fatal("ranking hook never consulted")
+	}
+}
+
+func TestRankReplicasSeesOnlyHealthyCandidates(t *testing.T) {
+	a := twoStepDAG(t)
+	p := newPlanner(rlsStub{"lfn:card": {"Buffalo", "UC"}, "lfn:geom": {"Buffalo", "UC"}})
+	p.Exclude = func(site string) bool { return site == "UC" }
+	p.RankReplicas = func(_ string, cands []string) string {
+		for _, c := range cands {
+			if c == "UC" {
+				t.Fatal("excluded site offered to the ranker")
+			}
+		}
+		return cands[0]
+	}
+	dag, err := p.Plan(a, "usatlas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if si := dag.Jobs["stagein_lfn:card_to_BNL"]; si.SrcSite != "Buffalo" {
+		t.Fatalf("stage-in source = %q, want Buffalo", si.SrcSite)
+	}
+}
+
 func TestExcludePrefersHealthyReplica(t *testing.T) {
 	a := twoStepDAG(t)
 	// Both inputs have two replicas; the first holder is sick.

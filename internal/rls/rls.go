@@ -87,6 +87,13 @@ func (l *LRC) Remove(lfn, path string) error {
 	return nil
 }
 
+// Drop removes every mapping of an LFN, no error if absent — how a storage
+// eviction retracts a file from the site catalog in one call.
+func (l *LRC) Drop(lfn string) {
+	delete(l.mappings, lfn)
+	delete(l.size, lfn)
+}
+
 // Lookup returns the physical paths of an LFN at this site, sorted.
 func (l *LRC) Lookup(lfn string) ([]string, error) {
 	set := l.mappings[lfn]
@@ -125,6 +132,11 @@ func (l *LRC) Len() int { return len(l.mappings) }
 // RLI is the global replica location index. LRCs publish their LFN lists
 // with a TTL; stale publications expire, so a dead site's replicas vanish
 // from the index (Giggle's soft-state consistency).
+//
+// Expired entries are garbage-collected lazily: Sites prunes the queried
+// LFN in place, and Publish piggybacks a full sweep at most once per
+// sweepInterval, so a site that stops republishing (or LFN churn over a
+// 183-day run) cannot grow the index without bound.
 type RLI struct {
 	clock sim.Clock
 	// entries: LFN → site → publication expiry.
@@ -133,7 +145,13 @@ type RLI struct {
 	// published tracks each site's current LFN list so republication can
 	// retract the previous one without scanning the whole index.
 	published map[string][]string
+	// nextSweep is the earliest virtual time the next piggybacked full
+	// sweep may run.
+	nextSweep time.Duration
 }
+
+// sweepInterval bounds how often Publish runs a full expired-entry sweep.
+const sweepInterval = time.Hour
 
 // NewRLI creates an index on the given clock.
 func NewRLI(clock sim.Clock) *RLI {
@@ -170,17 +188,44 @@ func (r *RLI) Publish(lrc *LRC, ttl time.Duration) {
 		sites[site] = expiry
 	}
 	r.published[site] = lfns
+	r.maybeSweep()
+}
+
+// pruneLFN drops an LFN's expired publications, and the LFN itself once no
+// site publishes it. Expired entries were already invisible to queries, so
+// pruning never changes results — it only returns memory.
+func (r *RLI) pruneLFN(lfn string, now time.Duration) {
+	sites := r.entries[lfn]
+	for site, expiry := range sites {
+		if expiry < now {
+			delete(sites, site)
+		}
+	}
+	if len(sites) == 0 {
+		delete(r.entries, lfn)
+	}
+}
+
+// maybeSweep runs a full expired-entry sweep at most once per sweepInterval.
+func (r *RLI) maybeSweep() {
+	now := r.clock.Now()
+	if now < r.nextSweep {
+		return
+	}
+	r.nextSweep = now + sweepInterval
+	for lfn := range r.entries {
+		r.pruneLFN(lfn, now)
+	}
 }
 
 // Sites returns the sites currently publishing an LFN, sorted. Expired
-// publications are ignored.
+// publications are pruned on the way through.
 func (r *RLI) Sites(lfn string) []string {
 	now := r.clock.Now()
+	r.pruneLFN(lfn, now)
 	var out []string
-	for site, expiry := range r.entries[lfn] {
-		if expiry >= now {
-			out = append(out, site)
-		}
+	for site := range r.entries[lfn] {
+		out = append(out, site)
 	}
 	sort.Strings(out)
 	return out
@@ -230,16 +275,17 @@ func (r *RLI) Locate(lfn string) ([]PFN, error) {
 }
 
 // KnownLFNs returns the number of logical names with live publications.
+// It prunes expired entries as it scans, so the walk is O(live) amortized
+// rather than O(everything ever published).
 func (r *RLI) KnownLFNs() int {
 	now := r.clock.Now()
-	n := 0
-	for _, sites := range r.entries {
-		for _, expiry := range sites {
-			if expiry >= now {
-				n++
-				break
-			}
-		}
+	for lfn := range r.entries {
+		r.pruneLFN(lfn, now)
 	}
-	return n
+	return len(r.entries)
 }
+
+// IndexSize returns the number of logical names currently held in the
+// index, live or awaiting the lazy sweep — the footprint the soft-state GC
+// bounds.
+func (r *RLI) IndexSize() int { return len(r.entries) }

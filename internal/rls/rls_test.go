@@ -157,6 +157,60 @@ func TestRLIScale(t *testing.T) {
 	}
 }
 
+// Regression: before the lazy GC, expired publications were only filtered
+// at read time — the index map itself grew without bound as the namespace
+// churned (the soft-state leak). The sweep piggybacked on Publish must
+// physically shrink the index.
+func TestRLIIndexGCBoundsChurn(t *testing.T) {
+	eng := sim.NewEngine(sim.Grid3Epoch)
+	rli := NewRLI(eng)
+	old := NewLRC("fnal")
+	for i := 0; i < 500; i++ {
+		old.Add(fmt.Sprintf("lfn:gen0/f%03d", i), fmt.Sprintf("/d/%d", i), 1)
+	}
+	rli.Publish(old, 30*time.Minute)
+	if rli.IndexSize() != 500 {
+		t.Fatalf("IndexSize = %d after publish", rli.IndexSize())
+	}
+	// The whole generation expires; a later publication of a fresh one
+	// crosses the sweep interval and triggers the GC.
+	eng.RunUntil(2 * time.Hour)
+	fresh := NewLRC("bnl")
+	fresh.Add("lfn:gen1/f000", "/d/0", 1)
+	rli.Publish(fresh, 30*time.Minute)
+	if got := rli.IndexSize(); got != 1 {
+		t.Fatalf("index holds %d LFNs after churn, want 1 (stale entries leaked)", got)
+	}
+}
+
+// Sites prunes the entry it touches, so hot lookups stay O(live replicas)
+// and a mixed-freshness entry drops only its lapsed publishers.
+func TestSitesPrunesExpiredPublishers(t *testing.T) {
+	eng := sim.NewEngine(sim.Grid3Epoch)
+	rli := NewRLI(eng)
+	for _, pub := range []struct {
+		site string
+		ttl  time.Duration
+	}{{"bnl", 30 * time.Minute}, {"uc", 2 * time.Hour}} {
+		lrc := NewLRC(pub.site)
+		lrc.Add("lfn:ev", "/d/ev", 1)
+		rli.Publish(lrc, pub.ttl)
+	}
+	eng.RunUntil(time.Hour)
+	if got := rli.Sites("lfn:ev"); len(got) != 1 || got[0] != "uc" {
+		t.Fatalf("Sites = %v, want [uc]", got)
+	}
+	if len(rli.entries["lfn:ev"]) != 1 {
+		t.Fatal("lapsed publisher still in the entry map")
+	}
+	// KnownLFNs prunes everything it counts: after uc lapses too, the
+	// entry disappears physically, not just from the filtered view.
+	eng.RunUntil(3 * time.Hour)
+	if rli.KnownLFNs() != 0 || rli.IndexSize() != 0 {
+		t.Fatalf("KnownLFNs = %d, IndexSize = %d after full expiry", rli.KnownLFNs(), rli.IndexSize())
+	}
+}
+
 func TestAlternateSites(t *testing.T) {
 	eng := sim.NewEngine(sim.Grid3Epoch)
 	rli := NewRLI(eng)

@@ -1,11 +1,15 @@
 // Package srm implements a Storage Resource Manager in front of a site's
-// storage: space reservation, best-effort pinning, and managed writes.
+// storage: space reservation with scheduled expiry, best-effort pinning,
+// managed writes, and a watermark-driven cleanup sweep.
 //
 // SRM is the §8 "lesson learned" extension: "storage reservation (e.g., as
 // provided by SRM) would have prevented various storage-related service
 // failures" (§6.2). The ABL-SRM ablation bench compares CMS-like production
 // with raw GridFTP writes (which hit disk-full mid-job) against SRM-managed
-// writes (which fail fast at reservation time, before CPU is wasted).
+// writes (which fail fast at reservation time, before CPU is wasted). The
+// lifecycle loop — reservations reaped on the sim timer wheel, unpinned
+// staged files evicted when free space falls below a watermark — closes the
+// §6.1 "disk filling, unreclaimed space" failure class.
 package srm
 
 import (
@@ -23,6 +27,8 @@ var (
 	ErrNoReservation = errors.New("srm: no such reservation")
 	ErrExpired       = errors.New("srm: reservation expired")
 	ErrExhausted     = errors.New("srm: reservation exhausted")
+	ErrUnknownFile   = errors.New("srm: no such file")
+	ErrNoScheduler   = errors.New("srm: clock cannot schedule events")
 )
 
 // Reservation is a bounded-lifetime space grant.
@@ -33,26 +39,63 @@ type Reservation struct {
 	Remaining int64
 	Expires   time.Duration
 	released  bool
+	// expiry is the scheduled reaper event; zero when the manager's clock
+	// cannot schedule (plain-Clock embeddings fall back to lazy expiry).
+	expiry sim.Event
 }
 
 // Manager fronts one site's storage element.
 type Manager struct {
-	clock        sim.Clock
-	store        *site.Storage
+	clock sim.Clock
+	// sched is clock's scheduling face when it has one (the sim engine
+	// does); reservation expiry and the cleanup sweep ride its timer wheel.
+	sched sim.Scheduler
+	store *site.Storage
+
 	reservations map[string]*Reservation
 	nextID       int64
 
-	// Counters for the ablation bench.
+	// pins maps staged file → pin expiry. A live pin shields the file from
+	// the cleanup sweep.
+	pins map[string]time.Duration
+	// staged is the Put-order FIFO of SRM-written files — the sweep's
+	// eviction order — with stagedSet deduplicating re-puts.
+	staged    []string
+	stagedSet map[string]bool
+
+	// watermark is the Free()/Capacity() fraction below which the sweep
+	// evicts; zero until EnableCleanup arms the loop.
+	watermark float64
+
+	// OnEvict, when set, fires for each file the cleanup sweep deletes, so
+	// the embedding site can retract catalog entries (LRC mappings).
+	OnEvict func(name string, size int64)
+
+	// Counters for the ablation bench and the data sweep.
 	granted, denied int
+	// expired counts writes lost because their reservation lapsed before
+	// Put — the loss-at-put failure, distinct from denial-at-reserve.
+	expired int
+	// evicted counts files removed by the cleanup sweep.
+	evicted      int
+	evictedBytes int64
 }
 
-// New creates an SRM over a storage element.
+// New creates an SRM over a storage element. When clock can also schedule
+// (the sim engine), reservation expiry runs on the timer wheel: a site that
+// stops calling Reserve still gets its lapsed space back.
 func New(clock sim.Clock, store *site.Storage) *Manager {
-	return &Manager{
+	m := &Manager{
 		clock:        clock,
 		store:        store,
 		reservations: make(map[string]*Reservation),
+		pins:         make(map[string]time.Duration),
+		stagedSet:    make(map[string]bool),
 	}
+	if s, ok := clock.(sim.Scheduler); ok {
+		m.sched = s
+	}
+	return m
 }
 
 // Granted and Denied count reservation outcomes.
@@ -61,8 +104,29 @@ func (m *Manager) Granted() int { return m.granted }
 // Denied returns the number of refused reservations.
 func (m *Manager) Denied() int { return m.denied }
 
+// Expired returns the number of writes refused because their reservation
+// had lapsed by Put time.
+func (m *Manager) Expired() int { return m.expired }
+
+// Evicted returns the number of files the cleanup sweep has deleted.
+func (m *Manager) Evicted() int { return m.evicted }
+
+// EvictedBytes returns the volume the cleanup sweep has reclaimed.
+func (m *Manager) EvictedBytes() int64 { return m.evictedBytes }
+
+// reapGrace is how long past expiry a reservation lingers before the
+// scheduled reaper reclaims it. The grace window keeps loss-at-put
+// observable: a grantee writing shortly after its lifetime lapsed still
+// gets ErrExpired (and the expired counter ticks) instead of the
+// reservation having silently vanished. Lazy expiry in Reserve and
+// Outstanding still reclaims immediately, as it always did.
+const reapGrace = 24 * time.Hour
+
 // Reserve grants space for lifetime, or fails fast if the store cannot
-// hold it. Expired reservations are garbage-collected first.
+// hold it. Expired reservations are garbage-collected first; with a
+// scheduling clock the new grant is also reaped by the timer wheel at
+// expiry + reapGrace, so the space returns even if the grantee never
+// comes back and nobody else ever calls Reserve.
 func (m *Manager) Reserve(vo string, bytes int64, lifetime time.Duration) (*Reservation, error) {
 	m.expire()
 	if err := m.store.Reserve(bytes); err != nil {
@@ -79,7 +143,20 @@ func (m *Manager) Reserve(vo string, bytes int64, lifetime time.Duration) (*Rese
 	}
 	m.reservations[r.ID] = r
 	m.granted++
+	if m.sched != nil {
+		rr := r
+		r.expiry = m.sched.At(r.Expires+reapGrace+1, func() { m.reap(rr) })
+	}
 	return r, nil
+}
+
+// reap is the scheduled expiry callback: release the reservation if it is
+// still outstanding when its lifetime lapses.
+func (m *Manager) reap(r *Reservation) {
+	r.expiry = sim.Event{} // this event has fired
+	if !r.released && m.clock.Now() > r.Expires {
+		m.release(r)
+	}
 }
 
 // Put writes a file against a reservation.
@@ -89,6 +166,7 @@ func (m *Manager) Put(resID, name string, size int64) error {
 		return fmt.Errorf("%w: %s", ErrNoReservation, resID)
 	}
 	if m.clock.Now() > r.Expires {
+		m.expired++
 		m.release(r)
 		return fmt.Errorf("%w: %s", ErrExpired, resID)
 	}
@@ -99,6 +177,13 @@ func (m *Manager) Put(resID, name string, size int64) error {
 		return err
 	}
 	r.Remaining -= size
+	if !m.stagedSet[name] {
+		m.stagedSet[name] = true
+		m.staged = append(m.staged, name)
+	}
+	if m.sched == nil {
+		m.expire() // no timer wheel: reap lapsed peers lazily
+	}
 	return nil
 }
 
@@ -109,6 +194,9 @@ func (m *Manager) Release(resID string) error {
 		return fmt.Errorf("%w: %s", ErrNoReservation, resID)
 	}
 	m.release(r)
+	if m.sched == nil {
+		m.expire()
+	}
 	return nil
 }
 
@@ -117,6 +205,8 @@ func (m *Manager) release(r *Reservation) {
 		return
 	}
 	r.released = true
+	r.expiry.Cancel()
+	r.expiry = sim.Event{}
 	if r.Remaining > 0 {
 		m.store.Release(r.Remaining)
 		r.Remaining = 0
@@ -143,3 +233,92 @@ func (m *Manager) Outstanding() int {
 	m.expire()
 	return len(m.reservations)
 }
+
+// Pin shields a staged file from the cleanup sweep until ttl elapses.
+// Re-pinning extends the lifetime.
+func (m *Manager) Pin(name string, ttl time.Duration) error {
+	if !m.store.Has(name) {
+		return fmt.Errorf("%w: %s", ErrUnknownFile, name)
+	}
+	m.pins[name] = m.clock.Now() + ttl
+	return nil
+}
+
+// Unpin releases a pin, making the file eligible for eviction.
+func (m *Manager) Unpin(name string) { delete(m.pins, name) }
+
+// Pinned reports whether a file holds a live pin.
+func (m *Manager) Pinned(name string) bool {
+	exp, ok := m.pins[name]
+	return ok && exp >= m.clock.Now()
+}
+
+// EnableCleanup arms the lifecycle sweep on the manager's timer wheel:
+// every interval, if free space has fallen below watermark×capacity, the
+// sweep deletes unpinned staged files oldest-first until it recovers.
+// Requires a scheduling clock.
+func (m *Manager) EnableCleanup(interval time.Duration, watermark float64) error {
+	if m.sched == nil {
+		return ErrNoScheduler
+	}
+	m.watermark = watermark
+	var tick func()
+	tick = func() {
+		m.CleanupSweep()
+		m.sched.Schedule(interval, tick)
+	}
+	m.sched.Schedule(interval, tick)
+	return nil
+}
+
+// CleanupSweep runs one pass of the lifecycle loop: reap lapsed
+// reservations and pins, then, if free space is below the watermark, evict
+// unpinned staged files in Put order until it recovers. Returns the number
+// of files evicted.
+func (m *Manager) CleanupSweep() int {
+	m.expire()
+	now := m.clock.Now()
+	for name, exp := range m.pins {
+		if exp < now {
+			delete(m.pins, name)
+		}
+	}
+	low := int64(m.watermark * float64(m.store.Capacity()))
+	if m.store.Free() >= low {
+		return 0
+	}
+	n := 0
+	kept := m.staged[:0]
+	for i, name := range m.staged {
+		if m.store.Free() >= low {
+			kept = append(kept, m.staged[i:]...)
+			break
+		}
+		if !m.store.Has(name) {
+			// Deleted out from under us (tape migration); drop the record.
+			delete(m.stagedSet, name)
+			delete(m.pins, name)
+			continue
+		}
+		if exp, ok := m.pins[name]; ok && exp >= now {
+			kept = append(kept, name)
+			continue
+		}
+		size, _ := m.store.Size(name)
+		m.store.Delete(name)
+		delete(m.stagedSet, name)
+		delete(m.pins, name)
+		m.evicted++
+		m.evictedBytes += size
+		n++
+		if m.OnEvict != nil {
+			m.OnEvict(name, size)
+		}
+	}
+	m.staged = kept
+	return n
+}
+
+// StagedCount returns the number of SRM-written files still tracked by the
+// lifecycle loop.
+func (m *Manager) StagedCount() int { return len(m.stagedSet) }

@@ -103,6 +103,156 @@ func TestExpiryReclaimsOnlyUnused(t *testing.T) {
 	}
 }
 
+// Regression: a reservation whose grantee never comes back must still be
+// reclaimed by the scheduled reaper. Before expiry moved onto the timer
+// wheel, lapsed reservations only released on the next Reserve/Outstanding
+// call — a site nobody asked again held the space forever.
+func TestAbandonedReservationReclaimedBySchedule(t *testing.T) {
+	eng, st, m := newMgr(t, 1000)
+	if _, err := m.Reserve("uscms", 400, 30*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	// No further SRM calls: only scheduled events may reclaim.
+	eng.RunUntil(30*time.Minute + reapGrace + time.Hour)
+	if st.Reserved() != 0 || st.Free() != 1000 {
+		t.Fatalf("abandoned reservation leaked: reserved %d free %d", st.Reserved(), st.Free())
+	}
+	if len(m.reservations) != 0 {
+		t.Fatalf("reservation map still holds %d entries", len(m.reservations))
+	}
+}
+
+// Regression: a write lost to a lapsed reservation must tick the expired
+// counter exactly once — the loss-at-put signal, distinct from both
+// denial-at-reserve and the silent reclaim the scheduled reaper does after
+// the grace window.
+func TestExpiredCounterTicksAtPut(t *testing.T) {
+	eng, _, m := newMgr(t, 1000)
+	r, _ := m.Reserve("btev", 300, 30*time.Minute)
+	eng.RunUntil(time.Hour) // lapsed, but inside the reap grace window
+	if err := m.Put(r.ID, "late", 100); !errors.Is(err, ErrExpired) {
+		t.Fatalf("late put err = %v", err)
+	}
+	if m.Expired() != 1 {
+		t.Fatalf("expired = %d", m.Expired())
+	}
+	// The failed put released the reservation; retrying cannot double-count.
+	if err := m.Put(r.ID, "late2", 100); !errors.Is(err, ErrNoReservation) {
+		t.Fatalf("second put err = %v", err)
+	}
+	if m.Expired() != 1 {
+		t.Fatalf("expired double-counted: %d", m.Expired())
+	}
+}
+
+// stage reserves, writes, and releases one file — the stage-out sequence.
+func stage(t *testing.T, m *Manager, name string, size int64) {
+	t.Helper()
+	r, err := m.Reserve("sdss", size, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put(r.ID, name, size); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Release(r.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPinLifecycle(t *testing.T) {
+	eng, _, m := newMgr(t, 1000)
+	if err := m.Pin("ghost", time.Hour); !errors.Is(err, ErrUnknownFile) {
+		t.Fatalf("pin of unknown file err = %v", err)
+	}
+	stage(t, m, "f1", 100)
+	if err := m.Pin("f1", 30*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Pinned("f1") {
+		t.Fatal("fresh pin not live")
+	}
+	eng.RunUntil(time.Hour)
+	if m.Pinned("f1") {
+		t.Fatal("lapsed pin still live")
+	}
+	if err := m.Pin("f1", time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	m.Unpin("f1")
+	if m.Pinned("f1") {
+		t.Fatal("unpinned file still shielded")
+	}
+}
+
+func TestCleanupSweepEvictsUnpinnedInPutOrder(t *testing.T) {
+	_, st, m := newMgr(t, 1000)
+	m.watermark = 0.5
+	stage(t, m, "f1", 200)
+	stage(t, m, "f2", 200)
+	stage(t, m, "f3", 200) // used 600, free 400 < watermark 500
+	if err := m.Pin("f1", time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	var evicted []string
+	m.OnEvict = func(name string, size int64) { evicted = append(evicted, name) }
+	if n := m.CleanupSweep(); n != 1 || len(evicted) != 1 || evicted[0] != "f2" {
+		t.Fatalf("sweep evicted %v (n=%d), want f2 only (f1 pinned, put order)", evicted, n)
+	}
+	if !st.Has("f1") || st.Has("f2") || !st.Has("f3") {
+		t.Fatal("wrong files survived the sweep")
+	}
+	if m.Evicted() != 1 || m.EvictedBytes() != 200 {
+		t.Fatalf("eviction counters: %d files, %d bytes", m.Evicted(), m.EvictedBytes())
+	}
+	if m.StagedCount() != 2 {
+		t.Fatalf("staged count = %d", m.StagedCount())
+	}
+	// Free recovered past the watermark; the next sweep is a no-op.
+	if st.Free() < 500 {
+		t.Fatalf("free %d still below watermark", st.Free())
+	}
+	if m.CleanupSweep() != 0 {
+		t.Fatal("recovered store still evicting")
+	}
+}
+
+func TestEnableCleanupRunsOnTimerWheel(t *testing.T) {
+	eng, st, m := newMgr(t, 1000)
+	if err := m.EnableCleanup(time.Hour, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	stage(t, m, "f1", 200)
+	stage(t, m, "f2", 200)
+	stage(t, m, "f3", 200)
+	// The pin lapses before the first sweep fires, so f1 is fair game.
+	if err := m.Pin("f1", 10*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(90 * time.Minute)
+	if st.Has("f1") {
+		t.Fatal("file with lapsed pin survived the scheduled sweep")
+	}
+	if st.Used() != 400 || st.Free() < 500 {
+		t.Fatalf("store after sweep: used %d free %d", st.Used(), st.Free())
+	}
+}
+
+func TestEnableCleanupNeedsScheduler(t *testing.T) {
+	eng := sim.NewEngine(sim.Grid3Epoch)
+	m := New(plainClock{eng}, site.NewStorage(100))
+	if err := m.EnableCleanup(time.Hour, 0.5); !errors.Is(err, ErrNoScheduler) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// plainClock strips the engine down to its Clock face, hiding Scheduler.
+type plainClock struct{ eng *sim.Engine }
+
+func (c plainClock) Now() time.Duration { return c.eng.Now() }
+
+func (c plainClock) WallClock() time.Time { return c.eng.WallClock() }
+
 // Property: reserved + used + free == capacity under any operation mix,
 // and reservations never overcommit the store.
 func TestSRMConservationProperty(t *testing.T) {
@@ -148,6 +298,82 @@ func TestSRMConservationProperty(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the full lifecycle mix — reservations, managed and raw writes,
+// deletes out from under the manager, pins, time, and cleanup sweeps — never
+// breaks used + reserved + free == capacity.
+func TestLifecycleConservationProperty(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Size uint16
+		Life uint8
+	}
+	f := func(ops []op) bool {
+		eng := sim.NewEngine(sim.Grid3Epoch)
+		st := site.NewStorage(1 << 18)
+		m := New(eng, st)
+		m.watermark = 0.25
+		var live []*Reservation
+		var names []string
+		files := 0
+		for _, o := range ops {
+			size := int64(o.Size)%4096 + 1
+			switch o.Kind % 7 {
+			case 0:
+				if r, err := m.Reserve("vo", size, time.Duration(o.Life%48+1)*time.Hour); err == nil {
+					live = append(live, r)
+				}
+			case 1:
+				if len(live) > 0 {
+					files++
+					name := fmt.Sprintf("f%d", files)
+					if m.Put(live[0].ID, name, size) == nil {
+						names = append(names, name)
+					}
+				}
+			case 2:
+				if len(live) > 0 {
+					m.Release(live[0].ID)
+					live = live[1:]
+				}
+			case 3:
+				// Raw write around the manager (a job without SRM).
+				files++
+				name := fmt.Sprintf("raw%d", files)
+				if st.Store(name, size, false) == nil {
+					names = append(names, name)
+				}
+			case 4:
+				// Delete out from under the manager (tape migration).
+				if len(names) > 0 {
+					st.Delete(names[0])
+					names = names[1:]
+				}
+			case 5:
+				if len(names) > 0 {
+					if o.Life%2 == 0 {
+						m.Pin(names[0], time.Duration(o.Life%12+1)*time.Hour)
+					} else {
+						m.Unpin(names[0])
+					}
+				}
+			case 6:
+				eng.RunFor(time.Duration(o.Life%24) * time.Hour)
+				m.CleanupSweep()
+			}
+			if st.Used()+st.Reserved()+st.Free() != st.Capacity() {
+				return false
+			}
+			if st.Reserved() < 0 || st.Free() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -10,8 +10,11 @@
 set -eu
 
 BASE=${1:-BENCH_sim.json}
+DATA_BASE=${2:-BENCH_data.json}
 # ns/op may regress up to 30% before this trips (short-run noise margin).
 NS_SLACK=1.3
+# The §7 milestone floor: managed runs must sustain at least 2 TB/day.
+TB_FLOOR=2.0
 BENCHES='BenchmarkEngineStep$|BenchmarkScenarioDay$'
 
 if [ ! -f "$BASE" ]; then
@@ -69,5 +72,29 @@ for name in BenchmarkEngineStep BenchmarkScenarioDay; do
         FAIL*) status=1 ;;
     esac
 done
+
+# Data-plane milestone check: the checked-in data sweep must show the
+# managed plane sustaining the §7 target across every seed (the minimum,
+# not the mean — one bad seed is a regression).
+if [ -f "$DATA_BASE" ]; then
+    tb_min=$(sed -n 's/.*"managed_tb_per_day_min": \([0-9.e+-]*\).*/\1/p' "$DATA_BASE" | head -n 1)
+    if [ -z "$tb_min" ]; then
+        echo "bench-check: managed_tb_per_day_min missing from $DATA_BASE" >&2
+        status=1
+    else
+        verdict=$(echo "$tb_min" | awk -v floor="$TB_FLOOR" '{
+            if ($1 + 0 < floor + 0)
+                printf "FAIL managed min %.2f TB/day below the %.1f TB/day milestone\n", $1, floor
+            else
+                printf "ok managed min %.2f TB/day (floor %.1f)\n", $1, floor
+        }')
+        echo "bench-check: data sweep: $verdict"
+        case "$verdict" in
+            FAIL*) status=1 ;;
+        esac
+    fi
+else
+    echo "bench-check: $DATA_BASE not found, skipping the data-plane check" >&2
+fi
 
 exit $status

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Run a small reference data sweep and record it in BENCH_data.json: the
+# data-plane evidence this repo tracks across PRs — TB/day with the raw
+# GridFTP baseline vs the managed plane (SRM lifecycle, transfer doors,
+# load-ranked replicas), plus queueing and SRM lifecycle activity per seed.
+#
+# Run from the repo root: ./scripts/data-demo.sh [out.json]
+set -eu
+
+OUT=${1:-BENCH_data.json}
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+go build -o "$TMP/grid3sim" ./cmd/grid3sim
+"$TMP/grid3sim" -data-sweep -seeds 1,2,3 -scale 0.05 -days 30 -doors 4 \
+	-data-json "$OUT"
+
+echo
+echo "wrote $OUT"
