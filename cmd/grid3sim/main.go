@@ -37,6 +37,14 @@
 // raw-GridFTP baseline against the managed plane per seed:
 //
 //	grid3sim -data-sweep -seeds 1,2,3 -days 30 -scale 0.05 -doors 4 [-data-json out.json]
+//
+// Every mode writes its report JSON through the one -json-out flag; the
+// report schema follows the mode (chaos, scale sweep, data sweep, seed
+// sweep, or the single-run bench record). The mode-specific -chaos-json,
+// -scale-json, -data-json, and -bench-json flags remain as aliases and
+// yield to -json-out when both are given:
+//
+//	grid3sim -chaos 1,2,4 -seeds 1,2,3 -json-out chaos.json
 package main
 
 import (
@@ -83,6 +91,7 @@ func main() {
 	replicaRank := flag.Bool("replica-rank", false, "rank Pegasus stage-in replicas by live WAN load")
 	dataSweepOn := flag.Bool("data-sweep", false, "run the data campaign: raw-GridFTP baseline vs managed data plane, per seed")
 	dataJSON := flag.String("data-json", "", "write the data sweep report JSON to this file")
+	jsonOut := flag.String("json-out", "", "write the active mode's report JSON to this file (unifies -bench-json/-chaos-json/-scale-json/-data-json)")
 	flag.Parse()
 
 	cfg := core.ScenarioConfig{
@@ -102,8 +111,17 @@ func main() {
 		DisableFailures: *noFailures,
 	}
 
+	// -json-out is the unified output path; the mode-specific aliases yield
+	// to it when both are given.
+	pickJSON := func(alias string) string {
+		if *jsonOut != "" {
+			return *jsonOut
+		}
+		return alias
+	}
+
 	if *dataSweepOn {
-		if err := dataSweep(*seedList, *seed, *days, *parallel, *dataJSON, cfg); err != nil {
+		if err := dataSweep(*seedList, *seed, *days, *parallel, pickJSON(*dataJSON), cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "grid3sim:", err)
 			os.Exit(1)
 		}
@@ -111,7 +129,7 @@ func main() {
 	}
 
 	if *scaleSweepList != "" {
-		if err := scaleSweep(*scaleSweepList, *seedList, *seed, *days, *scaleJSON, cfg); err != nil {
+		if err := scaleSweep(*scaleSweepList, *seedList, *seed, *days, pickJSON(*scaleJSON), cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "grid3sim:", err)
 			os.Exit(1)
 		}
@@ -119,7 +137,7 @@ func main() {
 	}
 
 	if *chaosList != "" {
-		if err := chaos(*chaosList, *seedList, *seed, *parallel, *chaosJSON, cfg); err != nil {
+		if err := chaos(*chaosList, *seedList, *seed, *parallel, pickJSON(*chaosJSON), cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "grid3sim:", err)
 			os.Exit(1)
 		}
@@ -131,11 +149,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "grid3sim: -trace-out/-metrics-out apply to single-seed runs only")
 			os.Exit(1)
 		}
-		if err := sweep(*seedList, *parallel, *benchJSON, *quiet, cfg); err != nil {
+		if err := sweep(*seedList, *parallel, pickJSON(*benchJSON), *quiet, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "grid3sim:", err)
 			os.Exit(1)
 		}
 		return
+	}
+	if *benchJSON == "" {
+		*benchJSON = *jsonOut
 	}
 
 	// Observability outputs: sinks flush when the scenario finishes, so the
@@ -446,12 +467,21 @@ func chaos(intensityList, seedList string, seed int64, workers int, jsonPath str
 	}
 	rep.Write(os.Stdout)
 	if jsonPath != "" {
-		if err := writeChaosJSON(jsonPath, rep, cfg); err != nil {
+		if err := writeReportJSON(jsonPath, rep); err != nil {
 			return err
 		}
 		fmt.Printf("\nchaos JSON written to %s\n", jsonPath)
 	}
 	return nil
+}
+
+// writeReportJSON writes any sweep report's versioned JSON rendering.
+func writeReportJSON(path string, rep interface{ JSON() ([]byte, error) }) error {
+	data, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 // scaleSweep runs the testbed scale campaign: the same scenario at
@@ -489,19 +519,7 @@ func scaleSweep(countList, seedList string, seed int64, days int, jsonPath strin
 	}
 	rep.Write(os.Stdout)
 	if jsonPath != "" {
-		rec := scaleRecord{
-			Kind:       "grid3sim-scale",
-			GoMaxProcs: runtime.GOMAXPROCS(0),
-			Days:       rep.Days,
-			JobScale:   rep.JobScale,
-			WallSecs:   rep.Elapsed.Seconds(),
-			Points:     rep.Points,
-		}
-		data, err := json.MarshalIndent(rec, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+		if err := writeReportJSON(jsonPath, rep); err != nil {
 			return err
 		}
 		fmt.Printf("\nscale JSON written to %s\n", jsonPath)
@@ -533,139 +551,12 @@ func dataSweep(seedList string, seed int64, days, workers int, jsonPath string, 
 	}
 	rep.Write(os.Stdout)
 	if jsonPath != "" {
-		rec := dataRecord{
-			Kind:         "grid3sim-data",
-			GoMaxProcs:   runtime.GOMAXPROCS(0),
-			Days:         rep.Days,
-			JobScale:     cfg.JobScale,
-			Doors:        rep.Doors,
-			WallSecs:     rep.Elapsed.Seconds(),
-			MinTBPerDay:  rep.MinTBPerDay,
-			MeanTBPerDay: rep.MeanTBPerDay,
-			MaxTBPerDay:  rep.MaxTBPerDay,
-			Points:       rep.Points,
-		}
-		data, err := json.MarshalIndent(rec, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+		if err := writeReportJSON(jsonPath, rep); err != nil {
 			return err
 		}
 		fmt.Printf("\ndata JSON written to %s\n", jsonPath)
 	}
 	return nil
-}
-
-// dataRecord is the -data-json schema.
-type dataRecord struct {
-	Kind         string               `json:"kind"`
-	GoMaxProcs   int                  `json:"gomaxprocs"`
-	Days         int                  `json:"days"`
-	JobScale     float64              `json:"job_scale"`
-	Doors        int                  `json:"doors"`
-	WallSecs     float64              `json:"wall_seconds"`
-	MinTBPerDay  float64              `json:"managed_tb_per_day_min"`
-	MeanTBPerDay float64              `json:"managed_tb_per_day_mean"`
-	MaxTBPerDay  float64              `json:"managed_tb_per_day_max"`
-	Points       []campaign.DataPoint `json:"points"`
-}
-
-// scaleRecord is the -scale-json schema.
-type scaleRecord struct {
-	Kind       string                `json:"kind"`
-	GoMaxProcs int                   `json:"gomaxprocs"`
-	Days       int                   `json:"days"`
-	JobScale   float64               `json:"job_scale"`
-	WallSecs   float64               `json:"wall_seconds"`
-	Points     []campaign.ScalePoint `json:"points"`
-}
-
-// chaosRecord is the -chaos-json schema: the goodput-retention and
-// recovery-latency curves, durations in seconds.
-type chaosRecord struct {
-	Kind     string           `json:"kind"`
-	Scale    float64          `json:"scale"`
-	Days     int              `json:"days"`
-	WallSecs float64          `json:"wall_seconds"`
-	Clean    map[string]int   `json:"clean_completed_by_seed"`
-	Points   []chaosPointJSON `json:"points"`
-}
-
-type chaosPointJSON struct {
-	Seed      int64            `json:"seed"`
-	Intensity float64          `json:"intensity"`
-	Baseline  chaosOutcomeJSON `json:"baseline"`
-	Recovery  chaosOutcomeJSON `json:"recovery"`
-}
-
-type chaosOutcomeJSON struct {
-	Submitted        int                   `json:"submitted"`
-	Completed        int                   `json:"completed"`
-	JobsLost         int                   `json:"jobs_lost"`
-	CompletionRate   float64               `json:"completion_rate"`
-	GoodputRetention float64               `json:"goodput_retention"`
-	Incidents        int                   `json:"incidents"`
-	ReplicaFailovers uint64                `json:"replica_failovers"`
-	StageRetries     uint64                `json:"stage_retries"`
-	BreakersOpened   uint64                `json:"breakers_opened"`
-	TicketsOpened    int                   `json:"tickets_opened"`
-	Outages          map[string]outageJSON `json:"outages,omitempty"`
-}
-
-type outageJSON struct {
-	Injected int     `json:"injected"`
-	Detected int     `json:"detected"`
-	MTTDSecs float64 `json:"mttd_seconds"`
-	MTTRSecs float64 `json:"mttr_seconds"`
-}
-
-func writeChaosJSON(path string, rep *campaign.ChaosReport, cfg core.ScenarioConfig) error {
-	conv := func(o campaign.ChaosOutcome) chaosOutcomeJSON {
-		out := chaosOutcomeJSON{
-			Submitted:        o.Submitted,
-			Completed:        o.Completed,
-			JobsLost:         o.JobsLost,
-			CompletionRate:   o.CompletionRate,
-			GoodputRetention: o.GoodputRetention,
-			Incidents:        o.Incidents,
-			ReplicaFailovers: o.ReplicaFailovers,
-			StageRetries:     o.StageRetries,
-			BreakersOpened:   o.BreakersOpened,
-			TicketsOpened:    o.TicketsOpened,
-		}
-		for kind, st := range o.Outages {
-			if out.Outages == nil {
-				out.Outages = map[string]outageJSON{}
-			}
-			out.Outages[kind] = outageJSON{
-				Injected: st.Injected, Detected: st.Detected,
-				MTTDSecs: st.MTTD.Seconds(), MTTRSecs: st.MTTR.Seconds(),
-			}
-		}
-		return out
-	}
-	rec := chaosRecord{
-		Kind:     "grid3sim-chaos",
-		Scale:    cfg.JobScale,
-		Days:     int(cfg.Horizon / (24 * time.Hour)),
-		WallSecs: rep.Elapsed.Seconds(),
-		Clean:    map[string]int{},
-	}
-	for seed, n := range rep.CleanCompleted {
-		rec.Clean[strconv.FormatInt(seed, 10)] = n
-	}
-	for _, pt := range rep.Points {
-		rec.Points = append(rec.Points, chaosPointJSON{
-			Seed: pt.Seed, Intensity: pt.Intensity,
-			Baseline: conv(pt.Baseline), Recovery: conv(pt.Recovery),
-		})
-	}
-	data, err := json.MarshalIndent(rec, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // benchRecord is the -bench-json schema, shared by single runs and sweeps.

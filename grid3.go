@@ -32,12 +32,14 @@ package grid3
 
 import (
 	"io"
+	"net/http"
 	"time"
 
 	"grid3/internal/apps"
 	"grid3/internal/campaign"
 	"grid3/internal/core"
 	"grid3/internal/obs"
+	"grid3/internal/serve"
 )
 
 // Config tunes a Grid3 instance; see core.Config. Most callers should use
@@ -167,16 +169,6 @@ func WithoutTransferDemo() Option {
 	return func(c *ScenarioConfig) { c.DisableTransferDemo = true }
 }
 
-// WithNetLogger attaches the legacy transfer-only NetLogger shim (§4.7) to
-// the WAN. Off by default: a full campaign logs ~10^6 transfer events.
-//
-// Deprecated: use WithTracer(NetLoggerSink(w)), which emits the same
-// gridftp.transfer.* lines plus every other lifecycle span. This option is
-// kept as a thin alias for callers reading Scenario.NetLogger directly.
-func WithNetLogger() Option {
-	return func(c *ScenarioConfig) { c.EnableNetLogger = true }
-}
-
 // WithObservability enables job-lifecycle tracing and the metrics registry
 // without attaching any sink; read the results via Result.Trace and
 // Result.Metrics (or SweepReport.Aggregate's stage latencies).
@@ -261,6 +253,20 @@ func WithStorageCleanup(watermark float64) Option {
 	return func(c *ScenarioConfig) {
 		c.Config.EnableStorageCleanup = true
 		c.Config.CleanupWatermark = watermark
+	}
+}
+
+// WithRealTime sets the scaled-real-time compression ratio for Serve: pace
+// virtual seconds advance per wall second (3600 compresses one simulated
+// hour into each wall second). Batch runners (New, RunScenario, the
+// sweeps) ignore it — a batch run always executes as fast as the hardware
+// allows. Zero or negative restores the serve default.
+func WithRealTime(pace float64) Option {
+	return func(c *ScenarioConfig) {
+		if pace < 0 {
+			pace = 0
+		}
+		c.RealTimePace = pace
 	}
 }
 
@@ -454,20 +460,58 @@ type SweepReport struct {
 	rep *campaign.Report
 }
 
-// Sweep runs the calibrated campaign once per seed, fanned across all CPUs
-// (one discrete-event engine per worker, so every seed's run is bit-for-bit
-// identical to running it alone). Options apply to every run.
-func Sweep(seeds []int64, scale float64, opts ...Option) (*SweepReport, error) {
-	cfg := buildConfig(opts)
-	runs := make([]campaign.Run, len(seeds))
-	for i, seed := range seeds {
-		runs[i] = campaign.Run{Seed: seed, Scale: scale, Config: cfg}
+// Report is the common surface of every sweep report (SweepReport,
+// ChaosReport, ScaleReport, DataReport): a human-readable rendering and a
+// versioned JSON encoding. The JSON carries a "schema" field
+// ("grid3.<kind>/<version>"); adding fields is compatible within a version,
+// renaming or removing one bumps it.
+type Report interface {
+	// Write renders the report for humans.
+	Write(w io.Writer)
+	// JSON returns the report's versioned wire encoding, newline-terminated.
+	JSON() ([]byte, error)
+}
+
+// Every sweep entry point returns a Report.
+var (
+	_ Report = (*SweepReport)(nil)
+	_ Report = (*ChaosReport)(nil)
+	_ Report = (*ScaleReport)(nil)
+	_ Report = (*DataReport)(nil)
+)
+
+// SweepConfig shapes a multi-seed production sweep: the same calibrated
+// campaign run once per seed.
+type SweepConfig struct {
+	// Seeds are the campaign seeds, one full run each.
+	Seeds []int64
+	// Scale multiplies every class's job count (0 keeps the scenario
+	// default; 1.0 reproduces the paper's ~290k-job sample per seed).
+	Scale float64
+	// Workers caps sweep parallelism (<=0 means GOMAXPROCS).
+	Workers int
+}
+
+// RunSweep runs the calibrated campaign once per seed, fanned across
+// workers (one discrete-event engine per worker, so every seed's run is
+// bit-for-bit identical to running it alone). Options apply to every run.
+func RunSweep(cfg SweepConfig, opts ...Option) (*SweepReport, error) {
+	base := buildConfig(opts)
+	runs := make([]campaign.Run, len(cfg.Seeds))
+	for i, seed := range cfg.Seeds {
+		runs[i] = campaign.Run{Seed: seed, Scale: cfg.Scale, Config: base}
 	}
-	rep, err := campaign.Sweep(runs, 0)
+	rep, err := campaign.Sweep(runs, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
 	return &SweepReport{rep: rep}, nil
+}
+
+// Sweep is the positional-argument face of RunSweep, kept for callers of
+// the original signature.
+func Sweep(seeds []int64, scale float64, opts ...Option) (*SweepReport, error) {
+	return RunSweep(SweepConfig{Seeds: seeds, Scale: scale}, opts...)
 }
 
 // Seeds lists the sweep's seeds in run order.
@@ -549,6 +593,9 @@ func (r *SweepReport) Aggregate() SweepAggregate {
 // Write renders the cross-seed summary report.
 func (r *SweepReport) Write(w io.Writer) { r.rep.Write(w) }
 
+// JSON returns the report under the grid3.sweep/1 schema.
+func (r *SweepReport) JSON() ([]byte, error) { return r.rep.JSON() }
+
 // Chaos-sweep views: the campaign mode that measures how much goodput the
 // closed fault-management loop preserves as failure intensity climbs.
 type (
@@ -615,4 +662,42 @@ type (
 func DataSweep(cfg DataSweepConfig, opts ...Option) (*DataReport, error) {
 	cfg.Base = buildConfig(opts)
 	return campaign.DataSweep(cfg)
+}
+
+// Service views: the grid as a long-running daemon. Serve assembles a
+// scenario and runs it continuously in scaled real time (see WithRealTime)
+// behind a thread-safe ingress boundary; Handler exposes the paper's
+// user-facing surfaces — VOMS enrollment, Condor-G submission and status,
+// RLS lookup, MonALISA/ACDC/metrics monitoring, site catalog, iGOC tickets
+// — as an HTTP/JSON API.
+type (
+	// Server runs one scenario continuously behind the ingress boundary.
+	// Call Start to begin paced execution, Do to touch grid state safely,
+	// and Stop for a clean shutdown.
+	Server = serve.Service
+	// ServerStatus is a point-in-time daemon snapshot (see Server.StatusNow).
+	ServerStatus = serve.Status
+)
+
+// ErrOverloaded reports that the service's ingress mailbox was full and the
+// request was shed before touching the engine (HTTP 503 at the API).
+var ErrOverloaded = serve.ErrOverloaded
+
+// Serve assembles a scenario from the options and wraps it in a Server.
+// The server is not started; callers control the lifecycle:
+//
+//	s, err := grid3.Serve(grid3.WithSeed(1), grid3.WithRealTime(3600))
+//	s.Start()
+//	defer s.Stop()
+//	http.ListenAndServe(addr, grid3.Handler(s))
+func Serve(opts ...Option) (*Server, error) {
+	return serve.New(serve.Config{Scenario: buildConfig(opts)})
+}
+
+// Handler returns the HTTP/JSON API for a server: GET /healthz,
+// /api/v1/status, VO enrollment and membership, job submission and status,
+// RLS replica lookup, monitoring reads, the site catalog, and iGOC
+// tickets. Overload at the ingress boundary surfaces as 503.
+func Handler(s *Server) http.Handler {
+	return serve.NewHandler(s, serve.HandlerConfig{})
 }

@@ -1,0 +1,161 @@
+package grid3
+
+import (
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestOptionMatrix walks every exported With* option and asserts it lands on
+// the ScenarioConfig field it documents — the contract the grid3d config
+// loader and the README table both lean on. A new option without a row here
+// is a review smell, not a compile error, so keep the matrix exhaustive.
+func TestOptionMatrix(t *testing.T) {
+	sites := make([]SiteSpec, 3) // replacing the catalog is a length check here
+	matrix := []struct {
+		name  string
+		opt   Option
+		check func(ScenarioConfig) bool
+	}{
+		{"WithSeed", WithSeed(99), func(c ScenarioConfig) bool { return c.Config.Seed == 99 }},
+		{"WithSites", WithSites(sites), func(c ScenarioConfig) bool {
+			return len(c.Config.Sites) == 3
+		}},
+		{"WithTestbedScale", WithTestbedScale(300), func(c ScenarioConfig) bool { return c.Config.TestbedSites == 300 }},
+		{"WithMonitorInterval", WithMonitorInterval(time.Minute), func(c ScenarioConfig) bool {
+			return c.Config.MonitorInterval == time.Minute
+		}},
+		{"WithNegotiationInterval", WithNegotiationInterval(2 * time.Minute), func(c ScenarioConfig) bool {
+			return c.Config.NegotiationInterval == 2*time.Minute
+		}},
+		{"WithSRM", WithSRM(), func(c ScenarioConfig) bool { return c.Config.UseSRM }},
+		{"WithoutAffinity", WithoutAffinity(), func(c ScenarioConfig) bool { return c.Config.DisableAffinity }},
+		{"WithConfig", WithConfig(Config{Seed: 5}), func(c ScenarioConfig) bool { return c.Config.Seed == 5 }},
+		{"WithHorizon", WithHorizon(48 * time.Hour), func(c ScenarioConfig) bool { return c.Horizon == 48*time.Hour }},
+		{"WithJobScale", WithJobScale(0.25), func(c ScenarioConfig) bool { return c.JobScale == 0.25 }},
+		{"WithoutFailures", WithoutFailures(), func(c ScenarioConfig) bool { return c.DisableFailures }},
+		{"WithoutTransferDemo", WithoutTransferDemo(), func(c ScenarioConfig) bool { return c.DisableTransferDemo }},
+		{"WithObservability", WithObservability(), func(c ScenarioConfig) bool { return c.Config.EnableObservability }},
+		{"WithTracer", WithTracer(JSONLSink(io.Discard)), func(c ScenarioConfig) bool {
+			return c.Config.EnableObservability && len(c.TraceSinks) == 1
+		}},
+		{"WithMetricsSink", WithMetricsSink(TextMetricsSink(io.Discard)), func(c ScenarioConfig) bool {
+			return c.Config.EnableObservability && len(c.MetricsSinks) == 1
+		}},
+		{"WithoutObservability", WithoutObservability(), func(c ScenarioConfig) bool {
+			return !c.Config.EnableObservability && c.TraceSinks == nil && c.MetricsSinks == nil
+		}},
+		{"WithHealthProbes", WithHealthProbes(), func(c ScenarioConfig) bool { return c.Config.EnableHealth }},
+		{"WithRecovery", WithRecovery(), func(c ScenarioConfig) bool { return c.Config.EnableRecovery }},
+		{"WithChaos", WithChaos(2.5), func(c ScenarioConfig) bool { return c.ChaosIntensity == 2.5 }},
+		{"WithTransferDoors", WithTransferDoors(8), func(c ScenarioConfig) bool { return c.Config.TransferDoors == 8 }},
+		{"WithReplicaRanking", WithReplicaRanking(), func(c ScenarioConfig) bool { return c.Config.EnableReplicaRanking }},
+		{"WithStorageCleanup", WithStorageCleanup(0.3), func(c ScenarioConfig) bool {
+			return c.Config.EnableStorageCleanup && c.Config.CleanupWatermark == 0.3
+		}},
+		{"WithRealTime", WithRealTime(7200), func(c ScenarioConfig) bool { return c.RealTimePace == 7200 }},
+		{"WithScenarioConfig", WithScenarioConfig(ScenarioConfig{JobScale: 0.7}), func(c ScenarioConfig) bool {
+			return c.JobScale == 0.7
+		}},
+	}
+	for _, row := range matrix {
+		if cfg := buildConfig([]Option{row.opt}); !row.check(cfg) {
+			t.Errorf("%s did not reach its ScenarioConfig field: %+v", row.name, cfg)
+		}
+	}
+
+	// Conflicting options resolve last-wins, uniformly.
+	if cfg := buildConfig([]Option{WithJobScale(0.5), WithJobScale(0.1)}); cfg.JobScale != 0.1 {
+		t.Fatalf("last WithJobScale lost: %v", cfg.JobScale)
+	}
+	if cfg := buildConfig([]Option{WithRealTime(10), WithRealTime(-3)}); cfg.RealTimePace != 0 {
+		t.Fatalf("negative WithRealTime should clamp to the default, got %v", cfg.RealTimePace)
+	}
+}
+
+// TestRealTimeIgnoredByBatch pins the documented split: WithRealTime only
+// paces Serve. A batch run carrying a crawling pace (1 sim-second per wall
+// second over a 24h horizon) must still finish as fast as the hardware
+// allows — if the batch path ever consulted the governor this test would
+// run for a day.
+func TestRealTimeIgnoredByBatch(t *testing.T) {
+	start := time.Now()
+	r, err := RunScenario(4, 0.001,
+		WithTestbedScale(5),
+		WithHorizon(24*time.Hour),
+		WithRealTime(1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EventsProcessed() == 0 {
+		t.Fatal("batch run processed no events")
+	}
+	if elapsed := time.Since(start); elapsed > time.Minute {
+		t.Fatalf("batch run appears to be wall-paced: took %v", elapsed)
+	}
+}
+
+// TestRunSweepMatchesSweep pins the wrapper contract: the legacy positional
+// Sweep is sugar over RunSweep with the same SweepConfig, so both produce
+// identical seeds and aggregates.
+func TestRunSweepMatchesSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep in -short mode")
+	}
+	opts := []Option{WithHorizon(4 * 24 * time.Hour), WithTestbedScale(10)}
+	legacy, err := Sweep([]int64{21, 22}, 0.005, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unified, err := RunSweep(SweepConfig{Seeds: []int64{21, 22}, Scale: 0.005}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := legacy.Seeds(), unified.Seeds(); len(a) != len(b) || a[0] != b[0] || a[1] != b[1] {
+		t.Fatalf("seeds diverged: %v vs %v", a, b)
+	}
+	la, ua := legacy.Aggregate(), unified.Aggregate()
+	if la.JobsCompleted != ua.JobsCompleted || la.Utilization != ua.Utilization {
+		t.Fatalf("aggregates diverged:\nlegacy  %+v\nunified %+v", la, ua)
+	}
+}
+
+// TestReportJSONSchemas checks the unified Report surface: every campaign
+// report satisfies the interface (also pinned at compile time in grid3.go)
+// and its JSON rendering carries the versioned schema plus the frozen kind
+// string that downstream tooling greps for.
+func TestReportJSONSchemas(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep in -short mode")
+	}
+	rep, err := Sweep([]int64{31}, 0.005, WithHorizon(4*24*time.Hour), WithTestbedScale(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r Report = rep
+	var buf strings.Builder
+	r.Write(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("Report.Write produced nothing")
+	}
+	raw, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(string(raw), "\n") {
+		t.Fatal("Report.JSON output is not newline-terminated")
+	}
+	var head struct {
+		Schema string `json:"schema"`
+		Kind   string `json:"kind"`
+	}
+	if err := json.Unmarshal(raw, &head); err != nil {
+		t.Fatal(err)
+	}
+	if head.Schema != "grid3.sweep/1" || head.Kind != "grid3-sweep" {
+		t.Fatalf("sweep report header = %+v", head)
+	}
+}

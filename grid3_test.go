@@ -45,7 +45,6 @@ func TestOptionsCompose(t *testing.T) {
 		WithJobScale(0.5),
 		WithoutFailures(),
 		WithoutTransferDemo(),
-		WithNetLogger(),
 	})
 	if cfg.Config.Seed != 7 || !cfg.Config.UseSRM || !cfg.Config.DisableAffinity ||
 		cfg.Config.MonitorInterval != 5*time.Minute ||
@@ -53,7 +52,7 @@ func TestOptionsCompose(t *testing.T) {
 		t.Fatalf("grid options not applied: %+v", cfg.Config)
 	}
 	if cfg.Horizon != 24*time.Hour || cfg.JobScale != 0.5 || !cfg.DisableFailures ||
-		!cfg.DisableTransferDemo || !cfg.EnableNetLogger {
+		!cfg.DisableTransferDemo {
 		t.Fatalf("scenario options not applied: %+v", cfg)
 	}
 
@@ -164,9 +163,11 @@ func TestPublicSweep(t *testing.T) {
 	}
 }
 
-// TestObservabilityOptions pins the new option semantics: sinks imply the
-// layer, WithoutObservability wins over earlier enables, and the deprecated
-// WithNetLogger alias still sets the legacy flag.
+// TestObservabilityOptions pins the option semantics: sinks imply the
+// layer, and WithoutObservability wins over earlier enables. (The old
+// WithNetLogger option is gone; WithTracer(NetLoggerSink(w)) is the
+// replacement and ScenarioConfig.EnableNetLogger remains for the struct
+// escape hatches.)
 func TestObservabilityOptions(t *testing.T) {
 	cfg := buildConfig([]Option{
 		WithTracer(JSONLSink(io.Discard)),
@@ -183,8 +184,8 @@ func TestObservabilityOptions(t *testing.T) {
 	if cfg.Config.EnableObservability || cfg.TraceSinks != nil || cfg.MetricsSinks != nil {
 		t.Fatalf("WithoutObservability did not win: %+v", cfg)
 	}
-	if cfg := buildConfig([]Option{WithNetLogger()}); !cfg.EnableNetLogger {
-		t.Fatal("deprecated WithNetLogger no longer sets EnableNetLogger")
+	if cfg := buildConfig([]Option{WithScenarioConfig(ScenarioConfig{EnableNetLogger: true})}); !cfg.EnableNetLogger {
+		t.Fatal("EnableNetLogger lost through the escape hatch")
 	}
 }
 

@@ -163,9 +163,26 @@ func ChaosSweep(cfg ChaosSweepConfig) (*ChaosReport, error) {
 		}
 	}
 
+	// Record the effective scale and horizon (the sweep override, else the
+	// base scenario's, else the calibrated defaults) so the report and its
+	// JSON rendering describe what actually ran.
+	scale := cfg.Scale
+	if scale == 0 {
+		scale = cfg.Base.JobScale
+	}
+	if scale == 0 {
+		scale = 1.0
+	}
+	horizon := cfg.Horizon
+	if horizon == 0 {
+		horizon = cfg.Base.Horizon
+	}
+	if horizon == 0 {
+		horizon = core.ScenarioHorizon
+	}
 	rep := &ChaosReport{
-		Scale:          cfg.Scale,
-		Horizon:        cfg.Horizon,
+		Scale:          scale,
+		Horizon:        horizon,
 		Elapsed:        time.Since(start),
 		CleanCompleted: make(map[int64]int),
 	}

@@ -147,9 +147,17 @@ func DataSweep(cfg DataSweepConfig) (*DataReport, error) {
 		}
 	}
 
+	// Record the effective job scale so the report describes what ran.
+	jobScale := cfg.JobScale
+	if jobScale == 0 {
+		jobScale = cfg.Base.JobScale
+	}
+	if jobScale == 0 {
+		jobScale = 1.0
+	}
 	rep := &DataReport{
 		Days:     cfg.Days,
-		JobScale: cfg.JobScale,
+		JobScale: jobScale,
 		Doors:    cfg.Doors,
 		Elapsed:  time.Since(start),
 	}

@@ -52,6 +52,12 @@ type ScenarioConfig struct {
 	// JobScale multiplies every class's TotalJobs (sub-1.0 for quick
 	// tests); 0 means 1.0.
 	JobScale float64
+	// RealTimePace is the scaled-real-time compression ratio (virtual
+	// seconds per wall second) consumed by the serve layer's pacing
+	// governor; 0 means the serve default. Batch runners (RunScenario,
+	// Sweep, the campaign modes) ignore it entirely: a batch run always
+	// executes as fast as the hardware allows.
+	RealTimePace float64
 	// TraceSinks receive the finished span trace once, at Finish. Setting
 	// any sink implies EnableObservability.
 	TraceSinks []obs.TraceSink

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Governor maps wall-clock time onto the virtual clock so an Engine can run
+// continuously in scaled real time: pace virtual seconds elapse per wall
+// second. The governor itself is pure arithmetic over an anchor point — it
+// never sleeps, never reads the system clock, and holds no reference to the
+// engine — so pacing decisions are testable with synthetic instants and the
+// serve loop stays the single owner of real time.
+//
+// The contract with the driving loop is open-loop catch-up: Target reports
+// where the virtual clock should be now; if the engine has fallen behind
+// (a burst of events took longer than the pace allowed), the loop runs the
+// engine as fast as it can toward the target until the lag is repaid. The
+// loop may bound each catch-up stride to stay responsive to ingress between
+// steps; the governor keeps accounting for the shortfall either way.
+type Governor struct {
+	pace       float64 // virtual seconds per wall second
+	anchorWall time.Time
+	anchorSim  time.Duration
+}
+
+// NewGovernor anchors a governor: at wall instant wallNow the virtual clock
+// reads simNow, and from then on advances pace virtual seconds per wall
+// second. Pace must be positive.
+func NewGovernor(pace float64, simNow time.Duration, wallNow time.Time) *Governor {
+	if pace <= 0 {
+		panic(fmt.Sprintf("sim: governor pace %v must be positive", pace))
+	}
+	return &Governor{pace: pace, anchorWall: wallNow, anchorSim: simNow}
+}
+
+// Pace returns the current compression ratio (virtual seconds per wall
+// second).
+func (g *Governor) Pace() float64 { return g.pace }
+
+// Target returns the virtual time the engine should have reached at wall
+// instant wallNow. Instants before the anchor clamp to the anchor's virtual
+// time (the schedule never runs backward).
+func (g *Governor) Target(wallNow time.Time) time.Duration {
+	elapsed := wallNow.Sub(g.anchorWall)
+	if elapsed <= 0 {
+		return g.anchorSim
+	}
+	return g.anchorSim + time.Duration(float64(elapsed)*g.pace)
+}
+
+// Lag returns how far the engine's clock trails the schedule at wallNow —
+// zero when the engine is caught up (or ahead, which RunUntil never
+// produces). Sustained positive lag means the workload emits events faster
+// than the host can execute them at this pace.
+func (g *Governor) Lag(simNow time.Duration, wallNow time.Time) time.Duration {
+	if t := g.Target(wallNow); t > simNow {
+		return t - simNow
+	}
+	return 0
+}
+
+// Repace re-anchors the governor at (simNow, wallNow) with a new pace —
+// the hot-reload path. Re-anchoring forgives any accumulated lag: the
+// schedule restarts from wherever the engine actually is, so a pace change
+// never triggers a catch-up burst. Pace must be positive.
+func (g *Governor) Repace(pace float64, simNow time.Duration, wallNow time.Time) {
+	if pace <= 0 {
+		panic(fmt.Sprintf("sim: governor pace %v must be positive", pace))
+	}
+	g.pace = pace
+	g.anchorWall = wallNow
+	g.anchorSim = simNow
+}
+
+// Forgive re-anchors at the current position without changing pace,
+// discarding accumulated lag. Serve loops call it when lag exceeds their
+// catch-up budget: the simulation slips relative to wall time rather than
+// freezing ingress for the duration of an unbounded replay burst.
+func (g *Governor) Forgive(simNow time.Duration, wallNow time.Time) {
+	g.anchorWall = wallNow
+	g.anchorSim = simNow
+}

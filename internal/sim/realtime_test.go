@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGovernorTarget(t *testing.T) {
+	wall0 := time.Date(2026, time.January, 1, 0, 0, 0, 0, time.UTC)
+	g := NewGovernor(3600, 0, wall0) // one sim hour per wall second
+
+	if got := g.Target(wall0); got != 0 {
+		t.Fatalf("target at anchor = %v, want 0", got)
+	}
+	if got := g.Target(wall0.Add(time.Second)); got != time.Hour {
+		t.Fatalf("target after 1s = %v, want 1h", got)
+	}
+	if got := g.Target(wall0.Add(90 * time.Second)); got != 90*time.Hour {
+		t.Fatalf("target after 90s = %v, want 90h", got)
+	}
+	// Instants before the anchor clamp: the schedule never runs backward.
+	if got := g.Target(wall0.Add(-time.Minute)); got != 0 {
+		t.Fatalf("target before anchor = %v, want 0", got)
+	}
+}
+
+func TestGovernorTargetNonZeroAnchor(t *testing.T) {
+	wall0 := time.Unix(1000, 0)
+	g := NewGovernor(2, 10*time.Minute, wall0)
+	if got := g.Target(wall0.Add(30 * time.Second)); got != 10*time.Minute+time.Minute {
+		t.Fatalf("target = %v, want 11m", got)
+	}
+}
+
+func TestGovernorLag(t *testing.T) {
+	wall0 := time.Unix(0, 0)
+	g := NewGovernor(60, 0, wall0) // one sim minute per wall second
+
+	at := wall0.Add(10 * time.Second) // schedule says 10 sim minutes
+	if lag := g.Lag(4*time.Minute, at); lag != 6*time.Minute {
+		t.Fatalf("lag = %v, want 6m", lag)
+	}
+	// Caught up (or ahead): lag clamps to zero.
+	if lag := g.Lag(10*time.Minute, at); lag != 0 {
+		t.Fatalf("lag when caught up = %v, want 0", lag)
+	}
+	if lag := g.Lag(15*time.Minute, at); lag != 0 {
+		t.Fatalf("lag when ahead = %v, want 0", lag)
+	}
+}
+
+func TestGovernorRepaceForgivesLag(t *testing.T) {
+	wall0 := time.Unix(0, 0)
+	g := NewGovernor(100, 0, wall0)
+
+	at := wall0.Add(10 * time.Second)
+	simNow := 5 * time.Minute // well behind the 1000s target
+	if g.Lag(simNow, at) == 0 {
+		t.Fatal("expected lag before repace")
+	}
+	g.Repace(10, simNow, at)
+	if g.Pace() != 10 {
+		t.Fatalf("pace = %v, want 10", g.Pace())
+	}
+	if lag := g.Lag(simNow, at); lag != 0 {
+		t.Fatalf("lag after repace = %v, want 0 (re-anchor forgives)", lag)
+	}
+	// The new schedule proceeds from the re-anchor point at the new pace.
+	if got := g.Target(at.Add(time.Second)); got != simNow+10*time.Second {
+		t.Fatalf("target after repace = %v, want %v", got, simNow+10*time.Second)
+	}
+}
+
+func TestGovernorForgive(t *testing.T) {
+	wall0 := time.Unix(0, 0)
+	g := NewGovernor(50, 0, wall0)
+	at := wall0.Add(time.Minute)
+	simNow := 10 * time.Second
+	g.Forgive(simNow, at)
+	if g.Pace() != 50 {
+		t.Fatalf("forgive changed pace: %v", g.Pace())
+	}
+	if lag := g.Lag(simNow, at); lag != 0 {
+		t.Fatalf("lag after forgive = %v, want 0", lag)
+	}
+}
+
+// TestGovernorDrivesEngine is the integration shape the serve loop uses:
+// repeatedly advance the engine to the governor's target and observe that
+// paced ticks land exactly where the compression ratio says they should.
+func TestGovernorDrivesEngine(t *testing.T) {
+	eng := NewEngine(Grid3Epoch)
+	var fired []time.Duration
+	NewTicker(eng, time.Hour, func() { fired = append(fired, eng.Now()) })
+
+	wall0 := time.Unix(0, 0)
+	g := NewGovernor(3600, 0, wall0) // 1 sim hour / wall second
+	// Simulate five 1-second wall ticks without sleeping.
+	for i := 1; i <= 5; i++ {
+		eng.RunUntil(g.Target(wall0.Add(time.Duration(i) * time.Second)))
+	}
+	if len(fired) != 5 {
+		t.Fatalf("ticker fired %d times, want 5 (at %v)", len(fired), fired)
+	}
+	for i, at := range fired {
+		if want := time.Duration(i+1) * time.Hour; at != want {
+			t.Fatalf("tick %d at %v, want %v", i, at, want)
+		}
+	}
+}

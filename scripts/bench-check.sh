@@ -11,10 +11,15 @@ set -eu
 
 BASE=${1:-BENCH_sim.json}
 DATA_BASE=${2:-BENCH_data.json}
+SERVE_BASE=${3:-BENCH_serve.json}
 # ns/op may regress up to 30% before this trips (short-run noise margin).
 NS_SLACK=1.3
 # The §7 milestone floor: managed runs must sustain at least 2 TB/day.
 TB_FLOOR=2.0
+# Ingress floor: the checked-in serve bench must show the daemon sustaining
+# at least this many good requests per second (well under what any modern
+# machine produces; this catches a collapsed ingress path, not slow iron).
+RPS_FLOOR=50
 BENCHES='BenchmarkEngineStep$|BenchmarkScenarioDay$'
 
 if [ ! -f "$BASE" ]; then
@@ -95,6 +100,32 @@ if [ -f "$DATA_BASE" ]; then
     fi
 else
     echo "bench-check: $DATA_BASE not found, skipping the data-plane check" >&2
+fi
+
+# Serve bench check: the checked-in grid3d load report must show the
+# ingress boundary sustaining a sane request rate with its goodput intact.
+if [ -f "$SERVE_BASE" ]; then
+    rps=$(sed -n 's/.*"sustained_rps": \([0-9.e+-]*\).*/\1/p' "$SERVE_BASE" | head -n 1)
+    goodput=$(sed -n 's/.*"goodput": \([0-9.e+-]*\).*/\1/p' "$SERVE_BASE" | head -n 1)
+    if [ -z "$rps" ]; then
+        echo "bench-check: sustained_rps missing from $SERVE_BASE" >&2
+        status=1
+    else
+        verdict=$(echo "$rps ${goodput:-0}" | awk -v floor="$RPS_FLOOR" '{
+            if ($1 + 0 < floor + 0)
+                printf "FAIL sustained %.1f req/s below the %.0f req/s floor\n", $1, floor
+            else if ($2 + 0 < 0.9)
+                printf "FAIL goodput %.3f below 0.9\n", $2
+            else
+                printf "ok sustained %.1f req/s (floor %.0f), goodput %.3f\n", $1, floor, $2
+        }')
+        echo "bench-check: serve bench: $verdict"
+        case "$verdict" in
+            FAIL*) status=1 ;;
+        esac
+    fi
+else
+    echo "bench-check: $SERVE_BASE not found, skipping the serve check" >&2
 fi
 
 exit $status

@@ -1,0 +1,40 @@
+#!/bin/sh
+# Run the service demo and record it in BENCH_serve.json: start grid3d on a
+# local port, drive it with the grid3load open-loop generator (multi-VO mix,
+# diurnal cycle, flash crowd), and keep the resulting ingress scorecard —
+# sustained req/s, latency quantiles, goodput under overload — as the serve
+# evidence this repo tracks across PRs.
+#
+# Run from the repo root: ./scripts/serve-demo.sh [out.json]
+set -eu
+
+OUT=${1:-BENCH_serve.json}
+ADDR=127.0.0.1:18080
+TMP=$(mktemp -d)
+trap 'kill "$DPID" 2>/dev/null || true; rm -rf "$TMP"' EXIT INT TERM
+
+go build -o "$TMP/grid3d" ./cmd/grid3d
+go build -o "$TMP/grid3load" ./cmd/grid3load
+
+"$TMP/grid3d" -addr "$ADDR" -sites 10 -scale 0.05 -days 30 -pace 3600 \
+    >"$TMP/grid3d.log" 2>&1 &
+DPID=$!
+
+# Wait for the daemon to answer its liveness probe.
+for _ in $(seq 1 50); do
+    if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    sleep 0.2
+done
+curl -sf "http://$ADDR/healthz" >/dev/null
+
+"$TMP/grid3load" -target "http://$ADDR" -rps 150 -duration 20s -seed 1 \
+    -out "$OUT"
+
+kill -TERM "$DPID"
+wait "$DPID" || true
+tail -n 1 "$TMP/grid3d.log"
+
+echo
+echo "wrote $OUT"
