@@ -5,7 +5,7 @@
 //
 //	grid3d [-addr :8080] [-pace 3600] [-seed N] [-sites N] [-scale F] [-days D]
 //	       [-srm] [-health] [-recovery] [-doors N] [-cleanup] [-replica-rank]
-//	       [-config grid3d.json] [-json-out status.json]
+//	       [-shards N] [-config grid3d.json] [-json-out status.json]
 //
 // Endpoints (all JSON; see the README endpoint table):
 //
@@ -65,6 +65,7 @@ func main() {
 	doors := flag.Int("doors", 0, "bound concurrent GridFTP flows per endpoint (0 = historical unbounded WAN)")
 	cleanupOn := flag.Bool("cleanup", false, "arm the SRM lifecycle loop (expiry, pins, watermark eviction)")
 	replicaRank := flag.Bool("replica-rank", false, "rank Pegasus stage-in replicas by live WAN load")
+	shards := flag.Int("shards", 0, "partition the testbed into N regions and evaluate them on a worker each (output is identical at every N)")
 	maxPending := flag.Int("max-pending", 0, "ingress mailbox depth before shedding (0 = the serve default, 4096)")
 	configPath := flag.String("config", "", "JSON config file; SIGHUP or POST /api/v1/config/reload re-applies the dynamic fields")
 	jsonOut := flag.String("json-out", "", "write the final status record JSON to this file on shutdown")
@@ -81,6 +82,7 @@ func main() {
 				TransferDoors:        *doors,
 				EnableStorageCleanup: *cleanupOn,
 				EnableReplicaRanking: *replicaRank,
+				Shards:               *shards,
 			},
 			JobScale: *scale,
 		},
@@ -254,43 +256,12 @@ func reloader(svc *serve.Service, path string) func() (map[string]any, error) {
 	}
 }
 
-// statusRecord is the -json-out schema, versioned like every other grid3
-// report wire format.
-type statusRecord struct {
-	Schema        string  `json:"schema"`
-	Kind          string  `json:"kind"`
-	SimSeconds    float64 `json:"sim_seconds"`
-	SimClock      string  `json:"sim_clock"`
-	Pace          float64 `json:"pace"`
-	Events        uint64  `json:"events_processed"`
-	Finished      bool    `json:"finished"`
-	JobsSubmitted int     `json:"service_jobs_submitted"`
-	JobsCompleted int     `json:"service_jobs_completed"`
-	JobsFailed    int     `json:"service_jobs_failed"`
-	Accepted      uint64  `json:"requests_accepted"`
-	Shed          uint64  `json:"requests_shed"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
-}
-
+// writeStatusJSON writes the serve layer's versioned status record
+// (serve.StatusSchema) — the -json-out convention shared with grid3sim.
 func writeStatusJSON(path string, st serve.Status) error {
-	rec := statusRecord{
-		Schema:        "grid3.serve-status/1",
-		Kind:          "grid3d-status",
-		SimSeconds:    st.SimNow.Seconds(),
-		SimClock:      st.SimClock.UTC().Format(time.RFC3339),
-		Pace:          st.Pace,
-		Events:        st.Events,
-		Finished:      st.Finished,
-		JobsSubmitted: st.Jobs.Submitted,
-		JobsCompleted: st.Jobs.Completed,
-		JobsFailed:    st.Jobs.Failed,
-		Accepted:      st.Accepted,
-		Shed:          st.Shed,
-		UptimeSeconds: st.UptimeSeconds,
-	}
-	data, err := json.MarshalIndent(rec, "", "  ")
+	data, err := serve.StatusJSON(st)
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return os.WriteFile(path, data, 0o644)
 }

@@ -8,7 +8,7 @@
 //
 // Multi-seed campaign sweeps fan across CPUs, one engine per worker:
 //
-//	grid3sim -seeds 1,2,3,4 [-parallel N] [-bench-json out.json]
+//	grid3sim -seeds 1,2,3,4 [-parallel N] [-json-out out.json]
 //
 // Observability (job-lifecycle spans and the metrics registry) is off by
 // default; either flag enables it for the run:
@@ -21,14 +21,21 @@
 // chaos campaign mode sweeps failure intensity across seeds, running a
 // no-reaction baseline and a recovery run at every point:
 //
-//	grid3sim -chaos 1,2,4 -seeds 1,2,3 -scale 0.05 -days 30 [-chaos-json out.json]
+//	grid3sim -chaos 1,2,4 -seeds 1,2,3 -scale 0.05 -days 30 [-json-out out.json]
 //
 // Testbed scaling: -sites N grows the site population past the historical
 // 27 with a seeded synthetic generator (N <= 27 is a catalog prefix). The
 // scale-sweep mode measures simulation cost across populations:
 //
 //	grid3sim -sites 1000 -days 1
-//	grid3sim -scale-sweep 27,100,300,1000 -days 1 [-scale-json out.json]
+//	grid3sim -scale-sweep 27,100,300,1000 -days 1 [-json-out out.json]
+//
+// Sharding: -shards N partitions the testbed into N regions and runs the
+// pure per-region evaluation phases on a worker goroutine each. The run's
+// output is bit-identical to -shards 1 at every N; the bench record gains
+// a parallel_speedup field (total region work over the critical path):
+//
+//	grid3sim -sites 1000 -days 1 -shards 4 -json-out bench.json
 //
 // Data plane: -doors bounds concurrent GridFTP flows per endpoint (excess
 // transfers queue FIFO), -cleanup arms the SRM lifecycle loop (scheduled
@@ -36,13 +43,11 @@
 // Pegasus stage-in sources by live WAN load. The data campaign scores the
 // raw-GridFTP baseline against the managed plane per seed:
 //
-//	grid3sim -data-sweep -seeds 1,2,3 -days 30 -scale 0.05 -doors 4 [-data-json out.json]
+//	grid3sim -data-sweep -seeds 1,2,3 -days 30 -scale 0.05 -doors 4 [-json-out out.json]
 //
 // Every mode writes its report JSON through the one -json-out flag; the
 // report schema follows the mode (chaos, scale sweep, data sweep, seed
-// sweep, or the single-run bench record). The mode-specific -chaos-json,
-// -scale-json, -data-json, and -bench-json flags remain as aliases and
-// yield to -json-out when both are given:
+// sweep, or the single-run bench record):
 //
 //	grid3sim -chaos 1,2,4 -seeds 1,2,3 -json-out chaos.json
 package main
@@ -66,10 +71,21 @@ import (
 )
 
 func main() {
+	// The mode-specific JSON aliases (-bench-json, -chaos-json, -scale-json,
+	// -data-json) were collapsed into -json-out; catch stragglers before
+	// flag.Parse would dump the whole usage text at them.
+	for _, arg := range os.Args[1:] {
+		name := strings.TrimLeft(strings.SplitN(arg, "=", 2)[0], "-")
+		switch name {
+		case "bench-json", "chaos-json", "scale-json", "data-json":
+			fmt.Fprintf(os.Stderr, "grid3sim: -%s was removed; every mode writes its report through -json-out now\n", name)
+			os.Exit(2)
+		}
+	}
+
 	seed := flag.Int64("seed", 1, "simulation seed (same seed, same run)")
 	seedList := flag.String("seeds", "", "comma-separated seed list: sweep all of them in parallel")
 	parallel := flag.Int("parallel", 0, "sweep workers (0 = GOMAXPROCS)")
-	benchJSON := flag.String("bench-json", "", "write run timing/throughput JSON to this file")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper's ~290k jobs)")
 	days := flag.Int("days", 183, "scenario length in days")
 	useSRM := flag.Bool("srm", false, "enable SRM space reservation (the §8 lesson)")
@@ -82,16 +98,14 @@ func main() {
 	healthOn := flag.Bool("health", false, "arm site health probing with circuit breakers (read-only)")
 	recoveryOn := flag.Bool("recovery", false, "close the fault-management loop (implies -health)")
 	chaosList := flag.String("chaos", "", "comma-separated failure intensities: run the chaos campaign over seeds x intensities")
-	chaosJSON := flag.String("chaos-json", "", "write the chaos sweep report JSON to this file")
 	sites := flag.Int("sites", 0, "testbed size: 0 = the historical 27-site catalog, larger adds synthetic sites")
 	scaleSweepList := flag.String("scale-sweep", "", "comma-separated site counts: run the testbed scale sweep")
-	scaleJSON := flag.String("scale-json", "", "write the scale sweep report JSON to this file")
 	doors := flag.Int("doors", 0, "bound concurrent GridFTP flows per endpoint (0 = historical unbounded WAN)")
 	cleanupOn := flag.Bool("cleanup", false, "arm the SRM lifecycle loop (scheduled expiry, pins, watermark eviction sweep)")
 	replicaRank := flag.Bool("replica-rank", false, "rank Pegasus stage-in replicas by live WAN load")
 	dataSweepOn := flag.Bool("data-sweep", false, "run the data campaign: raw-GridFTP baseline vs managed data plane, per seed")
-	dataJSON := flag.String("data-json", "", "write the data sweep report JSON to this file")
-	jsonOut := flag.String("json-out", "", "write the active mode's report JSON to this file (unifies -bench-json/-chaos-json/-scale-json/-data-json)")
+	shards := flag.Int("shards", 0, "partition the testbed into N regions and evaluate them on a worker each (output is identical at every N)")
+	jsonOut := flag.String("json-out", "", "write the active mode's report JSON to this file (schema follows the mode)")
 	flag.Parse()
 
 	cfg := core.ScenarioConfig{
@@ -105,23 +119,15 @@ func main() {
 			TransferDoors:        *doors,
 			EnableStorageCleanup: *cleanupOn,
 			EnableReplicaRanking: *replicaRank,
+			Shards:               *shards,
 		},
 		Horizon:         time.Duration(*days) * 24 * time.Hour,
 		JobScale:        *scale,
 		DisableFailures: *noFailures,
 	}
 
-	// -json-out is the unified output path; the mode-specific aliases yield
-	// to it when both are given.
-	pickJSON := func(alias string) string {
-		if *jsonOut != "" {
-			return *jsonOut
-		}
-		return alias
-	}
-
 	if *dataSweepOn {
-		if err := dataSweep(*seedList, *seed, *days, *parallel, pickJSON(*dataJSON), cfg); err != nil {
+		if err := dataSweep(*seedList, *seed, *days, *parallel, *jsonOut, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "grid3sim:", err)
 			os.Exit(1)
 		}
@@ -129,7 +135,7 @@ func main() {
 	}
 
 	if *scaleSweepList != "" {
-		if err := scaleSweep(*scaleSweepList, *seedList, *seed, *days, pickJSON(*scaleJSON), cfg); err != nil {
+		if err := scaleSweep(*scaleSweepList, *seedList, *seed, *days, *jsonOut, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "grid3sim:", err)
 			os.Exit(1)
 		}
@@ -137,7 +143,7 @@ func main() {
 	}
 
 	if *chaosList != "" {
-		if err := chaos(*chaosList, *seedList, *seed, *parallel, pickJSON(*chaosJSON), cfg); err != nil {
+		if err := chaos(*chaosList, *seedList, *seed, *parallel, *jsonOut, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "grid3sim:", err)
 			os.Exit(1)
 		}
@@ -149,14 +155,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "grid3sim: -trace-out/-metrics-out apply to single-seed runs only")
 			os.Exit(1)
 		}
-		if err := sweep(*seedList, *parallel, pickJSON(*benchJSON), *quiet, cfg); err != nil {
+		if err := sweep(*seedList, *parallel, *jsonOut, *quiet, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "grid3sim:", err)
 			os.Exit(1)
 		}
 		return
-	}
-	if *benchJSON == "" {
-		*benchJSON = *jsonOut
 	}
 
 	// Observability outputs: sinks flush when the scenario finishes, so the
@@ -213,7 +216,7 @@ func main() {
 	fmt.Printf("Grid3 scenario: %d days, seed %d, scale %.2f — %d jobs submitted, %d records, %d events, ran in %v\n\n",
 		*days, *seed, *scale, s.SubmittedTotal(), s.Grid.ACDC.Len(), s.Grid.Eng.Processed(),
 		elapsed.Round(time.Millisecond))
-	if *benchJSON != "" {
+	if *jsonOut != "" {
 		rec := benchRecord{
 			Kind:       "grid3sim-run",
 			GoMaxProcs: runtime.GOMAXPROCS(0),
@@ -221,6 +224,7 @@ func main() {
 			Seeds:      []int64{*seed},
 			Scale:      *scale,
 			Days:       *days,
+			Shards:     *shards,
 			WallSecs:   elapsed.Seconds(),
 			SerialSecs: elapsed.Seconds(),
 			Speedup:    1,
@@ -232,7 +236,10 @@ func main() {
 			}},
 		}
 		rec.EventsPerSec = float64(rec.Events) / elapsed.Seconds()
-		if err := writeBenchJSON(*benchJSON, rec); err != nil {
+		if st := s.Grid.ShardStats(); st.Windows > 0 {
+			rec.ParallelSpeedup = st.Speedup()
+		}
+		if err := writeBenchJSON(*jsonOut, rec); err != nil {
 			fmt.Fprintln(os.Stderr, "grid3sim: writing bench JSON:", err)
 		}
 	}
@@ -559,7 +566,8 @@ func dataSweep(seedList string, seed int64, days, workers int, jsonPath string, 
 	return nil
 }
 
-// benchRecord is the -bench-json schema, shared by single runs and sweeps.
+// benchRecord is the -json-out bench schema, shared by single runs and
+// sweeps.
 type benchRecord struct {
 	Kind       string  `json:"kind"`
 	GoMaxProcs int     `json:"gomaxprocs"`
@@ -567,15 +575,21 @@ type benchRecord struct {
 	Seeds      []int64 `json:"seeds"`
 	Scale      float64 `json:"scale"`
 	Days       int     `json:"days"`
-	WallSecs   float64 `json:"wall_seconds"`
+	// Shards is the -shards region count (0 = serial run).
+	Shards   int     `json:"shards,omitempty"`
+	WallSecs float64 `json:"wall_seconds"`
 	// SerialSecs sums per-run elapsed times; in sweep mode those are
 	// measured under worker contention, so SerialSecs/Speedup estimate
 	// (and on oversubscribed CPUs overstate) the true serial baseline.
-	SerialSecs   float64    `json:"summed_run_seconds"`
-	Speedup      float64    `json:"speedup_est"`
-	Events       uint64     `json:"events_total"`
-	EventsPerSec float64    `json:"events_per_second"`
-	Runs         []benchRun `json:"runs"`
+	SerialSecs float64 `json:"summed_run_seconds"`
+	Speedup    float64 `json:"speedup_est"`
+	// ParallelSpeedup is the sharded run's achieved work-parallelism:
+	// summed per-region evaluation work divided by the critical path
+	// (the per-barrier maximum). Present only when -shards > 1 did work.
+	ParallelSpeedup float64    `json:"parallel_speedup,omitempty"`
+	Events          uint64     `json:"events_total"`
+	EventsPerSec    float64    `json:"events_per_second"`
+	Runs            []benchRun `json:"runs"`
 }
 
 type benchRun struct {

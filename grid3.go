@@ -28,6 +28,23 @@
 // prefer to build configuration wholesale; pass them through WithConfig or
 // WithScenarioConfig. The substrates are individually importable under
 // internal/ within this module; see DESIGN.md for the inventory.
+//
+// # Options and flags
+//
+// The With* options are grouped into sections below — engine & testbed,
+// sharding, observability, fault management, data plane, serve — and every
+// cmd/grid3sim flag is a thin wrapper over one of them:
+//
+//	WithSeed            -seed        WithHealthProbes     -health
+//	WithTestbedScale    -sites       WithRecovery         -recovery
+//	WithHorizon         -days        WithChaos            -chaos
+//	WithJobScale        -scale       WithSRM              -srm
+//	WithShards          -shards      WithTransferDoors    -doors
+//	WithoutFailures     -no-failures WithStorageCleanup   -cleanup
+//	WithoutAffinity     -no-affinity WithReplicaRanking   -replica-rank
+//	WithTracer          -trace-out   WithMetricsSink      -metrics-out
+//
+// (WithRealTime has no grid3sim flag; it paces the grid3d daemon.)
 package grid3
 
 import (
@@ -102,6 +119,11 @@ func TextMetricsSink(w io.Writer) MetricsSink { return obs.TextMetricsSink(w) }
 // and are therefore best placed first.
 type Option func(*ScenarioConfig)
 
+// ── Engine & testbed options ────────────────────────────────────────────
+//
+// What simulates: the seed, the site population, the campaign window, the
+// workload volume, and the service cadences.
+
 // WithSeed sets the master RNG seed: same seed, same run, bit for bit.
 func WithSeed(seed int64) Option {
 	return func(c *ScenarioConfig) { c.Config.Seed = seed }
@@ -120,6 +142,16 @@ func WithTestbedScale(n int) Option {
 	return func(c *ScenarioConfig) { c.Config.TestbedSites = n }
 }
 
+// WithHorizon bounds a scenario run (default: the 183-day Table 1 window).
+func WithHorizon(d time.Duration) Option {
+	return func(c *ScenarioConfig) { c.Horizon = d }
+}
+
+// WithJobScale multiplies every class's job count (sub-1.0 for quick runs).
+func WithJobScale(f float64) Option {
+	return func(c *ScenarioConfig) { c.JobScale = f }
+}
+
 // WithMonitorInterval paces Ganglia/MonALISA collection (production used
 // 5 minutes; the default 30 minutes consolidates identically).
 func WithMonitorInterval(d time.Duration) Option {
@@ -131,43 +163,38 @@ func WithNegotiationInterval(d time.Duration) Option {
 	return func(c *ScenarioConfig) { c.Config.NegotiationInterval = d }
 }
 
-// WithSRM routes stage-out through SRM space reservations (the §8 lesson;
-// without it the paper's raw-GridFTP disk-full failures reproduce).
-func WithSRM() Option {
-	return func(c *ScenarioConfig) { c.Config.UseSRM = true }
-}
-
 // WithoutAffinity strips VO site pinning from workloads (the ABL-FED
 // ablation: uniform matchmaking instead of favorite resources).
 func WithoutAffinity() Option {
 	return func(c *ScenarioConfig) { c.Config.DisableAffinity = true }
 }
 
-// WithConfig replaces the grid-level configuration wholesale — the escape
-// hatch for callers that already build a Config struct.
-func WithConfig(cfg Config) Option {
-	return func(c *ScenarioConfig) { c.Config = cfg }
-}
-
-// WithHorizon bounds a scenario run (default: the 183-day Table 1 window).
-func WithHorizon(d time.Duration) Option {
-	return func(c *ScenarioConfig) { c.Horizon = d }
-}
-
-// WithJobScale multiplies every class's job count (sub-1.0 for quick runs).
-func WithJobScale(f float64) Option {
-	return func(c *ScenarioConfig) { c.JobScale = f }
-}
-
-// WithoutFailures turns off failure injection.
-func WithoutFailures() Option {
-	return func(c *ScenarioConfig) { c.DisableFailures = true }
-}
-
 // WithoutTransferDemo turns off the §6.3 GridFTP demonstrator.
 func WithoutTransferDemo() Option {
 	return func(c *ScenarioConfig) { c.DisableTransferDemo = true }
 }
+
+// ── Sharding options ────────────────────────────────────────────────────
+//
+// Region-parallel evaluation. The testbed partitions into contiguous
+// regions of the dense site-ID space; the pure per-region phases of each
+// negotiation cycle run on one worker goroutine per region, and every
+// result folds back in on the engine goroutine in region order. Output is
+// bit-identical to the serial run at any shard count.
+
+// WithShards partitions the testbed into n regions and evaluates them on a
+// worker goroutine each. 0 or 1 keeps the fully serial path; n is clamped
+// to the site count. Same seed, same output, at every n — sharding buys
+// wall-clock parallelism on multi-core hosts, never a different run.
+func WithShards(n int) Option {
+	return func(c *ScenarioConfig) { c.Config.Shards = n }
+}
+
+// ── Observability options ───────────────────────────────────────────────
+//
+// Job-lifecycle span traces and the metrics registry. Off by default; when
+// enabled, recording never steers the simulation (same seed, byte-identical
+// exhibits either way).
 
 // WithObservability enables job-lifecycle tracing and the metrics registry
 // without attaching any sink; read the results via Result.Trace and
@@ -207,6 +234,16 @@ func WithoutObservability() Option {
 	}
 }
 
+// ── Fault-management options ────────────────────────────────────────────
+//
+// The §6 failure taxonomy and the loop that reacts to it: injection,
+// health probing, breaker-aware recovery, and chaos intensity.
+
+// WithoutFailures turns off failure injection.
+func WithoutFailures() Option {
+	return func(c *ScenarioConfig) { c.DisableFailures = true }
+}
+
 // WithHealthProbes arms the health monitor: per-site, per-service circuit
 // breakers fed by periodic probes, with iGOC tickets opened and resolved on
 // breaker transitions. Probes are read-only — scheduling and data paths are
@@ -229,6 +266,17 @@ func WithRecovery() Option {
 // the chaos campaign. 0 and 1 leave the calibrated rates untouched.
 func WithChaos(intensity float64) Option {
 	return func(c *ScenarioConfig) { c.ChaosIntensity = intensity }
+}
+
+// ── Data-plane options ──────────────────────────────────────────────────
+//
+// The managed data plane: SRM reservations and lifecycle, bounded GridFTP
+// doors, and load-aware replica selection.
+
+// WithSRM routes stage-out through SRM space reservations (the §8 lesson;
+// without it the paper's raw-GridFTP disk-full failures reproduce).
+func WithSRM() Option {
+	return func(c *ScenarioConfig) { c.Config.UseSRM = true }
 }
 
 // WithTransferDoors bounds concurrent GridFTP flows per endpoint at n, the
@@ -256,6 +304,10 @@ func WithStorageCleanup(watermark float64) Option {
 	}
 }
 
+// ── Serve options ───────────────────────────────────────────────────────
+//
+// The grid as a long-running daemon (see Serve/Handler below).
+
 // WithRealTime sets the scaled-real-time compression ratio for Serve: pace
 // virtual seconds advance per wall second (3600 compresses one simulated
 // hour into each wall second). Batch runners (New, RunScenario, the
@@ -268,6 +320,18 @@ func WithRealTime(pace float64) Option {
 		}
 		c.RealTimePace = pace
 	}
+}
+
+// ── Escape hatches ──────────────────────────────────────────────────────
+//
+// Wholesale struct replacement for callers that build configuration
+// directly. Place these first: a later option overrides them field-wise,
+// while they replace everything set before them.
+
+// WithConfig replaces the grid-level configuration wholesale — the escape
+// hatch for callers that already build a Config struct.
+func WithConfig(cfg Config) Option {
+	return func(c *ScenarioConfig) { c.Config = cfg }
 }
 
 // WithScenarioConfig replaces the scenario configuration wholesale — the

@@ -164,10 +164,8 @@ func TestPublicSweep(t *testing.T) {
 }
 
 // TestObservabilityOptions pins the option semantics: sinks imply the
-// layer, and WithoutObservability wins over earlier enables. (The old
-// WithNetLogger option is gone; WithTracer(NetLoggerSink(w)) is the
-// replacement and ScenarioConfig.EnableNetLogger remains for the struct
-// escape hatches.)
+// layer, and WithoutObservability wins over earlier enables. (NetLogger
+// output comes from WithTracer(NetLoggerSink(w)).)
 func TestObservabilityOptions(t *testing.T) {
 	cfg := buildConfig([]Option{
 		WithTracer(JSONLSink(io.Discard)),
@@ -183,9 +181,6 @@ func TestObservabilityOptions(t *testing.T) {
 	})
 	if cfg.Config.EnableObservability || cfg.TraceSinks != nil || cfg.MetricsSinks != nil {
 		t.Fatalf("WithoutObservability did not win: %+v", cfg)
-	}
-	if cfg := buildConfig([]Option{WithScenarioConfig(ScenarioConfig{EnableNetLogger: true})}); !cfg.EnableNetLogger {
-		t.Fatal("EnableNetLogger lost through the escape hatch")
 	}
 }
 
@@ -257,5 +252,39 @@ func TestTracedRunMatchesUntraced(t *testing.T) {
 	stages := snap.StageLatencies()
 	if len(stages) == 0 {
 		t.Fatal("no stage latency histograms recorded")
+	}
+}
+
+// TestShardedRunMatchesSerial is the sharding contract: WithShards(n)
+// changes how matchmaking work is laid out across worker goroutines, never
+// what the simulation computes — same seed, same exhibits, at any shard
+// count including counts that don't divide the testbed evenly.
+func TestShardedRunMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario in -short mode")
+	}
+	exhibits := func(r *Result) (string, string) {
+		var t1, ms strings.Builder
+		r.WriteTable1(&t1)
+		r.WriteMilestones(&ms)
+		return t1.String(), ms.String()
+	}
+	serial, err := RunScenario(5, 0.005, WithHorizon(8*24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialT1, serialMS := exhibits(serial)
+	for _, shards := range []int{4, 5} {
+		sharded, err := RunScenario(5, 0.005, WithHorizon(8*24*time.Hour), WithShards(shards))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotT1, gotMS := exhibits(sharded)
+		if gotT1 != serialT1 {
+			t.Fatalf("Table 1 diverged at %d shards:\n--- serial ---\n%s--- sharded ---\n%s", shards, serialT1, gotT1)
+		}
+		if gotMS != serialMS {
+			t.Fatalf("milestones diverged at %d shards:\n--- serial ---\n%s--- sharded ---\n%s", shards, serialMS, gotMS)
+		}
 	}
 }

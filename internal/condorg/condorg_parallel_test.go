@@ -1,0 +1,164 @@
+package condorg
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"grid3/internal/batch"
+	"grid3/internal/classad"
+	"grid3/internal/glue"
+	"grid3/internal/gram"
+	"grid3/internal/gsi"
+	"grid3/internal/intern"
+	"grid3/internal/sim"
+	"grid3/internal/site"
+)
+
+// wideRig builds a schedd over n synthetic sites with live CE ads and
+// region assignments from intern.Regions(n, regions).
+func wideRig(t *testing.T, n, regions int) (*sim.Engine, *Schedd) {
+	t.Helper()
+	eng := sim.NewEngine(sim.Grid3Epoch)
+	s := New(eng, 0)
+	ri := intern.Regions(n, regions)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("site%03d", i) // sorted-name order == index order
+		slots := 2 + (i*7)%13
+		st := site.MustNew(site.Config{
+			Name: name, Host: name + ".example.org", CPUs: slots,
+			DiskBytes: 1 << 40, WANMbps: 622, LRMS: glue.PBS,
+			MaxWall:  100 * time.Hour,
+			Accounts: map[string]string{"usatlas": "grp_usatlas"},
+		})
+		bs := batch.New(eng, batch.Config{Name: name, Slots: slots, EnforceWall: true, MaxWall: st.MaxWall})
+		gm := gsi.NewGridmap()
+		gm.Map("/CN=prod", "grp_usatlas")
+		gk := gram.New(eng, st, bs, gm)
+		s.AddResource(&Resource{
+			Name:         name,
+			Gatekeeper:   gk,
+			Region:       ri.Of(intern.ID(i)),
+			MaxSubmitted: 2 * slots,
+			AdFunc: func() *classad.Ad {
+				ce := &glue.CE{
+					ID: name, SiteName: name, Host: name, LRMSType: glue.PBS,
+					TotalCPUs: slots, FreeCPUs: bs.FreeSlots(),
+					RunningJobs: bs.RunningCount(), WaitingJobs: bs.QueuedCount(),
+					MaxWallTime: 100 * time.Hour, VOs: []string{"usatlas"},
+				}
+				return ce.Ad()
+			},
+		})
+	}
+	return eng, s
+}
+
+// runWorkload submits a deterministic job stream and returns every job's
+// final (site, state) plus the schedd counters.
+func runWorkload(t *testing.T, eng *sim.Engine, s *Schedd) []string {
+	t.Helper()
+	var out []string
+	const jobs = 120
+	for i := 0; i < jobs; i++ {
+		i := i
+		eng.At(time.Duration(i)*37*time.Second, func() {
+			j := &GridJob{
+				ID: fmt.Sprintf("job%04d", i),
+				Spec: gram.Spec{
+					Subject: "/CN=prod", VO: "usatlas", Executable: "/bin/sim",
+					Walltime: 4 * time.Hour, Runtime: time.Duration(30+i%90) * time.Minute,
+					StagingFactor: float64(1 + i%3),
+				},
+				MaxRetries: 2,
+			}
+			j.Ad = classad.NewAd()
+			switch i % 3 {
+			case 0:
+				j.Ad.SetExpr("Rank", "TARGET.FreeCpus - TARGET.WaitingJobs")
+			case 1:
+				j.Ad.SetExpr("Rank", "TARGET.FreeCpus")
+			}
+			if err := s.Submit(j); err != nil {
+				t.Errorf("submit %s: %v", j.ID, err)
+			}
+		})
+	}
+	eng.RunUntil(24 * time.Hour)
+	for id := 0; id < jobs; id++ {
+		j, ok := s.Job(fmt.Sprintf("job%04d", id))
+		if !ok {
+			t.Fatalf("job%04d lost", id)
+		}
+		out = append(out, fmt.Sprintf("job%04d %s state=%v attempts=%d", id, j.Site, j.State, j.Attempts))
+	}
+	out = append(out, fmt.Sprintf("submitted=%d completed=%d held=%d idle=%d matchfail=%d",
+		s.SubmittedCount(), s.CompletedCount(), s.HeldCount(), s.IdleCount(), s.MatchFailures()))
+	return out
+}
+
+// TestParallelMatchmakingEquivalence: the region-sharded scan must place
+// every job exactly where the serial scan does — bit-identical outcomes,
+// not just statistically similar ones.
+func TestParallelMatchmakingEquivalence(t *testing.T) {
+	const sites, regions = 60, 4
+	engA, serial := wideRig(t, sites, regions)
+	serialOut := runWorkload(t, engA, serial)
+
+	pool := sim.NewEvalPool(regions)
+	defer pool.Close()
+	engB, parallel := wideRig(t, sites, regions)
+	parallel.SetParallel(pool, regions)
+	parallelOut := runWorkload(t, engB, parallel)
+
+	if len(serialOut) != len(parallelOut) {
+		t.Fatalf("output lengths differ: %d vs %d", len(serialOut), len(parallelOut))
+	}
+	for i := range serialOut {
+		if serialOut[i] != parallelOut[i] {
+			t.Fatalf("line %d diverged:\n  serial:   %s\n  parallel: %s", i, serialOut[i], parallelOut[i])
+		}
+	}
+	if st := pool.Stats(); st.Windows == 0 {
+		t.Fatal("parallel run never used the eval pool")
+	}
+}
+
+// TestParallelMatchmakingAvoidance: the two-pass avoid-failed logic runs
+// through the sharded scan too.
+func TestParallelMatchmakingAvoidance(t *testing.T) {
+	pool := sim.NewEvalPool(2)
+	defer pool.Close()
+	eng, s := wideRig(t, 8, 2)
+	s.SetParallel(pool, 2)
+	s.AvoidFailedSites = true
+	j := &GridJob{
+		ID: "picky",
+		Spec: gram.Spec{
+			Subject: "/CN=prod", VO: "usatlas", Executable: "/bin/sim",
+			Walltime: 2 * time.Hour, Runtime: time.Hour, StagingFactor: 1,
+		},
+		MaxRetries: 3,
+	}
+	if err := s.Submit(j); err != nil {
+		t.Fatal(err)
+	}
+	first := j.Site
+	if first == "" {
+		t.Fatal("job not placed")
+	}
+	firstRes, err := s.Resource(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail it at its first site; the retry must land elsewhere.
+	s.remoteFailure(j, firstRes, fmt.Errorf("injected"))
+	s.Negotiate()
+	if j.Site == first || j.Site == "" {
+		t.Fatalf("retry landed at %q, want a different site than %q", j.Site, first)
+	}
+	eng.RunUntil(4 * time.Hour)
+	if j.State != Completed {
+		t.Fatalf("state %v, want Completed", j.State)
+	}
+}

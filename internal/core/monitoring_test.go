@@ -301,9 +301,12 @@ func TestSubmitJobFunc(t *testing.T) {
 	}
 }
 
-// TestNetLoggerOption: with instrumentation enabled, every completed
-// transfer leaves start+end events (§4.7's NetLogger demonstrator).
-func TestNetLoggerOption(t *testing.T) {
+// TestNetLoggerAttach: with the gridftp shim attached to the WAN, every
+// completed transfer leaves start+end events (§4.7's NetLogger
+// demonstrator). Attaching is explicit now — the EnableNetLogger config
+// field is gone; trace-level NetLogger output comes from the obs layer's
+// NetLogger sink instead.
+func TestNetLoggerAttach(t *testing.T) {
 	if testing.Short() {
 		t.Skip("scenario in -short mode")
 	}
@@ -311,18 +314,15 @@ func TestNetLoggerOption(t *testing.T) {
 		Config:          Config{Seed: 39},
 		Horizon:         2 * 24 * time.Hour,
 		JobScale:        0.001,
-		EnableNetLogger: true,
 		DisableFailures: true,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	nl := gridftp.Attach(s.Grid.Network)
 	s.Run()
-	if s.NetLogger == nil {
-		t.Fatal("NetLogger not attached")
-	}
-	starts := s.NetLogger.Count(gridftp.EventStart)
-	ends := s.NetLogger.Count(gridftp.EventEnd)
+	starts := nl.Count(gridftp.EventStart)
+	ends := nl.Count(gridftp.EventEnd)
 	if starts == 0 || ends == 0 {
 		t.Fatalf("events: %d starts, %d ends", starts, ends)
 	}
@@ -330,7 +330,7 @@ func TestNetLoggerOption(t *testing.T) {
 		t.Fatalf("more ends (%d) than starts (%d)", ends, starts)
 	}
 	var sb strings.Builder
-	if _, err := s.NetLogger.WriteTo(&sb); err != nil {
+	if _, err := nl.WriteTo(&sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "NL.EVNT=gridftp.transfer.end") {

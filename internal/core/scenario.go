@@ -5,7 +5,6 @@ import (
 
 	"grid3/internal/apps"
 	"grid3/internal/failure"
-	"grid3/internal/gridftp"
 	"grid3/internal/obs"
 	"grid3/internal/sim"
 	"grid3/internal/vo"
@@ -45,10 +44,6 @@ type ScenarioConfig struct {
 	ChaosIntensity float64
 	// DisableTransferDemo turns off the §6.3 GridFTP demonstrator.
 	DisableTransferDemo bool
-	// EnableNetLogger attaches the NetLogger instrumentation (§4.7) to
-	// the WAN, recording start/end/error events for every transfer. Off
-	// by default: a full campaign logs ~10^6 events.
-	EnableNetLogger bool
 	// JobScale multiplies every class's TotalJobs (sub-1.0 for quick
 	// tests); 0 means 1.0.
 	JobScale float64
@@ -73,7 +68,6 @@ type Scenario struct {
 	Generators map[string]*apps.Generator
 	Demo       *apps.TransferDemo
 	Injector   *failure.Injector
-	NetLogger  *gridftp.NetLogger // non-nil when EnableNetLogger is set
 
 	obsFlushed bool
 }
@@ -101,9 +95,6 @@ func NewScenario(cfg ScenarioConfig) (*Scenario, error) {
 		return nil, err
 	}
 	s := &Scenario{Grid: g, Cfg: cfg, Generators: make(map[string]*apps.Generator)}
-	if cfg.EnableNetLogger {
-		s.NetLogger = gridftp.Attach(g.Network)
-	}
 
 	// SC2003 demonstration week: Nov 15-21 2003 (§1), when every group
 	// pushed at once and the 1300-concurrent-jobs peak landed (§7).
@@ -201,6 +192,10 @@ func (s *Scenario) Finish() {
 	s.Grid.Eng.RunFor(6 * time.Hour)
 	s.Grid.ACDC.Pull()
 	s.FlushObservability()
+	// Stop the region workers. Anything that keeps simulating after Finish
+	// (serve mode's drain, late inspection) falls back to the serial scan,
+	// which produces the same events.
+	s.Grid.Close()
 }
 
 // FlushObservability runs every configured trace and metrics sink against

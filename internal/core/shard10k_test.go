@@ -1,0 +1,64 @@
+package core
+
+import (
+	"grid3/internal/intern"
+	"testing"
+	"time"
+)
+
+// TestTenThousandSiteShardedTestbed is the tentpole scale target: a
+// 10k-site testbed constructs with a 16-way region partition, every site
+// lands in exactly one region, and regions are contiguous alphabetical
+// bands of the dense ID space. Construction only — a simulated hour at
+// this scale is bench territory, not tier-1.
+func TestTenThousandSiteShardedTestbed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-site construction in -short mode")
+	}
+	s, err := NewScenario(ScenarioConfig{
+		Config:   Config{TestbedSites: 10000, Shards: 16, Seed: 1},
+		JobScale: 0.001,
+		Horizon:  time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Grid.Close()
+	if got := len(s.Cfg.Config.Sites); got != 10000 {
+		t.Fatalf("testbed generated %d sites, want 10000", got)
+	}
+	ri := s.Grid.Regions
+	if ri.Shards() != 16 {
+		t.Fatalf("Regions.Shards() = %d, want 16", ri.Shards())
+	}
+	if ri.Sites() != 10000 {
+		t.Fatalf("Regions.Sites() = %d, want 10000", ri.Sites())
+	}
+	// Spans partition [0, 10000): back-to-back, non-empty, near-equal.
+	var next int
+	for r := 0; r < ri.Shards(); r++ {
+		lo, hi := ri.Span(r)
+		if int(lo) != next {
+			t.Fatalf("region %d starts at %d, want %d (gap or overlap)", r, lo, next)
+		}
+		if size := int(hi - lo); size < 10000/16 || size > 10000/16+1 {
+			t.Fatalf("region %d holds %d sites, want a near-equal band", r, size)
+		}
+		next = int(hi)
+	}
+	if next != 10000 {
+		t.Fatalf("regions cover [0,%d), want [0,10000)", next)
+	}
+	// Every interned site resolves to the region whose span contains it.
+	for _, name := range s.Grid.Order {
+		id := s.Grid.SiteIDs.ID(name)
+		if id == intern.None {
+			t.Fatalf("site %q not interned", name)
+		}
+		r := ri.Of(id)
+		lo, hi := ri.Span(r)
+		if id < lo || id >= hi {
+			t.Fatalf("site ID %d assigned region %d with span [%d,%d)", id, r, lo, hi)
+		}
+	}
+}

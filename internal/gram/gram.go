@@ -138,6 +138,9 @@ type Job struct {
 	FailureReason string
 
 	batchJob *batch.Job
+	// Position in the gatekeeper's active set while PENDING/ACTIVE.
+	activeIdx int
+	inActive  bool
 }
 
 // Gatekeeper fronts one site's batch system.
@@ -149,6 +152,12 @@ type Gatekeeper struct {
 
 	jobs   map[string]*Job
 	nextID int64
+	// active holds exactly the PENDING/ACTIVE jobs, maintained on state
+	// transitions. The load model and the monitoring providers read it
+	// instead of scanning the full jobs map, which between PruneTerminal
+	// sweeps is dominated by terminal entries — on a 1000-site day that
+	// scan was ~25% of total run time.
+	active []*Job
 
 	// Load model state: decaying submission-rate estimator.
 	submitRate float64 // submissions per minute, exponentially decayed
@@ -186,15 +195,7 @@ func (g *Gatekeeper) Site() *site.Site { return g.site }
 func (g *Gatekeeper) Batch() *batch.System { return g.batch }
 
 // ManagedJobs returns the number of jobs in PENDING or ACTIVE state.
-func (g *Gatekeeper) ManagedJobs() int {
-	n := 0
-	for _, j := range g.jobs {
-		if j.State == StatePending || j.State == StateActive {
-			n++
-		}
-	}
-	return n
-}
+func (g *Gatekeeper) ManagedJobs() int { return len(g.active) }
 
 // loadPerJob is the paper's sustained-load coefficient: ~225 of 1-minute
 // load per ~1000 managed jobs.
@@ -209,10 +210,7 @@ const submitSpikeWeight = 0.5
 func (g *Gatekeeper) Load() float64 {
 	g.decayRate()
 	sustained := 0.0
-	for _, j := range g.jobs {
-		if j.State != StatePending && j.State != StateActive {
-			continue
-		}
+	for _, j := range g.active {
 		f := j.Spec.StagingFactor
 		if f < 1 {
 			f = 1
@@ -220,6 +218,30 @@ func (g *Gatekeeper) Load() float64 {
 		sustained += loadPerJob * f
 	}
 	return sustained + submitSpikeWeight*g.submitRate
+}
+
+// trackActive and untrackActive maintain the PENDING/ACTIVE set with
+// O(1) swap-removal; activeIdx pins each job's slot.
+func (g *Gatekeeper) trackActive(j *Job) {
+	if j.inActive {
+		return
+	}
+	j.inActive = true
+	j.activeIdx = len(g.active)
+	g.active = append(g.active, j)
+}
+
+func (g *Gatekeeper) untrackActive(j *Job) {
+	if !j.inActive {
+		return
+	}
+	last := len(g.active) - 1
+	k := j.activeIdx
+	g.active[k] = g.active[last]
+	g.active[k].activeIdx = k
+	g.active[last] = nil
+	g.active = g.active[:last]
+	j.inActive = false
 }
 
 // decayRate ages the submission-rate estimator with a one-minute
@@ -357,6 +379,12 @@ func (g *Gatekeeper) transition(j *Job, to JobState) {
 		return // already ACTIVE: don't regress
 	}
 	j.State = to
+	switch to {
+	case StatePending, StateActive:
+		g.trackActive(j)
+	case StateDone, StateFailed:
+		g.untrackActive(j)
+	}
 	if j.Spec.OnState != nil {
 		j.Spec.OnState(j, to)
 	}
@@ -410,11 +438,9 @@ func (g *Gatekeeper) PruneTerminal() int {
 // service failure ("jobs often failed ... in groups from site service
 // failures", §6.2). Queued and running jobs both die.
 func (g *Gatekeeper) FailAllManaged(reason string) int {
-	ids := make([]string, 0, len(g.jobs))
-	for id, j := range g.jobs {
-		if j.State == StatePending || j.State == StateActive {
-			ids = append(ids, id)
-		}
+	ids := make([]string, 0, len(g.active))
+	for _, j := range g.active {
+		ids = append(ids, j.ID)
 	}
 	sort.Strings(ids)
 	n := 0
@@ -428,6 +454,7 @@ func (g *Gatekeeper) FailAllManaged(reason string) int {
 			// Cancel reports as Cancelled; record as a failure.
 			g.failed++
 			j.State = StateFailed
+			g.untrackActive(j)
 		}
 		j.FailureReason = reason
 		n++

@@ -1,0 +1,74 @@
+package intern
+
+import "testing"
+
+func TestRegionsPartition(t *testing.T) {
+	for _, tc := range []struct{ sites, shards int }{
+		{27, 4}, {27, 1}, {1000, 4}, {1000, 8}, {10000, 16},
+		{5, 8}, // more shards than sites: clamped
+		{1, 1}, {2, 2},
+	} {
+		ri := Regions(tc.sites, tc.shards)
+		if ri.Shards() > tc.sites {
+			t.Fatalf("Regions(%d,%d): %d shards exceed site count", tc.sites, tc.shards, ri.Shards())
+		}
+		// Spans tile [0, sites) exactly, in order, and agree with Of.
+		next := ID(0)
+		for r := 0; r < ri.Shards(); r++ {
+			lo, hi := ri.Span(r)
+			if lo != next {
+				t.Fatalf("Regions(%d,%d): region %d starts at %d, want %d", tc.sites, tc.shards, r, lo, next)
+			}
+			if hi <= lo {
+				t.Fatalf("Regions(%d,%d): region %d empty [%d,%d)", tc.sites, tc.shards, r, lo, hi)
+			}
+			if got := ri.Size(r); got != int(hi-lo) {
+				t.Fatalf("Regions(%d,%d): Size(%d)=%d, span says %d", tc.sites, tc.shards, r, got, hi-lo)
+			}
+			for id := lo; id < hi; id++ {
+				if got := ri.Of(id); got != r {
+					t.Fatalf("Regions(%d,%d): Of(%d)=%d, want %d", tc.sites, tc.shards, id, got, r)
+				}
+			}
+			next = hi
+		}
+		if int(next) != tc.sites {
+			t.Fatalf("Regions(%d,%d): spans cover [0,%d), want [0,%d)", tc.sites, tc.shards, next, tc.sites)
+		}
+	}
+}
+
+func TestRegionsBalanced(t *testing.T) {
+	ri := Regions(1002, 4)
+	minSz, maxSz := ri.Size(0), ri.Size(0)
+	for r := 1; r < ri.Shards(); r++ {
+		sz := ri.Size(r)
+		if sz < minSz {
+			minSz = sz
+		}
+		if sz > maxSz {
+			maxSz = sz
+		}
+	}
+	if maxSz-minSz > 1 {
+		t.Fatalf("region sizes differ by %d, want at most 1", maxSz-minSz)
+	}
+}
+
+func TestRegionsPureFunction(t *testing.T) {
+	a, b := Regions(1000, 4), Regions(1000, 4)
+	for id := ID(0); id < 1000; id++ {
+		if a.Of(id) != b.Of(id) {
+			t.Fatalf("Of(%d) differs between identical indexes", id)
+		}
+	}
+}
+
+func TestRegionsOfOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Of on out-of-range ID did not panic")
+		}
+	}()
+	Regions(10, 2).Of(10)
+}

@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// StatusSchema is the versioned wire schema of the final status record
+// (grid3d -json-out). Adding fields is compatible within a version;
+// renaming or removing one bumps it.
+const StatusSchema = "grid3.serve-status/1"
+
+// StatusKind is the record's frozen "kind" discriminator.
+const StatusKind = "grid3d-status"
+
+// statusRecord is the wire shape; key names are frozen (round-trip tested).
+type statusRecord struct {
+	Schema        string  `json:"schema"`
+	Kind          string  `json:"kind"`
+	SimSeconds    float64 `json:"sim_seconds"`
+	SimClock      string  `json:"sim_clock"`
+	Pace          float64 `json:"pace"`
+	Events        uint64  `json:"events_processed"`
+	Finished      bool    `json:"finished"`
+	JobsSubmitted int     `json:"service_jobs_submitted"`
+	JobsCompleted int     `json:"service_jobs_completed"`
+	JobsFailed    int     `json:"service_jobs_failed"`
+	Accepted      uint64  `json:"requests_accepted"`
+	Shed          uint64  `json:"requests_shed"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// StatusJSON renders a status snapshot as the versioned StatusSchema
+// record, indented and newline-terminated — the shape grid3d writes
+// through -json-out on clean shutdown.
+func StatusJSON(st Status) ([]byte, error) {
+	rec := statusRecord{
+		Schema:        StatusSchema,
+		Kind:          StatusKind,
+		SimSeconds:    st.SimNow.Seconds(),
+		SimClock:      st.SimClock.UTC().Format(time.RFC3339),
+		Pace:          st.Pace,
+		Events:        st.Events,
+		Finished:      st.Finished,
+		JobsSubmitted: st.Jobs.Submitted,
+		JobsCompleted: st.Jobs.Completed,
+		JobsFailed:    st.Jobs.Failed,
+		Accepted:      st.Accepted,
+		Shed:          st.Shed,
+		UptimeSeconds: st.UptimeSeconds,
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

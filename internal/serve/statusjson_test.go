@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestStatusJSONRoundTrip pins the grid3.serve-status/1 wire shape: the
+// frozen kind and key names, and that the record parses back.
+func TestStatusJSONRoundTrip(t *testing.T) {
+	st := Status{
+		SimNow:        36 * time.Hour,
+		SimClock:      time.Date(2003, 10, 24, 12, 0, 0, 0, time.UTC),
+		Pace:          3600,
+		Events:        123456,
+		Finished:      false,
+		Jobs:          JobCounts{Submitted: 10, Completed: 7, Failed: 1},
+		Accepted:      42,
+		Shed:          3,
+		UptimeSeconds: 99.5,
+	}
+	data, err := StatusJSON(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[len(data)-1] != '\n' {
+		t.Fatal("status JSON must be newline-terminated")
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("status JSON does not round-trip: %v\n%s", err, data)
+	}
+	if m["schema"] != StatusSchema {
+		t.Fatalf("schema = %v, want %q", m["schema"], StatusSchema)
+	}
+	if m["kind"] != StatusKind {
+		t.Fatalf("kind = %v, want %q", m["kind"], StatusKind)
+	}
+	for _, k := range []string{"sim_seconds", "sim_clock", "pace",
+		"events_processed", "finished", "service_jobs_submitted",
+		"service_jobs_completed", "service_jobs_failed",
+		"requests_accepted", "requests_shed", "uptime_seconds"} {
+		if _, ok := m[k]; !ok {
+			t.Errorf("frozen key %q missing", k)
+		}
+	}
+	if m["sim_seconds"] != 36*3600.0 {
+		t.Errorf("sim_seconds = %v", m["sim_seconds"])
+	}
+	if m["sim_clock"] != "2003-10-24T12:00:00Z" {
+		t.Errorf("sim_clock = %v", m["sim_clock"])
+	}
+}

@@ -1,0 +1,265 @@
+// Conservative-window parallel execution. A ShardGroup runs one Engine per
+// region shard, each on its own goroutine, and synchronizes them with
+// conservative time windows sized by the simulation's minimum cross-shard
+// latency (for Grid3, the minimum WAN link latency): within a window no
+// shard can affect another, so the shards may run concurrently without any
+// speculation or rollback.
+//
+// Cross-shard events are not scheduled directly into the destination engine.
+// The sending shard posts them to a per-shard outbox during its window; at
+// the window barrier the group drains every outbox and delivers the events
+// in an order that is a pure function of (timestamp, source shard ID, send
+// order) — never of goroutine interleaving. Each destination engine then
+// assigns its own (at, seq) keys in that delivery order, so a run with N
+// shards executes the same events in the same order as a run with one, and
+// same-seed runs stay byte-identical regardless of shard count.
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ShardStats accumulates the group's execution accounting.
+type ShardStats struct {
+	// Windows is the number of barrier-to-barrier rounds executed.
+	Windows uint64
+	// CrossEvents is the number of events exchanged between shards.
+	CrossEvents uint64
+	// BusyNs is the summed wall-clock time the shard goroutines spent
+	// executing events (the total work).
+	BusyNs int64
+	// CriticalNs is the summed per-window maximum shard time — the
+	// critical path a perfectly parallel execution cannot beat.
+	CriticalNs int64
+}
+
+// Speedup returns the work-parallelism of the run: total shard work divided
+// by its critical path. It is the wall-clock speedup the sharded run
+// converges to once GOMAXPROCS covers the shard count; on fewer cores the
+// ratio still measures how evenly the windows balanced.
+func (s ShardStats) Speedup() float64 {
+	if s.CriticalNs <= 0 {
+		return 1
+	}
+	return float64(s.BusyNs) / float64(s.CriticalNs)
+}
+
+// crossEvent is one outbox entry: an event posted by one shard for another.
+type crossEvent struct {
+	at   time.Duration
+	seq  uint64 // per-source send order
+	from int
+	to   int
+	fn   func()
+}
+
+// shardWorker is one shard's persistent goroutine plus its window state.
+type shardWorker struct {
+	eng    *Engine
+	outbox []crossEvent
+	sent   uint64 // send-order counter, reset never (monotonic per shard)
+	busy   int64  // wall ns spent inside the current window
+	fault  any    // panic value recovered from the window, if any
+	run    chan time.Duration
+}
+
+// runWindow advances the shard to end, converting a callback panic (a
+// lookahead violation, or a bug in user code) into a recorded fault so the
+// barrier can re-raise it on the caller's goroutine instead of killing the
+// process from a worker.
+func (w *shardWorker) runWindow(end time.Duration) {
+	defer func() { w.fault = recover() }()
+	w.eng.RunUntil(end)
+}
+
+// ShardGroup owns the sharded engines and the window barrier.
+type ShardGroup struct {
+	window  time.Duration
+	workers []*shardWorker
+	wg      sync.WaitGroup
+	stats   ShardStats
+
+	// windowEnd is the inclusive end of the window currently executing;
+	// Post validates lookahead against it. Written only between windows,
+	// read by shard goroutines during one; the WaitGroup orders the two.
+	windowEnd time.Duration
+	closed    bool
+}
+
+// NewShardGroup creates shards engines sharing an epoch, synchronized with
+// conservative windows of the given length. The window must equal (or be
+// below) the minimum latency of any cross-shard interaction: Post enforces
+// that every cross-shard event lands strictly after the window in which it
+// was sent.
+func NewShardGroup(shards int, window time.Duration, epoch time.Time) *ShardGroup {
+	if shards < 1 {
+		panic(fmt.Sprintf("sim: shard count %d < 1", shards))
+	}
+	if window <= 0 {
+		panic(fmt.Sprintf("sim: non-positive shard window %v", window))
+	}
+	g := &ShardGroup{window: window}
+	for i := 0; i < shards; i++ {
+		w := &shardWorker{eng: NewEngine(epoch), run: make(chan time.Duration)}
+		g.workers = append(g.workers, w)
+		go func() {
+			for end := range w.run {
+				t0 := time.Now()
+				w.runWindow(end)
+				w.busy = time.Since(t0).Nanoseconds()
+				g.wg.Done()
+			}
+		}()
+	}
+	return g
+}
+
+// Shards returns the shard count.
+func (g *ShardGroup) Shards() int { return len(g.workers) }
+
+// Shard returns shard i's engine. Callers may schedule events on it freely
+// between Run calls (the setup phase) and from within that shard's own
+// callbacks; scheduling on another shard's engine from a callback is a race
+// — use Post.
+func (g *ShardGroup) Shard(i int) *Engine { return g.workers[i].eng }
+
+// Window returns the conservative window length.
+func (g *ShardGroup) Window() time.Duration { return g.window }
+
+// Stats returns the accounting accumulated by Run so far.
+func (g *ShardGroup) Stats() ShardStats { return g.stats }
+
+// Post sends fn from shard `from` to shard `to`, to fire at absolute time
+// at. It must be called from shard from's own callbacks (or between Run
+// calls). The event is buffered in the sender's outbox and delivered at the
+// next window barrier; at must lie strictly after the current window, which
+// holds by construction when the simulated latency is at least the window
+// length. A violation means the declared minimum latency was wrong and the
+// parallel run could diverge from the serial one, so it panics.
+func (g *ShardGroup) Post(from, to int, at time.Duration, fn func()) {
+	if fn == nil {
+		panic("sim: nil cross-shard event function")
+	}
+	if to < 0 || to >= len(g.workers) {
+		panic(fmt.Sprintf("sim: cross-shard destination %d outside [0,%d)", to, len(g.workers)))
+	}
+	w := g.workers[from]
+	if at <= g.windowEnd {
+		panic(fmt.Sprintf("sim: lookahead violation: shard %d posts event at %v inside window ending %v",
+			from, at, g.windowEnd))
+	}
+	w.sent++
+	w.outbox = append(w.outbox, crossEvent{at: at, seq: w.sent, from: from, to: to, fn: fn})
+}
+
+// Run advances every shard to time t. Windows are conservative but
+// activity-sized: each round ends one window past the earliest pending
+// event across all shards, so idle stretches cost one barrier instead of
+// many. Deterministic given deterministic shard workloads: goroutine
+// scheduling can only change wall-clock accounting, never event order.
+func (g *ShardGroup) Run(t time.Duration) {
+	if g.closed {
+		panic("sim: Run on closed ShardGroup")
+	}
+	for {
+		// Deliver anything posted since the last barrier (the setup phase
+		// between Run calls may Post too), then find the earliest pending
+		// work across shards.
+		g.deliver()
+		earliest := time.Duration(-1)
+		for _, w := range g.workers {
+			if at, ok := w.eng.NextEventAt(); ok && (earliest < 0 || at < earliest) {
+				earliest = at
+			}
+		}
+		if earliest < 0 || earliest > t {
+			break // idle: jump every clock straight to t below
+		}
+		// The window covers (prev, end]: no event before `earliest` exists,
+		// so nothing can be sent before it, and with latency ≥ window every
+		// send lands at > end. The -1ns keeps an event at exactly
+		// earliest+window out of this window (it could race a cross event
+		// with the same timestamp).
+		end := earliest + g.window - time.Nanosecond
+		if end > t {
+			end = t
+		}
+		g.windowEnd = end
+		g.wg.Add(len(g.workers))
+		for _, w := range g.workers {
+			w.run <- end
+		}
+		g.wg.Wait()
+		g.stats.Windows++
+		maxBusy := int64(0)
+		for _, w := range g.workers {
+			if w.fault != nil {
+				panic(w.fault)
+			}
+			g.stats.BusyNs += w.busy
+			if w.busy > maxBusy {
+				maxBusy = w.busy
+			}
+		}
+		g.stats.CriticalNs += maxBusy
+	}
+	for _, w := range g.workers {
+		w.eng.RunUntil(t)
+	}
+	g.windowEnd = t
+}
+
+// deliver drains every outbox into the destination engines in merge order:
+// (timestamp, source shard ID, per-source send order). The destination
+// engine's own sequence numbers then encode that order, so simultaneous
+// cross events from different shards always fire in ascending shard-ID
+// order — a pure function of shard ID, independent of which goroutine
+// finished its window first.
+func (g *ShardGroup) deliver() {
+	var all []crossEvent
+	for _, w := range g.workers {
+		all = append(all, w.outbox...)
+		w.outbox = w.outbox[:0]
+	}
+	if len(all) == 0 {
+		return
+	}
+	// Insertion sort: outboxes are each already in (monotone seq) send
+	// order and cross traffic per window is small.
+	for i := 1; i < len(all); i++ {
+		ev := all[i]
+		j := i - 1
+		for j >= 0 && crossLess(ev, all[j]) {
+			all[j+1] = all[j]
+			j--
+		}
+		all[j+1] = ev
+	}
+	for _, ev := range all {
+		g.workers[ev.to].eng.At(ev.at, ev.fn)
+		g.stats.CrossEvents++
+	}
+}
+
+func crossLess(a, b crossEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.from != b.from {
+		return a.from < b.from
+	}
+	return a.seq < b.seq
+}
+
+// Close stops the shard goroutines. The group is unusable afterwards.
+func (g *ShardGroup) Close() {
+	if g.closed {
+		return
+	}
+	g.closed = true
+	for _, w := range g.workers {
+		close(w.run)
+	}
+}

@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+const testWindow = 10 * time.Millisecond
+
+// TestShardGroupMergeOrder: simultaneous cross events from different shards
+// fire in ascending source-shard order — the merge order is a pure function
+// of shard ID, not of which goroutine reached the barrier first.
+func TestShardGroupMergeOrder(t *testing.T) {
+	g := NewShardGroup(4, testWindow, Grid3Epoch)
+	defer g.Close()
+	var log []string
+	at := 50 * time.Millisecond
+	// Posted in deliberately descending shard order; two sends from shard 2
+	// to check per-source send order is kept.
+	for _, from := range []int{3, 2, 1} {
+		from := from
+		g.Post(from, 0, at, func() { log = append(log, fmt.Sprintf("from%d", from)) })
+	}
+	g.Post(2, 0, at, func() { log = append(log, "from2-second") })
+	g.Run(100 * time.Millisecond)
+	want := []string{"from1", "from2", "from2-second", "from3"}
+	if !reflect.DeepEqual(log, want) {
+		t.Fatalf("merge order %v, want %v", log, want)
+	}
+}
+
+// pingPongSharded runs a token-passing workload: each shard starts one
+// token that hops to the next shard every hop latency (= the conservative
+// window), carrying a counter. Log entries go through per-shard slices —
+// different shards run concurrently within a window, so shared state in
+// callbacks must partition by shard, exactly as in the production grid.
+func pingPongSharded(shards int, horizon time.Duration) ([]int, []string) {
+	g := NewShardGroup(shards, testWindow, Grid3Epoch)
+	defer g.Close()
+	hops := make([]int, shards)
+	logs := make([][]string, shards)
+	var send func(owner, token, value int)
+	send = func(owner, token, value int) {
+		next := (owner + 1) % shards
+		at := g.Shard(owner).Now() + testWindow
+		g.Post(owner, next, at, func() {
+			hops[token]++ // token i lives on one shard at a time: no race
+			logs[next] = append(logs[next], fmt.Sprintf("t=%v token%d v=%d",
+				g.Shard(next).Now(), token, value+1))
+			send(next, token, value+1)
+		})
+	}
+	for s := 0; s < shards; s++ {
+		send(s, s, 0)
+	}
+	g.Run(horizon)
+	var combined []string
+	for s, l := range logs {
+		combined = append(combined, fmt.Sprintf("shard%d:%s", s, strings.Join(l, "|")))
+	}
+	return hops, combined
+}
+
+// TestShardGroupSerialEquivalence: the sharded token-passing run reaches the
+// same final state as the identical workload on a single serial engine.
+func TestShardGroupSerialEquivalence(t *testing.T) {
+	const shards = 3
+	horizon := time.Second
+	gotHops, _ := pingPongSharded(shards, horizon)
+
+	// Serial reference: one engine, Post replaced by a plain At.
+	eng := NewEngine(Grid3Epoch)
+	wantHops := make([]int, shards)
+	var send func(owner, token, value int)
+	send = func(owner, token, value int) {
+		next := (owner + 1) % shards
+		eng.At(eng.Now()+testWindow, func() {
+			wantHops[token]++
+			send(next, token, value+1)
+		})
+	}
+	for s := 0; s < shards; s++ {
+		send(s, s, 0)
+	}
+	eng.RunUntil(horizon)
+
+	if !reflect.DeepEqual(gotHops, wantHops) {
+		t.Fatalf("sharded hops %v, serial hops %v", gotHops, wantHops)
+	}
+	if gotHops[0] == 0 {
+		t.Fatal("workload never ran")
+	}
+}
+
+// TestShardGroupDeterminism: a seeded pseudo-random workload with heavy
+// cross-shard traffic produces the identical event log on repeated runs.
+func TestShardGroupDeterminism(t *testing.T) {
+	run := func() []string {
+		const shards = 4
+		g := NewShardGroup(shards, testWindow, Grid3Epoch)
+		defer g.Close()
+		logs := make([][]string, shards)
+		rngs := make([]uint64, shards)
+		for s := range rngs {
+			rngs[s] = uint64(s)*0x9e3779b97f4a7c15 + 1
+		}
+		next := func(s int) uint64 { // splitmix64, one stream per shard
+			rngs[s] += 0x9e3779b97f4a7c15
+			z := rngs[s]
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+			return z ^ (z >> 31)
+		}
+		var hop func(s, depth int)
+		hop = func(s, depth int) {
+			logs[s] = append(logs[s], fmt.Sprintf("s%d d%d t=%v", s, depth, g.Shard(s).Now()))
+			if depth > 20 {
+				return
+			}
+			r := next(s)
+			dest := int(r % shards)
+			jitter := time.Duration(r%7) * time.Millisecond
+			at := g.Shard(s).Now() + testWindow + jitter
+			if dest == s {
+				g.Shard(s).At(at, func() { hop(s, depth+1) })
+			} else {
+				g.Post(s, dest, at, func() { hop(dest, depth+1) })
+			}
+			// Fan out occasionally so traffic grows.
+			if r%4 == 0 {
+				d2 := int((r >> 8) % shards)
+				g.Post(s, d2, at+time.Millisecond, func() { hop(d2, depth+2) })
+			}
+		}
+		for s := 0; s < shards; s++ {
+			s := s
+			g.Shard(s).At(time.Duration(s+1)*time.Millisecond, func() { hop(s, 0) })
+		}
+		g.Run(2 * time.Second)
+		var combined []string
+		for s, l := range logs {
+			combined = append(combined, fmt.Sprintf("shard%d<%s>", s, strings.Join(l, ";")))
+		}
+		if g.Stats().CrossEvents == 0 {
+			t.Fatal("workload exchanged no cross-shard events")
+		}
+		return combined
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same-seed sharded runs diverged")
+	}
+}
+
+// TestShardGroupActivitySizedWindows: sparse workloads skip idle time in one
+// barrier per event cluster instead of stepping fixed windows.
+func TestShardGroupActivitySizedWindows(t *testing.T) {
+	g := NewShardGroup(2, testWindow, Grid3Epoch)
+	defer g.Close()
+	fired := 0
+	for i := 0; i < 5; i++ {
+		at := time.Duration(i+1) * time.Hour // hours apart, 10ms windows
+		g.Shard(i%2).At(at, func() { fired++ })
+	}
+	g.Run(6 * time.Hour)
+	if fired != 5 {
+		t.Fatalf("fired %d events, want 5", fired)
+	}
+	if w := g.Stats().Windows; w > 10 {
+		t.Fatalf("%d windows for 5 isolated events — idle time is being stepped, not skipped", w)
+	}
+	if now := g.Shard(0).Now(); now != 6*time.Hour {
+		t.Fatalf("shard clock %v, want 6h", now)
+	}
+}
+
+// TestShardGroupLookaheadViolation: posting inside the current window is the
+// one way a sharded run could diverge from the serial one, so it must panic
+// — and the panic must surface on the caller's goroutine.
+func TestShardGroupLookaheadViolation(t *testing.T) {
+	g := NewShardGroup(2, testWindow, Grid3Epoch)
+	defer g.Close()
+	g.Shard(0).At(5*time.Millisecond, func() {
+		// now+1ns is far inside the current window: illegal.
+		g.Post(0, 1, g.Shard(0).Now()+time.Nanosecond, func() {})
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("lookahead violation did not panic")
+		}
+		if !strings.Contains(fmt.Sprint(r), "lookahead violation") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	g.Run(time.Second)
+}
+
+func TestShardGroupStatsSpeedup(t *testing.T) {
+	var s ShardStats
+	if sp := s.Speedup(); sp != 1 {
+		t.Fatalf("zero stats speedup %v, want 1", sp)
+	}
+	s = ShardStats{BusyNs: 4000, CriticalNs: 1000}
+	if sp := s.Speedup(); sp != 4 {
+		t.Fatalf("speedup %v, want 4", sp)
+	}
+}

@@ -13,7 +13,7 @@ trap 'rm -rf "$TMP"' EXIT INT TERM
 
 go build -o "$TMP/grid3sim" ./cmd/grid3sim
 "$TMP/grid3sim" -chaos 1,2,4 -seeds 1,2 -scale 0.05 -days 1 \
-	-chaos-json "$OUT"
+	-json-out "$OUT"
 
 echo
 echo "wrote $OUT"

@@ -13,7 +13,7 @@ trap 'rm -rf "$TMP"' EXIT INT TERM
 
 go build -o "$TMP/grid3sim" ./cmd/grid3sim
 "$TMP/grid3sim" -data-sweep -seeds 1,2,3 -scale 0.05 -days 30 -doors 4 \
-	-data-json "$OUT"
+	-json-out "$OUT"
 
 echo
 echo "wrote $OUT"

@@ -2,8 +2,10 @@
 # Regenerate BENCH_scale.json: the testbed scale curve this repo tracks
 # across PRs — wall time, event throughput, and allocation volume for one
 # simulated production day at 27 (the historical catalog), 100, 300, and
-# 1000 sites. Points run serially so the per-point allocation deltas are
-# clean; expect a few minutes of wall time.
+# 1000 sites. With -shards 4 every (sites, seed) point is measured twice,
+# serial then sharded, so each sharded point's work-parallelism has its
+# serial reference beside it. Points run serially so the per-point
+# allocation deltas are clean; expect a few minutes of wall time.
 #
 # Run from the repo root: ./scripts/scale-demo.sh [out.json]
 set -eu
@@ -11,7 +13,7 @@ set -eu
 OUT=${1:-BENCH_scale.json}
 
 go build -o /tmp/grid3sim-scale ./cmd/grid3sim
-/tmp/grid3sim-scale -scale-sweep 27,100,300,1000 -seeds 1,2 -days 1 -scale-json "$OUT"
+/tmp/grid3sim-scale -scale-sweep 27,100,300,1000 -seeds 1,2 -days 1 -shards 4 -json-out "$OUT"
 
 if [ ! -s "$OUT" ]; then
     echo "scale-demo: $OUT is empty" >&2

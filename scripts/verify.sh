@@ -1,7 +1,8 @@
 #!/bin/sh
 # Full verification gate: build, vet, formatting, the complete test suite,
 # and the race detector over the concurrency surfaces (the parallel sweep
-# runner, the shared metrics registry, the health monitor).
+# runner, the shared metrics registry, the health monitor, the sharded
+# event engine and eval pool, the serve ingress boundary).
 #
 # CI runs this exact script (.github/workflows/ci.yml), so the local gate
 # and the hosted one cannot drift. Run from the repo root: ./scripts/verify.sh
@@ -25,6 +26,7 @@ echo '== go test'
 go test ./...
 
 echo '== go test -race (concurrency surfaces)'
-go test -race ./internal/obs/... ./internal/campaign/... ./internal/health/...
+go test -race ./internal/obs/... ./internal/campaign/... ./internal/health/... \
+    ./internal/sim/... ./internal/serve/... ./internal/condorg/...
 
 echo 'verify: OK'
