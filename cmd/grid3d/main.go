@@ -6,6 +6,7 @@
 //	grid3d [-addr :8080] [-pace 3600] [-seed N] [-sites N] [-scale F] [-days D]
 //	       [-srm] [-health] [-recovery] [-doors N] [-cleanup] [-replica-rank]
 //	       [-shards N] [-config grid3d.json] [-json-out status.json]
+//	       [-checkpoint-dir DIR] [-checkpoint-every 6h] [-checkpoint-keep 3]
 //
 // Endpoints (all JSON; see the README endpoint table):
 //
@@ -34,11 +35,23 @@
 //
 // SIGINT/SIGTERM shut down gracefully: in-flight requests finish, the
 // mailbox drains, and the scenario runs its end-of-run bookkeeping.
+//
+// -checkpoint-dir makes the daemon crash-recoverable: on boot it restores
+// the newest decodable snapshot in the directory (logging the snapshot ID
+// and sim time, or the rejection reason followed by a cold start), every
+// -checkpoint-every of simulated time it captures a fresh snapshot
+// (atomically committed, pruned to -checkpoint-keep), and on SIGINT/SIGTERM
+// it writes a final snapshot before stopping. A snapshot records the
+// resolved configuration plus the journal of API mutations; restore replays
+// it deterministically and verifies a state digest, so a restored daemon
+// continues byte-identically — and a kill -9 loses at most one
+// -checkpoint-every window.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -48,6 +61,7 @@ import (
 	"syscall"
 	"time"
 
+	"grid3/internal/checkpoint"
 	"grid3/internal/core"
 	"grid3/internal/serve"
 )
@@ -69,6 +83,9 @@ func main() {
 	maxPending := flag.Int("max-pending", 0, "ingress mailbox depth before shedding (0 = the serve default, 4096)")
 	configPath := flag.String("config", "", "JSON config file; SIGHUP or POST /api/v1/config/reload re-applies the dynamic fields")
 	jsonOut := flag.String("json-out", "", "write the final status record JSON to this file on shutdown")
+	ckptDir := flag.String("checkpoint-dir", "", "durable snapshot directory: restore the newest snapshot on boot, auto-snapshot while running, final snapshot on shutdown")
+	ckptEvery := flag.Duration("checkpoint-every", 6*time.Hour, "simulated time between automatic snapshots (with -checkpoint-dir)")
+	ckptKeep := flag.Int("checkpoint-keep", 3, "snapshots retained in -checkpoint-dir; older ones are pruned")
 	flag.Parse()
 
 	cfg := serve.Config{
@@ -120,9 +137,68 @@ func main() {
 		}
 	}
 
+	// Durable checkpointing: restore the newest snapshot if one exists. A
+	// snapshot that fails to restore (digest mismatch, schema skew) is
+	// reported and skipped — the daemon cold-starts rather than dying or
+	// loading partial state.
+	var store checkpoint.StateStore
+	if *ckptDir != "" {
+		ds, err := checkpoint.NewDirStore(*ckptDir)
+		if err != nil {
+			fatal(err)
+		}
+		store = ds
+		snap, id, err := checkpoint.Latest(ds)
+		switch {
+		case errors.Is(err, checkpoint.ErrNotFound):
+			fmt.Printf("grid3d: %v; cold start\n", err)
+		case err != nil:
+			fatal(err)
+		default:
+			cfg.Restore = snap
+			cfg.RestoreOverrides = core.RestoreOverrides{
+				Shards:  *shards,
+				Horizon: cfg.Scenario.Horizon,
+			}
+			fmt.Printf("grid3d: restoring snapshot %s (sim %v, %d journal ops)\n",
+				id, snap.SimTime, len(snap.Journal))
+		}
+	}
+
 	svc, err := serve.New(cfg)
+	if err != nil && cfg.Restore != nil {
+		fmt.Fprintf(os.Stderr, "grid3d: restore rejected: %v; cold start\n", err)
+		cfg.Restore = nil
+		svc, err = serve.New(cfg)
+	}
 	if err != nil {
 		fatal(err)
+	}
+	if cfg.Restore != nil {
+		fmt.Printf("grid3d: restored at sim %v\n", svc.Scenario().Grid.Eng.Now())
+	}
+
+	// saveSnapshot captures and durably commits one snapshot; periodic and
+	// shutdown captures share it. The mutex keeps a shutdown snapshot from
+	// interleaving with a periodic one.
+	var snapMu sync.Mutex
+	saveSnapshot := func(reason string) {
+		snapMu.Lock()
+		defer snapMu.Unlock()
+		snap, err := svc.Snapshot()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "grid3d: %s snapshot skipped: %v\n", reason, err)
+			return
+		}
+		id, err := checkpoint.Save(store, snap)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "grid3d: %s snapshot: %v\n", reason, err)
+			return
+		}
+		if err := checkpoint.Prune(store, *ckptKeep); err != nil {
+			fmt.Fprintf(os.Stderr, "grid3d: pruning snapshots: %v\n", err)
+		}
+		fmt.Printf("grid3d: %s snapshot %s at sim %v\n", reason, id, snap.SimTime)
 	}
 
 	var reload func() (map[string]any, error)
@@ -132,6 +208,35 @@ func main() {
 	handler := serve.NewHandler(svc, serve.HandlerConfig{Reload: reload})
 
 	svc.Start()
+
+	// Periodic auto-snapshot: poll the sim clock at wall cadence and capture
+	// once -checkpoint-every of simulated time has elapsed since the last
+	// one. Capture runs on the sim goroutine as a pure read, so the run
+	// stays byte-identical to one that never checkpoints.
+	ckptStop := make(chan struct{})
+	if store != nil && *ckptEvery > 0 {
+		lastSnap := svc.Scenario().Grid.Eng.Now()
+		go func() {
+			ticker := time.NewTicker(time.Second)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ckptStop:
+					return
+				case <-ticker.C:
+					st, err := svc.StatusNow()
+					if err != nil || st.Finished {
+						continue
+					}
+					if st.SimNow-lastSnap >= *ckptEvery {
+						saveSnapshot("periodic")
+						lastSnap = st.SimNow
+					}
+				}
+			}
+		}()
+	}
+
 	server := &http.Server{Addr: *addr, Handler: handler}
 	httpErr := make(chan error, 1)
 	go func() { httpErr <- server.ListenAndServe() }()
@@ -166,6 +271,13 @@ func main() {
 				fmt.Fprintln(os.Stderr, "grid3d: http shutdown:", err)
 			}
 			cancel()
+			close(ckptStop)
+			if store != nil {
+				// Final snapshot before the sim loop finishes: a restarted
+				// daemon resumes from the instant of shutdown, not the last
+				// periodic capture.
+				saveSnapshot("final")
+			}
 			st, stErr := svc.StatusNow()
 			svc.Stop()
 			if stErr != nil {

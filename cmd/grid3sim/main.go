@@ -45,9 +45,25 @@
 //
 //	grid3sim -data-sweep -seeds 1,2,3 -days 30 -scale 0.05 -doors 4 [-json-out out.json]
 //
+// Checkpoint/restore: -checkpoint-at pauses a single-seed run at the listed
+// sim times and commits a snapshot to the -checkpoint-out file (capture is a
+// pure read, so the run's output is byte-identical to one that never
+// checkpoints); -restore rebuilds the run from a snapshot file by verified
+// deterministic replay and continues to the horizon, printing the same
+// figures the straight run would:
+//
+//	grid3sim -days 20 -scale 0.1 -checkpoint-at 240h -checkpoint-out snap.g3
+//	grid3sim -restore snap.g3
+//
+// Warm starts fork one checkpointed steady state into variants that share
+// the verified warmup but draw their failure futures from per-variant
+// forward seeds (0 replays the recorded stream):
+//
+//	grid3sim -restore snap.g3 -warm-seeds 0,101,102,103 [-json-out warm.json]
+//
 // Every mode writes its report JSON through the one -json-out flag; the
 // report schema follows the mode (chaos, scale sweep, data sweep, seed
-// sweep, or the single-run bench record):
+// sweep, warm start, or the single-run bench record):
 //
 //	grid3sim -chaos 1,2,4 -seeds 1,2,3 -json-out chaos.json
 package main
@@ -64,6 +80,7 @@ import (
 	"time"
 
 	"grid3/internal/campaign"
+	"grid3/internal/checkpoint"
 	"grid3/internal/core"
 	"grid3/internal/failure"
 	"grid3/internal/mdviewer"
@@ -106,7 +123,17 @@ func main() {
 	dataSweepOn := flag.Bool("data-sweep", false, "run the data campaign: raw-GridFTP baseline vs managed data plane, per seed")
 	shards := flag.Int("shards", 0, "partition the testbed into N regions and evaluate them on a worker each (output is identical at every N)")
 	jsonOut := flag.String("json-out", "", "write the active mode's report JSON to this file (schema follows the mode)")
+	checkpointAt := flag.String("checkpoint-at", "", "comma-separated sim times (e.g. 240h,360h): capture a snapshot at each into -checkpoint-out")
+	checkpointOut := flag.String("checkpoint-out", "", "snapshot file receiving -checkpoint-at captures (the file holds the latest capture)")
+	restorePath := flag.String("restore", "", "restore the run from this snapshot file (verified deterministic replay) and continue")
+	warmSeeds := flag.String("warm-seeds", "", "comma-separated forward failure seeds: fork the -restore snapshot into one variant per seed (0 = replay the recorded stream)")
 	flag.Parse()
+	daysSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "days" {
+			daysSet = true
+		}
+	})
 
 	cfg := core.ScenarioConfig{
 		Config: core.Config{
@@ -124,6 +151,39 @@ func main() {
 		Horizon:         time.Duration(*days) * 24 * time.Hour,
 		JobScale:        *scale,
 		DisableFailures: *noFailures,
+	}
+
+	// Checkpoint flags arm the single-run capture loop; both halves are
+	// needed (times without a destination, or a destination with nothing to
+	// capture, are configuration mistakes worth refusing loudly).
+	if (*checkpointAt == "") != (*checkpointOut == "") {
+		fmt.Fprintln(os.Stderr, "grid3sim: -checkpoint-at and -checkpoint-out go together")
+		os.Exit(2)
+	}
+	if *checkpointAt != "" {
+		at, err := parseDurations(*checkpointAt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "grid3sim:", err)
+			os.Exit(2)
+		}
+		cfg.CheckpointAt = at
+		cfg.CheckpointStore = checkpoint.NewFileStore(*checkpointOut)
+	}
+
+	if *warmSeeds != "" {
+		if *restorePath == "" {
+			fmt.Fprintln(os.Stderr, "grid3sim: -warm-seeds needs a -restore snapshot to fork from")
+			os.Exit(2)
+		}
+		var horizon time.Duration
+		if daysSet {
+			horizon = time.Duration(*days) * 24 * time.Hour
+		}
+		if err := warmStart(*restorePath, *warmSeeds, horizon, *shards, *parallel, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "grid3sim:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *dataSweepOn {
@@ -193,13 +253,52 @@ func main() {
 	}
 
 	start := time.Now()
-	s, err := core.NewScenario(cfg)
+	var s *core.Scenario
+	var err error
+	if *restorePath != "" {
+		// Restore keeps the snapshot's recorded configuration; the flags that
+		// may legitimately differ at restore time (shards, an extended
+		// horizon, fresh observability sinks, re-armed checkpointing) pass
+		// through the override whitelist.
+		var snap *checkpoint.Snapshot
+		snap, _, err = checkpoint.Latest(checkpoint.NewFileStore(*restorePath))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "grid3sim:", err)
+			os.Exit(1)
+		}
+		ov := core.RestoreOverrides{
+			Shards:          *shards,
+			TraceSinks:      cfg.TraceSinks,
+			MetricsSinks:    cfg.MetricsSinks,
+			CheckpointAt:    cfg.CheckpointAt,
+			CheckpointStore: cfg.CheckpointStore,
+		}
+		if daysSet {
+			ov.Horizon = time.Duration(*days) * 24 * time.Hour
+		}
+		s, err = core.RestoreScenario(snap, ov)
+		if err == nil {
+			// stderr, so stdout stays byte-identical to the straight run —
+			// the property CI diffs.
+			fmt.Fprintf(os.Stderr, "grid3sim: restored %s (sim %v)\n", snap.ID(), snap.SimTime)
+		}
+	} else {
+		s, err = core.NewScenario(cfg)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "grid3sim:", err)
 		os.Exit(1)
 	}
-	s.Run()
+	if err := s.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "grid3sim:", err)
+		os.Exit(1)
+	}
 	elapsed := time.Since(start)
+	if n := len(s.CheckpointIDs); n > 0 {
+		// stderr for the same reason as the restore banner above.
+		fmt.Fprintf(os.Stderr, "grid3sim: %d snapshot(s) written to %s (latest %s)\n",
+			n, *checkpointOut, s.CheckpointIDs[n-1])
+	}
 	for _, closeFn := range obsClose {
 		if err := closeFn(); err != nil {
 			fmt.Fprintln(os.Stderr, "grid3sim: writing observability output:", err)
@@ -213,24 +312,28 @@ func main() {
 		fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
 	}
 
+	// Report the configuration the scenario actually ran with: on a restore
+	// the flag defaults are meaningless, the snapshot's recorded values rule.
+	runDays := int(s.Cfg.Horizon / (24 * time.Hour))
+	runSeed, runScale := s.Cfg.Config.Seed, s.Cfg.JobScale
 	fmt.Printf("Grid3 scenario: %d days, seed %d, scale %.2f — %d jobs submitted, %d records, %d events, ran in %v\n\n",
-		*days, *seed, *scale, s.SubmittedTotal(), s.Grid.ACDC.Len(), s.Grid.Eng.Processed(),
+		runDays, runSeed, runScale, s.SubmittedTotal(), s.Grid.ACDC.Len(), s.Grid.Eng.Processed(),
 		elapsed.Round(time.Millisecond))
 	if *jsonOut != "" {
 		rec := benchRecord{
 			Kind:       "grid3sim-run",
 			GoMaxProcs: runtime.GOMAXPROCS(0),
 			Workers:    1,
-			Seeds:      []int64{*seed},
-			Scale:      *scale,
-			Days:       *days,
+			Seeds:      []int64{runSeed},
+			Scale:      runScale,
+			Days:       runDays,
 			Shards:     *shards,
 			WallSecs:   elapsed.Seconds(),
 			SerialSecs: elapsed.Seconds(),
 			Speedup:    1,
 			Events:     s.Grid.Eng.Processed(),
 			Runs: []benchRun{{
-				Seed: *seed, ElapsedSecs: elapsed.Seconds(),
+				Seed: runSeed, ElapsedSecs: elapsed.Seconds(),
 				Events: s.Grid.Eng.Processed(),
 				Jobs:   s.SubmittedTotal(), Records: s.Grid.ACDC.Len(),
 			}},
@@ -439,6 +542,66 @@ func parseSeeds(seedList string) ([]int64, error) {
 		return nil, fmt.Errorf("-seeds %q names no seeds", seedList)
 	}
 	return seeds, nil
+}
+
+// parseDurations parses a comma-separated -checkpoint-at list ("240h,15d"
+// is not valid Go syntax; use hour forms like 240h or 240h30m).
+func parseDurations(list string) ([]time.Duration, error) {
+	var out []time.Duration
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		d, err := time.ParseDuration(part)
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("bad -checkpoint-at entry %q (want a positive Go duration like 240h)", part)
+		}
+		out = append(out, d)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-checkpoint-at %q names no times", list)
+	}
+	return out, nil
+}
+
+// warmStart runs the warm-start campaign: the -restore snapshot forked into
+// one variant per forward seed, every fork sharing the digest-verified
+// warmup prefix.
+func warmStart(snapPath, seedList string, horizon time.Duration, shards, workers int, jsonPath string) error {
+	snap, _, err := checkpoint.Latest(checkpoint.NewFileStore(snapPath))
+	if err != nil {
+		return err
+	}
+	seeds, err := parseSeeds(seedList)
+	if err != nil {
+		return fmt.Errorf("-warm-seeds: %w", err)
+	}
+	variants := make([]campaign.WarmVariant, len(seeds))
+	for i, fs := range seeds {
+		variants[i] = campaign.WarmVariant{
+			Name:        fmt.Sprintf("seed%d", fs),
+			ForwardSeed: fs,
+			Horizon:     horizon,
+			Shards:      shards,
+		}
+	}
+	rep, err := campaign.WarmStart(campaign.WarmStartConfig{
+		Snapshot: snap,
+		Variants: variants,
+		Workers:  workers,
+	})
+	if err != nil {
+		return err
+	}
+	rep.Write(os.Stdout)
+	if jsonPath != "" {
+		if err := writeReportJSON(jsonPath, rep); err != nil {
+			return err
+		}
+		fmt.Printf("\nwarm-start JSON written to %s\n", jsonPath)
+	}
+	return nil
 }
 
 // chaos runs the chaos campaign: seeds x intensities, each point measured

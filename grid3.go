@@ -43,6 +43,7 @@
 //	WithoutFailures     -no-failures WithStorageCleanup   -cleanup
 //	WithoutAffinity     -no-affinity WithReplicaRanking   -replica-rank
 //	WithTracer          -trace-out   WithMetricsSink      -metrics-out
+//	WithCheckpointAt    -checkpoint-at/-checkpoint-out    Restore  -restore
 //
 // (WithRealTime has no grid3sim flag; it paces the grid3d daemon.)
 package grid3
@@ -54,6 +55,7 @@ import (
 
 	"grid3/internal/apps"
 	"grid3/internal/campaign"
+	"grid3/internal/checkpoint"
 	"grid3/internal/core"
 	"grid3/internal/obs"
 	"grid3/internal/serve"
@@ -322,6 +324,22 @@ func WithRealTime(pace float64) Option {
 	}
 }
 
+// ── Checkpoint options ──────────────────────────────────────────────────
+//
+// Crash-recoverable runs and warm-started campaigns; see the Checkpoint/
+// Restore/WarmStart entry points below.
+
+// WithCheckpointAt arms mid-run snapshot capture: the scenario pauses at
+// each listed sim time (ascending; past-horizon entries are skipped) and
+// writes a snapshot into store. Capture is a pure read, so a checkpointing
+// run stays byte-identical to one that never checkpoints.
+func WithCheckpointAt(store StateStore, at ...time.Duration) Option {
+	return func(c *ScenarioConfig) {
+		c.CheckpointStore = store
+		c.CheckpointAt = append(c.CheckpointAt, at...)
+	}
+}
+
 // ── Escape hatches ──────────────────────────────────────────────────────
 //
 // Wholesale struct replacement for callers that build configuration
@@ -373,7 +391,9 @@ func RunScenario(seed int64, scale float64, opts ...Option) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.Run()
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
 	return &Result{scen: s}, nil
 }
 
@@ -542,6 +562,7 @@ var (
 	_ Report = (*ChaosReport)(nil)
 	_ Report = (*ScaleReport)(nil)
 	_ Report = (*DataReport)(nil)
+	_ Report = (*WarmReport)(nil)
 )
 
 // SweepConfig shapes a multi-seed production sweep: the same calibrated
@@ -728,6 +749,120 @@ func DataSweep(cfg DataSweepConfig, opts ...Option) (*DataReport, error) {
 	return campaign.DataSweep(cfg)
 }
 
+// Checkpoint/restore views: durable snapshots behind a pluggable state
+// store. A snapshot records the resolved configuration, the sim time, and a
+// digest of the complete deterministic state; Restore rebuilds the scenario
+// by replaying the recorded configuration to the recorded time and verifies
+// the digest, so a restored run continues byte-identically — or fails
+// loudly, never loading partial state.
+type (
+	// Snapshot is one captured state record (see Checkpoint, Restore).
+	Snapshot = checkpoint.Snapshot
+	// StateStore is the pluggable persistence boundary for snapshots.
+	StateStore = checkpoint.StateStore
+	// RestoreOverrides whitelists what a restore may change relative to the
+	// recorded configuration (shards, extended horizon, fresh sinks,
+	// re-armed checkpointing); the option-based Restore covers the common
+	// cases.
+	RestoreOverrides = core.RestoreOverrides
+)
+
+// Snapshot-integrity errors, for errors.Is against Restore failures.
+var (
+	// ErrSnapshotCorrupt reports a snapshot that failed structural
+	// validation (bad framing, checksum, config schema, journal order).
+	ErrSnapshotCorrupt = checkpoint.ErrCorrupt
+	// ErrDigestMismatch reports a replay that did not land on the recorded
+	// state digest; the partially-built scenario is torn down.
+	ErrDigestMismatch = checkpoint.ErrDigest
+	// ErrSnapshotNotFound reports an unknown snapshot ID or an empty store.
+	ErrSnapshotNotFound = checkpoint.ErrNotFound
+)
+
+// NewMemStore returns an in-memory StateStore (tests, single-process use).
+func NewMemStore() *checkpoint.MemStore { return checkpoint.NewMemStore() }
+
+// NewDirStore opens (creating if needed) a durable directory-backed
+// StateStore: one file per snapshot, atomically committed via temp-file +
+// rename, listed in chronological order.
+func NewDirStore(dir string) (StateStore, error) { return checkpoint.NewDirStore(dir) }
+
+// NewFileStore returns a single-file StateStore holding at most one
+// snapshot — the grid3sim -checkpoint-out / -restore convention.
+func NewFileStore(path string) StateStore { return checkpoint.NewFileStore(path) }
+
+// Checkpoint captures a batch-scope snapshot of a running scenario (see
+// NewScenario for incremental execution, or WithCheckpointAt for capture at
+// preset times during Run).
+func Checkpoint(s *Scenario) (*Snapshot, error) { return s.Checkpoint() }
+
+// Restore rebuilds a scenario from a snapshot by verified deterministic
+// replay. Options express the restore-time overrides — only the whitelisted
+// subset applies (WithShards, an extended WithHorizon, fresh
+// WithTracer/WithMetricsSink sinks, WithCheckpointAt re-arming, and
+// WithRealTime); every other option is ignored, because changing workload,
+// seed, or feature flags would diverge the replay from the checkpointed
+// state. Callers needing the raw whitelist can use core's RestoreOverrides
+// through the RestoreOverrides alias and RestoreWith.
+func Restore(snap *Snapshot, opts ...Option) (*Scenario, error) {
+	cfg := buildConfig(opts)
+	return RestoreWith(snap, RestoreOverrides{
+		Shards:          cfg.Config.Shards,
+		Horizon:         cfg.Horizon,
+		TraceSinks:      cfg.TraceSinks,
+		MetricsSinks:    cfg.MetricsSinks,
+		CheckpointAt:    cfg.CheckpointAt,
+		CheckpointStore: cfg.CheckpointStore,
+		RealTimePace:    cfg.RealTimePace,
+	})
+}
+
+// RestoreWith is Restore with the override struct spelled out.
+func RestoreWith(snap *Snapshot, ov RestoreOverrides) (*Scenario, error) {
+	return core.RestoreScenario(snap, ov)
+}
+
+// EncodeSnapshot serializes a snapshot into the versioned binary format
+// (magic, version, checksummed); DecodeSnapshot is its inverse and rejects
+// corrupt, truncated, or version-skewed records with ErrSnapshotCorrupt-
+// family errors, never a partial result.
+func EncodeSnapshot(snap *Snapshot) []byte { return checkpoint.Encode(snap) }
+
+// DecodeSnapshot parses a snapshot record produced by EncodeSnapshot.
+func DecodeSnapshot(data []byte) (*Snapshot, error) { return checkpoint.Decode(data) }
+
+// SaveSnapshot commits a snapshot to a store and returns its ID.
+func SaveSnapshot(st StateStore, snap *Snapshot) (string, error) {
+	return checkpoint.Save(st, snap)
+}
+
+// LatestSnapshot loads the most recent snapshot in a store (ID order is
+// chronological); ErrSnapshotNotFound when the store is empty.
+func LatestSnapshot(st StateStore) (*Snapshot, string, error) {
+	return checkpoint.Latest(st)
+}
+
+// Warm-start views: the campaign mode that forks one checkpointed steady
+// state into N variants — shared verified warmup, divergent futures.
+type (
+	// WarmStartConfig shapes a warm-start campaign (snapshot × variants).
+	WarmStartConfig = campaign.WarmStartConfig
+	// WarmVariant is one fork: an optional forward failure seed, an
+	// optional extended horizon, an optional shard override.
+	WarmVariant = campaign.WarmVariant
+	// WarmReport is a completed warm-start campaign.
+	WarmReport = campaign.WarmReport
+	// WarmResult is one variant's outcome.
+	WarmResult = campaign.WarmResult
+)
+
+// WarmStart restores the snapshot once per variant (each restore is
+// digest-verified independently) and runs every fork in parallel — error
+// bars over the tail of a campaign without paying for N full warmups.
+func WarmStart(cfg WarmStartConfig) (*WarmReport, error) {
+	return campaign.WarmStart(cfg)
+}
+
 // Service views: the grid as a long-running daemon. Serve assembles a
 // scenario and runs it continuously in scaled real time (see WithRealTime)
 // behind a thread-safe ingress boundary; Handler exposes the paper's
@@ -756,6 +891,29 @@ var ErrOverloaded = serve.ErrOverloaded
 //	http.ListenAndServe(addr, grid3.Handler(s))
 func Serve(opts ...Option) (*Server, error) {
 	return serve.New(serve.Config{Scenario: buildConfig(opts)})
+}
+
+// ServeFrom warm-boots a Server from a snapshot: a serve-scope snapshot
+// (Server.Snapshot) restores the job table too by replaying the recorded
+// API journal; a batch-scope snapshot (grid3sim -checkpoint-out,
+// Checkpoint) restores the grid state with an empty job table. Options are
+// limited to the restore whitelist, exactly as in Restore.
+func ServeFrom(snap *Snapshot, opts ...Option) (*Server, error) {
+	cfg := buildConfig(opts)
+	return serve.New(serve.Config{
+		Scenario: cfg,
+		Pace:     cfg.RealTimePace,
+		Restore:  snap,
+		RestoreOverrides: RestoreOverrides{
+			Shards:          cfg.Config.Shards,
+			Horizon:         cfg.Horizon,
+			TraceSinks:      cfg.TraceSinks,
+			MetricsSinks:    cfg.MetricsSinks,
+			CheckpointAt:    cfg.CheckpointAt,
+			CheckpointStore: cfg.CheckpointStore,
+			RealTimePace:    cfg.RealTimePace,
+		},
+	})
 }
 
 // Handler returns the HTTP/JSON API for a server: GET /healthz,

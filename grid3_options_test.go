@@ -56,6 +56,9 @@ func TestOptionMatrix(t *testing.T) {
 			return c.Config.EnableStorageCleanup && c.Config.CleanupWatermark == 0.3
 		}},
 		{"WithRealTime", WithRealTime(7200), func(c ScenarioConfig) bool { return c.RealTimePace == 7200 }},
+		{"WithCheckpointAt", WithCheckpointAt(NewMemStore(), 12*time.Hour, 36*time.Hour), func(c ScenarioConfig) bool {
+			return c.CheckpointStore != nil && len(c.CheckpointAt) == 2 && c.CheckpointAt[1] == 36*time.Hour
+		}},
 		{"WithScenarioConfig", WithScenarioConfig(ScenarioConfig{JobScale: 0.7}), func(c ScenarioConfig) bool {
 			return c.JobScale == 0.7
 		}},
@@ -95,6 +98,74 @@ func TestRealTimeIgnoredByBatch(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > time.Minute {
 		t.Fatalf("batch run appears to be wall-paced: took %v", elapsed)
+	}
+}
+
+// TestCheckpointFacadeRoundTrip drives the whole public checkpoint surface:
+// WithCheckpointAt captures mid-run, Encode/Decode round-trips the wire
+// format, Restore continues to the same end digest as the straight run, and
+// ServeFrom warm-boots a daemon from the batch snapshot.
+func TestCheckpointFacadeRoundTrip(t *testing.T) {
+	store := NewMemStore()
+	opts := []Option{
+		WithTestbedScale(5),
+		WithHorizon(48 * time.Hour),
+		WithJobScale(0.002),
+	}
+	s, err := NewScenario(append(opts, WithCheckpointAt(store, 24*time.Hour))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.CheckpointIDs) != 1 {
+		t.Fatalf("checkpoint IDs %v, want one", s.CheckpointIDs)
+	}
+	want := s.StateDigest(nil)
+
+	snap, _, err := LatestSnapshot(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeSnapshot(EncodeSnapshot(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(decoded, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.StateDigest(nil); got != want {
+		t.Fatalf("restored run diverged: %016x vs %016x", got, want)
+	}
+
+	// Corruption never loads: flip one payload byte and the decode or the
+	// digest check must refuse.
+	raw := EncodeSnapshot(snap)
+	raw[len(raw)-8] ^= 0x40
+	if bad, err := DecodeSnapshot(raw); err == nil {
+		if _, rerr := Restore(bad, opts...); rerr == nil {
+			t.Fatal("tampered snapshot restored cleanly")
+		}
+	}
+
+	// Warm-boot a daemon from the batch snapshot (job table starts empty).
+	srv, err := ServeFrom(snap, WithRealTime(3600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	st, err := srv.StatusNow()
+	srv.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SimNow < 24*time.Hour {
+		t.Fatalf("daemon booted at sim %v, want >= 24h", st.SimNow)
 	}
 }
 

@@ -172,7 +172,9 @@ func execute(r Run) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	s.Run()
+	if err := s.Run(); err != nil {
+		return Result{}, err
+	}
 	res := Result{
 		Seed:       r.Seed,
 		Scale:      cfg.JobScale,

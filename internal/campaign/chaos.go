@@ -210,7 +210,9 @@ func runChaos(cfg core.ScenarioConfig) (ChaosOutcome, error) {
 	if err != nil {
 		return ChaosOutcome{}, err
 	}
-	s.Run()
+	if err := s.Run(); err != nil {
+		return ChaosOutcome{}, err
+	}
 	g := s.Grid
 	var out ChaosOutcome
 	for _, voName := range vo.Grid3VOs {

@@ -183,7 +183,9 @@ func runData(cfg core.ScenarioConfig) (DataOutcome, error) {
 	if err != nil {
 		return DataOutcome{}, err
 	}
-	s.Run()
+	if err := s.Run(); err != nil {
+		return DataOutcome{}, err
+	}
 	g := s.Grid
 	out := DataOutcome{ByVO: map[string]float64{}}
 

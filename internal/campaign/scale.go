@@ -124,7 +124,9 @@ func scalePoint(cfg ScaleSweepConfig, sites int, seed int64, shards int) (ScaleP
 	if err != nil {
 		return ScalePoint{}, err
 	}
-	s.Run()
+	if err := s.Run(); err != nil {
+		return ScalePoint{}, err
+	}
 	wall := time.Since(t0)
 	runtime.ReadMemStats(&after)
 

@@ -1,0 +1,150 @@
+package campaign
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"grid3/internal/checkpoint"
+	"grid3/internal/core"
+)
+
+// warmSnapshot checkpoints a small scenario halfway, runs it to completion,
+// and returns the snapshot plus the original run's end-state digest.
+func warmSnapshot(t *testing.T) (*checkpoint.Snapshot, uint64) {
+	t.Helper()
+	store := checkpoint.NewMemStore()
+	s, err := core.NewScenario(core.ScenarioConfig{
+		Config:          core.Config{Seed: 7, TestbedSites: 5},
+		Horizon:         3 * 24 * time.Hour,
+		JobScale:        0.01,
+		ChaosIntensity:  4, // frequent failures, so forward seeds visibly diverge
+		CheckpointAt:    []time.Duration{36 * time.Hour},
+		CheckpointStore: store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	snap, _, err := checkpoint.Latest(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap, s.StateDigest(nil)
+}
+
+// The warm-start guarantee: every variant shares the verified warmup
+// prefix; a zero-knob variant reproduces the original run exactly, equal
+// forward seeds land on equal futures, and different forward seeds diverge.
+func TestWarmStartForksFailureFutures(t *testing.T) {
+	snap, wantDigest := warmSnapshot(t)
+	rep, err := WarmStart(WarmStartConfig{
+		Snapshot: snap,
+		Variants: []WarmVariant{
+			{Name: "replay"},
+			{Name: "alt-a", ForwardSeed: 99},
+			{Name: "alt-b", ForwardSeed: 99},
+			{Name: "alt-c", ForwardSeed: 1234},
+		},
+		Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Variants) != 4 {
+		t.Fatalf("%d variants, want 4", len(rep.Variants))
+	}
+	byName := map[string]WarmResult{}
+	for _, v := range rep.Variants {
+		byName[v.Name] = v
+		if v.RestoredAt != 36*time.Hour {
+			t.Fatalf("%s restored at %v, want 36h", v.Name, v.RestoredAt)
+		}
+		if v.Submitted == 0 || v.Events == 0 {
+			t.Fatalf("%s ran nothing: %+v", v.Name, v)
+		}
+	}
+	if byName["replay"].Digest != wantDigest {
+		t.Fatalf("zero-knob variant diverged from the original run: %016x vs %016x",
+			byName["replay"].Digest, wantDigest)
+	}
+	if byName["alt-a"].Digest != byName["alt-b"].Digest {
+		t.Fatalf("equal forward seeds diverged: %016x vs %016x",
+			byName["alt-a"].Digest, byName["alt-b"].Digest)
+	}
+	if byName["alt-a"].Digest == byName["replay"].Digest {
+		t.Fatal("reseeded variant reproduced the recorded failure future")
+	}
+	if byName["alt-c"].Digest == byName["alt-a"].Digest {
+		t.Fatal("distinct forward seeds landed on the same future")
+	}
+}
+
+// A variant may extend the horizon: the fork runs further than the recorded
+// window without perturbing the shared prefix.
+func TestWarmStartExtendsHorizon(t *testing.T) {
+	snap, _ := warmSnapshot(t)
+	rep, err := WarmStart(WarmStartConfig{
+		Snapshot: snap,
+		Variants: []WarmVariant{
+			{Name: "recorded"},
+			{Name: "extended", Horizon: 4 * 24 * time.Hour},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, ext := rep.Variants[0], rep.Variants[1]
+	if rec.Horizon != 3*24*time.Hour || ext.Horizon != 4*24*time.Hour {
+		t.Fatalf("horizons %v / %v, want 3d / 4d", rec.Horizon, ext.Horizon)
+	}
+	if ext.Events <= rec.Events {
+		t.Fatalf("extended variant processed %d events, recorded %d", ext.Events, rec.Events)
+	}
+}
+
+func TestWarmStartRejectsBadInput(t *testing.T) {
+	if _, err := WarmStart(WarmStartConfig{}); err == nil {
+		t.Fatal("nil snapshot accepted")
+	}
+	snap, _ := warmSnapshot(t)
+	if _, err := WarmStart(WarmStartConfig{Snapshot: snap}); err == nil {
+		t.Fatal("empty variant list accepted")
+	}
+	snap.Digest ^= 1
+	if _, err := WarmStart(WarmStartConfig{
+		Snapshot: snap,
+		Variants: []WarmVariant{{Name: "x"}},
+	}); err == nil {
+		t.Fatal("tampered snapshot accepted")
+	}
+}
+
+func TestWarmReportRenders(t *testing.T) {
+	snap, _ := warmSnapshot(t)
+	rep, err := WarmStart(WarmStartConfig{
+		Snapshot: snap,
+		Variants: []WarmVariant{{ForwardSeed: 5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rep.Write(&buf)
+	if !strings.Contains(buf.String(), "Warm-start campaign") ||
+		!strings.Contains(buf.String(), "variant0") {
+		t.Fatalf("text render:\n%s", buf.String())
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{WarmSchema, "grid3sim-warm", "forward_seed", "digest"} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("JSON missing %q:\n%s", want, data)
+		}
+	}
+}

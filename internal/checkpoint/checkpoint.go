@@ -1,0 +1,334 @@
+// Package checkpoint provides crash-recoverable snapshots for Grid3 runs:
+// a versioned, checksummed wire format for snapshot records and a pluggable
+// StateStore interface with in-memory and durable directory backends.
+//
+// # What a snapshot is
+//
+// Grid3's discrete-event engine queues Go closures, which cannot be
+// serialized, so a snapshot does not carry the event queue byte-for-byte.
+// Instead it records everything needed to rebuild the run's state by
+// deterministic replay — the resolved scenario configuration (which pins the
+// seed and therefore every RNG draw), the sim time reached, and a journal of
+// externally-injected operations (serve-mode enrollments and submissions)
+// with the sim times at which they executed — plus a digest over a canonical
+// walk of the live state (engine clock, sequence counter, pending-event
+// arena/heap/timer-wheel keys, and the service soft state: RLS catalogs, SRM
+// reservations and pins, iGOC tickets, breaker states, VO rosters, job
+// tables). Restoring replays the run to the recorded sim time, re-injecting
+// journal operations at their recorded instants, and then verifies the walk
+// against the digest: a restore either reproduces the checkpointed state
+// exactly or fails, never something in between. Because replay is the same
+// code path as the original run, a checkpoint-then-restore run is
+// byte-identical to a straight-through run of the same seed.
+//
+// # Wire format
+//
+// A snapshot record is framed as
+//
+//	magic   "G3SNAP"            6 bytes
+//	version uint16              format version (currently 1)
+//	scope   uint8               batch or serve
+//	simtime int64               nanoseconds reached
+//	seed    int64               scenario seed (informational; the config wins)
+//	events  uint64              engine events processed at capture
+//	digest  uint64              state-walk verification digest
+//	config  uint32 len + bytes  resolved scenario configuration (JSON)
+//	journal uint32 count, then per op:
+//	        int64 simtime, uint16 kind len + kind, uint32 data len + data
+//	crc     uint32              IEEE CRC-32 of every preceding byte
+//
+// all integers little-endian. Decode rejects bad magic, unknown versions,
+// truncated or oversized sections, and checksum mismatches with an error and
+// touches nothing else — corruption can never be half-loaded.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"time"
+)
+
+// Version is the current snapshot format version. Decode accepts exactly
+// this version: the format carries full state for replay, so cross-version
+// migration is a re-run, not a best-effort parse.
+const Version = 1
+
+// Scope records which layer captured the snapshot; it decides who may
+// restore it (the batch path cannot replay a service journal).
+type Scope uint8
+
+const (
+	// ScopeBatch marks a snapshot of a batch run (grid3sim, RunScenario):
+	// no external operations, empty journal.
+	ScopeBatch Scope = iota
+	// ScopeServe marks a snapshot captured by the serve layer: the digest
+	// additionally covers the service job table, and the journal carries
+	// the externally-injected operations to re-apply during replay.
+	ScopeServe
+)
+
+func (s Scope) String() string {
+	switch s {
+	case ScopeBatch:
+		return "batch"
+	case ScopeServe:
+		return "serve"
+	}
+	return fmt.Sprintf("scope(%d)", uint8(s))
+}
+
+// Op is one journaled external operation: an ingress mutation that replay
+// must re-inject because it cannot be derived from the seed. T is the
+// engine's sim time when the operation originally executed; Kind and Data
+// are owned by the layer that wrote the journal (the serve layer journals
+// "enroll" and "submit" with their wire-request JSON).
+type Op struct {
+	T    time.Duration
+	Kind string
+	Data []byte
+}
+
+// Snapshot is one decoded checkpoint record.
+type Snapshot struct {
+	Scope   Scope
+	SimTime time.Duration
+	Seed    int64
+	Events  uint64
+	Digest  uint64
+	Config  []byte
+	Journal []Op
+}
+
+// ID returns the snapshot's store identifier: sim-time-ordered (fixed-width
+// nanoseconds) then digest, so a lexicographic sort of IDs is a
+// chronological sort of snapshots and Latest is the last entry.
+func (s *Snapshot) ID() string {
+	return fmt.Sprintf("snap-%020d-%016x", s.SimTime, s.Digest)
+}
+
+// Decode errors. ErrCorrupt is the umbrella for every structural failure:
+// the specific sentinels below wrap it, so errors.Is(err, ErrCorrupt)
+// answers "is this snapshot unusable" without enumerating the ways.
+var (
+	ErrCorrupt     = errors.New("checkpoint: corrupt snapshot")
+	ErrBadMagic    = fmt.Errorf("%w: not a snapshot (bad magic)", ErrCorrupt)
+	ErrBadVersion  = fmt.Errorf("%w: unsupported snapshot version", ErrCorrupt)
+	ErrTruncated   = fmt.Errorf("%w: truncated", ErrCorrupt)
+	ErrChecksum    = fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	ErrDigest      = errors.New("checkpoint: state digest mismatch after replay")
+	ErrWrongScope  = errors.New("checkpoint: snapshot scope not restorable here")
+	ErrUnfinalized = errors.New("checkpoint: cannot snapshot a finished run")
+)
+
+var magic = [6]byte{'G', '3', 'S', 'N', 'A', 'P'}
+
+// Section size ceilings: far above anything a real run produces, low enough
+// that a fuzzed length field cannot demand a pathological allocation before
+// the checksum would have caught it.
+const (
+	maxConfigLen  = 64 << 20
+	maxKindLen    = 256
+	maxOpDataLen  = 16 << 20
+	maxJournalOps = 1 << 24
+)
+
+// Encode renders the snapshot in the wire format described in the package
+// comment.
+func Encode(s *Snapshot) []byte {
+	n := len(magic) + 2 + 1 + 8 + 8 + 8 + 8 + 4 + len(s.Config) + 4
+	for _, op := range s.Journal {
+		n += 8 + 2 + len(op.Kind) + 4 + len(op.Data)
+	}
+	n += 4 // trailing CRC
+	buf := make([]byte, 0, n)
+	buf = append(buf, magic[:]...)
+	buf = binary.LittleEndian.AppendUint16(buf, Version)
+	buf = append(buf, byte(s.Scope))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.SimTime))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.Seed))
+	buf = binary.LittleEndian.AppendUint64(buf, s.Events)
+	buf = binary.LittleEndian.AppendUint64(buf, s.Digest)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Config)))
+	buf = append(buf, s.Config...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Journal)))
+	for _, op := range s.Journal {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(op.T))
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(op.Kind)))
+		buf = append(buf, op.Kind...)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(op.Data)))
+		buf = append(buf, op.Data...)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	return buf
+}
+
+// reader is a bounds-checked cursor over the encoded record. Every take
+// validates against the remaining bytes, so a hostile length field produces
+// ErrTruncated/ErrCorrupt instead of a panic or an oversized allocation.
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) remaining() int { return len(r.buf) - r.off }
+
+func (r *reader) take(n int) ([]byte, error) {
+	if n < 0 || r.remaining() < n {
+		return nil, ErrTruncated
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *reader) u16() (uint16, error) {
+	b, err := r.take(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b), nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	b, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	b, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// Decode parses an encoded snapshot. It validates framing, bounds, and the
+// trailing checksum before building the result; on any error the returned
+// snapshot is nil and no partial data escapes.
+func Decode(data []byte) (*Snapshot, error) {
+	if len(data) < len(magic) {
+		return nil, ErrBadMagic
+	}
+	for i, b := range magic {
+		if data[i] != b {
+			return nil, ErrBadMagic
+		}
+	}
+	if len(data) < len(magic)+2+1+4 {
+		return nil, ErrTruncated
+	}
+	// Checksum first: everything after it is only trusted once the record
+	// is known to be intact.
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(trailer) {
+		return nil, ErrChecksum
+	}
+	r := &reader{buf: body, off: len(magic)}
+	version, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	if version != Version {
+		return nil, fmt.Errorf("%w: got %d, this build reads %d", ErrBadVersion, version, Version)
+	}
+	scopeB, err := r.take(1)
+	if err != nil {
+		return nil, err
+	}
+	scope := Scope(scopeB[0])
+	if scope != ScopeBatch && scope != ScopeServe {
+		return nil, fmt.Errorf("%w: unknown scope %d", ErrCorrupt, scopeB[0])
+	}
+	simTime, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	if int64(simTime) < 0 {
+		return nil, fmt.Errorf("%w: negative sim time", ErrCorrupt)
+	}
+	seed, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	events, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	digest, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	cfgLen, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if cfgLen > maxConfigLen {
+		return nil, fmt.Errorf("%w: config section %d bytes", ErrCorrupt, cfgLen)
+	}
+	cfgRaw, err := r.take(int(cfgLen))
+	if err != nil {
+		return nil, err
+	}
+	opCount, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if opCount > maxJournalOps {
+		return nil, fmt.Errorf("%w: journal of %d ops", ErrCorrupt, opCount)
+	}
+	var journal []Op
+	prevT := time.Duration(0)
+	for i := uint32(0); i < opCount; i++ {
+		t, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		op := Op{T: time.Duration(t)}
+		if op.T < prevT || op.T < 0 {
+			return nil, fmt.Errorf("%w: journal op %d out of time order", ErrCorrupt, i)
+		}
+		prevT = op.T
+		kindLen, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		if kindLen > maxKindLen {
+			return nil, fmt.Errorf("%w: op kind %d bytes", ErrCorrupt, kindLen)
+		}
+		kind, err := r.take(int(kindLen))
+		if err != nil {
+			return nil, err
+		}
+		op.Kind = string(kind)
+		dataLen, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if dataLen > maxOpDataLen {
+			return nil, fmt.Errorf("%w: op data %d bytes", ErrCorrupt, dataLen)
+		}
+		opData, err := r.take(int(dataLen))
+		if err != nil {
+			return nil, err
+		}
+		op.Data = append([]byte(nil), opData...)
+		journal = append(journal, op)
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, r.remaining())
+	}
+	return &Snapshot{
+		Scope:   scope,
+		SimTime: time.Duration(simTime),
+		Seed:    int64(seed),
+		Events:  events,
+		Digest:  digest,
+		Config:  append([]byte(nil), cfgRaw...),
+		Journal: journal,
+	}, nil
+}

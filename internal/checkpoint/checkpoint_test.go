@@ -1,0 +1,209 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleSnapshot() *Snapshot {
+	return &Snapshot{
+		Scope:   ScopeServe,
+		SimTime: 42 * time.Hour,
+		Seed:    7,
+		Events:  123456,
+		Digest:  0xdeadbeefcafef00d,
+		Config:  []byte(`{"seed":7,"horizon":"4320h"}`),
+		Journal: []Op{
+			{T: time.Hour, Kind: "enroll", Data: []byte(`{"vo":"cms"}`)},
+			{T: 2 * time.Hour, Kind: "submit", Data: []byte(`{"vo":"cms","user":"u1"}`)},
+			{T: 2 * time.Hour, Kind: "submit", Data: nil},
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	want := sampleSnapshot()
+	got, err := Decode(Encode(want))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Scope != want.Scope || got.SimTime != want.SimTime || got.Seed != want.Seed ||
+		got.Events != want.Events || got.Digest != want.Digest {
+		t.Fatalf("header mismatch: got %+v want %+v", got, want)
+	}
+	if string(got.Config) != string(want.Config) {
+		t.Fatalf("config mismatch: %q != %q", got.Config, want.Config)
+	}
+	if len(got.Journal) != len(want.Journal) {
+		t.Fatalf("journal length %d != %d", len(got.Journal), len(want.Journal))
+	}
+	for i := range want.Journal {
+		w, g := want.Journal[i], got.Journal[i]
+		if g.T != w.T || g.Kind != w.Kind || string(g.Data) != string(w.Data) {
+			t.Fatalf("journal[%d]: got %+v want %+v", i, g, w)
+		}
+	}
+	if got.ID() != want.ID() {
+		t.Fatalf("ID mismatch: %s != %s", got.ID(), want.ID())
+	}
+}
+
+func TestDecodeEmptyJournalRoundTrip(t *testing.T) {
+	want := &Snapshot{Scope: ScopeBatch, SimTime: time.Minute, Seed: 1, Config: []byte(`{}`)}
+	got, err := Decode(Encode(want))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Scope != ScopeBatch || len(got.Journal) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+// Every single-bit flip anywhere in the record must be rejected — the CRC
+// catches all of them.
+func TestDecodeRejectsBitFlips(t *testing.T) {
+	enc := Encode(sampleSnapshot())
+	for i := 0; i < len(enc); i++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), enc...)
+			mut[i] ^= 1 << bit
+			if snap, err := Decode(mut); err == nil {
+				t.Fatalf("flip byte %d bit %d: decoded %+v, want error", i, bit, snap)
+			}
+		}
+	}
+}
+
+// Every truncation prefix must be rejected, not partially parsed.
+func TestDecodeRejectsTruncation(t *testing.T) {
+	enc := Encode(sampleSnapshot())
+	for n := 0; n < len(enc); n++ {
+		if snap, err := Decode(enc[:n]); err == nil {
+			t.Fatalf("truncated to %d bytes: decoded %+v, want error", n, snap)
+		}
+	}
+}
+
+func TestDecodeRejectsAppendedBytes(t *testing.T) {
+	enc := Encode(sampleSnapshot())
+	if _, err := Decode(append(append([]byte(nil), enc...), 0)); err == nil {
+		t.Fatal("decode of record with trailing byte succeeded")
+	}
+}
+
+// reseal recomputes the trailing CRC so the mutation under test (not the
+// checksum) is what Decode trips on.
+func reseal(enc []byte) []byte {
+	out := append([]byte(nil), enc...)
+	body := out[:len(out)-4]
+	binary.LittleEndian.PutUint32(out[len(out)-4:], crc32.ChecksumIEEE(body))
+	return out
+}
+
+func TestDecodeRejectsVersionSkew(t *testing.T) {
+	for _, v := range []uint16{0, 2, 99, 0xffff} {
+		enc := Encode(sampleSnapshot())
+		binary.LittleEndian.PutUint16(enc[6:8], v)
+		_, err := Decode(reseal(enc))
+		if !errors.Is(err, ErrBadVersion) {
+			t.Fatalf("version %d: got %v, want ErrBadVersion", v, err)
+		}
+		if !strings.Contains(err.Error(), "this build reads") {
+			t.Fatalf("version error should name the supported version: %v", err)
+		}
+	}
+}
+
+func TestDecodeRejectsUnknownScope(t *testing.T) {
+	enc := Encode(sampleSnapshot())
+	enc[8] = 0x7f
+	if _, err := Decode(reseal(enc)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDecodeRejectsBadMagic(t *testing.T) {
+	enc := Encode(sampleSnapshot())
+	enc[0] = 'X'
+	if _, err := Decode(enc); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("got %v, want ErrBadMagic", err)
+	}
+	if _, err := Decode(nil); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("nil input: got %v, want ErrBadMagic", err)
+	}
+	if _, err := Decode([]byte("G3S")); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("short input: got %v, want ErrBadMagic", err)
+	}
+}
+
+// A length field inflated past the section ceiling must be rejected by the
+// bound check (after resealing the CRC so the checksum is not what saves us).
+func TestDecodeRejectsOversizedLengths(t *testing.T) {
+	enc := Encode(&Snapshot{Scope: ScopeBatch, Config: []byte("x")})
+	// Config length lives right after magic(6)+ver(2)+scope(1)+4 u64s(32).
+	off := 6 + 2 + 1 + 32
+	binary.LittleEndian.PutUint32(enc[off:off+4], maxConfigLen+1)
+	if _, err := Decode(reseal(enc)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDecodeRejectsJournalTimeDisorder(t *testing.T) {
+	snap := sampleSnapshot()
+	snap.Journal[1].T = 0 // before Journal[0]
+	if _, err := Decode(Encode(snap)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestSnapshotIDSortsChronologically(t *testing.T) {
+	a := (&Snapshot{SimTime: 9 * time.Hour, Digest: 0xff}).ID()
+	b := (&Snapshot{SimTime: 10 * time.Hour, Digest: 0x01}).ID()
+	if !(a < b) {
+		t.Fatalf("IDs not time-ordered: %s >= %s", a, b)
+	}
+}
+
+func TestScopeString(t *testing.T) {
+	if ScopeBatch.String() != "batch" || ScopeServe.String() != "serve" {
+		t.Fatal("scope names changed")
+	}
+	if Scope(9).String() != "scope(9)" {
+		t.Fatalf("unknown scope: %s", Scope(9).String())
+	}
+}
+
+func TestHasherPrimitives(t *testing.T) {
+	h1, h2 := NewHasher(), NewHasher()
+	h1.String("ab")
+	h1.String("c")
+	h2.String("a")
+	h2.String("bc")
+	if h1.Sum() == h2.Sum() {
+		t.Fatal("length prefix failed: (ab,c) collides with (a,bc)")
+	}
+	h3 := NewHasher()
+	h3.Word(1)
+	h3.Int(-1)
+	h3.Dur(time.Second)
+	h3.Bool(true)
+	h3.Float(0.5)
+	h3.String("x")
+	h4 := NewHasher()
+	h4.Word(1)
+	h4.Int(-1)
+	h4.Dur(time.Second)
+	h4.Bool(true)
+	h4.Float(0.5)
+	h4.String("x")
+	if h3.Sum() != h4.Sum() {
+		t.Fatal("identical walks hash differently")
+	}
+	if h3.Sum() == NewHasher().Sum() {
+		t.Fatal("non-empty walk equals empty walk")
+	}
+}

@@ -1,0 +1,87 @@
+package checkpoint
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzDecode drives the snapshot decoder with arbitrary bytes. The decoder
+// must never panic and never allocate unboundedly; whatever it accepts must
+// re-encode to the identical record (so nothing partial or aliased escapes).
+func FuzzDecode(f *testing.F) {
+	// Seed with a valid record and structured mutants of it so the fuzzer
+	// starts inside the format, not at random noise.
+	valid := Encode(&Snapshot{
+		Scope:   ScopeServe,
+		SimTime: 30 * time.Hour,
+		Seed:    42,
+		Events:  999,
+		Digest:  0x0123456789abcdef,
+		Config:  []byte(`{"seed":42}`),
+		Journal: []Op{{T: time.Hour, Kind: "submit", Data: []byte(`{"vo":"atlas"}`)}},
+	})
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])             // truncated
+	f.Add(append([]byte(nil), "G3SNAP"...)) // bare magic
+	skew := append([]byte(nil), valid...)
+	skew[6], skew[7] = 0xff, 0xff // version skew
+	f.Add(skew)
+	flip := append([]byte(nil), valid...)
+	flip[len(flip)/2] ^= 0x40 // bit flip mid-record
+	f.Add(flip)
+	f.Add([]byte{})
+	f.Add([]byte("not a snapshot at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := Decode(data)
+		if err != nil {
+			if snap != nil {
+				t.Fatal("error with non-nil snapshot")
+			}
+			return
+		}
+		// Accepted records must survive a lossless round-trip.
+		re, err := Decode(Encode(snap))
+		if err != nil {
+			t.Fatalf("re-decode of accepted record failed: %v", err)
+		}
+		if re.Scope != snap.Scope || re.SimTime != snap.SimTime || re.Seed != snap.Seed ||
+			re.Events != snap.Events || re.Digest != snap.Digest ||
+			string(re.Config) != string(snap.Config) || len(re.Journal) != len(snap.Journal) {
+			t.Fatal("round-trip mismatch on accepted record")
+		}
+		// The decoded record must not alias the fuzz input.
+		for i := range data {
+			data[i] = 0xaa
+		}
+		if Encode(snap) == nil {
+			t.Fatal("unreachable")
+		}
+		if re2, err := Decode(Encode(snap)); err != nil || re2.Digest != re.Digest {
+			t.Fatalf("snapshot aliased fuzz input: %v", err)
+		}
+	})
+}
+
+// The deterministic regression cases from the fuzz corpus: these inputs
+// crashed or could crash naive decoders (length fields larger than the
+// buffer, counts that imply huge allocations). They must error cleanly.
+func TestDecodeRegressionInputs(t *testing.T) {
+	valid := Encode(&Snapshot{Scope: ScopeBatch, Config: []byte(`{}`)})
+	cases := map[string][]byte{
+		"empty":         {},
+		"magic only":    []byte("G3SNAP"),
+		"half header":   valid[:10],
+		"all 0xff tail": append(append([]byte(nil), "G3SNAP"...), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff),
+		"giant cfg claim": func() []byte {
+			b := append([]byte(nil), valid...)
+			b[6+2+1+32] = 0xff // inflate config length low byte
+			return b
+		}(),
+	}
+	for name, in := range cases {
+		if snap, err := Decode(in); err == nil {
+			t.Fatalf("%s: decoded %+v, want error", name, snap)
+		}
+	}
+}

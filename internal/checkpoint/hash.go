@@ -1,0 +1,69 @@
+package checkpoint
+
+import (
+	"math"
+	"time"
+)
+
+// Hasher accumulates a deterministic 64-bit digest over a canonical walk of
+// simulation state (FNV-1a). Every stateful subsystem exposes a HashState
+// method that feeds its fields through one of these typed writers in a fixed
+// order; the resulting sum is the snapshot's restore-verification witness —
+// if a replayed run walks to a different sum, the snapshot does not describe
+// the state the replay rebuilt and the restore is rejected.
+//
+// The walk must be a pure read: HashState implementations may sort copies of
+// map keys, but must never touch query paths with side effects (soft-state
+// pruning, cache refresh, RNG draws).
+type Hasher struct {
+	sum uint64
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// NewHasher returns a Hasher at the FNV-1a offset basis.
+func NewHasher() *Hasher { return &Hasher{sum: fnvOffset} }
+
+func (h *Hasher) byte(b byte) {
+	h.sum = (h.sum ^ uint64(b)) * fnvPrime
+}
+
+// Word folds a raw 64-bit value, little-endian.
+func (h *Hasher) Word(v uint64) {
+	for i := 0; i < 8; i++ {
+		h.byte(byte(v >> (8 * i)))
+	}
+}
+
+// Int folds a signed integer.
+func (h *Hasher) Int(v int64) { h.Word(uint64(v)) }
+
+// Dur folds a time.Duration.
+func (h *Hasher) Dur(d time.Duration) { h.Word(uint64(d)) }
+
+// Bool folds a boolean.
+func (h *Hasher) Bool(b bool) {
+	if b {
+		h.byte(1)
+	} else {
+		h.byte(0)
+	}
+}
+
+// Float folds a float64 by its IEEE-754 bits.
+func (h *Hasher) Float(f float64) { h.Word(math.Float64bits(f)) }
+
+// String folds a length-prefixed string, so ("ab","c") and ("a","bc")
+// cannot collide.
+func (h *Hasher) String(s string) {
+	h.Word(uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		h.byte(s[i])
+	}
+}
+
+// Sum returns the digest of everything folded so far.
+func (h *Hasher) Sum() uint64 { return h.sum }

@@ -1,0 +1,45 @@
+package condorg
+
+import (
+	"sort"
+
+	"grid3/internal/checkpoint"
+)
+
+// HashState folds the schedd's scheduling state into h: per-resource
+// in-flight counts and GridManager backoff clocks (sorted-name candidate
+// order), the idle queue in its FIFO order, every submitted job's lifecycle
+// record (ID order), and the negotiation counters.
+func (s *Schedd) HashState(h *checkpoint.Hasher) {
+	h.Int(int64(len(s.list)))
+	for _, r := range s.list {
+		h.String(r.Name)
+		h.Int(int64(r.inFlight))
+		h.Dur(r.backoffUntil)
+		h.Dur(r.backoffStep)
+	}
+	h.Int(int64(s.fullCount))
+	h.Int(int64(len(s.idle)))
+	for _, j := range s.idle {
+		h.String(j.ID)
+	}
+	ids := make([]string, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	h.Int(int64(len(ids)))
+	for _, id := range ids {
+		j := s.jobs[id]
+		h.String(j.ID)
+		h.Int(int64(j.State))
+		h.String(j.Site)
+		h.String(j.Contact)
+		h.Int(int64(j.Attempts))
+		h.String(j.TargetSite)
+	}
+	h.Int(int64(s.submitted))
+	h.Int(int64(s.completed))
+	h.Int(int64(s.held))
+	h.Int(int64(s.matchFailures))
+}

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"grid3/internal/apps"
+	"grid3/internal/checkpoint"
 	"grid3/internal/failure"
 	"grid3/internal/obs"
 	"grid3/internal/sim"
@@ -59,6 +61,13 @@ type ScenarioConfig struct {
 	// MetricsSinks receive the final metrics snapshot once, at Finish.
 	// Setting any sink implies EnableObservability.
 	MetricsSinks []obs.MetricsSink
+	// CheckpointAt lists sim times at which Run captures a snapshot into
+	// CheckpointStore (both must be set; times past the horizon are
+	// skipped). Capture is a pure read, so a checkpointing run stays
+	// byte-identical to one that never checkpoints.
+	CheckpointAt []time.Duration
+	// CheckpointStore receives Run's captures; see CheckpointAt.
+	CheckpointStore checkpoint.StateStore
 }
 
 // Scenario is a running or completed production campaign.
@@ -68,6 +77,10 @@ type Scenario struct {
 	Generators map[string]*apps.Generator
 	Demo       *apps.TransferDemo
 	Injector   *failure.Injector
+
+	// CheckpointIDs records the store IDs of the snapshots Run captured
+	// (in capture order) when Cfg.CheckpointAt/CheckpointStore are set.
+	CheckpointIDs []string
 
 	obsFlushed bool
 }
@@ -169,10 +182,34 @@ func NewScenario(cfg ScenarioConfig) (*Scenario, error) {
 }
 
 // Run advances the scenario to its horizon, then performs the end-of-run
-// bookkeeping (final ACDC pull, demonstrator and injector shutdown).
-func (s *Scenario) Run() {
+// bookkeeping (final ACDC pull, demonstrator and injector shutdown). When
+// Cfg.CheckpointAt and Cfg.CheckpointStore are set, it pauses at each
+// listed sim time (ascending, past-horizon entries skipped) to capture a
+// snapshot; the captures are pure reads, so the run's output is identical
+// whether or not it checkpoints.
+func (s *Scenario) Run() error {
+	if s.Cfg.CheckpointStore != nil && len(s.Cfg.CheckpointAt) > 0 {
+		at := append([]time.Duration(nil), s.Cfg.CheckpointAt...)
+		sort.Slice(at, func(i, j int) bool { return at[i] < at[j] })
+		for _, t := range at {
+			if t > s.Cfg.Horizon || t < s.Grid.Eng.Now() {
+				continue
+			}
+			s.RunUntil(t)
+			snap, err := s.Checkpoint()
+			if err != nil {
+				return err
+			}
+			id, err := checkpoint.Save(s.Cfg.CheckpointStore, snap)
+			if err != nil {
+				return err
+			}
+			s.CheckpointIDs = append(s.CheckpointIDs, id)
+		}
+	}
 	s.RunUntil(s.Cfg.Horizon)
 	s.Finish()
+	return nil
 }
 
 // RunUntil advances to an intermediate point (for incremental inspection).
@@ -247,7 +284,9 @@ func DefaultScenario(seed int64, scale float64) (*Scenario, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.Run()
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 

@@ -1,0 +1,33 @@
+package goc
+
+import (
+	"sort"
+
+	"grid3/internal/checkpoint"
+)
+
+// HashState folds the ticket system into h: every ticket in ID order with
+// its full lifecycle record, plus the ID allocator.
+func (d *Desk) HashState(h *checkpoint.Hasher) {
+	h.Int(int64(d.nextID))
+	ids := make([]int, 0, len(d.tickets))
+	for id := range d.tickets {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	h.Int(int64(len(ids)))
+	for _, id := range ids {
+		t := d.tickets[id]
+		h.Int(int64(t.ID))
+		h.String(t.Site)
+		h.String(t.VO)
+		h.Int(int64(t.Severity))
+		h.String(t.Summary)
+		h.Int(int64(t.State))
+		h.String(t.Assignee)
+		h.Dur(t.Opened)
+		h.Dur(t.Resolved)
+		h.Float(t.EffortHours)
+		h.Int(int64(t.Reopens))
+	}
+}

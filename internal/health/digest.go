@@ -1,0 +1,32 @@
+package health
+
+import "grid3/internal/checkpoint"
+
+// HashState folds every breaker's state machine into h, in the monitor's
+// deterministic sweep order. A nil monitor (health probes disabled) folds
+// nothing, so digests compose uniformly whether or not the feature is on.
+func (m *Monitor) HashState(h *checkpoint.Hasher) {
+	if m == nil {
+		return
+	}
+	h.Int(int64(len(m.order)))
+	h.Int(int64(m.openCount))
+	h.Int(int64(len(m.transitions)))
+	for _, name := range m.order {
+		sh := m.sites[name]
+		h.String(name)
+		for svc, b := range sh.svcs {
+			if b == nil {
+				h.Bool(false)
+				continue
+			}
+			h.Bool(true)
+			h.Int(int64(svc))
+			h.Int(int64(b.state))
+			h.Int(int64(b.fails))
+			h.Int(int64(b.oks))
+			h.Dur(b.backoff)
+			h.Dur(b.retryAt)
+		}
+	}
+}

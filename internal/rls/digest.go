@@ -1,0 +1,64 @@
+package rls
+
+import (
+	"sort"
+
+	"grid3/internal/checkpoint"
+)
+
+// HashState folds the catalog into h: every LFN in sorted order with its
+// sorted physical paths and size attribute.
+func (l *LRC) HashState(h *checkpoint.Hasher) {
+	h.String(l.site)
+	h.Int(int64(len(l.mappings)))
+	for _, lfn := range l.LFNs() {
+		h.String(lfn)
+		h.Int(l.size[lfn])
+		paths, _ := l.Lookup(lfn)
+		h.Int(int64(len(paths)))
+		for _, p := range paths {
+			h.String(p)
+		}
+	}
+}
+
+// HashState folds the index soft state into h. It reads the entries map
+// directly — never through Sites/KnownLFNs, whose lazy pruning would make
+// the walk a mutation — so expired-but-unswept publications are part of the
+// state, exactly as they are part of what a replayed run rebuilds.
+func (r *RLI) HashState(h *checkpoint.Hasher) {
+	h.Dur(r.nextSweep)
+	lfns := make([]string, 0, len(r.entries))
+	for lfn := range r.entries {
+		lfns = append(lfns, lfn)
+	}
+	sort.Strings(lfns)
+	h.Int(int64(len(lfns)))
+	for _, lfn := range lfns {
+		h.String(lfn)
+		sites := r.entries[lfn]
+		names := make([]string, 0, len(sites))
+		for s := range sites {
+			names = append(names, s)
+		}
+		sort.Strings(names)
+		h.Int(int64(len(names)))
+		for _, s := range names {
+			h.String(s)
+			h.Dur(sites[s])
+		}
+	}
+	pubs := make([]string, 0, len(r.published))
+	for s := range r.published {
+		pubs = append(pubs, s)
+	}
+	sort.Strings(pubs)
+	h.Int(int64(len(pubs)))
+	for _, s := range pubs {
+		h.String(s)
+		h.Int(int64(len(r.published[s])))
+		for _, lfn := range r.published[s] {
+			h.String(lfn)
+		}
+	}
+}

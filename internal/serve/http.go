@@ -203,30 +203,20 @@ func (s *Service) handleEnroll(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errDTO("dn is required"))
 		return
 	}
-	roles := make([]vo.Role, 0, len(req.Roles))
-	for _, r := range req.Roles {
-		switch role := vo.Role(r); role {
-		case vo.RoleProduction, vo.RoleSoftware, vo.RoleAdmin, vo.RoleMember:
-			roles = append(roles, role)
-		default:
-			writeJSON(w, http.StatusBadRequest, errDTO("unknown role "+r))
-			return
-		}
+	roles, rerr := parseRoles(req.Roles)
+	if rerr != nil {
+		writeJSON(w, http.StatusBadRequest, errDTO(rerr.Error()))
+		return
 	}
 	var enrollErr error
 	var total int
 	err := s.Do(func() {
-		srv, err := s.scen.Grid.Registry.Server(voName)
-		if err != nil {
-			enrollErr = err
-			return
+		total, enrollErr = applyEnroll(s.scen, voName, req.DN, req.Name, roles)
+		// Only successful enrollments mutate grid state, so only they enter
+		// the replay journal.
+		if enrollErr == nil {
+			s.journalOp(opEnroll, enrollOp{VO: voName, DN: req.DN, Name: req.Name, Roles: req.Roles})
 		}
-		if err := srv.Add(req.DN, req.Name, roles...); err != nil {
-			enrollErr = err
-			return
-		}
-		s.scen.Grid.RefreshGridmaps()
-		total = srv.Len()
 	})
 	if err != nil {
 		writeErr(w, err)
@@ -296,19 +286,12 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errDTO("runtime_seconds must be positive"))
 		return
 	}
-	runtime := time.Duration(req.RuntimeSeconds * float64(time.Second))
-	walltime := time.Duration(req.WalltimeSeconds * float64(time.Second))
-	if walltime < runtime {
-		walltime = runtime + time.Hour
-	}
 	var rec JobRecord
 	err := s.Do(func() {
-		g := s.scen.Grid
-		live := s.jobs.add(req.VO, req.User, g.Eng.Now())
-		rec = *live
-		g.SubmitJobFunc(appsRequest(req, live.ID, runtime, walltime), func(err error) {
-			s.jobs.done(live, g.Eng.Now(), err)
-		})
+		live := applySubmit(s.scen, s.jobs, req)
+		// Even a synchronous rejection consumed a job ID and fired its
+		// callback, so every executed submission enters the replay journal.
+		s.journalOp(opSubmit, req)
 		// A synchronous rejection (AUP, unknown VO, SRM denial) has already
 		// fired the callback; report the terminal state in the response.
 		rec = *live

@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"grid3/internal/checkpoint"
 	"grid3/internal/core"
 	"grid3/internal/sim"
 )
@@ -71,6 +72,18 @@ type Config struct {
 	// re-anchors and the simulation slips rather than replaying an
 	// unbounded backlog (default 24 virtual hours).
 	MaxLag time.Duration
+	// Restore, when set, boots the service from a checkpoint instead of a
+	// fresh Scenario: the recorded configuration is reconstructed and
+	// replayed to the snapshot's sim time (re-injecting journaled API
+	// operations), and Scenario is ignored except where RestoreOverrides
+	// whitelists a change. Serve-scope snapshots rebuild the job table;
+	// batch-scope snapshots warm-start with an empty one.
+	Restore *checkpoint.Snapshot
+	// RestoreOverrides whitelists what may change when booting from
+	// Restore (shard count, extended horizon, fresh sinks, re-armed
+	// checkpointing, pace). Its ReplayOp and ExtraHash hooks are owned by
+	// the serve layer and overwritten here.
+	RestoreOverrides core.RestoreOverrides
 }
 
 // Defaults.
@@ -130,23 +143,53 @@ type Service struct {
 	// Owned by the sim goroutine after Start (reads go through do()).
 	jobs     *jobTable
 	finished bool
+
+	// journal records every executed external mutation (enroll, submit)
+	// with its sim time, in execution order — the replay log a serve-scope
+	// snapshot carries. Owned by the sim goroutine. Seeded from the
+	// snapshot's journal on restore so later snapshots keep the full
+	// history from the original boot.
+	journal []checkpoint.Op
 }
 
-// New builds a Service around a freshly assembled scenario. The engine has
-// not advanced: Start begins scaled-real-time execution.
+// New builds a Service around a freshly assembled scenario — or, when
+// cfg.Restore is set, around a scenario rebuilt from a checkpoint, with the
+// engine already advanced to the snapshot's sim time. Start begins (or
+// resumes) scaled-real-time execution from there.
 func New(cfg Config) (*Service, error) {
-	cfg.defaults()
-	scen, err := core.NewScenario(cfg.Scenario)
-	if err != nil {
-		return nil, fmt.Errorf("serve: %w", err)
+	var (
+		scen    *core.Scenario
+		jobs    *jobTable
+		journal []checkpoint.Op
+		err     error
+	)
+	if cfg.Restore != nil {
+		scen, jobs, err = restoreScenario(cfg.Restore, cfg.RestoreOverrides)
+		if err != nil {
+			return nil, fmt.Errorf("serve: restore: %w", err)
+		}
+		journal = append(journal, cfg.Restore.Journal...)
+		// The recorded pace travels inside the snapshot config; the usual
+		// Scenario.RealTimePace fallback must read it from there.
+		if cfg.Pace == 0 {
+			cfg.Pace = scen.Cfg.RealTimePace
+		}
+	} else {
+		scen, err = core.NewScenario(cfg.Scenario)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		jobs = newJobTable()
 	}
+	cfg.defaults()
 	s := &Service{
-		cfg:  cfg,
-		scen: scen,
-		mbox: make(chan func(), cfg.MaxPending),
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
-		jobs: newJobTable(),
+		cfg:     cfg,
+		scen:    scen,
+		mbox:    make(chan func(), cfg.MaxPending),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		jobs:    jobs,
+		journal: journal,
 	}
 	s.pace.Store(math.Float64bits(cfg.Pace))
 	return s, nil

@@ -1,0 +1,38 @@
+package sim
+
+import "grid3/internal/checkpoint"
+
+// HashState folds the engine's complete deterministic state into h: the
+// clock, the scheduling sequence counter, lifetime event counters, and the
+// scheduling keys of every pending event — the heap array in layout order,
+// the arena occupancy, and every timer-wheel entry. Two engines that have
+// executed identical event sequences walk to identical sums, because every
+// heap and arena operation is itself deterministic.
+//
+// Event callbacks (closures) are intentionally outside the walk: restore
+// rebuilds them by replay, and their scheduling keys (at, seq) — which are
+// covered — pin exactly when and in what order they fire.
+func (e *Engine) HashState(h *checkpoint.Hasher) {
+	h.Dur(e.now)
+	h.Word(e.seq)
+	h.Word(e.processed)
+	h.Word(e.discarded)
+	h.Int(int64(e.live))
+	h.Int(int64(e.cancelled))
+	h.Int(int64(len(e.q)))
+	for _, it := range e.q {
+		h.Dur(it.at)
+		h.Word(it.seq)
+	}
+	h.Int(int64(len(e.slots)))
+	h.Int(int64(len(e.freeSlots)))
+	w := &e.wheel
+	h.Int(int64(len(w.h)))
+	for _, t := range w.h {
+		h.Dur(t.at)
+		h.Word(t.seq)
+		h.Dur(t.interval)
+	}
+	h.Int(int64(len(w.slots)))
+	h.Int(int64(w.stopped))
+}

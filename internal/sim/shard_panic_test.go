@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// A panic inside a shard worker's callback must not kill the worker
+// goroutine (which would crash the process with no useful stack for the
+// caller); runWindow records it and the barrier re-raises it on the
+// goroutine that called Run, with the panic value intact.
+func TestShardGroupWorkerPanicReRaisedAtBarrier(t *testing.T) {
+	type marker struct{ why string }
+	g := NewShardGroup(3, testWindow, Grid3Epoch)
+	defer g.Close()
+	// Shard 0 stays healthy so the barrier provably waits for every worker
+	// before deciding anything.
+	ran := false
+	g.Shard(0).At(time.Millisecond, func() { ran = true })
+	g.Shard(1).At(2*time.Millisecond, func() { panic(marker{"callback bug"}) })
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("worker panic was swallowed at the barrier")
+		}
+		m, ok := r.(marker)
+		if !ok || m.why != "callback bug" {
+			t.Fatalf("panic value not preserved across the barrier: %#v", r)
+		}
+		if !ran {
+			t.Fatal("barrier re-raised before draining the healthy shard's window")
+		}
+	}()
+	g.Run(time.Second)
+}
+
+// When several shards fault in the same window the barrier re-raises the
+// lowest shard ID's fault — a deterministic pick, like everything else about
+// the merge order.
+func TestShardGroupFirstFaultWins(t *testing.T) {
+	g := NewShardGroup(2, testWindow, Grid3Epoch)
+	defer g.Close()
+	g.Shard(0).At(time.Millisecond, func() { panic("fault-0") })
+	g.Shard(1).At(time.Millisecond, func() { panic("fault-1") })
+	defer func() {
+		if r := recover(); r != "fault-0" {
+			t.Fatalf("barrier raised %v, want shard 0's fault", r)
+		}
+	}()
+	g.Run(time.Second)
+}
+
+// Post's precondition panics: a nil event function and an out-of-range
+// destination are programming errors that must refuse before touching any
+// outbox.
+func TestShardGroupPostValidation(t *testing.T) {
+	g := NewShardGroup(2, testWindow, Grid3Epoch)
+	defer g.Close()
+	mustPanic := func(name, want string, fn func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+			if !strings.Contains(fmt.Sprint(r), want) {
+				t.Fatalf("%s panicked with %v, want substring %q", name, r, want)
+			}
+		}()
+		fn()
+	}
+	mustPanic("nil fn", "nil cross-shard event", func() {
+		g.Post(0, 1, time.Hour, nil)
+	})
+	mustPanic("bad destination", "cross-shard destination", func() {
+		g.Post(0, 7, time.Hour, func() {})
+	})
+	mustPanic("zero shards", "shard count", func() {
+		NewShardGroup(0, testWindow, Grid3Epoch)
+	})
+	mustPanic("zero window", "non-positive shard window", func() {
+		NewShardGroup(2, 0, Grid3Epoch)
+	})
+}
+
+// Run after Close is a use-after-free-shaped bug; it must panic rather than
+// deadlock on the closed run channels.
+func TestShardGroupRunAfterClosePanics(t *testing.T) {
+	g := NewShardGroup(2, testWindow, Grid3Epoch)
+	g.Close()
+	defer func() {
+		if r := recover(); r == nil || !strings.Contains(fmt.Sprint(r), "closed ShardGroup") {
+			t.Fatalf("Run on closed group: %v", r)
+		}
+	}()
+	g.Run(time.Second)
+}

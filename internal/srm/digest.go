@@ -1,0 +1,50 @@
+package srm
+
+import (
+	"sort"
+
+	"grid3/internal/checkpoint"
+)
+
+// HashState folds the manager's lifecycle state into h: outstanding
+// reservations (sorted by ID), live pins (sorted by file), the staged-file
+// FIFO in its eviction order, and the lifetime counters. It is a pure read:
+// no lazy expiry runs, because lapsed-but-unreaped records are real state
+// that a replayed run rebuilds identically.
+func (m *Manager) HashState(h *checkpoint.Hasher) {
+	ids := make([]string, 0, len(m.reservations))
+	for id := range m.reservations {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	h.Int(int64(len(ids)))
+	for _, id := range ids {
+		r := m.reservations[id]
+		h.String(r.ID)
+		h.String(r.VO)
+		h.Int(r.Bytes)
+		h.Int(r.Remaining)
+		h.Dur(r.Expires)
+	}
+	h.Int(m.nextID)
+	pins := make([]string, 0, len(m.pins))
+	for name := range m.pins {
+		pins = append(pins, name)
+	}
+	sort.Strings(pins)
+	h.Int(int64(len(pins)))
+	for _, name := range pins {
+		h.String(name)
+		h.Dur(m.pins[name])
+	}
+	h.Int(int64(len(m.staged)))
+	for _, name := range m.staged {
+		h.String(name)
+	}
+	h.Float(m.watermark)
+	h.Int(int64(m.granted))
+	h.Int(int64(m.denied))
+	h.Int(int64(m.expired))
+	h.Int(int64(m.evicted))
+	h.Int(m.evictedBytes)
+}

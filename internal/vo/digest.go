@@ -1,0 +1,27 @@
+package vo
+
+import "grid3/internal/checkpoint"
+
+// HashState folds the server's membership roster into h in sorted-DN order.
+func (v *VOMS) HashState(h *checkpoint.Hasher) {
+	h.String(v.vo)
+	h.Int(int64(len(v.members)))
+	for _, dn := range v.Members() {
+		m := v.members[dn]
+		h.String(m.DN)
+		h.String(m.Name)
+		h.Int(int64(len(m.Roles)))
+		for _, r := range m.Roles {
+			h.String(string(r))
+		}
+	}
+}
+
+// HashState folds every registered VOMS server into h in sorted-VO order.
+func (r *Registry) HashState(h *checkpoint.Hasher) {
+	vos := r.VOs()
+	h.Int(int64(len(vos)))
+	for _, name := range vos {
+		r.servers[name].HashState(h)
+	}
+}

@@ -2,7 +2,8 @@
 # Full verification gate: build, vet, formatting, the complete test suite,
 # and the race detector over the concurrency surfaces (the parallel sweep
 # runner, the shared metrics registry, the health monitor, the sharded
-# event engine and eval pool, the serve ingress boundary).
+# event engine and eval pool, the serve ingress boundary, the checkpoint
+# store and its concurrent warm-start consumers).
 #
 # CI runs this exact script (.github/workflows/ci.yml), so the local gate
 # and the hosted one cannot drift. Run from the repo root: ./scripts/verify.sh
@@ -27,6 +28,7 @@ go test ./...
 
 echo '== go test -race (concurrency surfaces)'
 go test -race ./internal/obs/... ./internal/campaign/... ./internal/health/... \
-    ./internal/sim/... ./internal/serve/... ./internal/condorg/...
+    ./internal/sim/... ./internal/serve/... ./internal/condorg/... \
+    ./internal/checkpoint/...
 
 echo 'verify: OK'
