@@ -55,6 +55,17 @@
 //	grid3sim -days 20 -scale 0.1 -checkpoint-at 240h -checkpoint-out snap.g3
 //	grid3sim -restore snap.g3
 //
+// Monitoring ingestion: -ingest-batch N routes station metrics, gmetad
+// samples, and ACDC records through bounded batching rings that seal on
+// batch-full or window expiry (-ingest-window, default the monitor
+// interval) and commit through a single writer. Output is bit-identical
+// to the per-event path at every N; windows double as accounting
+// periods, sealing per-VO Merkle usage roots. The ingest-sweep mode
+// measures the pipeline and audit-verifies the ledger:
+//
+//	grid3sim -days 20 -scale 0.1 -ingest-batch 256
+//	grid3sim -ingest-sweep [-json-out out.json]
+//
 // Warm starts fork one checkpointed steady state into variants that share
 // the verified warmup but draw their failure futures from per-variant
 // forward seeds (0 replays the recorded stream):
@@ -62,8 +73,8 @@
 //	grid3sim -restore snap.g3 -warm-seeds 0,101,102,103 [-json-out warm.json]
 //
 // Every mode writes its report JSON through the one -json-out flag; the
-// report schema follows the mode (chaos, scale sweep, data sweep, seed
-// sweep, warm start, or the single-run bench record):
+// report schema follows the mode (chaos, scale sweep, data sweep, ingest
+// sweep, seed sweep, warm start, or the single-run bench record):
 //
 //	grid3sim -chaos 1,2,4 -seeds 1,2,3 -json-out chaos.json
 package main
@@ -122,6 +133,9 @@ func main() {
 	replicaRank := flag.Bool("replica-rank", false, "rank Pegasus stage-in replicas by live WAN load")
 	dataSweepOn := flag.Bool("data-sweep", false, "run the data campaign: raw-GridFTP baseline vs managed data plane, per seed")
 	shards := flag.Int("shards", 0, "partition the testbed into N regions and evaluate them on a worker each (output is identical at every N)")
+	ingestBatch := flag.Int("ingest-batch", 0, "batch the monitoring path at N events per commit and arm the Merkle usage ledger (0 = per-event; output is identical at every N)")
+	ingestWindow := flag.Duration("ingest-window", 0, "batching/audit window (0 = the monitor interval; needs -ingest-batch)")
+	ingestSweepOn := flag.Bool("ingest-sweep", false, "run the ingestion campaign: synthetic metric stream per batch size plus an audit-verified batched scenario")
 	jsonOut := flag.String("json-out", "", "write the active mode's report JSON to this file (schema follows the mode)")
 	checkpointAt := flag.String("checkpoint-at", "", "comma-separated sim times (e.g. 240h,360h): capture a snapshot at each into -checkpoint-out")
 	checkpointOut := flag.String("checkpoint-out", "", "snapshot file receiving -checkpoint-at captures (the file holds the latest capture)")
@@ -147,6 +161,8 @@ func main() {
 			EnableStorageCleanup: *cleanupOn,
 			EnableReplicaRanking: *replicaRank,
 			Shards:               *shards,
+			IngestBatch:          *ingestBatch,
+			IngestWindow:         *ingestWindow,
 		},
 		Horizon:         time.Duration(*days) * 24 * time.Hour,
 		JobScale:        *scale,
@@ -188,6 +204,14 @@ func main() {
 
 	if *dataSweepOn {
 		if err := dataSweep(*seedList, *seed, *days, *parallel, *jsonOut, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "grid3sim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *ingestSweepOn {
+		if err := ingestSweep(*ingestWindow, *jsonOut, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "grid3sim:", err)
 			os.Exit(1)
 		}
@@ -693,6 +717,28 @@ func scaleSweep(countList, seedList string, seed int64, days int, jsonPath strin
 			return err
 		}
 		fmt.Printf("\nscale JSON written to %s\n", jsonPath)
+	}
+	return nil
+}
+
+// ingestSweep runs the monitoring-ingestion campaign: the synthetic
+// metric stream through the repository per batch size (0 = per-event
+// baseline), plus one small batched scenario whose usage ledger is fully
+// audit-verified.
+func ingestSweep(window time.Duration, jsonPath string, cfg core.ScenarioConfig) error {
+	rep, err := campaign.IngestSweep(campaign.IngestSweepConfig{
+		Window: window,
+		Base:   cfg,
+	})
+	if err != nil {
+		return err
+	}
+	rep.Write(os.Stdout)
+	if jsonPath != "" {
+		if err := writeReportJSON(jsonPath, rep); err != nil {
+			return err
+		}
+		fmt.Printf("\ningest JSON written to %s\n", jsonPath)
 	}
 	return nil
 }

@@ -43,6 +43,7 @@
 //	WithoutFailures     -no-failures WithStorageCleanup   -cleanup
 //	WithoutAffinity     -no-affinity WithReplicaRanking   -replica-rank
 //	WithTracer          -trace-out   WithMetricsSink      -metrics-out
+//	WithIngestBatching  -ingest-batch/-ingest-window
 //	WithCheckpointAt    -checkpoint-at/-checkpoint-out    Restore  -restore
 //
 // (WithRealTime has no grid3sim flag; it paces the grid3d daemon.)
@@ -233,6 +234,28 @@ func WithoutObservability() Option {
 		c.Config.EnableObservability = false
 		c.TraceSinks = nil
 		c.MetricsSinks = nil
+	}
+}
+
+// ── Monitoring-ingestion options ────────────────────────────────────────
+//
+// The batched monitoring path and the Merkle-audited usage ledger.
+
+// WithIngestBatching routes the monitoring hot path — MonALISA stations
+// and the obs bridge into the central repository, Ganglia history
+// writes, ACDC warehouse pulls — through size/time-windowed batchers
+// (batch events per commit, sealed early when window expires), and arms
+// the per-VO usage ledger: one Merkle root of per-VO usage deltas
+// (completed jobs, CPU seconds, bytes moved) sealed per window,
+// published with inclusion proofs at the daemon's /api/v1/audit/*
+// routes. Batching never changes a run: the batchers schedule no
+// events, and every monitoring read drains staged batches first, so
+// output stays byte-identical to the per-event path. window <= 0
+// defaults to the monitor interval.
+func WithIngestBatching(batch int, window time.Duration) Option {
+	return func(c *ScenarioConfig) {
+		c.Config.IngestBatch = batch
+		c.Config.IngestWindow = window
 	}
 }
 
@@ -563,6 +586,7 @@ var (
 	_ Report = (*ScaleReport)(nil)
 	_ Report = (*DataReport)(nil)
 	_ Report = (*WarmReport)(nil)
+	_ Report = (*IngestReport)(nil)
 )
 
 // SweepConfig shapes a multi-seed production sweep: the same calibrated
@@ -724,6 +748,30 @@ type (
 func ScaleSweep(cfg ScaleSweepConfig, opts ...Option) (*ScaleReport, error) {
 	cfg.Base = buildConfig(opts)
 	return campaign.ScaleSweep(cfg)
+}
+
+// Ingest-sweep views: the campaign mode that measures the monitoring-
+// ingestion pipeline — a deterministic synthetic metric stream pushed
+// through the repository at several batch sizes against the per-event
+// baseline — and audit-verifies a batched scenario's usage ledger.
+type (
+	// IngestSweepConfig shapes an ingestion campaign (batch sizes ×
+	// synthetic stream, plus the audit-verification scenario leg).
+	IngestSweepConfig = campaign.IngestSweepConfig
+	// IngestReport is a completed ingestion campaign with the events/s
+	// evidence the bench floor gates.
+	IngestReport = campaign.IngestReport
+	// IngestPoint is one batch-size measurement.
+	IngestPoint = campaign.IngestPoint
+)
+
+// IngestSweep measures monitoring-ingestion throughput and allocation
+// volume per batch size, then audit-verifies every (window, VO) usage
+// proof of a small batched scenario. Options apply to the audit leg (the
+// sweep overrides its seed, sites, horizon, scale, and ingest toggles).
+func IngestSweep(cfg IngestSweepConfig, opts ...Option) (*IngestReport, error) {
+	cfg.Base = buildConfig(opts)
+	return campaign.IngestSweep(cfg)
 }
 
 // Data-sweep views: the campaign mode that scores the data plane — raw

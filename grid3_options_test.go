@@ -47,6 +47,9 @@ func TestOptionMatrix(t *testing.T) {
 		{"WithoutObservability", WithoutObservability(), func(c ScenarioConfig) bool {
 			return !c.Config.EnableObservability && c.TraceSinks == nil && c.MetricsSinks == nil
 		}},
+		{"WithIngestBatching", WithIngestBatching(256, 10*time.Minute), func(c ScenarioConfig) bool {
+			return c.Config.IngestBatch == 256 && c.Config.IngestWindow == 10*time.Minute
+		}},
 		{"WithHealthProbes", WithHealthProbes(), func(c ScenarioConfig) bool { return c.Config.EnableHealth }},
 		{"WithRecovery", WithRecovery(), func(c ScenarioConfig) bool { return c.Config.EnableRecovery }},
 		{"WithChaos", WithChaos(2.5), func(c ScenarioConfig) bool { return c.ChaosIntensity == 2.5 }},

@@ -47,12 +47,24 @@ type Monitor struct {
 	// Ignore lists VO names whose records are dropped at collection time
 	// (local non-grid jobs on shared facilities).
 	Ignore map[string]bool
+
+	// Stage, when set, receives each pulled record instead of the direct
+	// warehouse append; the ingest batcher commits staged batches back
+	// through Commit. PreRead, when set, runs before every warehouse
+	// read so staged records land first (read-your-writes).
+	Stage   func(JobRecord)
+	PreRead func()
+
+	// cpuByVO tallies completed CPU seconds per VO incrementally at
+	// append time, so the usage ledger's per-window sampling is O(#VOs)
+	// instead of a warehouse rescan per seal.
+	cpuByVO map[string]uint64
 }
 
 // New creates a monitor pulling every interval. epoch anchors month
 // bucketing (the Grid3 scenario epoch).
 func New(eng sim.Scheduler, epoch time.Time, interval time.Duration) *Monitor {
-	m := &Monitor{eng: eng, epoch: epoch}
+	m := &Monitor{eng: eng, epoch: epoch, cpuByVO: make(map[string]uint64)}
 	m.ticker = sim.NewTicker(eng, interval, m.Pull)
 	return m
 }
@@ -71,8 +83,37 @@ func (m *Monitor) Pull() {
 			if m.Ignore != nil && m.Ignore[r.VO] {
 				continue
 			}
-			m.records = append(m.records, JobRecord{Site: src.site, Record: r})
+			rec := JobRecord{Site: src.site, Record: r}
+			if m.Stage != nil {
+				m.Stage(rec)
+			} else {
+				m.account(rec)
+				m.records = append(m.records, rec)
+			}
 		}
+	}
+}
+
+// Commit appends a staged batch to the warehouse — the ingest batcher's
+// commit function.
+func (m *Monitor) Commit(recs []JobRecord) {
+	for _, r := range recs {
+		m.account(r)
+	}
+	m.records = append(m.records, recs...)
+}
+
+// account folds one record into the incremental per-VO CPU tally.
+func (m *Monitor) account(r JobRecord) {
+	if r.Outcome == batch.Completed {
+		m.cpuByVO[r.VO] += uint64(r.Runtime() / time.Second)
+	}
+}
+
+// preRead runs the read barrier, if any.
+func (m *Monitor) preRead() {
+	if m.PreRead != nil {
+		m.PreRead()
 	}
 }
 
@@ -80,10 +121,28 @@ func (m *Monitor) Pull() {
 func (m *Monitor) Stop() { m.ticker.Stop() }
 
 // Records returns the warehouse contents (live slice; do not mutate).
-func (m *Monitor) Records() []JobRecord { return m.records }
+func (m *Monitor) Records() []JobRecord {
+	m.preRead()
+	return m.records
+}
 
 // Len returns the warehouse row count.
-func (m *Monitor) Len() int { return len(m.records) }
+func (m *Monitor) Len() int {
+	m.preRead()
+	return len(m.records)
+}
+
+// CPUSecondsByVO returns cumulative completed CPU seconds per VO over
+// the whole warehouse — the ledger's per-window accounting source
+// (window deltas of this map). The returned map is a fresh copy.
+func (m *Monitor) CPUSecondsByVO() map[string]uint64 {
+	m.preRead()
+	out := make(map[string]uint64, len(m.cpuByVO))
+	for k, v := range m.cpuByVO {
+		out[k] = v
+	}
+	return out
+}
 
 // ClassStats is one Table 1 column.
 type ClassStats struct {
@@ -116,6 +175,7 @@ func (s ClassStats) Efficiency() float64 {
 
 // Stats computes the Table 1 column for one VO.
 func (m *Monitor) Stats(vo string) ClassStats {
+	m.preRead()
 	st := ClassStats{VO: vo}
 	sites := map[string]bool{}
 	var totalRuntime time.Duration
@@ -196,6 +256,7 @@ func monthLess(a, b string) bool {
 
 // VOs returns every VO present in the warehouse, sorted.
 func (m *Monitor) VOs() []string {
+	m.preRead()
 	seen := map[string]bool{}
 	for _, r := range m.records {
 		seen[r.VO] = true
@@ -212,6 +273,7 @@ func (m *Monitor) VOs() []string {
 // "Distribution of the number of jobs run on Grid3 by month". Keys are
 // chronological.
 func (m *Monitor) JobsByMonth() ([]string, []int) {
+	m.preRead()
 	counts := map[string]int{}
 	for _, r := range m.records {
 		if r.Outcome != batch.Completed {
@@ -250,6 +312,7 @@ func overlap(r JobRecord, from, to time.Duration) time.Duration {
 // (from, to] — the Figure 4 query (CMS cumulative usage by site). Jobs
 // spanning the window boundary contribute only their overlap.
 func (m *Monitor) CPUDaysBySiteForVO(vo string, from, to time.Duration) map[string]float64 {
+	m.preRead()
 	out := map[string]float64{}
 	for _, r := range m.records {
 		if r.VO != vo || r.Outcome != batch.Completed {
@@ -266,6 +329,7 @@ func (m *Monitor) CPUDaysBySiteForVO(vo string, from, to time.Duration) map[stri
 // query (integrated usage by VO during the SC2003 window). Jobs spanning
 // the window boundary contribute only their overlap.
 func (m *Monitor) CPUDaysByVO(from, to time.Duration) map[string]float64 {
+	m.preRead()
 	out := map[string]float64{}
 	for _, r := range m.records {
 		if r.Outcome != batch.Completed {
@@ -282,6 +346,7 @@ func (m *Monitor) CPUDaysByVO(from, to time.Duration) map[string]float64 {
 // each bin of width bin across (from, to] — the Figure 3 query
 // (differential usage). The result maps VO → one value per bin.
 func (m *Monitor) AvgCPUsByVO(from, to, bin time.Duration) map[string][]float64 {
+	m.preRead()
 	if bin <= 0 || to <= from {
 		return nil
 	}

@@ -1,0 +1,105 @@
+package campaign
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"grid3/internal/core"
+)
+
+func TestIngestSweepRunsPoints(t *testing.T) {
+	rep, err := IngestSweep(IngestSweepConfig{
+		BatchSizes: []int{0, 64},
+		Events:     100_000,
+		AuditDays:  1,
+		Base: core.ScenarioConfig{
+			DisableFailures:     true,
+			DisableTransferDemo: true,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(rep.Points))
+	}
+	direct, batched := rep.Points[0], rep.Points[1]
+	if direct.Batch != 0 || batched.Batch != 64 {
+		t.Fatalf("point order wrong: %+v", rep.Points)
+	}
+	for _, pt := range rep.Points {
+		if pt.Events != 100_000 || pt.WallSecs <= 0 || pt.EventsPerS <= 0 {
+			t.Errorf("batch=%d: measurement incomplete: %+v", pt.Batch, pt)
+		}
+	}
+	if direct.Batches != 0 {
+		t.Errorf("direct point recorded batches: %+v", direct)
+	}
+	if batched.Batches == 0 {
+		t.Errorf("batched point recorded no batches: %+v", batched)
+	}
+	if rep.BestEventsPerS != batched.EventsPerS {
+		t.Errorf("best throughput %f, want the batched point's %f",
+			rep.BestEventsPerS, batched.EventsPerS)
+	}
+	if rep.AuditWindows == 0 || !rep.AuditVerified {
+		t.Fatalf("audit leg failed: windows=%d verified=%v", rep.AuditWindows, rep.AuditVerified)
+	}
+	var buf bytes.Buffer
+	rep.Write(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "Monitoring-ingestion sweep") || !strings.Contains(out, "verified") {
+		t.Errorf("report rendering incomplete:\n%s", out)
+	}
+}
+
+func TestIngestSweepSkipsAudit(t *testing.T) {
+	rep, err := IngestSweep(IngestSweepConfig{
+		BatchSizes: []int{32},
+		Events:     10_000,
+		AuditDays:  -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AuditWindows != 0 || rep.AuditVerified {
+		t.Fatalf("audit leg should be skipped: %+v", rep)
+	}
+}
+
+func TestIngestReportJSONRoundTrip(t *testing.T) {
+	rep := &IngestReport{
+		Events: 1000, Farms: 4, Params: 2, Window: 5 * time.Minute,
+		Elapsed: time.Second, BestEventsPerS: 1.5e6,
+		AuditWindows: 9, AuditVerified: true,
+		Points: []IngestPoint{
+			{Batch: 0, Events: 1000, WallSecs: 0.1, EventsPerS: 1e4, Mallocs: 50},
+			{Batch: 64, Events: 1000, WallSecs: 0.05, EventsPerS: 2e4, Batches: 16, MaxPending: 2},
+		},
+	}
+	data, err := rep.JSON()
+	m := decode(t, data, err)
+	wantKeys(t, m, IngestSchema, "grid3sim-ingest",
+		"gomaxprocs", "events", "series", "window_seconds", "wall_seconds",
+		"best_events_per_second", "audit_windows", "audit_verified", "points")
+	if got := m["best_events_per_second"]; got != 1.5e6 {
+		t.Errorf("best_events_per_second = %v", got)
+	}
+	pts := m["points"].([]any)
+	directPt := pts[0].(map[string]any)
+	for _, k := range []string{"batch", "events", "wall_seconds", "events_per_second",
+		"mallocs", "alloc_bytes", "bytes_per_event"} {
+		if _, ok := directPt[k]; !ok {
+			t.Errorf("point key %q missing", k)
+		}
+	}
+	if _, ok := directPt["batches"]; ok {
+		t.Error("direct point must omit the batches key")
+	}
+	batchedPt := pts[1].(map[string]any)
+	if got := batchedPt["batches"]; got != 16.0 {
+		t.Errorf("batched point batches = %v, want 16", got)
+	}
+}

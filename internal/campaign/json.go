@@ -17,11 +17,12 @@ import (
 
 // Wire schema identifiers.
 const (
-	SweepSchema = "grid3.sweep/1"
-	ChaosSchema = "grid3.chaos-sweep/1"
-	ScaleSchema = "grid3.scale-sweep/1"
-	DataSchema  = "grid3.data-sweep/1"
-	WarmSchema  = "grid3.warm-start/1"
+	SweepSchema  = "grid3.sweep/1"
+	ChaosSchema  = "grid3.chaos-sweep/1"
+	ScaleSchema  = "grid3.scale-sweep/1"
+	DataSchema   = "grid3.data-sweep/1"
+	WarmSchema   = "grid3.warm-start/1"
+	IngestSchema = "grid3.ingest-sweep/1"
 )
 
 func marshalReport(v any) ([]byte, error) {
@@ -230,6 +231,42 @@ func (rep *ScaleReport) JSON() ([]byte, error) {
 		JobScale:   rep.JobScale,
 		WallSecs:   rep.Elapsed.Seconds(),
 		Points:     rep.Points,
+	})
+}
+
+// --- IngestReport ----------------------------------------------------------
+
+type ingestRecordJSON struct {
+	Schema     string  `json:"schema"`
+	Kind       string  `json:"kind"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	Events     int     `json:"events"`
+	Series     int     `json:"series"`
+	WindowSecs float64 `json:"window_seconds"`
+	WallSecs   float64 `json:"wall_seconds"`
+	// BestEventsPerS is the headline key the bench floor greps; frozen.
+	BestEventsPerS float64       `json:"best_events_per_second"`
+	AuditWindows   int           `json:"audit_windows"`
+	AuditVerified  bool          `json:"audit_verified"`
+	Points         []IngestPoint `json:"points"`
+}
+
+// JSON renders the sweep under the grid3.ingest-sweep/1 schema (kind
+// "grid3sim-ingest"; best_events_per_second is frozen — the bench-check
+// tooling greps it).
+func (rep *IngestReport) JSON() ([]byte, error) {
+	return marshalReport(ingestRecordJSON{
+		Schema:         IngestSchema,
+		Kind:           "grid3sim-ingest",
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		Events:         rep.Events,
+		Series:         rep.Farms * rep.Params,
+		WindowSecs:     rep.Window.Seconds(),
+		WallSecs:       rep.Elapsed.Seconds(),
+		BestEventsPerS: rep.BestEventsPerS,
+		AuditWindows:   rep.AuditWindows,
+		AuditVerified:  rep.AuditVerified,
+		Points:         rep.Points,
 	})
 }
 

@@ -23,6 +23,7 @@ import (
 	"grid3/internal/gridftp"
 	"grid3/internal/gsi"
 	"grid3/internal/health"
+	"grid3/internal/ingest"
 	"grid3/internal/intern"
 	"grid3/internal/mds"
 	"grid3/internal/monalisa"
@@ -102,6 +103,20 @@ type Config struct {
 	// stays on the hub goroutine. 0 or 1 keeps the serial path with no
 	// worker goroutines at all.
 	Shards int
+	// IngestBatch, when positive, routes the monitoring path — MonALISA
+	// stations and the obs bridge into the central repository, Ganglia
+	// gmetad history writes, ACDC warehouse pulls — through windowed
+	// batchers with that many events per batch, and arms the per-VO
+	// Merkle usage ledger sealed once per IngestWindow. The batchers are
+	// passive (no engine events, no RNG) and every read drains staged
+	// batches first, so batched runs stay byte-identical to per-event
+	// runs. 0 keeps the historical per-event delivery and no ledger.
+	IngestBatch int
+	// IngestWindow is the batching/audit window: a batch also seals when
+	// an event arrives in a later window, and the ledger seals one Merkle
+	// root of per-VO usage deltas per window. Defaults to MonitorInterval
+	// when IngestBatch is set.
+	IngestWindow time.Duration
 }
 
 func (c *Config) defaults() {
@@ -126,6 +141,9 @@ func (c *Config) defaults() {
 	}
 	if c.Shards < 1 {
 		c.Shards = 1
+	}
+	if c.IngestBatch > 0 && c.IngestWindow <= 0 {
+		c.IngestWindow = c.MonitorInterval
 	}
 }
 
@@ -225,6 +243,18 @@ type Grid struct {
 	// Health is the circuit-breaker monitor; nil unless Config.EnableHealth
 	// (or EnableRecovery) is set. Every consumer tolerates nil.
 	Health *health.Monitor
+
+	// Ledger is the Merkle-audited per-VO usage ledger; nil unless
+	// Config.IngestBatch is set. See ingest.go for the batching pipeline
+	// that drives its window seals.
+	Ledger *ingest.Ledger
+
+	// Ingestion batchers (Config.IngestBatch > 0), all nil when off.
+	ingestMetrics *ingest.Batcher[monalisa.Metric]
+	ingestGanglia *ingest.Batcher[gmetadSample]
+	ingestACDC    *ingest.Batcher[acdc.JobRecord]
+	usagePrev     map[string]usageTotals
+	lastSealed    int64
 
 	// Shared per-subsystem instrument bundles, nil when observability is
 	// off (every instrumented call site tolerates nil).
@@ -339,6 +369,12 @@ func New(cfg Config) (*Grid, error) {
 	g.ACDC.Ignore = map[string]bool{LocalVO: true}
 	g.Cache = vdt.Grid3Cache()
 	g.DIAL = dial.NewCatalog()
+
+	// --- Ingestion batching + usage ledger (before sites: stations wire
+	// their forward sinks in addSite).
+	if cfg.IngestBatch > 0 {
+		g.setupIngest()
+	}
 
 	// --- Sites.
 	for _, spec := range cfg.Sites {
@@ -460,7 +496,7 @@ func New(cfg Config) (*Grid, error) {
 			}
 			return out
 		}))
-		station.Forward(g.Repo.Ingest)
+		station.Forward(g.metricSink())
 	}
 
 	// --- Housekeeping: prune terminal gram jobs, migrate archive files.
@@ -753,6 +789,7 @@ func (g *Grid) addSite(spec SiteSpec) error {
 	gmond.Register("disk_used_frac", func() float64 { return st.Disk.FillFraction() })
 	gmetad := ganglia.NewGmetad(g.Eng, spec.Name, g.Cfg.MonitorInterval)
 	gmetad.Watch(gmond)
+	g.stageGmetad(gmetad)
 	g.Ganglia.Add(gmetad)
 	node.Gmetad = gmetad
 
@@ -768,7 +805,7 @@ func (g *Grid) addSite(spec SiteSpec) error {
 	station.AddAgent(monalisa.GaugeAgent("grid3.gram.load", func() float64 {
 		return gk.Load()
 	}))
-	station.Forward(g.Repo.Ingest)
+	station.Forward(g.metricSink())
 	node.Station = station
 
 	// Site Status Catalog probes (§5.2).

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"grid3/internal/ingest"
+	"grid3/internal/vo"
+)
+
+// ingestScenario runs one short scenario with the given ingest batching
+// config and returns it finished.
+func ingestScenario(t *testing.T, batch int) *Scenario {
+	t.Helper()
+	s, err := NewScenario(ScenarioConfig{
+		Config:   Config{Seed: 5, IngestBatch: batch},
+		Horizon:  15 * 24 * time.Hour,
+		JobScale: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	return s
+}
+
+// TestIngestBatchingEquivalence checks the tentpole determinism claim at
+// the scenario level: a run with the monitoring path batched is
+// indistinguishable from the per-event run across job accounting,
+// figures, and the full monitoring repository contents.
+func TestIngestBatchingEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario run in -short mode")
+	}
+	ref := ingestScenario(t, 0)
+	bat := ingestScenario(t, 64)
+
+	if a, b := ref.SubmittedTotal(), bat.SubmittedTotal(); a != b {
+		t.Fatalf("submitted %d != %d", b, a)
+	}
+	if a, b := ref.Grid.ACDC.Len(), bat.Grid.ACDC.Len(); a != b {
+		t.Fatalf("ACDC records %d != %d", b, a)
+	}
+	f1, f2 := ref.Figure2(), bat.Figure2()
+	for k, v := range f1 {
+		if math.Abs(f2[k]-v) > 1e-9 {
+			t.Fatalf("figure2[%s] differs: %v vs %v", k, f2[k], v)
+		}
+	}
+	// The repository must hold exactly the same series with the same
+	// latest samples (reads drain the batcher first).
+	sr, sb := ref.Grid.Repo.Series(), bat.Grid.Repo.Series()
+	if len(sr) != len(sb) {
+		t.Fatalf("series count %d != %d", len(sb), len(sr))
+	}
+	for i, key := range sr {
+		if sb[i] != key {
+			t.Fatalf("series[%d] %q != %q", i, sb[i], key)
+		}
+	}
+	for _, voName := range vo.Grid3VOs {
+		a := ref.Grid.Stats(voName)
+		b := bat.Grid.Stats(voName)
+		if a.Completed != b.Completed || a.AttemptFailures != b.AttemptFailures {
+			t.Fatalf("%s stats differ: %+v vs %+v", voName, b, a)
+		}
+	}
+	// The batcher actually did something.
+	m, gh, ac := bat.Grid.IngestStats()
+	if m.Events == 0 || m.Batches == 0 {
+		t.Fatalf("metric batcher idle: %+v", m)
+	}
+	if gh.Events == 0 || ac.Events == 0 {
+		t.Fatalf("ganglia/acdc batchers idle: %+v %+v", gh, ac)
+	}
+	if m.Shed != 0 || gh.Shed != 0 || ac.Shed != 0 {
+		t.Fatalf("Block policy shed events: %+v %+v %+v", m, gh, ac)
+	}
+	if ref.Grid.Ledger != nil {
+		t.Fatal("per-event run grew a ledger")
+	}
+}
+
+// TestUsageLedgerAccounting checks the ledger side: window deltas sum
+// back to the run's cumulative per-VO totals, and every record proves
+// against its window root.
+func TestUsageLedgerAccounting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario run in -short mode")
+	}
+	s := ingestScenario(t, 128)
+	g := s.Grid
+	led := g.Ledger
+	if led == nil || led.Len() == 0 {
+		t.Fatal("no sealed ledger windows")
+	}
+
+	sums := map[string]*ingest.UsageRecord{}
+	for _, w := range led.Windows() {
+		if len(w.Records) != len(vo.Grid3VOs) {
+			t.Fatalf("window %d has %d records, want one per VO", w.Index, len(w.Records))
+		}
+		if w.Root != ingest.Root(w.Records) {
+			t.Fatalf("window %d root mismatch", w.Index)
+		}
+		for _, r := range w.Records {
+			agg := sums[r.VO]
+			if agg == nil {
+				agg = &ingest.UsageRecord{VO: r.VO}
+				sums[r.VO] = agg
+			}
+			agg.Jobs += r.Jobs
+			agg.CPUSeconds += r.CPUSeconds
+			agg.Bytes += r.Bytes
+		}
+	}
+	cpu := g.ACDC.CPUSecondsByVO()
+	moved := g.Network.BytesByLabel()
+	for _, voName := range vo.Grid3VOs {
+		agg := sums[voName]
+		if agg == nil {
+			t.Fatalf("no records for %s", voName)
+		}
+		if want := uint64(g.Stats(voName).Completed); agg.Jobs != want {
+			t.Fatalf("%s: ledger jobs %d != stats %d", voName, agg.Jobs, want)
+		}
+		if agg.CPUSeconds != cpu[voName] {
+			t.Fatalf("%s: ledger cpu %d != acdc %d", voName, agg.CPUSeconds, cpu[voName])
+		}
+		if want := uint64(moved[voName]); agg.Bytes != want {
+			t.Fatalf("%s: ledger bytes %d != gridftp %d", voName, agg.Bytes, want)
+		}
+	}
+
+	// Every (window, VO) pair yields a verifiable inclusion proof, and
+	// the proof survives its wire round trip.
+	for _, w := range led.Windows() {
+		for _, voName := range vo.Grid3VOs {
+			p, err := led.Prove(w.Index, voName)
+			if err != nil {
+				t.Fatalf("prove %d/%s: %v", w.Index, voName, err)
+			}
+			if !ingest.Verify(w.Root, p) {
+				t.Fatalf("proof %d/%s does not verify", w.Index, voName)
+			}
+			dec, err := ingest.DecodeProof(ingest.EncodeProof(p))
+			if err != nil {
+				t.Fatalf("decode %d/%s: %v", w.Index, voName, err)
+			}
+			if !ingest.Verify(w.Root, dec) {
+				t.Fatalf("decoded proof %d/%s does not verify", w.Index, voName)
+			}
+		}
+	}
+
+	// FinishIngest is idempotent: calling it again must not grow the
+	// ledger or change counters.
+	n := led.Len()
+	g.FinishIngest()
+	if led.Len() != n {
+		t.Fatalf("second FinishIngest grew ledger %d -> %d", n, led.Len())
+	}
+}

@@ -228,6 +228,7 @@ func (s *Scenario) Finish() {
 	// Let in-flight jobs and transfers drain briefly, then pull the logs.
 	s.Grid.Eng.RunFor(6 * time.Hour)
 	s.Grid.ACDC.Pull()
+	s.Grid.FinishIngest()
 	s.FlushObservability()
 	// Stop the region workers. Anything that keeps simulating after Finish
 	// (serve mode's drain, late inspection) falls back to the serial scan,

@@ -1,0 +1,97 @@
+package ingest
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzProof drives the audit-claim decoder and verifier with arbitrary
+// bytes. The decoder must never panic; whatever it accepts must
+// re-encode byte-identically (nothing partial or aliased escapes), and
+// Verify must return cleanly on any decoded claim.
+func FuzzProof(f *testing.F) {
+	recs := sampleRecords(5)
+	root := Root(recs)
+	p, err := Prove(recs, 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid := EncodeProof(p)
+
+	// Seed inside the format, not at random noise.
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])            // truncated
+	f.Add(append([]byte(nil), "G3PRF"...)) // bare magic
+	skew := append([]byte(nil), valid...)
+	skew[5] = 0x7f // version skew
+	f.Add(skew)
+	flip := append([]byte(nil), valid...)
+	flip[len(flip)/2] ^= 0x40 // bit flip mid-claim
+	f.Add(flip)
+	deep := append([]byte(nil), valid...)
+	deep[len(proofMagic)+2+len(p.Record.VO)+48] = 0xff // inflated step count
+	f.Add(deep)
+	f.Add([]byte{})
+	f.Add([]byte("not an audit claim"))
+	// A depth-0 claim for a single-record window is valid too.
+	solo, _ := Prove(sampleRecords(1), 0)
+	f.Add(EncodeProof(solo))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		claim, err := DecodeProof(data)
+		if err != nil {
+			if claim != nil {
+				t.Fatal("error with non-nil proof")
+			}
+			return
+		}
+		// Verify must not panic and a mutated claim must not pass for
+		// the original root unless it IS the original claim.
+		ok := Verify(root, claim)
+		if ok && !bytes.Equal(EncodeProof(claim), valid) {
+			t.Fatal("forged claim verified against root")
+		}
+		// Accepted claims round-trip byte-identically.
+		re := EncodeProof(claim)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("re-encode mismatch:\n in: %x\nout: %x", data, re)
+		}
+		// The decoded claim must not alias the fuzz input.
+		for i := range data {
+			data[i] = 0xaa
+		}
+		if !bytes.Equal(EncodeProof(claim), re) {
+			t.Fatal("decoded claim aliased fuzz input")
+		}
+	})
+}
+
+// The deterministic regression cases: inputs that could crash a naive
+// decoder (length claims larger than the buffer, giant step counts,
+// out-of-range direction bytes). They must error cleanly.
+func TestDecodeProofRegressionInputs(t *testing.T) {
+	recs := sampleRecords(3)
+	p, _ := Prove(recs, 0)
+	valid := EncodeProof(p)
+	cases := map[string][]byte{
+		"empty":        {},
+		"magic only":   []byte("G3PRF"),
+		"half header":  valid[:6],
+		"giant voLen":  func() []byte { b := append([]byte(nil), valid...); b[6] = 0xff; return b }(),
+		"all ff tail":  append([]byte("G3PRF\x01"), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff),
+		"steps no pay": append(append([]byte(nil), valid[:len(valid)-33]...), 0x02),
+	}
+	for name, in := range cases {
+		if got, err := DecodeProof(in); err == nil {
+			t.Fatalf("%s: decoded %+v, want error", name, got)
+		}
+	}
+	// Sanity: Verify tolerates a nil proof and an over-deep hand-built one.
+	if Verify([32]byte{}, nil) {
+		t.Fatal("nil proof verified")
+	}
+	over := &Proof{Steps: make([]ProofStep, MaxProofDepth+1)}
+	if Verify(over.RootHash(), over) {
+		t.Fatal("over-deep proof verified")
+	}
+}

@@ -1,0 +1,242 @@
+// Package ingest implements the high-throughput monitoring ingestion
+// pipeline: size/time-windowed batching over bounded ring buffers with
+// pooled batch reuse (replacing per-event delivery on the Ganglia →
+// MonALISA → RRD/ACDC path), and per-window Merkle roots over per-VO
+// usage accounting so the iGOC can answer "who used what" verifiably
+// without rescanning raw events (merkle.go).
+//
+// The batcher is deliberately passive: it schedules no engine events,
+// owns no goroutines, and draws no randomness. Window expiry is detected
+// lazily — at Add time, when an event's quantized window index differs
+// from the open batch's — and every read path drains staged batches
+// first (read-your-writes). A run with batching enabled therefore
+// processes exactly the same engine events in exactly the same order as
+// one without, which is what keeps default runs byte-identical and lets
+// CI diff the two.
+package ingest
+
+import "time"
+
+// Policy selects what happens when an event arrives while both the open
+// batch and the pending ring are full.
+type Policy uint8
+
+const (
+	// Block commits the oldest staged batch synchronously to free a
+	// slot: no data is ever dropped, at the cost of an inline commit.
+	// This is the default and the only policy used on deterministic
+	// scenario runs.
+	Block Policy = iota
+	// Shed drops the incoming event and counts it in Stats.Shed.
+	// Sealed batches are never dropped — shedding bounds work strictly
+	// at the admission edge, for loss-tolerant telemetry under burst.
+	Shed
+)
+
+// Defaults applied by New when an Options field is zero.
+const (
+	DefaultBatchSize = 256
+	DefaultPending   = 4
+)
+
+// Options tunes a Batcher.
+type Options struct {
+	// BatchSize is the flush-on-full threshold (default 256 events).
+	BatchSize int
+	// Window is the maximum sim-time span one batch may cover; an event
+	// arriving in a later window seals the open batch first. 0 disables
+	// time-windowing (size-only flush).
+	Window time.Duration
+	// Pending bounds the ring of sealed-but-uncommitted batches
+	// (default 4). Capacity is therefore BatchSize*(Pending+1) events.
+	Pending int
+	// Policy picks Block or Shed behavior at capacity.
+	Policy Policy
+}
+
+// Stats counts batcher activity since construction.
+type Stats struct {
+	Events     uint64 // events admitted
+	Shed       uint64 // events dropped by the Shed policy
+	Batches    uint64 // batches sealed (full or window-expired)
+	Commits    uint64 // commit calls issued
+	Committed  uint64 // events delivered to the commit function
+	MaxPending int    // high-water mark of the pending ring
+}
+
+// Batcher accumulates events of type T into pooled batches and delivers
+// them to a single-writer commit function. It is not goroutine-safe:
+// like every other structure on the sim hot path it is owned by the
+// single engine goroutine (the serve ingress boundary already
+// serializes external callers onto it).
+type Batcher[T any] struct {
+	now    func() time.Duration
+	commit func([]T)
+	opt    Options
+
+	cur    []T   // open batch (nil until first Add)
+	curWin int64 // window index of cur's first event
+
+	ring  [][]T // sealed batches awaiting commit (circular)
+	head  int
+	count int
+
+	free [][]T // recycled batch buffers
+
+	// OnWindow, when set, fires after a batch is sealed because an
+	// event arrived in a later time window. closed is the index of the
+	// window that just ended; its nominal span is [start, end). The
+	// ledger uses this to seal per-VO usage windows at deterministic
+	// sim instants. Drain never fires OnWindow: an explicit drain is a
+	// read, not evidence that the window is over.
+	OnWindow func(closed int64, start, end time.Duration)
+
+	stats Stats
+}
+
+// New creates a batcher. now supplies the (sim) clock used for window
+// quantization; commit receives each sealed batch exactly once, in seal
+// order, and must not retain the slice — it is recycled after the call.
+func New[T any](now func() time.Duration, commit func([]T), opt Options) *Batcher[T] {
+	if opt.BatchSize <= 0 {
+		opt.BatchSize = DefaultBatchSize
+	}
+	if opt.Pending <= 0 {
+		opt.Pending = DefaultPending
+	}
+	return &Batcher[T]{
+		now:    now,
+		commit: commit,
+		opt:    opt,
+		ring:   make([][]T, opt.Pending),
+	}
+}
+
+// windowOf quantizes a time to its window index.
+func (b *Batcher[T]) windowOf(t time.Duration) int64 {
+	if b.opt.Window <= 0 {
+		return 0
+	}
+	return int64(t / b.opt.Window)
+}
+
+// Add stages one event, sealing and (when the ring fills) committing
+// batches as needed. It reports whether the event was admitted — false
+// only under the Shed policy at capacity.
+func (b *Batcher[T]) Add(ev T) bool {
+	now := b.now()
+	if b.opt.Window > 0 && len(b.cur) > 0 {
+		if w := b.windowOf(now); w != b.curWin {
+			closed := b.curWin
+			b.seal()
+			if b.OnWindow != nil {
+				b.OnWindow(closed, time.Duration(closed)*b.opt.Window,
+					time.Duration(closed+1)*b.opt.Window)
+			}
+		}
+	}
+	// A full open batch seals at the start of the Add that would grow it
+	// past BatchSize — except at capacity under Shed, where the event is
+	// dropped instead (sealing would force an inline commit, which is
+	// exactly the work shedding exists to bound).
+	if len(b.cur) >= b.opt.BatchSize {
+		if b.opt.Policy == Shed && b.count == len(b.ring) {
+			b.stats.Shed++
+			return false
+		}
+		b.seal()
+	}
+	if b.cur == nil {
+		b.cur = b.take()
+	}
+	if len(b.cur) == 0 {
+		b.curWin = b.windowOf(now)
+	}
+	b.cur = append(b.cur, ev)
+	b.stats.Events++
+	return true
+}
+
+// seal moves the open batch onto the pending ring, committing the
+// oldest staged batch first if the ring is full (so sealing always
+// succeeds and sealed data is never dropped, whatever the policy).
+func (b *Batcher[T]) seal() {
+	if len(b.cur) == 0 {
+		return
+	}
+	if b.count == len(b.ring) {
+		b.commitOldest()
+	}
+	b.ring[(b.head+b.count)%len(b.ring)] = b.cur
+	b.count++
+	if b.count > b.stats.MaxPending {
+		b.stats.MaxPending = b.count
+	}
+	b.stats.Batches++
+	b.cur = b.take()
+}
+
+// commitOldest pops and commits the oldest staged batch, recycling its
+// buffer.
+func (b *Batcher[T]) commitOldest() {
+	buf := b.ring[b.head]
+	b.ring[b.head] = nil
+	b.head = (b.head + 1) % len(b.ring)
+	b.count--
+	b.commit(buf)
+	b.stats.Commits++
+	b.stats.Committed += uint64(len(buf))
+	b.recycle(buf)
+}
+
+// Drain seals the open batch and commits everything staged, in order.
+// Every read path calls this first so consumers observe exactly the
+// state a per-event pipeline would have produced.
+func (b *Batcher[T]) Drain() {
+	if len(b.cur) > 0 {
+		b.seal()
+	}
+	for b.count > 0 {
+		b.commitOldest()
+	}
+}
+
+// Pending returns the number of sealed batches awaiting commit.
+func (b *Batcher[T]) Pending() int { return b.count }
+
+// Buffered returns the number of events held (open batch + ring).
+func (b *Batcher[T]) Buffered() int {
+	n := len(b.cur)
+	for i := 0; i < b.count; i++ {
+		n += len(b.ring[(b.head+i)%len(b.ring)])
+	}
+	return n
+}
+
+// Stats returns activity counters.
+func (b *Batcher[T]) Stats() Stats { return b.stats }
+
+// take returns an empty batch buffer, reusing a recycled one when
+// available.
+func (b *Batcher[T]) take() []T {
+	if n := len(b.free); n > 0 {
+		buf := b.free[n-1]
+		b.free[n-1] = nil
+		b.free = b.free[:n-1]
+		return buf
+	}
+	return make([]T, 0, b.opt.BatchSize)
+}
+
+// recycle returns a committed buffer to the pool. The pool is bounded
+// by the ring size plus the open batch; anything beyond that is litter
+// from a shrunken configuration and is left to the GC.
+func (b *Batcher[T]) recycle(buf []T) {
+	if len(b.free) <= len(b.ring) {
+		var zero T
+		for i := range buf {
+			buf[i] = zero
+		}
+		b.free = append(b.free, buf[:0])
+	}
+}

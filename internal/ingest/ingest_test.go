@@ -1,0 +1,294 @@
+package ingest
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"grid3/internal/monalisa"
+	"grid3/internal/sim"
+)
+
+// manual clock for driving the batcher without an engine.
+type clock struct{ t time.Duration }
+
+func (c *clock) Now() time.Duration { return c.t }
+
+func TestBatchFullFlush(t *testing.T) {
+	c := &clock{}
+	var commits [][]int
+	b := New(c.Now, func(batch []int) {
+		cp := append([]int(nil), batch...)
+		commits = append(commits, cp)
+	}, Options{BatchSize: 4, Pending: 2})
+
+	for i := 0; i < 7; i++ {
+		if !b.Add(i) {
+			t.Fatalf("Add(%d) rejected under Block policy", i)
+		}
+	}
+	// One batch sealed (4 events), staged but not committed; 3 open.
+	if len(commits) != 0 {
+		t.Fatalf("premature commit: %v", commits)
+	}
+	if b.Pending() != 1 || b.Buffered() != 7 {
+		t.Fatalf("pending=%d buffered=%d", b.Pending(), b.Buffered())
+	}
+	b.Drain()
+	if len(commits) != 2 || len(commits[0]) != 4 || len(commits[1]) != 3 {
+		t.Fatalf("after drain: %v", commits)
+	}
+	// Order preserved across batches.
+	want := 0
+	for _, batch := range commits {
+		for _, v := range batch {
+			if v != want {
+				t.Fatalf("order broken: got %d want %d", v, want)
+			}
+			want++
+		}
+	}
+	st := b.Stats()
+	if st.Events != 7 || st.Committed != 7 || st.Batches != 2 || st.Shed != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestWindowExpiryFlush(t *testing.T) {
+	c := &clock{}
+	var committed int
+	var windows []int64
+	b := New(c.Now, func(batch []string) { committed += len(batch) },
+		Options{BatchSize: 1000, Window: time.Hour, Pending: 2})
+	b.OnWindow = func(closed int64, start, end time.Duration) {
+		windows = append(windows, closed)
+		if end-start != time.Hour || time.Duration(closed)*time.Hour != start {
+			t.Fatalf("window %d span [%v,%v)", closed, start, end)
+		}
+	}
+
+	b.Add("w0-a")
+	c.t = 30 * time.Minute
+	b.Add("w0-b") // same window
+	c.t = 90 * time.Minute
+	b.Add("w1-a") // rolls over, seals window 0
+	if len(windows) != 1 || windows[0] != 0 {
+		t.Fatalf("OnWindow fired %v", windows)
+	}
+	if b.Pending() != 1 {
+		t.Fatalf("sealed batch not staged: pending=%d", b.Pending())
+	}
+	// A gap of several windows still seals just the open one.
+	c.t = 10 * time.Hour
+	b.Add("w10-a")
+	if len(windows) != 2 || windows[1] != 1 {
+		t.Fatalf("OnWindow fired %v", windows)
+	}
+	// Drain is a read, not a rollover: no OnWindow.
+	b.Drain()
+	if len(windows) != 2 {
+		t.Fatalf("Drain fired OnWindow: %v", windows)
+	}
+	if committed != 4 {
+		t.Fatalf("committed %d of 4", committed)
+	}
+}
+
+func TestRingWraparoundAndBlock(t *testing.T) {
+	c := &clock{}
+	var commits int
+	var total int
+	b := New(c.Now, func(batch []int) { commits++; total += len(batch) },
+		Options{BatchSize: 2, Pending: 3, Policy: Block})
+
+	// 2 events per seal; ring holds 3 batches, so the 4th seal must
+	// commit the oldest inline. Push enough to wrap the ring twice.
+	for i := 0; i < 40; i++ {
+		b.Add(i)
+	}
+	if commits == 0 {
+		t.Fatal("ring never overflowed into a commit")
+	}
+	b.Drain()
+	if total != 40 {
+		t.Fatalf("committed %d of 40", total)
+	}
+	if st := b.Stats(); st.Shed != 0 || st.MaxPending != 3 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestShedAtCapacity(t *testing.T) {
+	c := &clock{}
+	var total int
+	b := New(c.Now, func(batch []int) { total += len(batch) },
+		Options{BatchSize: 2, Pending: 2, Policy: Shed})
+
+	// Capacity = open batch (2) + ring (2 batches of 2) = 6 events.
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if b.Add(i) {
+			admitted++
+		}
+	}
+	if admitted != 6 {
+		t.Fatalf("admitted %d, want 6", admitted)
+	}
+	if st := b.Stats(); st.Shed != 4 {
+		t.Fatalf("shed %d, want 4", st.Shed)
+	}
+	b.Drain()
+	if total != 6 {
+		t.Fatalf("committed %d, want 6", total)
+	}
+	// Space freed: admission resumes.
+	if !b.Add(99) {
+		t.Fatal("Add rejected after drain")
+	}
+}
+
+func TestPooledBatchReuse(t *testing.T) {
+	c := &clock{}
+	b := New(c.Now, func([]int) {}, Options{BatchSize: 8, Pending: 2})
+	for i := 0; i < 8; i++ {
+		b.Add(i)
+	}
+	b.Drain()
+	if len(b.free) == 0 {
+		t.Fatal("committed buffer was not recycled")
+	}
+	buf := b.free[len(b.free)-1]
+	b.Add(1)
+	if cap(b.cur) != cap(buf) {
+		t.Fatal("open batch did not reuse the pooled buffer")
+	}
+}
+
+// TestBridgeBurstLoad drives the full Ganglia→MonALISA path through the
+// batcher under burst: per-site stations forward into a shared batcher
+// committing into the central repository, with bursts big enough to
+// exercise batch-full seals, window-expiry seals, and ring wraparound.
+// The repository must end byte-equivalent to per-event delivery, and
+// the shed variant must account for every dropped event. Runs under
+// -race in scripts/verify.sh.
+func TestBridgeBurstLoad(t *testing.T) {
+	const (
+		sites    = 12
+		interval = 5 * time.Minute
+		horizon  = 8 * time.Hour
+	)
+	build := func(mk func(*sim.Engine, *monalisa.Repository) func(monalisa.Metric)) (*sim.Engine, *monalisa.Repository) {
+		eng := sim.NewEngine(sim.Grid3Epoch)
+		repo := monalisa.NewRepository(eng)
+		sink := mk(eng, repo)
+		for s := 0; s < sites; s++ {
+			site := string(rune('a'+s)) + "-site"
+			st := monalisa.NewStation(eng, site, interval)
+			burst := s // per-site burst width: 0..11 extra gauges
+			st.AddAgent(monalisa.AgentFunc(func() []monalisa.Metric {
+				out := make([]monalisa.Metric, 0, burst+1)
+				for k := 0; k <= burst; k++ {
+					out = append(out, monalisa.Metric{
+						Param: "burst." + string(rune('0'+k)),
+						Value: float64(k),
+					})
+				}
+				return out
+			}))
+			st.Forward(sink)
+		}
+		return eng, repo
+	}
+
+	// Reference: historical per-event delivery.
+	engRef, repoRef := build(func(_ *sim.Engine, r *monalisa.Repository) func(monalisa.Metric) {
+		return r.Ingest
+	})
+	engRef.RunUntil(horizon)
+
+	// Batched: tiny batches + a window shorter than the poll interval,
+	// so every flush path triggers many times.
+	var batcher *Batcher[monalisa.Metric]
+	engB, repoB := build(func(eng *sim.Engine, r *monalisa.Repository) func(monalisa.Metric) {
+		batcher = New(eng.Now, r.IngestBatch,
+			Options{BatchSize: 5, Window: 2 * time.Minute, Pending: 2})
+		r.PreRead = batcher.Drain
+		return func(m monalisa.Metric) { batcher.Add(m) }
+	})
+	engB.RunUntil(horizon)
+	batcher.Drain()
+
+	if got, want := repoB.Series(), repoRef.Series(); len(got) != len(want) {
+		t.Fatalf("series count %d != %d", len(got), len(want))
+	}
+	for _, key := range repoRef.Series() {
+		// Compare last samples and full consolidated history per series.
+		var farm, param string
+		for i := range key {
+			if key[i] == '/' {
+				farm, param = key[:i], key[i+1:]
+			}
+		}
+		lr, _ := repoRef.Last(farm, param)
+		lb, ok := repoB.Last(farm, param)
+		if !ok || lr != lb {
+			t.Fatalf("%s: last %+v != %+v", key, lb, lr)
+		}
+		hr, err1 := repoRef.History(farm, param, 0, 0, horizon)
+		hb, err2 := repoB.History(farm, param, 0, 0, horizon)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: history errs %v %v", key, err1, err2)
+		}
+		if len(hr) != len(hb) {
+			t.Fatalf("%s: history length %d != %d", key, len(hb), len(hr))
+		}
+		for i := range hr {
+			// NaN-aware: empty RRD buckets consolidate to NaN on both
+			// sides, and NaN != NaN.
+			sameVal := hr[i].Value == hb[i].Value ||
+				(math.IsNaN(hr[i].Value) && math.IsNaN(hb[i].Value))
+			if hr[i].Time != hb[i].Time || !sameVal {
+				t.Fatalf("%s[%d]: %+v != %+v", key, i, hb[i], hr[i])
+			}
+		}
+	}
+	st := batcher.Stats()
+	if st.Shed != 0 {
+		t.Fatalf("block policy shed %d events", st.Shed)
+	}
+	if st.Batches < 10 || st.MaxPending != 2 {
+		t.Fatalf("burst did not exercise seal paths: %+v", st)
+	}
+	totalEvents := uint64(0)
+	for s := 0; s < sites; s++ {
+		totalEvents += uint64(s+1) * uint64(horizon/interval)
+	}
+	if st.Events != totalEvents || st.Committed != totalEvents {
+		t.Fatalf("events %d committed %d want %d", st.Events, st.Committed, totalEvents)
+	}
+
+	// Shed variant: under the same burst with a shed batcher, admitted +
+	// shed must equal offered, and drains must free space again.
+	var shedB *Batcher[monalisa.Metric]
+	engS, repoS := build(func(eng *sim.Engine, r *monalisa.Repository) func(monalisa.Metric) {
+		shedB = New(eng.Now, r.IngestBatch,
+			Options{BatchSize: 3, Pending: 1, Policy: Shed})
+		r.PreRead = shedB.Drain
+		return func(m monalisa.Metric) { shedB.Add(m) }
+	})
+	engS.RunUntil(horizon)
+	shedB.Drain()
+	sst := shedB.Stats()
+	if sst.Shed == 0 {
+		t.Fatal("shed policy never dropped under burst")
+	}
+	if sst.Events+sst.Shed != totalEvents {
+		t.Fatalf("admitted %d + shed %d != offered %d", sst.Events, sst.Shed, totalEvents)
+	}
+	if sst.Committed != sst.Events {
+		t.Fatalf("committed %d != admitted %d", sst.Committed, sst.Events)
+	}
+	if len(repoS.Series()) == 0 {
+		t.Fatal("shed run committed nothing")
+	}
+}

@@ -1,0 +1,152 @@
+package ingest
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func sampleRecords(n int) []UsageRecord {
+	vos := []string{"atlas", "btev", "cms", "ivdgl", "ligo", "sdss", "usatlas", "uscms"}
+	out := make([]UsageRecord, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, UsageRecord{
+			VO:         vos[i%len(vos)] + string(rune('a'+i/len(vos))),
+			Window:     7,
+			Start:      time.Duration(7) * time.Hour,
+			End:        time.Duration(8) * time.Hour,
+			Jobs:       uint64(i * 3),
+			CPUSeconds: uint64(i * 1000),
+			Bytes:      uint64(i) << 20,
+		})
+	}
+	return out
+}
+
+func TestRootAndProveAllLeaves(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 13} {
+		recs := sampleRecords(n)
+		root := Root(recs)
+		for i := range recs {
+			p, err := Prove(recs, i)
+			if err != nil {
+				t.Fatalf("n=%d Prove(%d): %v", n, i, err)
+			}
+			if !Verify(root, p) {
+				t.Fatalf("n=%d leaf %d: proof rejected", n, i)
+			}
+			// A tampered record must not verify.
+			bad := *p
+			bad.Record.CPUSeconds++
+			if Verify(root, &bad) {
+				t.Fatalf("n=%d leaf %d: tampered record verified", n, i)
+			}
+		}
+	}
+}
+
+func TestRootSensitivity(t *testing.T) {
+	recs := sampleRecords(5)
+	root := Root(recs)
+	mutated := sampleRecords(5)
+	mutated[2].Bytes += 1
+	if Root(mutated) == root {
+		t.Fatal("root unchanged after mutating a leaf")
+	}
+	if Root(nil) != ([32]byte{}) {
+		t.Fatal("empty root should be the zero hash")
+	}
+}
+
+func TestProofWireRoundTrip(t *testing.T) {
+	recs := sampleRecords(6)
+	root := Root(recs)
+	p, err := Prove(recs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := EncodeProof(p)
+	dec, err := DecodeProof(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !Verify(root, dec) {
+		t.Fatal("decoded proof rejected against original root")
+	}
+	if !bytes.Equal(EncodeProof(dec), enc) {
+		t.Fatal("re-encode differs from original encoding")
+	}
+}
+
+func TestDecodeProofRejectsMalformed(t *testing.T) {
+	recs := sampleRecords(4)
+	p, _ := Prove(recs, 1)
+	valid := EncodeProof(p)
+
+	cases := map[string][]byte{
+		"empty":       {},
+		"magic only":  []byte("G3PRF"),
+		"bad magic":   append([]byte("XXPRF"), valid[5:]...),
+		"truncated":   valid[:len(valid)-5],
+		"trailing":    append(append([]byte(nil), valid...), 0),
+		"version max": func() []byte { b := append([]byte(nil), valid...); b[5] = 0xff; return b }(),
+		"deep claim": func() []byte {
+			b := append([]byte(nil), valid...)
+			b[len(proofMagic)+2+len(p.Record.VO)+48] = 0xff // step count
+			return b
+		}(),
+		"bad direction": func() []byte {
+			b := append([]byte(nil), valid...)
+			b[len(b)-1] = 7
+			return b
+		}(),
+	}
+	for name, in := range cases {
+		if got, err := DecodeProof(in); err == nil {
+			t.Fatalf("%s: decoded %+v, want error", name, got)
+		} else if !errors.Is(err, ErrBadProof) {
+			t.Fatalf("%s: error %v does not wrap ErrBadProof", name, err)
+		}
+	}
+}
+
+func TestLedgerSealAndProve(t *testing.T) {
+	l := NewLedger()
+	recs := []UsageRecord{
+		{VO: "uscms", Window: 0, Jobs: 4},
+		{VO: "atlas", Window: 0, Jobs: 9},
+		{VO: "ligo", Window: 0, Jobs: 1},
+	}
+	w := l.Seal(0, 0, time.Hour, recs)
+	if w.Records[0].VO != "atlas" || w.Records[2].VO != "uscms" {
+		t.Fatalf("records not sorted by VO: %+v", w.Records)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	p, err := l.Prove(0, "ligo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Verify(w.Root, p) {
+		t.Fatal("ledger proof rejected")
+	}
+	if _, err := l.Prove(0, "nosuch"); err == nil {
+		t.Fatal("proof for absent VO should fail")
+	}
+	if _, err := l.Prove(9, "atlas"); err == nil {
+		t.Fatal("proof for unsealed window should fail")
+	}
+	// Sealing must not alias the caller's slice.
+	recs[0].VO = "mutated"
+	if got, _ := l.Window(0); got.Records[2].VO != "uscms" {
+		t.Fatal("ledger aliased caller records")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double seal should panic")
+		}
+	}()
+	l.Seal(0, 0, time.Hour, nil)
+}

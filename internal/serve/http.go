@@ -57,6 +57,8 @@ func NewHandler(s *Service, hc HandlerConfig) http.Handler {
 	mux.HandleFunc("GET "+p("/api/%s/monitor/metrics"), s.handleMetrics)
 	mux.HandleFunc("GET "+p("/api/%s/monitor/monalisa"), s.handleMonALISA)
 	mux.HandleFunc("GET "+p("/api/%s/monitor/acdc"), s.handleACDC)
+	mux.HandleFunc("GET "+p("/api/%s/audit/roots"), s.handleAuditRoots)
+	mux.HandleFunc("GET "+p("/api/%s/audit/proof"), s.handleAuditProof)
 	mux.HandleFunc("GET "+p("/api/%s/sites"), s.handleSites)
 	mux.HandleFunc("GET "+p("/api/%s/goc/tickets"), s.handleTickets)
 	mux.HandleFunc("GET "+p("/api/%s/goc/tickets/{id}"), s.handleTicket)

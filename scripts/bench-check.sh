@@ -12,6 +12,7 @@ set -eu
 BASE=${1:-BENCH_sim.json}
 DATA_BASE=${2:-BENCH_data.json}
 SERVE_BASE=${3:-BENCH_serve.json}
+INGEST_BASE=${4:-BENCH_ingest.json}
 # ns/op may regress up to 30% before this trips (short-run noise margin).
 NS_SLACK=1.3
 # allocs/op must stay flat, modulo a small absolute allowance: the short
@@ -20,6 +21,11 @@ NS_SLACK=1.3
 ALLOC_SLACK=64
 # The §7 milestone floor: managed runs must sustain at least 2 TB/day.
 TB_FLOOR=2.0
+# Ingestion floor: the checked-in ingest sweep must show the batched
+# monitoring path sustaining at least this many metric events per second
+# (advisory — the checked-in run clears it by an order of magnitude, so a
+# trip means the pipeline collapsed, not that the runner was slow).
+EVENTS_FLOOR=1000000
 # Ingress floor: the checked-in serve bench must show the daemon sustaining
 # at least this many good requests per second (well under what any modern
 # machine produces; this catches a collapsed ingress path, not slow iron).
@@ -156,6 +162,34 @@ if [ -f "$SERVE_BASE" ]; then
     fi
 else
     echo "bench-check: $SERVE_BASE not found, skipping the serve check" >&2
+fi
+
+# Ingestion check: the checked-in ingest sweep must show batched
+# throughput over the floor with its usage-ledger audit fully verified.
+if [ -f "$INGEST_BASE" ]; then
+    eps=$(sed -n 's/.*"best_events_per_second": \([0-9.e+-]*\).*/\1/p' "$INGEST_BASE" | head -n 1)
+    audited=$(sed -n 's/.*"audit_verified": \(true\|false\).*/\1/p' "$INGEST_BASE" | head -n 1)
+    if [ -z "$eps" ]; then
+        echo "bench-check: best_events_per_second missing from $INGEST_BASE" >&2
+        status=1
+    else
+        verdict=$(echo "$eps" | awk -v floor="$EVENTS_FLOOR" '{
+            if ($1 + 0 < floor + 0)
+                printf "FAIL batched ingest %.0f events/s below the %d events/s floor\n", $1, floor
+            else
+                printf "ok batched ingest %.0f events/s (floor %d)\n", $1, floor
+        }')
+        echo "bench-check: ingest sweep: $verdict"
+        case "$verdict" in
+            FAIL*) status=1 ;;
+        esac
+        if [ "$audited" != "true" ]; then
+            echo "bench-check: ingest sweep: FAIL audit_verified is not true in $INGEST_BASE" >&2
+            status=1
+        fi
+    fi
+else
+    echo "bench-check: $INGEST_BASE not found, skipping the ingest check" >&2
 fi
 
 exit $status

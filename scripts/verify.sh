@@ -3,7 +3,8 @@
 # and the race detector over the concurrency surfaces (the parallel sweep
 # runner, the shared metrics registry, the health monitor, the sharded
 # event engine and eval pool, the serve ingress boundary, the checkpoint
-# store and its concurrent warm-start consumers).
+# store and its concurrent warm-start consumers, the ingest batching
+# pipeline).
 #
 # CI runs this exact script (.github/workflows/ci.yml), so the local gate
 # and the hosted one cannot drift. Run from the repo root: ./scripts/verify.sh
@@ -29,6 +30,6 @@ go test ./...
 echo '== go test -race (concurrency surfaces)'
 go test -race ./internal/obs/... ./internal/campaign/... ./internal/health/... \
     ./internal/sim/... ./internal/serve/... ./internal/condorg/... \
-    ./internal/checkpoint/...
+    ./internal/checkpoint/... ./internal/ingest/...
 
 echo 'verify: OK'
