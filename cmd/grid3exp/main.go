@@ -1,0 +1,159 @@
+// Command grid3exp executes a declarative experiment grid (grid3.exp/1):
+// every experiment in a checked-in spec runs deterministically through
+// the campaign layer and writes the BENCH_*.json report it owns, then an
+// analyzer pass regenerates the grouped CSV and the EXPERIMENTS.md
+// summary block. The repo's reference evidence set is one command:
+//
+//	go run ./cmd/grid3exp run experiments/core.json
+//
+// Subcommands:
+//
+//	run SPEC [-out-dir DIR] [-only NAME[,NAME...]]
+//	    Execute the grid. -only restricts the pass to the named
+//	    experiments and skips the CSV/markdown regeneration (a partial
+//	    pass must not rewrite summaries it did not recompute).
+//	check SPEC
+//	    Decode and validate only; prints the experiment list.
+//	norm FILE
+//	    Print the file's normalized JSON — wall-clock fields zeroed,
+//	    keys sorted — the diffable form CI compares across runs.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"flag"
+
+	"grid3/internal/exp"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: grid3exp <command> [args]
+
+commands:
+  run SPEC [-out-dir DIR] [-only NAME[,NAME...]]   execute the grid
+  check SPEC                                       validate the spec
+  norm FILE                                        print normalized report JSON
+`)
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = runCmd(os.Args[2:])
+	case "check":
+		err = checkCmd(os.Args[2:])
+	case "norm":
+		err = normCmd(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "grid3exp:", err)
+		os.Exit(1)
+	}
+}
+
+// specArg splits the positional spec path from the flag arguments so both
+// "run spec.json -only x" and "run -only x spec.json" parse.
+func specArg(fs *flag.FlagSet, args []string) (string, error) {
+	var positional []string
+	rest := args
+	for len(rest) > 0 {
+		if err := fs.Parse(rest); err != nil {
+			return "", err
+		}
+		rest = fs.Args()
+		if len(rest) > 0 {
+			positional = append(positional, rest[0])
+			rest = rest[1:]
+		}
+	}
+	if len(positional) != 1 {
+		return "", fmt.Errorf("want exactly one spec file, got %d", len(positional))
+	}
+	return positional[0], nil
+}
+
+func runCmd(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	outDir := fs.String("out-dir", "", "directory receiving every output (default: current directory)")
+	only := fs.String("only", "", "comma-separated experiment names: run just these, skip summaries")
+	path, err := specArg(fs, args)
+	if err != nil {
+		return err
+	}
+	spec, err := exp.DecodeFile(path)
+	if err != nil {
+		return err
+	}
+	opts := exp.RunOptions{OutDir: *outDir, Log: os.Stdout}
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				opts.Only = append(opts.Only, name)
+			}
+		}
+	}
+	outcomes, err := exp.Run(spec, opts)
+	if err != nil {
+		return err
+	}
+	// A partial pass skips the summaries: the CSV and markdown describe
+	// the whole grid, and rewriting them from a subset would lie.
+	if len(opts.Only) > 0 {
+		return nil
+	}
+	if err := exp.Analyze(spec, outcomes, *outDir); err != nil {
+		return err
+	}
+	if spec.CSV != "" {
+		fmt.Println("wrote", spec.CSV)
+	}
+	if spec.Markdown != "" {
+		fmt.Println("rewrote", spec.Markdown)
+	}
+	return nil
+}
+
+func checkCmd(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	path, err := specArg(fs, args)
+	if err != nil {
+		return err
+	}
+	spec, err := exp.DecodeFile(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: ok (%s, %d experiments)\n", path, spec.Schema, len(spec.Experiments))
+	for _, e := range spec.Experiments {
+		fmt.Printf("  %-12s %-7s -> %s\n", e.Name, e.Mode, e.Out)
+	}
+	return nil
+}
+
+func normCmd(args []string) error {
+	fs := flag.NewFlagSet("norm", flag.ExitOnError)
+	path, err := specArg(fs, args)
+	if err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	out, err := exp.Normalize(raw)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	_, err = os.Stdout.Write(out)
+	return err
+}

@@ -136,6 +136,10 @@ func main() {
 	ingestBatch := flag.Int("ingest-batch", 0, "batch the monitoring path at N events per commit and arm the Merkle usage ledger (0 = per-event; output is identical at every N)")
 	ingestWindow := flag.Duration("ingest-window", 0, "batching/audit window (0 = the monitor interval; needs -ingest-batch)")
 	ingestSweepOn := flag.Bool("ingest-sweep", false, "run the ingestion campaign: synthetic metric stream per batch size plus an audit-verified batched scenario")
+	upgradeAt := flag.Duration("upgrade-at", 0, "start the rolling VDT/Pacman upgrade wave at this sim time (0 = off)")
+	upgradeStagger := flag.Duration("upgrade-stagger", 0, "tier-to-tier stagger for -upgrade-at (0 = the 48h default)")
+	certLifetime := flag.Duration("cert-lifetime", 0, "arm GSI host-credential expiry storms with this per-site lifetime (0 = off)")
+	certRenewal := flag.Duration("cert-renewal", 0, "mean renewal outage for -cert-lifetime (0 = the 3h default)")
 	jsonOut := flag.String("json-out", "", "write the active mode's report JSON to this file (schema follows the mode)")
 	checkpointAt := flag.String("checkpoint-at", "", "comma-separated sim times (e.g. 240h,360h): capture a snapshot at each into -checkpoint-out")
 	checkpointOut := flag.String("checkpoint-out", "", "snapshot file receiving -checkpoint-at captures (the file holds the latest capture)")
@@ -168,6 +172,18 @@ func main() {
 		JobScale:        *scale,
 		DisableFailures: *noFailures,
 	}
+	// Wave families: the tuning flags require their arming flag, the same
+	// loud refusal the checkpoint pair gets.
+	if *upgradeStagger != 0 && *upgradeAt == 0 {
+		fmt.Fprintln(os.Stderr, "grid3sim: -upgrade-stagger needs -upgrade-at")
+		os.Exit(2)
+	}
+	if *certRenewal != 0 && *certLifetime == 0 {
+		fmt.Fprintln(os.Stderr, "grid3sim: -cert-renewal needs -cert-lifetime")
+		os.Exit(2)
+	}
+	cfg.UpgradeWave = core.UpgradeWaveConfig{Start: *upgradeAt, Stagger: *upgradeStagger}
+	cfg.CertWave = core.CertWaveConfig{Lifetime: *certLifetime, RenewalDelay: *certRenewal}
 
 	// Checkpoint flags arm the single-run capture loop; both halves are
 	// needed (times without a destination, or a destination with nothing to
@@ -431,6 +447,17 @@ func main() {
 			fmt.Fprintf(w, "  %-18s %4d incidents, %5d jobs killed\n",
 				kind, counts[kind], killed[kind])
 		}
+	}
+
+	// Wave-family summaries (only when armed, so default output is
+	// byte-identical to a wave-free build).
+	if uw := s.Upgrade; uw != nil {
+		fmt.Fprintf(w, "Upgrade wave: %d/%d sites on the new release (%d reinstall kills, %d skew kills, converged at %v)\n",
+			uw.SitesUpgraded, len(s.Grid.Order), uw.RestartKills, uw.SkewKills, uw.ConvergedAt)
+	}
+	if cw := s.Certs; cw != nil {
+		fmt.Fprintf(w, "Cert storms: %d expiries, %d renewals, %d revocations\n",
+			cw.Expiries, cw.Renewals, cw.Revocations)
 	}
 }
 

@@ -44,6 +44,8 @@
 //	WithoutAffinity     -no-affinity WithReplicaRanking   -replica-rank
 //	WithTracer          -trace-out   WithMetricsSink      -metrics-out
 //	WithIngestBatching  -ingest-batch/-ingest-window
+//	WithUpgradeWave     -upgrade-at/-upgrade-stagger
+//	WithCertWave        -cert-lifetime/-cert-renewal
 //	WithCheckpointAt    -checkpoint-at/-checkpoint-out    Restore  -restore
 //
 // (WithRealTime has no grid3sim flag; it paces the grid3d daemon.)
@@ -291,6 +293,36 @@ func WithRecovery() Option {
 // the chaos campaign. 0 and 1 leave the calibrated rates untouched.
 func WithChaos(intensity float64) Option {
 	return func(c *ScenarioConfig) { c.ChaosIntensity = intensity }
+}
+
+// UpgradeWaveConfig schedules the §5.1 rolling VDT/Pacman upgrade campaign;
+// see WithUpgradeWave.
+type UpgradeWaveConfig = core.UpgradeWaveConfig
+
+// CertWaveConfig schedules GSI host-credential expiry/revocation storms;
+// see WithCertWave.
+type CertWaveConfig = core.CertWaveConfig
+
+// WithUpgradeWave arms the rolling VDT/Pacman upgrade campaign: starting at
+// w.Start, sites reinstall onto the next Grid3 release tier by tier (Tier1
+// labs first, staggered by w.Stagger), each taking a w.Outage service
+// outage that kills its jobs; while the fleet is mixed-version, upgraded
+// sites suffer skew-induced job losses at w.SkewLossPerDay. The wave draws
+// from its own seed-salted stream, so runs without it are untouched. The
+// zero-Start config disables the wave.
+func WithUpgradeWave(w UpgradeWaveConfig) Option {
+	return func(c *ScenarioConfig) { c.UpgradeWave = w }
+}
+
+// WithCertWave arms GSI host-credential expiry/revocation storms: every
+// site's gatekeeper credential carries lifetime w.Lifetime (issuance
+// staggered across w.Spread), and each lapse takes the site's auth dark —
+// empty grid-mapfile, unhealthy gatekeeper — until a renewed credential
+// lands after ~w.RenewalDelay. Combine with WithHealthProbes to watch the
+// storms surface as breaker transitions and iGOC tickets. The
+// zero-Lifetime config disables the wave.
+func WithCertWave(w CertWaveConfig) Option {
+	return func(c *ScenarioConfig) { c.CertWave = w }
 }
 
 // ── Data-plane options ──────────────────────────────────────────────────

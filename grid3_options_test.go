@@ -53,6 +53,12 @@ func TestOptionMatrix(t *testing.T) {
 		{"WithHealthProbes", WithHealthProbes(), func(c ScenarioConfig) bool { return c.Config.EnableHealth }},
 		{"WithRecovery", WithRecovery(), func(c ScenarioConfig) bool { return c.Config.EnableRecovery }},
 		{"WithChaos", WithChaos(2.5), func(c ScenarioConfig) bool { return c.ChaosIntensity == 2.5 }},
+		{"WithUpgradeWave", WithUpgradeWave(UpgradeWaveConfig{Start: 72 * time.Hour}), func(c ScenarioConfig) bool {
+			return c.UpgradeWave.Enabled() && c.UpgradeWave.Start == 72*time.Hour
+		}},
+		{"WithCertWave", WithCertWave(CertWaveConfig{Lifetime: 48 * time.Hour}), func(c ScenarioConfig) bool {
+			return c.CertWave.Enabled() && c.CertWave.Lifetime == 48*time.Hour
+		}},
 		{"WithTransferDoors", WithTransferDoors(8), func(c ScenarioConfig) bool { return c.Config.TransferDoors == 8 }},
 		{"WithReplicaRanking", WithReplicaRanking(), func(c ScenarioConfig) bool { return c.Config.EnableReplicaRanking }},
 		{"WithStorageCleanup", WithStorageCleanup(0.3), func(c ScenarioConfig) bool {

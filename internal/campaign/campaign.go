@@ -60,6 +60,9 @@ type Result struct {
 	// StageLatencies holds the run's per-stage span-duration histograms
 	// (stage name → snapshot), nil unless the run had observability on.
 	StageLatencies map[string]obs.HistSnapshot
+	// Waves carries the operational wave-family counters (rolling
+	// upgrades, cert storms); zero when neither family was armed.
+	Waves core.WaveStats
 }
 
 // Stat is a min/mean/max summary across seeds.
@@ -184,6 +187,7 @@ func execute(r Run) (Result, error) {
 		Events:     s.Grid.Eng.Processed(),
 		Milestones: s.ComputeMilestones(),
 		Table1:     s.Table1(),
+		Waves:      s.WaveStats(),
 	}
 	var buf bytes.Buffer
 	s.WriteTable1(&buf)
@@ -293,6 +297,20 @@ func (rep *Report) Write(w io.Writer) {
 	sort.Strings(voNames)
 	for _, v := range voNames {
 		row("Efficiency "+v, rep.Agg.EfficiencyByVO[v], "%8.2f")
+	}
+	var waves core.WaveStats
+	for _, r := range rep.Runs {
+		waves.UpgradedSites += r.Waves.UpgradedSites
+		waves.UpgradeKills += r.Waves.UpgradeKills
+		waves.SkewKills += r.Waves.SkewKills
+		waves.CertExpiries += r.Waves.CertExpiries
+		waves.CertRenewals += r.Waves.CertRenewals
+		waves.CertRevocations += r.Waves.CertRevocations
+	}
+	if !waves.Zero() {
+		fmt.Fprintf(w, "  Waves (all seeds): %d site upgrades (%d restart kills, %d skew kills), %d cert expiries, %d renewals, %d revocations\n",
+			waves.UpgradedSites, waves.UpgradeKills, waves.SkewKills,
+			waves.CertExpiries, waves.CertRenewals, waves.CertRevocations)
 	}
 	if len(rep.Agg.StageLatency) > 0 {
 		fmt.Fprintf(w, "  Stage latency quantiles (s):\n")

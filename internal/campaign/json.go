@@ -42,6 +42,19 @@ type sweepRunJSON struct {
 	Jobs        int     `json:"jobs"`
 	Records     int     `json:"records"`
 	Events      uint64  `json:"events"`
+	// Waves appears only when a wave family was armed, so wave-free sweep
+	// reports stay byte-identical to the pre-wave schema (additive within
+	// grid3.sweep/1).
+	Waves *waveStatsJSON `json:"waves,omitempty"`
+}
+
+type waveStatsJSON struct {
+	UpgradedSites   int `json:"upgraded_sites"`
+	UpgradeKills    int `json:"upgrade_kills"`
+	SkewKills       int `json:"skew_kills"`
+	CertExpiries    int `json:"cert_expiries"`
+	CertRenewals    int `json:"cert_renewals"`
+	CertRevocations int `json:"cert_revocations"`
 }
 
 type statJSON struct {
@@ -112,10 +125,21 @@ func (rep *Report) JSON() ([]byte, error) {
 	}
 	for _, r := range rep.Runs {
 		rec.Events += r.Events
-		rec.Runs = append(rec.Runs, sweepRunJSON{
+		run := sweepRunJSON{
 			Seed: r.Seed, Scale: r.Scale, ElapsedSecs: r.Elapsed.Seconds(),
 			Jobs: r.Submitted, Records: r.Records, Events: r.Events,
-		})
+		}
+		if !r.Waves.Zero() {
+			run.Waves = &waveStatsJSON{
+				UpgradedSites:   r.Waves.UpgradedSites,
+				UpgradeKills:    r.Waves.UpgradeKills,
+				SkewKills:       r.Waves.SkewKills,
+				CertExpiries:    r.Waves.CertExpiries,
+				CertRenewals:    r.Waves.CertRenewals,
+				CertRevocations: r.Waves.CertRevocations,
+			}
+		}
+		rec.Runs = append(rec.Runs, run)
 	}
 	return marshalReport(rec)
 }

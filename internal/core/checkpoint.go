@@ -29,6 +29,11 @@ type wireScenario struct {
 	DisableTransferDemo bool           `json:"disable_transfer_demo"`
 	JobScale            float64        `json:"job_scale"`
 	RealTimePace        float64        `json:"real_time_pace"`
+	// The wave families are plain data and must replay bit-for-bit, so
+	// they ride in the snapshot like every other workload knob. Snapshots
+	// written before the waves existed decode with both left zero (off).
+	UpgradeWave UpgradeWaveConfig `json:"upgrade_wave"`
+	CertWave    CertWaveConfig    `json:"cert_wave"`
 }
 
 func marshalScenarioConfig(cfg ScenarioConfig) ([]byte, error) {
@@ -42,6 +47,8 @@ func marshalScenarioConfig(cfg ScenarioConfig) ([]byte, error) {
 		DisableTransferDemo: cfg.DisableTransferDemo,
 		JobScale:            cfg.JobScale,
 		RealTimePace:        cfg.RealTimePace,
+		UpgradeWave:         cfg.UpgradeWave,
+		CertWave:            cfg.CertWave,
 	})
 }
 
@@ -62,6 +69,8 @@ func unmarshalScenarioConfig(data []byte) (ScenarioConfig, error) {
 		DisableTransferDemo: w.DisableTransferDemo,
 		JobScale:            w.JobScale,
 		RealTimePace:        w.RealTimePace,
+		UpgradeWave:         w.UpgradeWave,
+		CertWave:            w.CertWave,
 	}, nil
 }
 

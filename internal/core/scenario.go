@@ -61,6 +61,12 @@ type ScenarioConfig struct {
 	// MetricsSinks receive the final metrics snapshot once, at Finish.
 	// Setting any sink implies EnableObservability.
 	MetricsSinks []obs.MetricsSink
+	// UpgradeWave schedules the §5.1 rolling VDT/Pacman upgrade campaign
+	// across the testbed; the zero value leaves it off.
+	UpgradeWave UpgradeWaveConfig
+	// CertWave schedules GSI host-credential expiry/revocation storms;
+	// the zero value leaves it off.
+	CertWave CertWaveConfig
 	// CheckpointAt lists sim times at which Run captures a snapshot into
 	// CheckpointStore (both must be set; times past the horizon are
 	// skipped). Capture is a pure read, so a checkpointing run stays
@@ -77,6 +83,10 @@ type Scenario struct {
 	Generators map[string]*apps.Generator
 	Demo       *apps.TransferDemo
 	Injector   *failure.Injector
+	// Upgrade and Certs are the armed wave families (nil when their
+	// configs are zero); see UpgradeWaveConfig and CertWaveConfig.
+	Upgrade *UpgradeWave
+	Certs   *CertWave
 
 	// CheckpointIDs records the store IDs of the snapshots Run captured
 	// (in capture order) when Cfg.CheckpointAt/CheckpointStore are set.
@@ -177,6 +187,21 @@ func NewScenario(cfg ScenarioConfig) (*Scenario, error) {
 				Site: n.Site, Batch: n.Batch, Gatekeeper: n.Gatekeeper,
 			})
 		}
+	}
+
+	// Operational wave families, both strictly opt-in: each draws from its
+	// own seed-salted stream, so a run without them is byte-identical to
+	// one where the knobs never existed.
+	if cfg.UpgradeWave.Enabled() {
+		s.Upgrade = armUpgradeWave(g, cfg.UpgradeWave)
+	}
+	if cfg.CertWave.Enabled() {
+		certs, err := armCertWave(g, cfg.CertWave)
+		if err != nil {
+			g.Close()
+			return nil, err
+		}
+		s.Certs = certs
 	}
 	return s, nil
 }

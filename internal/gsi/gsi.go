@@ -176,6 +176,14 @@ func (ca *CA) Issue(subject string, now time.Time, lifetime time.Duration) (*Cre
 	return &Credential{Cert: cert, Key: priv}, nil
 }
 
+// Renew issues a fresh credential for the same subject as cred, signed by
+// this CA with a new key and the given validity window — the certificate
+// renewal a site performs when its host credential approaches (or passes)
+// expiry. The old credential is untouched; callers swap references.
+func (ca *CA) Renew(cred *Credential, now time.Time, lifetime time.Duration) (*Credential, error) {
+	return ca.Issue(cred.Cert.Subject, now, lifetime)
+}
+
 // NewProxy derives a short-lived proxy credential from cred, as grid-proxy-init
 // does. The proxy subject extends the signer's subject with "/CN=proxy", its
 // lifetime must not exceed the signer's, and chain depth is bounded.

@@ -67,6 +67,19 @@ func (c *Cache) Add(p *Package) {
 // Trust chains an upstream cache, consulted after this one.
 func (c *Cache) Trust(up *Cache) { c.upstream = append(c.upstream, up) }
 
+// Clone returns a new cache named name carrying this cache's packages.
+// Upstream links are not copied: a clone is a frozen release snapshot, the
+// way the iGOC cut an updated cache by replacing a few packages while
+// inheriting the rest of the graph. Packages are shared, not deep-copied —
+// they are immutable once published.
+func (c *Cache) Clone(name string) *Cache {
+	out := NewCache(name)
+	for n, p := range c.packages {
+		out.packages[n] = p
+	}
+	return out
+}
+
 // Lookup finds a package by name in this cache or its upstream chain.
 func (c *Cache) Lookup(name string) (*Package, error) {
 	return c.lookup(name, map[*Cache]bool{})

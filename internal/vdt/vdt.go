@@ -22,6 +22,15 @@ const (
 	Grid3Version = "1.0"
 )
 
+// The next release cut mid-run for the §5.1 rolling-upgrade campaigns:
+// "the Grid3 infrastructure allowed for rolling upgrades ... new versions
+// of the VDT were propagated with Pacman while the grid stayed in
+// production".
+const (
+	NextVDTVersion   = "1.2.0"
+	NextGrid3Version = "1.1"
+)
+
 // Grid3Cache builds the iGOC's authoritative Pacman cache carrying the
 // Grid3 package and its full dependency closure.
 func Grid3Cache() *pacman.Cache {
@@ -67,6 +76,24 @@ func Grid3Cache() *pacman.Cache {
 	return c
 }
 
+// UpgradeCache cuts the iGOC cache for the NextGrid3Version release from a
+// base cache: the same dependency graph with the vdt and grid3 umbrella
+// packages bumped. Leaf components keep their versions, so a site that
+// already carries the base install only pulls the two new umbrellas — the
+// incremental `pacman -get Grid3` a rolling upgrade performs.
+func UpgradeCache(base *pacman.Cache) *pacman.Cache {
+	c := base.Clone("iGOC-grid3-" + NextGrid3Version)
+	c.Add(&pacman.Package{Name: "vdt", Version: NextVDTVersion, Depends: []string{
+		"globus-gsi", "globus-gram", "globus-gridftp", "globus-mds",
+		"condor", "condor-g", "chimera", "pegasus", "rls-client",
+		"edg-mkgridmap",
+	}, Paths: []string{"/opt/vdt"}})
+	c.Add(&pacman.Package{Name: "grid3", Version: NextGrid3Version,
+		Depends: []string{"vdt", "ganglia", "monalisa"},
+		Paths:   []string{"/opt/grid3", "$APP", "$DATA", "$WNTMP"}})
+	return c
+}
+
 // SiteTarget adapts a site's application area to pacman.Target.
 type SiteTarget struct {
 	Site *site.Site
@@ -86,6 +113,14 @@ func (t SiteTarget) Record(p *pacman.Package) error {
 func InstallGrid3(cache *pacman.Cache, st *site.Site) error {
 	_, err := pacman.Install(cache, SiteTarget{Site: st}, "grid3")
 	return err
+}
+
+// InstallUpgrade performs one site's rolling upgrade against an
+// UpgradeCache: the incremental pacman pull that lands the new vdt and
+// grid3 umbrellas on top of the existing install. It returns the packages
+// actually installed (already-present components are skipped).
+func InstallUpgrade(cache *pacman.Cache, st *site.Site) ([]*pacman.Package, error) {
+	return pacman.Install(cache, SiteTarget{Site: st}, "grid3")
 }
 
 // Check is one post-installation certification probe.

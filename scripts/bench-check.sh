@@ -4,10 +4,15 @@
 # baselines. Fails when ns/op regresses more than the threshold or when
 # allocs/op grows at all (the hot path is supposed to stay allocation-flat).
 #
+# Baseline values are read with jq path lookups that fail loudly when a
+# key is missing or null — a renamed or dropped field is a broken gate,
+# not a silently skipped check.
+#
 # Short benchtimes are noisy, so CI runs this as a non-blocking job: a red
 # check is a prompt to rerun scripts/bench.sh on quiet hardware, not proof
-# of a regression. Run from the repo root: ./scripts/bench-check.sh
+# of a regression. Runs from any directory: ./scripts/bench-check.sh
 set -eu
+cd "$(dirname "$0")/.."
 
 BASE=${1:-BENCH_sim.json}
 DATA_BASE=${2:-BENCH_data.json}
@@ -38,10 +43,24 @@ RPS_FLOOR=50
 PSPEED_FLOOR=3.0
 BENCHES='BenchmarkEngineStep$|BenchmarkScenarioDay$'
 
+command -v jq >/dev/null 2>&1 || {
+    echo "bench-check: jq is required (baseline lookups)" >&2
+    exit 1
+}
+
 if [ ! -f "$BASE" ]; then
     echo "bench-check: baseline $BASE not found" >&2
     exit 1
 fi
+
+# jqget FILE FILTER LABEL — exact path lookup; a missing or null value is
+# a loud failure naming the key, never an empty string.
+jqget() {
+    if ! jq -er "$2" "$1"; then
+        echo "bench-check: $3 missing from $1" >&2
+        return 1
+    fi
+}
 
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
@@ -57,12 +76,8 @@ fi
 
 status=0
 for name in BenchmarkEngineStep BenchmarkScenarioDay; do
-    baseline=$(sed -n "s/.*\"name\": \"$name\", .*\"ns_per_op\": \([0-9.e+]*\), \"bytes_per_op\": [0-9.e+]*, \"allocs_per_op\": \([0-9]*\).*/\1 \2/p" "$BASE")
-    if [ -z "$baseline" ]; then
-        echo "bench-check: $name missing from $BASE" >&2
-        status=1
-        continue
-    fi
+    base_ns=$(jqget "$BASE" "first(.benchmarks[] | select(.name == \"$name\") | .ns_per_op)" "$name ns_per_op") || { status=1; continue; }
+    base_allocs=$(jqget "$BASE" "first(.benchmarks[] | select(.name == \"$name\") | .allocs_per_op)" "$name allocs_per_op") || { status=1; continue; }
     current=$(awk -v name="$name" '
         $1 ~ "^" name "(-[0-9]+)?$" {
             ns = ""; allocs = ""
@@ -79,7 +94,7 @@ for name in BenchmarkEngineStep BenchmarkScenarioDay; do
         status=1
         continue
     fi
-    verdict=$(echo "$baseline $current" | awk -v slack="$NS_SLACK" -v aslack="$ALLOC_SLACK" '{
+    verdict=$(echo "$base_ns $base_allocs $current" | awk -v slack="$NS_SLACK" -v aslack="$ALLOC_SLACK" '{
         base_ns = $1; base_allocs = $2; ns = $3; allocs = $4
         if (ns > base_ns * slack)
             printf "FAIL ns/op %s vs baseline %s (limit %.0f)\n", ns, base_ns, base_ns * slack
@@ -97,11 +112,7 @@ done
 # Sharded-engine check: the checked-in sharded-day entry must clear the
 # work-parallelism floor. Read from the baseline file — the number is a
 # deterministic property of the partition, so no rerun is needed.
-pspeed=$(sed -n 's/.*"name": "BenchmarkShardedDay".*"parallel_speedup": \([0-9.e+-]*\).*/\1/p' "$BASE" | head -n 1)
-if [ -z "$pspeed" ]; then
-    echo "bench-check: BenchmarkShardedDay parallel_speedup missing from $BASE" >&2
-    status=1
-else
+if pspeed=$(jqget "$BASE" '[.benchmarks[] | select(.name == "BenchmarkShardedDay")][0].parallel_speedup' "BenchmarkShardedDay parallel_speedup"); then
     verdict=$(echo "$pspeed" | awk -v floor="$PSPEED_FLOOR" '{
         if ($1 + 0 < floor + 0)
             printf "FAIL work-parallelism %.2fx below the %.1fx floor\n", $1, floor
@@ -112,17 +123,15 @@ else
     case "$verdict" in
         FAIL*) status=1 ;;
     esac
+else
+    status=1
 fi
 
 # Data-plane milestone check: the checked-in data sweep must show the
 # managed plane sustaining the §7 target across every seed (the minimum,
 # not the mean — one bad seed is a regression).
 if [ -f "$DATA_BASE" ]; then
-    tb_min=$(sed -n 's/.*"managed_tb_per_day_min": \([0-9.e+-]*\).*/\1/p' "$DATA_BASE" | head -n 1)
-    if [ -z "$tb_min" ]; then
-        echo "bench-check: managed_tb_per_day_min missing from $DATA_BASE" >&2
-        status=1
-    else
+    if tb_min=$(jqget "$DATA_BASE" '.managed_tb_per_day_min' "managed_tb_per_day_min"); then
         verdict=$(echo "$tb_min" | awk -v floor="$TB_FLOOR" '{
             if ($1 + 0 < floor + 0)
                 printf "FAIL managed min %.2f TB/day below the %.1f TB/day milestone\n", $1, floor
@@ -133,6 +142,8 @@ if [ -f "$DATA_BASE" ]; then
         case "$verdict" in
             FAIL*) status=1 ;;
         esac
+    else
+        status=1
     fi
 else
     echo "bench-check: $DATA_BASE not found, skipping the data-plane check" >&2
@@ -141,13 +152,10 @@ fi
 # Serve bench check: the checked-in grid3d load report must show the
 # ingress boundary sustaining a sane request rate with its goodput intact.
 if [ -f "$SERVE_BASE" ]; then
-    rps=$(sed -n 's/.*"sustained_rps": \([0-9.e+-]*\).*/\1/p' "$SERVE_BASE" | head -n 1)
-    goodput=$(sed -n 's/.*"goodput": \([0-9.e+-]*\).*/\1/p' "$SERVE_BASE" | head -n 1)
-    if [ -z "$rps" ]; then
-        echo "bench-check: sustained_rps missing from $SERVE_BASE" >&2
-        status=1
-    else
-        verdict=$(echo "$rps ${goodput:-0}" | awk -v floor="$RPS_FLOOR" '{
+    rps=$(jqget "$SERVE_BASE" '.sustained_rps' "sustained_rps") || status=1
+    goodput=$(jqget "$SERVE_BASE" '.goodput' "goodput") || status=1
+    if [ -n "${rps:-}" ] && [ -n "${goodput:-}" ]; then
+        verdict=$(echo "$rps $goodput" | awk -v floor="$RPS_FLOOR" '{
             if ($1 + 0 < floor + 0)
                 printf "FAIL sustained %.1f req/s below the %.0f req/s floor\n", $1, floor
             else if ($2 + 0 < 0.9)
@@ -167,12 +175,7 @@ fi
 # Ingestion check: the checked-in ingest sweep must show batched
 # throughput over the floor with its usage-ledger audit fully verified.
 if [ -f "$INGEST_BASE" ]; then
-    eps=$(sed -n 's/.*"best_events_per_second": \([0-9.e+-]*\).*/\1/p' "$INGEST_BASE" | head -n 1)
-    audited=$(sed -n 's/.*"audit_verified": \(true\|false\).*/\1/p' "$INGEST_BASE" | head -n 1)
-    if [ -z "$eps" ]; then
-        echo "bench-check: best_events_per_second missing from $INGEST_BASE" >&2
-        status=1
-    else
+    if eps=$(jqget "$INGEST_BASE" '.best_events_per_second' "best_events_per_second"); then
         verdict=$(echo "$eps" | awk -v floor="$EVENTS_FLOOR" '{
             if ($1 + 0 < floor + 0)
                 printf "FAIL batched ingest %.0f events/s below the %d events/s floor\n", $1, floor
@@ -183,10 +186,15 @@ if [ -f "$INGEST_BASE" ]; then
         case "$verdict" in
             FAIL*) status=1 ;;
         esac
-        if [ "$audited" != "true" ]; then
-            echo "bench-check: ingest sweep: FAIL audit_verified is not true in $INGEST_BASE" >&2
+        # tostring keeps `false` distinguishable from a missing key under
+        # jq -e (which treats a bare false output as failure).
+        audited=$(jqget "$INGEST_BASE" 'if has("audit_verified") then .audit_verified | tostring else empty end' "audit_verified") || status=1
+        if [ -n "${audited:-}" ] && [ "$audited" != "true" ]; then
+            echo "bench-check: ingest sweep: FAIL audit_verified is $audited in $INGEST_BASE" >&2
             status=1
         fi
+    else
+        status=1
     fi
 else
     echo "bench-check: $INGEST_BASE not found, skipping the ingest check" >&2

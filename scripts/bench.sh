@@ -5,10 +5,11 @@
 # parallel sweep's speedup with its bit-identical-output check, and the
 # sharded engine's work-parallelism on a 1000-site day at -shards 4).
 #
-# Run from the repo root: ./scripts/bench.sh
+# Runs from any directory: ./scripts/bench.sh
 # Paper-exhibit benches (figures/tables) are separate:
 #   go test -bench=. -benchtime=1x .
 set -eu
+cd "$(dirname "$0")/.."
 
 OUT=${1:-BENCH_sim.json}
 RAW=$(mktemp)

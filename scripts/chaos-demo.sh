@@ -1,19 +1,12 @@
 #!/bin/sh
-# Run a small reference chaos sweep and record it in BENCH_chaos.json:
-# the fault-tolerance curve this repo tracks across PRs (goodput
-# retention, baseline vs closed-loop recovery, and per-failure-kind
-# MTTD/MTTR at each intensity).
+# Thin wrapper: the reference chaos sweep is declared in
+# experiments/core.json now. This runs just its "chaos" experiment and
+# refreshes BENCH_chaos.json in place; run the whole grid (plus the CSV
+# and EXPERIMENTS.md summaries) with:
 #
-# Run from the repo root: ./scripts/chaos-demo.sh [out.json]
+#   go run ./cmd/grid3exp run experiments/core.json
+#
+# Runs from any directory: ./scripts/chaos-demo.sh
 set -eu
-
-OUT=${1:-BENCH_chaos.json}
-TMP=$(mktemp -d)
-trap 'rm -rf "$TMP"' EXIT INT TERM
-
-go build -o "$TMP/grid3sim" ./cmd/grid3sim
-"$TMP/grid3sim" -chaos 1,2,4 -seeds 1,2 -scale 0.05 -days 1 \
-	-json-out "$OUT"
-
-echo
-echo "wrote $OUT"
+cd "$(dirname "$0")/.."
+exec go run ./cmd/grid3exp run experiments/core.json -only chaos

@@ -1,19 +1,12 @@
 #!/bin/sh
-# Run a small reference data sweep and record it in BENCH_data.json: the
-# data-plane evidence this repo tracks across PRs — TB/day with the raw
-# GridFTP baseline vs the managed plane (SRM lifecycle, transfer doors,
-# load-ranked replicas), plus queueing and SRM lifecycle activity per seed.
+# Thin wrapper: the data-plane sweep is declared in experiments/core.json
+# now. This runs just its "data" experiment and refreshes BENCH_data.json
+# in place; run the whole grid (plus the CSV and EXPERIMENTS.md
+# summaries) with:
 #
-# Run from the repo root: ./scripts/data-demo.sh [out.json]
+#   go run ./cmd/grid3exp run experiments/core.json
+#
+# Runs from any directory: ./scripts/data-demo.sh
 set -eu
-
-OUT=${1:-BENCH_data.json}
-TMP=$(mktemp -d)
-trap 'rm -rf "$TMP"' EXIT INT TERM
-
-go build -o "$TMP/grid3sim" ./cmd/grid3sim
-"$TMP/grid3sim" -data-sweep -seeds 1,2,3 -scale 0.05 -days 30 -doors 4 \
-	-json-out "$OUT"
-
-echo
-echo "wrote $OUT"
+cd "$(dirname "$0")/.."
+exec go run ./cmd/grid3exp run experiments/core.json -only data

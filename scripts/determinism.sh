@@ -5,7 +5,7 @@
 # first output line, which carries wall-clock timing.
 #
 # CI runs this exact script (.github/workflows/ci.yml), so the local gate
-# and the hosted one cannot drift. Run from the repo root:
+# and the hosted one cannot drift. Runs from any directory:
 # ./scripts/determinism.sh
 #
 # Legs:
@@ -18,6 +18,7 @@
 #      are refused
 #   7. ingest batching (-ingest-batch) matches the per-event run
 set -eu
+cd "$(dirname "$0")/.."
 
 WORK=$(mktemp -d)
 trap 'rm -rf "$WORK"' EXIT

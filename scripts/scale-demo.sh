@@ -1,22 +1,12 @@
 #!/bin/sh
-# Regenerate BENCH_scale.json: the testbed scale curve this repo tracks
-# across PRs — wall time, event throughput, and allocation volume for one
-# simulated production day at 27 (the historical catalog), 100, 300, and
-# 1000 sites. With -shards 4 every (sites, seed) point is measured twice,
-# serial then sharded, so each sharded point's work-parallelism has its
-# serial reference beside it. Points run serially so the per-point
-# allocation deltas are clean; expect a few minutes of wall time.
+# Thin wrapper: the testbed scale sweep is declared in
+# experiments/core.json now. This runs just its "scale" experiment and
+# refreshes BENCH_scale.json in place (points run serially for clean
+# allocation deltas; expect a few minutes). Run the whole grid with:
 #
-# Run from the repo root: ./scripts/scale-demo.sh [out.json]
+#   go run ./cmd/grid3exp run experiments/core.json
+#
+# Runs from any directory: ./scripts/scale-demo.sh
 set -eu
-
-OUT=${1:-BENCH_scale.json}
-
-go build -o /tmp/grid3sim-scale ./cmd/grid3sim
-/tmp/grid3sim-scale -scale-sweep 27,100,300,1000 -seeds 1,2 -days 1 -shards 4 -json-out "$OUT"
-
-if [ ! -s "$OUT" ]; then
-    echo "scale-demo: $OUT is empty" >&2
-    exit 1
-fi
-echo "wrote $OUT"
+cd "$(dirname "$0")/.."
+exec go run ./cmd/grid3exp run experiments/core.json -only scale

@@ -5,8 +5,9 @@
 # sustained req/s, latency quantiles, goodput under overload — as the serve
 # evidence this repo tracks across PRs.
 #
-# Run from the repo root: ./scripts/serve-demo.sh [out.json]
+# Runs from any directory: ./scripts/serve-demo.sh [out.json]
 set -eu
+cd "$(dirname "$0")/.."
 
 OUT=${1:-BENCH_serve.json}
 ADDR=127.0.0.1:18080

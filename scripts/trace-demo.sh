@@ -2,8 +2,9 @@
 # Trace a one-day production run and pretty-print the ten slowest spans.
 # The JSONL dump has a fixed key order and one span per line, so awk is
 # enough — no JSON parser needed.
-# Run from the repo root: ./scripts/trace-demo.sh [seed]
+# Runs from any directory: ./scripts/trace-demo.sh [seed]
 set -eu
+cd "$(dirname "$0")/.."
 
 seed=${1:-1}
 tmp=$(mktemp -d)

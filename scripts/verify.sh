@@ -7,8 +7,10 @@
 # pipeline).
 #
 # CI runs this exact script (.github/workflows/ci.yml), so the local gate
-# and the hosted one cannot drift. Run from the repo root: ./scripts/verify.sh
+# and the hosted one cannot drift. Runs from any directory:
+# ./scripts/verify.sh
 set -eu
+cd "$(dirname "$0")/.."
 
 echo '== go build'
 go build ./...
